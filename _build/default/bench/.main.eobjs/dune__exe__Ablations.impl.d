@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Churn Config Data_ops Experiments H Hashtbl Keys List Metrics Option P2p_sim P2p_stats P2p_topology Peer Printf Rng Stdlib World

@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Hashtbl Hybrid_p2p P2p_net P2p_sim P2p_stats P2p_topology P2p_workload Printf

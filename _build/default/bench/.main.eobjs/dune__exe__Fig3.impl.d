@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Config Experiments H List Metrics P2p_analysis P2p_stats Printf Summary

@@ -1,0 +1,1 @@
+bench/fig4.ml: Config Experiments H List P2p_stats Stdlib

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Churn Experiments H List Metrics P2p_stats

@@ -1,0 +1,1 @@
+bench/fig6.ml: Config Experiments H List Metrics P2p_stats

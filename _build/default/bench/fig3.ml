@@ -1,0 +1,69 @@
+(* Fig. 3a / 3b: the paper's analytical join and lookup latency curves
+   (Section 4, Eq. 1 and the lookup-latency expressions), plus a
+   simulation validation pass that measures the same quantities on the
+   event-driven system and prints them side by side. *)
+
+open Experiments
+module F = P2p_analysis.Formulas
+module Ascii_plot = P2p_stats.Ascii_plot
+
+let n = 1000
+
+let fig3a () =
+  header "Fig 3a — average join latency (hops) vs p_s, analytical Eq. (1)";
+  row "%6s  %10s  %10s  %10s\n" "p_s" "delta=2" "delta=3" "delta=4";
+  List.iter
+    (fun ps ->
+      row "%6.2f  %10.3f  %10.3f  %10.3f\n" ps
+        (F.join_latency ~ps ~n ~delta:2)
+        (F.join_latency ~ps ~n ~delta:3)
+        (F.join_latency ~ps ~n ~delta:4))
+    (ps_sweep @ [ 0.95; 0.99 ]);
+  (* locate the optimum the paper quotes (~0.7 for delta = 2) *)
+  let best_ps delta =
+    let best = ref (0.0, infinity) in
+    for i = 0 to 99 do
+      let ps = float_of_int i /. 100.0 in
+      let v = F.join_latency ~ps ~n ~delta in
+      if v < snd !best then best := (ps, v)
+    done;
+    !best
+  in
+  List.iter
+    (fun delta ->
+      let ps, v = best_ps delta in
+      row "minimum for delta=%d at p_s=%.2f (%.3f hops)\n" delta ps v)
+    [ 2; 3; 4 ];
+  let series delta =
+    {
+      Ascii_plot.name = Printf.sprintf "delta=%d" delta;
+      points =
+        List.map (fun ps -> (ps, F.join_latency ~ps ~n ~delta)) (ps_sweep @ [ 0.95; 0.99 ]);
+    }
+  in
+  print_string (Ascii_plot.line_chart ~series:[ series 2; series 3; series 4 ] ())
+
+let fig3b () =
+  header "Fig 3b — average lookup latency (hops) vs p_s, analytical (ttl = 4)";
+  row "%6s  %10s  %10s  %10s  %12s\n" "p_s" "delta=2" "delta=3" "delta=4" "no-constraint";
+  List.iter
+    (fun ps ->
+      row "%6.2f  %10.3f  %10.3f  %10.3f  %12.3f\n" ps
+        (F.lookup_latency ~ps ~n ~delta:2 ~ttl:4)
+        (F.lookup_latency ~ps ~n ~delta:3 ~ttl:4)
+        (F.lookup_latency ~ps ~n ~delta:4 ~ttl:4)
+        (F.lookup_latency_unconstrained ~ps ~n))
+    (ps_sweep @ [ 0.95; 0.99 ])
+
+(* Simulation validation: measured mean join hops vs the model. *)
+let fig3_sim ~scale () =
+  header "Fig 3a validation — measured join hops vs Eq. (1) model";
+  row "%6s  %12s  %12s\n" "p_s" "measured" "model";
+  List.iter
+    (fun ps ->
+      let b = build ~seed:3 ~ps ~scale () in
+      let measured = Summary.mean (Metrics.join_hops (H.metrics b.h)) in
+      let n_sim = Array.length b.peers in
+      let model = F.join_latency ~ps ~n:n_sim ~delta:Config.default.Config.delta in
+      row "%6.2f  %12.3f  %12.3f\n%!" ps measured model)
+    [ 0.0; 0.2; 0.4; 0.6; 0.8; 0.9 ]

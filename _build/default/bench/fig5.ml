@@ -1,0 +1,61 @@
+(* Fig. 5a: lookup failure ratio vs p_s for TTL in {1, 2, 4}.
+   Fig. 5b: lookup failure ratio vs crashed fraction for several p_s
+   (peers leave abruptly without transferring their data; Section 6.2). *)
+
+open Experiments
+module Ascii_plot = P2p_stats.Ascii_plot
+
+let fig5a ~scale () =
+  header "Fig 5a — lookup failure ratio vs p_s, TTL in {1, 2, 4}";
+  row "%6s  %10s  %10s  %10s\n" "p_s" "TTL=1" "TTL=2" "TTL=4";
+  let collected = ref [] in
+  List.iter
+    (fun ps ->
+      let ratios =
+        List.map
+          (fun ttl ->
+            let b = build ~seed:5 ~ps ~scale () in
+            insert_corpus b;
+            run_lookups ~ttl b ~count:scale.n_lookups;
+            Metrics.failure_ratio (H.metrics b.h))
+          [ 1; 2; 4 ]
+      in
+      match ratios with
+      | [ r1; r2; r4 ] ->
+        collected := (ps, r1, r2, r4) :: !collected;
+        row "%6.2f  %10.4f  %10.4f  %10.4f\n%!" ps r1 r2 r4
+      | _ -> assert false)
+    ps_sweep;
+  let points f = List.rev_map (fun (ps, a, b, c) -> (ps, f (a, b, c))) !collected in
+  print_string
+    (Ascii_plot.line_chart
+       ~series:
+         [ { Ascii_plot.name = "TTL=1"; points = points (fun (a, _, _) -> a) };
+           { Ascii_plot.name = "TTL=2"; points = points (fun (_, b, _) -> b) };
+           { Ascii_plot.name = "TTL=4"; points = points (fun (_, _, c) -> c) } ]
+       ())
+
+let fig5b ~scale () =
+  header "Fig 5b — lookup failure ratio vs crashed fraction (no load transfer)";
+  row "%8s  %10s  %10s  %10s\n" "crashed" "p_s=0.4" "p_s=0.6" "p_s=0.8";
+  List.iter
+    (fun fraction ->
+      let ratios =
+        List.map
+          (fun ps ->
+            let b = build ~seed:6 ~ps ~scale () in
+            insert_corpus b;
+            let victims =
+              Churn.crash_storm ~rng:b.rng ~population:(Array.length b.peers) ~fraction
+            in
+            Array.iter (fun i -> H.crash b.h b.peers.(i)) victims;
+            H.repair b.h;
+            H.run b.h;
+            run_lookups b ~count:scale.n_lookups;
+            Metrics.failure_ratio (H.metrics b.h))
+          [ 0.4; 0.6; 0.8 ]
+      in
+      match ratios with
+      | [ a; b; c ] -> row "%8.2f  %10.4f  %10.4f  %10.4f\n%!" fraction a b c
+      | _ -> assert false)
+    [ 0.0; 0.05; 0.1; 0.15; 0.2; 0.25; 0.3 ]

@@ -1,0 +1,344 @@
+(* p2psim — command-line driver for the hybrid P2P simulator.
+
+   Subcommands:
+     run       build a system, insert items, run lookups, print metrics
+     churn     crash a fraction of the population and report the damage
+     compare   hybrid vs pure Chord vs pure Gnutella on one workload
+     scenario  run a declarative churn/workload script (see parse_script)
+     analyze   print the Section-4 analytical model for given parameters *)
+
+module H = Hybrid_p2p.Hybrid
+module Peer = Hybrid_p2p.Peer
+module Config = Hybrid_p2p.Config
+module Data_ops = Hybrid_p2p.Data_ops
+module Rng = P2p_sim.Rng
+module Transit_stub = P2p_topology.Transit_stub
+module Routing = P2p_topology.Routing
+module Metrics = P2p_net.Metrics
+module Summary = P2p_stats.Summary
+module Keys = P2p_workload.Keys
+module Churn = P2p_workload.Churn
+module Chord = P2p_chord.Ring
+module Scenario = P2p_scenario.Scenario
+module Mesh = P2p_gnutella.Mesh
+module F = P2p_analysis.Formulas
+
+open Cmdliner
+
+(* --- shared argument definitions --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let ps_arg =
+  Arg.(
+    value
+    & opt float 0.7
+    & info [ "p"; "ps" ] ~docv:"PS"
+        ~doc:"System parameter $(i,p_s): fraction of peers that are s-peers.")
+
+let peers_arg =
+  Arg.(value & opt int 300 & info [ "n"; "peers" ] ~docv:"N" ~doc:"Number of peers.")
+
+let items_arg =
+  Arg.(value & opt int 2000 & info [ "items" ] ~docv:"K" ~doc:"Data items to insert.")
+
+let lookups_arg =
+  Arg.(value & opt int 2000 & info [ "lookups" ] ~docv:"K" ~doc:"Lookups to issue.")
+
+let ttl_arg =
+  Arg.(value & opt int 4 & info [ "ttl" ] ~docv:"TTL" ~doc:"Flood TTL in s-networks.")
+
+let delta_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "delta" ] ~docv:"D" ~doc:"Degree constraint of s-network trees.")
+
+let scheme_arg =
+  let parse = function
+    | "tpeer" -> Ok Config.Store_at_tpeer
+    | "spread" -> Ok Config.Spread_to_neighbors
+    | s -> Error (`Msg (Printf.sprintf "unknown placement %S (tpeer|spread)" s))
+  in
+  let print ppf = function
+    | Config.Store_at_tpeer -> Format.fprintf ppf "tpeer"
+    | Config.Spread_to_neighbors -> Format.fprintf ppf "spread"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.Spread_to_neighbors
+    & info [ "placement" ] ~docv:"SCHEME" ~doc:"Data placement: tpeer or spread.")
+
+(* --- system construction over a transit-stub underlay --- *)
+
+let topology_for n =
+  (* pick transit-stub parameters that give at least n nodes *)
+  let rec fit stub_nodes =
+    let p =
+      {
+        Transit_stub.default_params with
+        Transit_stub.transit_domains = 3;
+        transit_nodes = 3;
+        stub_domains_per_node = 4;
+        stub_nodes;
+      }
+    in
+    if Transit_stub.node_count p >= n then p else fit (stub_nodes + 1)
+  in
+  fit 3
+
+let build_system ~seed ~ps ~n ~config =
+  let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
+  let routing = Routing.create topo.Transit_stub.graph in
+  let h = H.create ~seed ~routing ~config () in
+  let rng = Rng.create (seed + 2) in
+  let roles = Array.init n (fun _ -> if Rng.bernoulli rng ps then Peer.S_peer else Peer.T_peer) in
+  roles.(0) <- Peer.T_peer;
+  Array.iteri
+    (fun host role ->
+      ignore (H.join h ~host ~role () : Peer.t);
+      H.run h)
+    roles;
+  (h, rng)
+
+let print_metrics h =
+  Format.printf "%a@." Metrics.pp (H.metrics h);
+  match H.check_invariants h with
+  | Ok () -> print_endline "invariants: OK"
+  | Error e -> Printf.printf "invariants: VIOLATED (%s)\n" e
+
+(* --- run subcommand --- *)
+
+let run_cmd =
+  let run seed ps n items lookups ttl delta placement =
+    let config = { Config.default with Config.default_ttl = ttl; delta; placement } in
+    Printf.printf "building %d peers (p_s = %.2f) over a transit-stub underlay...\n%!" n ps;
+    let h, rng = build_system ~seed ~ps ~n ~config in
+    Printf.printf "system: %d t-peers, %d s-peers\n%!" (H.t_peer_count h) (H.s_peer_count h);
+    let corpus = Keys.generate ~rng ~count:items ~categories:4 in
+    Array.iter
+      (fun it ->
+        H.insert h ~from:(H.random_peer h) ~key:it.Keys.key ~value:it.Keys.value ())
+      corpus;
+    H.run h;
+    Printf.printf "inserted %d items\n%!" (H.total_items h);
+    let targets = Keys.lookup_sequence ~rng ~items:corpus ~count:lookups in
+    Array.iter
+      (fun it ->
+        H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
+      targets;
+    H.run h;
+    print_metrics h
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
+      $ delta_arg $ scheme_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Build a hybrid system, insert items, run lookups, print metrics.")
+    term
+
+(* --- churn subcommand --- *)
+
+let churn_cmd =
+  let run seed ps n crash_fraction =
+    let config = Config.default in
+    let h, rng = build_system ~seed ~ps ~n ~config in
+    let corpus = Keys.generate ~rng ~count:1000 ~categories:4 in
+    Array.iter
+      (fun it ->
+        H.insert h ~from:(H.random_peer h) ~key:it.Keys.key ~value:it.Keys.value ())
+      corpus;
+    H.run h;
+    let before = H.total_items h in
+    let peers = Array.of_list (H.peers h) in
+    let victims = Churn.crash_storm ~rng ~population:(Array.length peers) ~fraction:crash_fraction in
+    Array.iter (fun i -> H.crash h peers.(i)) victims;
+    H.repair h;
+    H.run h;
+    Printf.printf "crashed %d peers; %d/%d items survived\n" (Array.length victims)
+      (H.total_items h) before;
+    Array.iter
+      (fun it ->
+        H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
+      corpus;
+    H.run h;
+    Printf.printf "lookup failure ratio after storm: %.4f\n"
+      (Metrics.failure_ratio (H.metrics h));
+    print_metrics h
+  in
+  let fraction_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "crash" ] ~docv:"F" ~doc:"Fraction of peers to crash.")
+  in
+  let term = Term.(const run $ seed_arg $ ps_arg $ peers_arg $ fraction_arg) in
+  Cmd.v (Cmd.info "churn" ~doc:"Crash a fraction of peers and measure the damage.") term
+
+(* --- compare subcommand: hybrid vs pure baselines --- *)
+
+let compare_cmd =
+  let run seed n items lookups ttl =
+    let rng = Rng.create seed in
+    let corpus = Keys.generate ~rng ~count:items ~categories:4 in
+    (* hybrid at the paper's sweet spot *)
+    let config = { Config.default with Config.default_ttl = ttl } in
+    let h, hrng = build_system ~seed ~ps:0.7 ~n ~config in
+    ignore hrng;
+    Array.iter
+      (fun it ->
+        H.insert h ~from:(H.random_peer h) ~key:it.Keys.key ~value:it.Keys.value ())
+      corpus;
+    H.run h;
+    let targets = Keys.lookup_sequence ~rng ~items:corpus ~count:lookups in
+    Array.iter
+      (fun it ->
+        H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
+      targets;
+    H.run h;
+    let hm = H.metrics h in
+    Printf.printf "%-22s failure %6.4f   mean hops %6.2f   connum/lookup %8.1f\n"
+      "hybrid (ps=0.7)" (Metrics.failure_ratio hm)
+      (Summary.mean (Metrics.lookup_hops hm))
+      (float_of_int (Metrics.connum hm) /. float_of_int lookups);
+    (* pure Chord *)
+    let ring = Chord.create () in
+    let crng = Rng.create (seed + 10) in
+    let nodes = ref [] in
+    let used = Hashtbl.create n in
+    while List.length !nodes < n do
+      let id = Rng.int crng P2p_hashspace.Id_space.size in
+      if not (Hashtbl.mem used id) then begin
+        Hashtbl.add used id ();
+        nodes := fst (Chord.join ring ~host:(Hashtbl.length used) ~p_id:id) :: !nodes
+      end
+    done;
+    let node_arr = Array.of_list !nodes in
+    Array.iter
+      (fun it ->
+        ignore
+          (Chord.store ring ~from:(Rng.pick crng node_arr) ~key:it.Keys.key
+             ~value:it.Keys.value
+            : Chord.node list))
+      corpus;
+    let chops = ref 0 and cfail = ref 0 in
+    Array.iter
+      (fun it ->
+        let value, path = Chord.lookup ring ~from:(Rng.pick crng node_arr) ~key:it.Keys.key in
+        chops := !chops + List.length path - 1;
+        if value = None then incr cfail)
+      targets;
+    Printf.printf "%-22s failure %6.4f   mean hops %6.2f   (finger-routed)\n" "pure Chord"
+      (float_of_int !cfail /. float_of_int lookups)
+      (float_of_int !chops /. float_of_int lookups);
+    (* pure Gnutella *)
+    let mesh = Mesh.create ~rng:(Rng.create (seed + 20)) ~links_per_join:3 () in
+    let mpeers = Array.init n (fun host -> Mesh.join mesh ~host) in
+    let mrng = Rng.create (seed + 21) in
+    Array.iter
+      (fun it ->
+        Mesh.store mesh (Rng.pick mrng mpeers) ~key:it.Keys.key ~value:it.Keys.value)
+      corpus;
+    let ghits = ref 0 and gcontacts = ref 0 in
+    Array.iter
+      (fun it ->
+        let r = Mesh.flood_lookup mesh ~from:(Rng.pick mrng mpeers) ~key:it.Keys.key ~ttl in
+        if r.Mesh.value <> None then incr ghits;
+        gcontacts := !gcontacts + r.Mesh.contacted)
+      targets;
+    Printf.printf "%-22s failure %6.4f   contacts/lookup %8.1f   (ttl %d flood)\n"
+      "pure Gnutella"
+      (1.0 -. (float_of_int !ghits /. float_of_int lookups))
+      (float_of_int !gcontacts /. float_of_int lookups)
+      ttl
+  in
+  let term =
+    Term.(const run $ seed_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Hybrid vs pure Chord vs pure Gnutella on one workload.")
+    term
+
+(* --- scenario subcommand --- *)
+
+(* Compact script syntax, whitespace-separated tokens:
+     join:N:PS  leave  crash  crash:F  repair  insert:N  lookup:N
+     settle     advance:MS
+   e.g. "join:80:0.7 insert:200 crash:0.2 repair lookup:200" *)
+let parse_script text =
+  let parse_token token =
+    match String.split_on_char ':' token with
+    | [ "join"; n; ps ] -> Ok (Scenario.Join_many (int_of_string n, float_of_string ps))
+    | [ "join" ] -> Ok (Scenario.Join_many (1, 0.5))
+    | [ "leave" ] -> Ok Scenario.Leave_random
+    | [ "crash" ] -> Ok Scenario.Crash_random
+    | [ "crash"; f ] -> Ok (Scenario.Crash_fraction (float_of_string f))
+    | [ "repair" ] -> Ok Scenario.Repair
+    | [ "insert"; n ] -> Ok (Scenario.Insert_items (int_of_string n))
+    | [ "lookup"; n ] -> Ok (Scenario.Lookup_items (int_of_string n))
+    | [ "settle" ] -> Ok Scenario.Settle
+    | [ "advance"; ms ] -> Ok (Scenario.Advance (float_of_string ms))
+    | _ -> Error token
+  in
+  String.split_on_char ' ' text
+  |> List.filter (fun t -> t <> "")
+  |> List.fold_left
+       (fun acc token ->
+         match (acc, parse_token token) with
+         | Ok actions, Ok a -> Ok (a :: actions)
+         | (Error _ as e), _ -> e
+         | Ok _, Error t -> Error t)
+       (Ok [])
+  |> Result.map List.rev
+
+let scenario_cmd =
+  let run seed n script_text =
+    match parse_script script_text with
+    | Error token ->
+      Printf.printf "cannot parse script token %S\n" token;
+      exit 1
+    | Ok script ->
+      let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
+      let h = H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) () in
+      let report = Scenario.run h ~seed ~script in
+      Format.printf "%a@." Scenario.pp_report report
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt string "join:80:0.7 insert:200 settle crash:0.2 repair lookup:200"
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:
+            "Whitespace-separated actions: join:N:PS, leave, crash, crash:F, \
+             repair, insert:N, lookup:N, settle, advance:MS.")
+  in
+  let term = Term.(const run $ seed_arg $ peers_arg $ script_arg) in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a declarative churn/workload script and report.")
+    term
+
+(* --- analyze subcommand --- *)
+
+let analyze_cmd =
+  let run n delta ttl =
+    Printf.printf "Section-4 model, N = %d, delta = %d, ttl = %d\n" n delta ttl;
+    Printf.printf "%6s  %12s  %14s  %14s\n" "p_s" "join (hops)" "lookup (hops)" "failure ratio";
+    List.iter
+      (fun ps ->
+        Printf.printf "%6.2f  %12.3f  %14.3f  %14.4f\n" ps
+          (F.join_latency ~ps ~n ~delta)
+          (F.lookup_latency ~ps ~n ~delta ~ttl)
+          (F.lookup_failure_ratio ~ps ~delta ~ttl))
+      [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.99 ]
+  in
+  let n_arg =
+    Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Total number of peers.")
+  in
+  let term = Term.(const run $ n_arg $ delta_arg $ ttl_arg) in
+  Cmd.v (Cmd.info "analyze" ~doc:"Print the paper's Section-4 analytical model.") term
+
+let () =
+  let doc = "hybrid peer-to-peer system simulator (Yang & Yang reproduction)" in
+  let info = Cmd.info "p2psim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; analyze_cmd ]))

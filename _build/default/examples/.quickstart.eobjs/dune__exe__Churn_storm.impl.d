@@ -1,0 +1,1 @@
+examples/churn_storm.ml: Array Hybrid_p2p P2p_sim P2p_workload Printf

@@ -1,0 +1,1 @@
+examples/file_sharing.ml: Array Hybrid_p2p List P2p_sim P2p_stats P2p_workload Printf

@@ -1,0 +1,1 @@
+examples/music_library.ml: Hashtbl Hybrid_p2p List Option P2p_sim Printf

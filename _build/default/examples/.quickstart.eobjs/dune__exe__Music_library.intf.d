@@ -1,0 +1,1 @@
+examples/music_library.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hybrid_p2p List P2p_net Printf

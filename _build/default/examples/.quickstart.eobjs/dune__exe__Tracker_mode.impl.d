@@ -1,0 +1,1 @@
+examples/tracker_mode.ml: Hybrid_p2p P2p_net P2p_stats Printf

@@ -1,0 +1,1 @@
+examples/tracker_mode.mli:

@@ -1,0 +1,77 @@
+let log2 x = log x /. log 2.0
+
+let check ~ps ~n ~delta =
+  if ps < 0.0 || ps > 1.0 then invalid_arg "Formulas: ps out of [0,1]";
+  if n <= 0 then invalid_arg "Formulas: n must be positive";
+  if delta < 2 then invalid_arg "Formulas: delta must be >= 2"
+
+let avg_snetwork_size ~ps = if ps >= 1.0 then infinity else ps /. (1.0 -. ps)
+
+let clamp0 x = if x < 0.0 || Float.is_nan x then 0.0 else x
+
+let t_join_latency ~ps ~n =
+  check ~ps ~n ~delta:2;
+  if ps >= 1.0 then 0.0
+  else clamp0 (log2 ((1.0 -. ps) *. float_of_int n /. 2.0))
+
+let s_join_latency ~ps ~delta =
+  check ~ps ~n:1 ~delta;
+  if ps <= 0.0 then 0.0
+  else if ps >= 1.0 then infinity
+  else clamp0 (log (avg_snetwork_size ~ps) /. log (float_of_int delta))
+
+let join_latency ~ps ~n ~delta =
+  check ~ps ~n ~delta;
+  let t_part = if ps >= 1.0 then 0.0 else (1.0 -. ps) *. t_join_latency ~ps ~n in
+  let s_part = if ps <= 0.0 then 0.0 else ps *. s_join_latency ~ps ~delta in
+  t_part +. s_part
+
+let local_hit_probability ~ps ~n =
+  check ~ps ~n ~delta:2;
+  if ps >= 1.0 then 1.0
+  else Float.min 1.0 (clamp0 (avg_snetwork_size ~ps /. float_of_int n))
+
+let peers_out_of_reach ~ps ~delta ~ttl =
+  check ~ps ~n:1 ~delta;
+  if ttl < 0 then invalid_arg "Formulas: ttl must be >= 0";
+  if ps >= 1.0 then infinity
+  else begin
+    let d = float_of_int delta in
+    let size = avg_snetwork_size ~ps in
+    let ttlf = float_of_int ttl in
+    (* Paper Eq. (2): midpoint of the root-initiated and leaf-initiated
+       reachable-set sizes. *)
+    let reached =
+      ((d ** (ttlf +. 1.0)) *. (d -. 1.0)
+       +. (d ** (2.0 +. (ttlf /. 2.0)))
+       -. ((d -. 1.0) *. ttlf /. 2.0))
+      /. (2.0 *. ((d -. 1.0) ** 2.0))
+    in
+    clamp0 (size -. reached)
+  end
+
+let lookup_failure_ratio ~ps ~delta ~ttl =
+  let size = avg_snetwork_size ~ps in
+  if size <= 0.0 then 0.0
+  else if size = infinity then 1.0
+  else Float.min 1.0 (peers_out_of_reach ~ps ~delta ~ttl /. size)
+
+let ring_half ~ps ~n =
+  if ps >= 1.0 then 0.0
+  else clamp0 (log2 ((1.0 -. ps) *. float_of_int n /. 2.0))
+
+let lookup_latency_unconstrained ~ps ~n =
+  check ~ps ~n ~delta:2;
+  let p = local_hit_probability ~ps ~n in
+  (p *. 2.0) +. ((1.0 -. p) *. (2.0 +. ring_half ~ps ~n))
+
+let lookup_latency ~ps ~n ~delta ~ttl =
+  check ~ps ~n ~delta;
+  if ttl < 0 then invalid_arg "Formulas: ttl must be >= 0";
+  let p = local_hit_probability ~ps ~n in
+  let ttlf = float_of_int ttl in
+  let climb =
+    if ps <= 0.0 || ps >= 1.0 then 0.0
+    else Float.max 0.0 (0.5 *. (log (avg_snetwork_size ~ps) /. log (float_of_int delta)))
+  in
+  (p *. ttlf) +. ((1.0 -. p) *. (climb +. ttlf +. ring_half ~ps ~n))

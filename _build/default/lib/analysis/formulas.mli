@@ -1,0 +1,51 @@
+(** Closed-form performance model (paper Section 4).
+
+    These formulas regenerate the paper's analytical Figs. 3a and 3b and
+    give the quantities the simulation is validated against:
+
+    - Eq. (1): average join latency (in overlay hops) as a function of the
+      system parameter [p_s], mixing the finger-accelerated ring join of
+      t-peers with the tree walk of s-peers;
+    - Eq. (2): the expected number of peers outside a TTL-bounded flood's
+      reach in a degree-[δ] tree s-network;
+    - the average lookup latency with and without the degree constraint.
+
+    All logarithms follow the paper's conventions: [log] is base 2 and
+    terms are clamped at zero where the paper's expressions go negative
+    for degenerate parameters (tiny [(1-p_s)N]). *)
+
+(** Average s-network size [p_s / (1 - p_s)] (s-peers per t-peer).
+    [infinity] when [p_s = 1]. *)
+val avg_snetwork_size : ps:float -> float
+
+(** Eq. (1): average join latency in hops.
+    @raise Invalid_argument unless [0 <= ps <= 1], [n > 0], [delta >= 2]. *)
+val join_latency : ps:float -> n:int -> delta:int -> float
+
+(** Join latency of a t-peer alone: [log((1-p_s) N / 2)], clamped at 0. *)
+val t_join_latency : ps:float -> n:int -> float
+
+(** Join latency of an s-peer alone: [log_δ(p_s / (1-p_s))], clamped
+    at 0. *)
+val s_join_latency : ps:float -> delta:int -> float
+
+(** Probability [p] that a requested item lives in the requester's own
+    s-network: [p_s / (N (1 - p_s))], clamped to [\[0, 1\]]. *)
+val local_hit_probability : ps:float -> n:int -> float
+
+(** Eq. (2): expected number of s-network peers beyond a TTL-[ttl] flood
+    under degree constraint [delta] (midpoint of the t-peer-initiated and
+    leaf-initiated cases), clamped at 0. *)
+val peers_out_of_reach : ps:float -> delta:int -> ttl:int -> float
+
+(** Lookup failure ratio implied by Eq. (2): out-of-reach peers divided by
+    the average s-network size (0 when the s-network is empty). *)
+val lookup_failure_ratio : ps:float -> delta:int -> ttl:int -> float
+
+(** Average lookup latency in hops, without the degree constraint
+    (star-shaped s-networks, diameter 2). *)
+val lookup_latency_unconstrained : ps:float -> n:int -> float
+
+(** Average lookup latency in hops with degree constraint [delta] and
+    flood TTL [ttl]. *)
+val lookup_latency : ps:float -> n:int -> delta:int -> ttl:int -> float

@@ -1,0 +1,1 @@
+lib/chord/ring.ml: Array Hashtbl Id_space Key_hash List P2p_hashspace Printf

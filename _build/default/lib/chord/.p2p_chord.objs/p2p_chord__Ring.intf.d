@@ -1,0 +1,1 @@
+lib/chord/ring.mli: Id_space P2p_hashspace

@@ -1,0 +1,1 @@
+lib/core/data_ops.ml: Array Cache Config Data_store Hashtbl Key_hash List Option P2p_hashspace P2p_net P2p_sim Peer S_network Stdlib String T_network World

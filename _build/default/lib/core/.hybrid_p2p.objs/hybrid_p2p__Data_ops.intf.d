@@ -1,0 +1,1 @@
+lib/core/data_ops.mli: P2p_hashspace Peer World

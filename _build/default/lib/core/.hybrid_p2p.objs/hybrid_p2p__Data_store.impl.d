@@ -1,0 +1,1 @@
+lib/core/data_store.ml: Hashtbl Id_space Key_hash List Option P2p_hashspace

@@ -1,0 +1,1 @@
+lib/core/data_store.mli: Id_space P2p_hashspace

@@ -1,0 +1,1 @@
+lib/core/failure.ml: Array Cache Config Data_store Fun Hashtbl List P2p_sim Peer S_network T_network World

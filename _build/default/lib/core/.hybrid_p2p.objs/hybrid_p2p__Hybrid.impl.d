@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Config Data_ops Data_store Failure Float Hashtbl List P2p_net P2p_sim P2p_stats P2p_topology Peer Printf S_network T_network World

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Config Data_ops P2p_hashspace P2p_net P2p_sim P2p_stats P2p_topology Peer World

@@ -1,0 +1,1 @@
+lib/core/interest.ml: P2p_hashspace Printf

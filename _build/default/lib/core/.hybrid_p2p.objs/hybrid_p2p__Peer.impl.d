@@ -1,0 +1,1 @@
+lib/core/peer.ml: Cache Config Data_store Format Hashtbl Id_space List P2p_hashspace P2p_sim

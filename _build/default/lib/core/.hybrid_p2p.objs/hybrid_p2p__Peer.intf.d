@@ -1,0 +1,1 @@
+lib/core/peer.mli: Cache Config Data_store Format Hashtbl Id_space P2p_hashspace P2p_sim

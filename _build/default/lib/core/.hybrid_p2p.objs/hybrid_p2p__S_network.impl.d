@@ -1,0 +1,1 @@
+lib/core/s_network.ml: Data_store Hashtbl List Option P2p_sim Peer Printf World

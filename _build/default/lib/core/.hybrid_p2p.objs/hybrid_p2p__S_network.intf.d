@@ -1,0 +1,1 @@
+lib/core/s_network.mli: Peer World

@@ -1,0 +1,1 @@
+lib/core/t_network.ml: Array Config Data_store Hashtbl Id_space List Option P2p_hashspace P2p_sim Peer Printf S_network Stdlib World

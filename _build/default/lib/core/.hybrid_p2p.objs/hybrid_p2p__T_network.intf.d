@@ -1,0 +1,1 @@
+lib/core/t_network.mli: Id_space P2p_hashspace Peer World

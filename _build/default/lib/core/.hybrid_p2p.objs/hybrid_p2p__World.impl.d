@@ -1,0 +1,1 @@
+lib/core/world.ml: Array Config Hashtbl Id_space Interest List Option P2p_hashspace P2p_net P2p_sim P2p_topology Peer

@@ -1,0 +1,1 @@
+lib/core/world.mli: Config Hashtbl Id_space P2p_hashspace P2p_net P2p_sim P2p_topology Peer

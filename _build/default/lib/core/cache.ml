@@ -1,0 +1,54 @@
+type entry = { value : string; expiry : float }
+
+type t = {
+  capacity : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  { capacity; entries = Hashtbl.create (min 64 (capacity + 1)); hits = 0; misses = 0 }
+
+let size t = Hashtbl.length t.entries
+
+let capacity t = t.capacity
+
+let evict_soonest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, expiry) when expiry <= e.expiry -> ()
+      | Some _ | None -> victim := Some (key, e.expiry))
+    t.entries;
+  match !victim with
+  | Some (key, _) -> Hashtbl.remove t.entries key
+  | None -> ()
+
+let put t ~now ~lifetime ~key ~value =
+  if t.capacity > 0 then begin
+    if (not (Hashtbl.mem t.entries key)) && Hashtbl.length t.entries >= t.capacity then
+      evict_soonest t;
+    Hashtbl.replace t.entries key { value; expiry = now +. lifetime }
+  end
+
+let find t ~now ~key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e when e.expiry > now ->
+    t.hits <- t.hits + 1;
+    Some e.value
+  | Some _ ->
+    Hashtbl.remove t.entries key;
+    t.misses <- t.misses + 1;
+    None
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let clear t = Hashtbl.reset t.entries

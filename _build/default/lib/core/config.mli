@@ -1,0 +1,80 @@
+(** System configuration for the hybrid peer-to-peer system.
+
+    Collects every tunable the paper defines: the degree constraint [δ] on
+    s-network trees, the flood TTL, the data placement scheme (Section 3.4),
+    the enhancement switches of Section 5, the failure-detection timer
+    periods of Section 3.2.2, and the routing mode of the t-network. *)
+
+(** Where an item routed through the t-network is finally stored
+    (Section 3.4). *)
+type placement =
+  | Store_at_tpeer
+      (** basic scheme: the owning t-peer keeps everything — imbalanced *)
+  | Spread_to_neighbors
+      (** improved scheme: random spreading walk over directly connected
+          s-peers, balancing the load *)
+
+(** How the s-network answers queries (Sections 3.1, 3.4 and 5.5). *)
+type s_style =
+  | Flooding_tree  (** Gnutella-style TTL flood over the tree *)
+  | Random_walks of int
+      (** that many independent random walks of TTL steps each — the
+          paper's lower-bandwidth alternative to flooding *)
+  | Bittorrent_tracker
+      (** the t-peer indexes every item in its s-network and answers
+          lookups directly; no flooding *)
+
+type t = {
+  delta : int;  (** degree constraint [δ] on s-network trees (>= 2) *)
+  default_ttl : int;  (** flood TTL for s-network lookups *)
+  placement : placement;
+  s_style : s_style;
+  use_fingers_for_join : bool;
+      (** route t-peer join requests through finger tables (O(log N)); the
+          paper's Fig. 3a analysis assumes this *)
+  use_fingers_for_data : bool;
+      (** route data operations through finger tables.  The paper's
+          simulation forwards data "along the ring" (Table 2's connum at
+          [p_s = 0] is ~N/2 per lookup), so this defaults to [false];
+          enabling it is the [ablate-fingers] experiment *)
+  hello_period : float;  (** ms between HELLO heartbeats *)
+  hello_timeout : float;  (** ms of silence before a neighbour is presumed dead *)
+  ack_timeout : float;  (** ms to wait for a query acknowledgment *)
+  suppress_period : float;  (** minimum ms between acknowledgments sent *)
+  lookup_timeout : float;  (** ms before a pending lookup is declared failed *)
+  heartbeats : bool;
+      (** drive HELLO/ack failure detection online.  Disable for
+          quiescence-driven batch experiments and repair crashes with
+          {!Hybrid.repair} instead *)
+  bypass_enabled : bool;  (** maintain bypass links (Section 5.4) *)
+  bypass_lifetime : float;  (** ms a bypass link survives without traffic *)
+  link_usage_aware : bool;
+      (** connect-point selection checks link usage (Section 5.1) *)
+  link_usage_threshold : float;
+      (** a connect point accepts a child while degree/capacity is below
+          this *)
+  transmission_ms : float;
+      (** per-message transmission cost at unit link capacity; a message
+          between two peers pays [transmission_ms / min(cap_src, cap_dst)].
+          [0.] (the default) disables capacity effects; the link
+          heterogeneity experiments (Section 5.1 / Fig. 6a) set it
+          positive. *)
+  reflood_attempts : int;
+      (** on lookup timeout, reissue the query with doubled TTL (and a
+          fresh timer) up to this many times (Section 3.4: "increase the
+          TTL value and the expiration duration of the timer and reflood").
+          [0] (default) fails on the first timeout. *)
+  cache_capacity : int;
+      (** per-peer soft cache of popular items (the paper's Section-7
+          future work); [0] (default) disables caching *)
+  cache_lifetime : float;  (** ms a cached copy stays valid *)
+}
+
+(** Paper-faithful defaults: [δ = 3] (the simulations' setting),
+    [default_ttl = 4], spread placement, flooding s-networks, fingers for
+    joins but ring-walk for data, heartbeats off, bypass off. *)
+val default : t
+
+(** [validate t] returns [Error reason] if a field is out of range
+    (e.g. [delta < 2], negative timers). *)
+val validate : t -> (unit, string) result

@@ -1,0 +1,45 @@
+open P2p_hashspace
+
+type entry = { value : string; route_id : Id_space.id }
+
+type t = { items : (string, entry) Hashtbl.t }
+
+let create () = { items = Hashtbl.create 16 }
+
+let size t = Hashtbl.length t.items
+
+let insert_routed t ~route_id ~key ~value =
+  Hashtbl.replace t.items key { value; route_id }
+
+let insert t ~key ~value =
+  insert_routed t ~route_id:(Key_hash.of_string key) ~key ~value
+
+let find t ~key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.items key)
+
+let remove t ~key = Hashtbl.remove t.items key
+
+let mem t ~key = Hashtbl.mem t.items key
+
+let take_segment t ~left ~right =
+  let selected =
+    Hashtbl.fold
+      (fun key e acc ->
+        if Id_space.between_incl_right e.route_id ~left ~right then
+          (key, e.value, e.route_id) :: acc
+        else acc)
+      t.items []
+  in
+  List.iter (fun (key, _, _) -> Hashtbl.remove t.items key) selected;
+  selected
+
+let take_all t =
+  let all = Hashtbl.fold (fun key e acc -> (key, e.value, e.route_id) :: acc) t.items [] in
+  Hashtbl.reset t.items;
+  all
+
+let iter t f =
+  Hashtbl.iter (fun key e -> f ~key ~value:e.value ~route_id:e.route_id) t.items
+
+let keys t = Hashtbl.fold (fun key _ acc -> key :: acc) t.items []
+
+let clear t = Hashtbl.reset t.items

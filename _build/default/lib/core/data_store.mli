@@ -1,0 +1,52 @@
+(** Per-peer storage of (key, value) data items.
+
+    Every peer keeps the items it is responsible for in a local database.
+    The store caches each key's hashed [d_id] because load transfer
+    (Section 3.2.1) repeatedly partitions the database by ID segment. *)
+
+open P2p_hashspace
+
+type t
+
+val create : unit -> t
+
+(** Number of items held. *)
+val size : t -> int
+
+(** [insert t ~key ~value] adds or replaces an item, routed by
+    [Key_hash.of_string key]. *)
+val insert : t -> key:string -> value:string -> unit
+
+(** [insert_routed t ~route_id ~key ~value] adds an item routed and
+    load-transferred by an explicit ID — interest-based s-networks route a
+    whole category under one ID (Section 5.3). *)
+val insert_routed : t -> route_id:Id_space.id -> key:string -> value:string -> unit
+
+(** [find t ~key] is the stored value, if any. *)
+val find : t -> key:string -> string option
+
+(** [remove t ~key] deletes the item if present. *)
+val remove : t -> key:string -> unit
+
+(** [mem t ~key] tests presence. *)
+val mem : t -> key:string -> bool
+
+(** [take_segment t ~left ~right] removes and returns every item whose
+    routing ID lies in the ring segment [(left, right]] — the
+    load-transfer primitive: when a new t-peer with ID [right] joins after
+    predecessor [left], these are exactly the items it must receive.
+    Returns [(key, value, route_id)] triples. *)
+val take_segment :
+  t -> left:Id_space.id -> right:Id_space.id -> (string * string * Id_space.id) list
+
+(** [take_all t] removes and returns everything — the paper's [loaddump]
+    when a peer leaves gracefully. *)
+val take_all : t -> (string * string * Id_space.id) list
+
+(** [iter t f] applies [f ~key ~value ~route_id] to each item. *)
+val iter : t -> (key:string -> value:string -> route_id:Id_space.id -> unit) -> unit
+
+(** [keys t] lists stored keys in unspecified order. *)
+val keys : t -> string list
+
+val clear : t -> unit

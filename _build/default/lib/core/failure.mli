@@ -1,0 +1,40 @@
+(** Abrupt leaving: crash injection, online detection and recovery
+    (Section 3.2.2), and offline repair.
+
+    {b Online path} (when [config.heartbeats] is true): every peer
+    periodically broadcasts HELLO messages to its overlay neighbours; a
+    per-neighbour watchdog times out when a neighbour goes silent.  Data
+    query traffic doubles as liveness evidence — a queried peer sends an
+    acknowledgment (rate-limited by the suppress timer), the acknowledgment
+    resets the querier's watchdog, and sending it postpones the peer's own
+    scheduled HELLO, saving bandwidth exactly as the paper describes.  On a
+    timeout: a child of a crashed s-peer rejoins through its t-peer with
+    its subtree; the loss of a t-peer triggers the server election, where
+    the surviving member with the smallest address is promoted into the
+    crashed t-peer's ring position (finger tables are substituted, never
+    recomputed).
+
+    {b Offline path} ([repair]): after a crash storm in a batch experiment
+    (heartbeats off), a single call restores every structural invariant —
+    the deterministic end state the online protocol converges to.  Crashed
+    peers' data is lost either way; that loss is what Fig. 5b measures. *)
+
+(** [crash w peer] makes [peer] abruptly leave: its data evaporates, no
+    pointer is repaired, its timers stop.  Detection is the neighbours'
+    problem.  @raise Invalid_argument if already dead. *)
+val crash : World.t -> Peer.t -> unit
+
+(** [enable_heartbeats w peer] starts the peer's periodic HELLO broadcast
+    and arms watchdogs for its current neighbours.  Call after the peer
+    finished joining.  No-op when [config.heartbeats] is false. *)
+val enable_heartbeats : World.t -> Peer.t -> unit
+
+(** [install_query_hook w] wires data-query traffic into the
+    acknowledgment/suppress timer machinery.  Called once by {!Hybrid}. *)
+val install_query_hook : World.t -> unit
+
+(** [repair w] synchronously restores all structural invariants damaged by
+    crashes: elects replacements for crashed t-peers (smallest surviving
+    address), reattaches orphaned subtrees, rebuilds ring pointers and
+    fingers, and recounts s-network sizes. *)
+val repair : World.t -> unit

@@ -1,0 +1,2 @@
+let route_id category =
+  P2p_hashspace.Key_hash.of_string (Printf.sprintf "interest-category:%d" category)

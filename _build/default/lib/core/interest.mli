@@ -1,0 +1,11 @@
+(** Interest categories and their routing IDs (Section 5.3).
+
+    An interest-based s-network serves all data of one category.  To make
+    the category and its data land in the same s-network, both sides use
+    the same mapping: a category hashes to a {e routing ID}, the s-network
+    serving that ID is the category's home, the server assigns peers
+    interested in the category to that s-network, and data of the category
+    is inserted and looked up with that routing ID. *)
+
+(** [route_id category] is the deterministic routing ID of a category. *)
+val route_id : int -> P2p_hashspace.Id_space.id

@@ -1,0 +1,125 @@
+open P2p_hashspace
+
+type role = T_peer | S_peer
+
+type 'peer pending_join = {
+  candidate : 'peer;
+  announce : hops:int -> unit;
+  hops_so_far : int;
+}
+
+type t = {
+  host : int;
+  mutable p_id : Id_space.id;
+  mutable role : role;
+  mutable alive : bool;
+  link_capacity : float;
+  mutable interest : int option;
+  mutable succ : t option;
+  mutable pred : t option;
+  mutable fingers : t option array;
+  mutable joining : bool;
+  mutable leaving : bool;
+  mutable join_queue : t pending_join list;
+  mutable t_home : t option;
+  mutable cp : t option;
+  mutable children : t list;
+  store : Data_store.t;
+  cache : Cache.t;
+  tracker_index : (string, t) Hashtbl.t;
+  mutable bypass : (t * float) list;
+  mutable watchdogs : (int, P2p_sim.Timer.t) Hashtbl.t;
+  mutable hello_timer : P2p_sim.Timer.t option;
+  mutable last_ack_sent : float;
+}
+
+let make ?(cache_capacity = 0) ~host ~p_id ~role ~link_capacity ?interest () =
+  {
+    host;
+    p_id;
+    role;
+    alive = true;
+    link_capacity;
+    interest;
+    succ = None;
+    pred = None;
+    fingers = [||];
+    joining = false;
+    leaving = false;
+    join_queue = [];
+    t_home = None;
+    cp = None;
+    children = [];
+    store = Data_store.create ();
+    cache = Cache.create ~capacity:cache_capacity;
+    tracker_index = Hashtbl.create 8;
+    bypass = [];
+    watchdogs = Hashtbl.create 8;
+    hello_timer = None;
+    last_ack_sent = neg_infinity;
+  }
+
+let is_t_peer p = p.role = T_peer
+let is_s_peer p = p.role = S_peer
+
+let segment_left p =
+  match p.pred with Some q -> q.p_id | None -> p.p_id
+
+let covers p d_id =
+  Id_space.between_incl_right d_id ~left:(segment_left p) ~right:p.p_id
+
+let tree_degree p =
+  List.length p.children + (match p.cp with Some _ -> 1 | None -> 0)
+
+let has_free_slot config p =
+  tree_degree p < config.Config.delta
+  && (not config.Config.link_usage_aware
+      || float_of_int (tree_degree p + 1) /. p.link_capacity
+         <= config.Config.link_usage_threshold)
+
+let attach_child ~parent ~child =
+  child.cp <- Some parent;
+  child.t_home <- parent.t_home;
+  child.p_id <- parent.p_id;
+  parent.children <- child :: parent.children
+
+let detach_child ~parent ~child =
+  parent.children <- List.filter (fun c -> c != child) parent.children;
+  child.cp <- None
+
+let tree_members root =
+  let rec walk acc p = List.fold_left walk (p :: acc) p.children in
+  List.rev (walk [] root)
+
+let tree_neighbors p =
+  match p.cp with Some parent -> parent :: p.children | None -> p.children
+
+let rec live_subtree_roots children =
+  List.concat_map
+    (fun c -> if c.alive then [ c ] else live_subtree_roots c.children)
+    children
+
+let depth p =
+  let rec up acc p = match p.cp with None -> acc | Some parent -> up (acc + 1) parent in
+  up 0 p
+
+let live_bypass p ~now =
+  let live, dead = List.partition (fun (q, expiry) -> q.alive && expiry > now) p.bypass in
+  if dead <> [] then p.bypass <- live;
+  List.map fst live
+
+let add_bypass config p target ~now =
+  if
+    config.Config.bypass_enabled && p != target && p.alive && target.alive
+    (* rule 1: only while total degree (tree + bypass) is under δ *)
+    && tree_degree p + List.length (live_bypass p ~now) < config.Config.delta
+  then begin
+    let without = List.filter (fun (q, _) -> q != target) p.bypass in
+    p.bypass <- (target, now +. config.Config.bypass_lifetime) :: without
+  end
+
+let pp ppf p =
+  Format.fprintf ppf "%s#%d(p_id=%#x%s)"
+    (match p.role with T_peer -> "t" | S_peer -> "s")
+    p.host p.p_id
+    (if p.alive then "" else ",dead")

@@ -1,0 +1,125 @@
+(** The peer: a single participant of the hybrid system.
+
+    A peer is either a {e t-peer} — a member of the structured ring
+    (t-network) and root of its attached s-network tree — or an {e s-peer}
+    hanging inside exactly one s-network tree.  The record is transparent:
+    the protocol modules ([T_network], [S_network], [Data_ops], [Failure])
+    cooperate by mutating it, and {!Hybrid} presents the safe facade.
+
+    Pure structural helpers (tree walks, degree accounting, segment tests)
+    live here so the protocol modules stay focused on message flows. *)
+
+open P2p_hashspace
+
+type role = T_peer | S_peer
+
+(** A pending t-network join, queued while the predecessor's segment is
+    locked by another join/leave (Section 3.3). *)
+type 'peer pending_join = {
+  candidate : 'peer;  (** the joining peer *)
+  announce : hops:int -> unit;
+      (** called when the join triangle completes, with the hop count the
+          join request accumulated *)
+  hops_so_far : int;
+}
+
+type t = {
+  host : int;  (** physical node the peer runs on; also its address *)
+  mutable p_id : Id_space.id;
+      (** ring ID; an s-peer carries its t-peer's p_id (Section 3.2.2) *)
+  mutable role : role;
+  mutable alive : bool;
+  link_capacity : float;  (** access-link capacity (Section 5.1) *)
+  mutable interest : int option;  (** interest category (Section 5.3) *)
+  (* t-network state *)
+  mutable succ : t option;
+  mutable pred : t option;
+  mutable fingers : t option array;  (** length [Id_space.bits]; t-peers only *)
+  mutable joining : bool;  (** mutex: a join after me is in flight *)
+  mutable leaving : bool;  (** mutex: I am executing the leave triangle *)
+  mutable join_queue : t pending_join list;  (** FIFO, newest last *)
+  (* s-network state *)
+  mutable t_home : t option;  (** t-peer of my s-network; self for t-peers *)
+  mutable cp : t option;  (** connect point = tree parent; [None] for roots *)
+  mutable children : t list;
+  (* data *)
+  store : Data_store.t;
+  cache : Cache.t;  (** soft cache of popular items (Section-7 future work) *)
+  tracker_index : (string, t) Hashtbl.t;
+      (** BitTorrent-style mode only: at a t-peer, maps keys stored anywhere
+          in its s-network to the holding peer *)
+  (* bypass links, with absolute expiry times *)
+  mutable bypass : (t * float) list;
+  (* failure detection bookkeeping (driven by the [Failure] module) *)
+  mutable watchdogs : (int, P2p_sim.Timer.t) Hashtbl.t;  (** neighbour host -> timer *)
+  mutable hello_timer : P2p_sim.Timer.t option;
+  mutable last_ack_sent : float;  (** for the suppress timer *)
+}
+
+(** [make ~host ~p_id ~role ~link_capacity ()] allocates a fresh,
+    unconnected peer.  [cache_capacity] sizes the soft cache (default 0 =
+    disabled). *)
+val make :
+  ?cache_capacity:int ->
+  host:int -> p_id:Id_space.id -> role:role -> link_capacity:float ->
+  ?interest:int -> unit -> t
+
+(** {1 Role and segment} *)
+
+val is_t_peer : t -> bool
+val is_s_peer : t -> bool
+
+(** [segment_left peer] is the exclusive left bound of the ID segment
+    peer's s-network serves: the predecessor's p_id (or its own when alone
+    on the ring).  Meaningful for t-peers. *)
+val segment_left : t -> Id_space.id
+
+(** [covers tpeer d_id] — does [tpeer]'s s-network serve [d_id]? *)
+val covers : t -> Id_space.id -> bool
+
+(** {1 Tree structure} *)
+
+(** Tree degree: children plus one for the connect point if present.  The
+    paper's δ constraint applies to this number. *)
+val tree_degree : t -> int
+
+(** [has_free_slot config peer] — may [peer] accept one more child under
+    the degree constraint (and, when enabled, the link-usage rule of
+    Section 5.1)? *)
+val has_free_slot : Config.t -> t -> bool
+
+(** [attach_child ~parent ~child] wires the tree edge and the child's
+    [cp]/[t_home]/[p_id]. *)
+val attach_child : parent:t -> child:t -> unit
+
+(** [detach_child ~parent ~child] unwires the edge; the child keeps its
+    subtree. *)
+val detach_child : parent:t -> child:t -> unit
+
+(** [tree_members root] lists the whole s-network below (and including)
+    [root] in preorder. *)
+val tree_members : t -> t list
+
+(** [tree_neighbors peer] is [cp @ children] — every s-network link. *)
+val tree_neighbors : t -> t list
+
+(** [live_subtree_roots children] finds the roots of the live subtrees in a
+    children forest, looking through dead intermediate nodes: a live child
+    is a root itself; a dead child contributes the live roots beneath it. *)
+val live_subtree_roots : t list -> t list
+
+(** [depth peer] is the number of cp hops to the tree root. *)
+val depth : t -> int
+
+(** {1 Bypass links} *)
+
+(** [live_bypass peer ~now] prunes expired bypass links and returns the
+    remaining targets. *)
+val live_bypass : t -> now:float -> t list
+
+(** [add_bypass config peer target ~now] installs or refreshes a bypass
+    link if allowed (degree budget, Section 5.4 rule 1; both peers alive;
+    no self-link). *)
+val add_bypass : Config.t -> t -> t -> now:float -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,170 @@
+module Rng = P2p_sim.Rng
+
+(* Walk from [at] down random branches until a peer with a free slot is
+   found, then call [attach at_cp ~hops].  Every forward is a message.
+   A hop may arrive at a peer that died while the request was in flight;
+   the walk then restarts at the live t-peer now owning the tree's ring
+   segment (the server re-resolving the assignment). *)
+let rec walk w ~at ~hops ~attach =
+  if not at.Peer.alive then begin
+    match World.oracle_owner w at.Peer.p_id with
+    | Some root when root.Peer.alive ->
+      World.send w ~src:at ~dst:root (fun () -> walk w ~at:root ~hops:(hops + 1) ~attach)
+    | Some _ | None -> () (* no live t-peer left: the join is abandoned *)
+  end
+  else if Peer.has_free_slot w.World.config at || at.Peer.children = [] then
+    attach ~cp:at ~hops
+  else begin
+    let live_children = List.filter (fun c -> c.Peer.alive) at.Peer.children in
+    match live_children with
+    | [] -> attach ~cp:at ~hops
+    | _ ->
+      let next = Rng.pick_list w.World.rng live_children in
+      World.send w ~src:at ~dst:next (fun () -> walk w ~at:next ~hops:(hops + 1) ~attach)
+  end
+
+let join w ~joiner ~root ~on_done =
+  let attach ~cp ~hops =
+    Peer.attach_child ~parent:cp ~child:joiner;
+    World.register w joiner;
+    (match joiner.Peer.t_home with
+     | Some home -> World.snet_size_changed w home ~delta:1
+     | None -> ());
+    (* Completion notice travels back to the joiner. *)
+    World.send w ~src:cp ~dst:joiner (fun () -> on_done ~hops:(hops + 1) ~cp)
+  in
+  walk w ~at:root ~hops:0 ~attach
+
+let rec set_subtree_home_peer ~home peer =
+  peer.Peer.t_home <- Some home;
+  peer.Peer.p_id <- home.Peer.p_id;
+  List.iter (set_subtree_home_peer ~home) peer.Peer.children
+
+let set_subtree_home _w ~root ~home = set_subtree_home_peer ~home root
+
+let rejoin_subtree w ~child ~root ~on_done =
+  let attach ~cp ~hops =
+    Peer.attach_child ~parent:cp ~child;
+    (* attach_child only rewires the child itself; carry the subtree. *)
+    set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child;
+    on_done ~hops
+  in
+  walk w ~at:root ~hops:0 ~attach
+
+(* Synchronous variant used by offline repair: same random walk, no
+   messages (repair models the *outcome* of recovery, not its timing). *)
+let rejoin_subtree_sync w ~child ~root =
+  let rec walk at =
+    if Peer.has_free_slot w.World.config at || at.Peer.children = [] then at
+    else walk (Rng.pick_list w.World.rng at.Peer.children)
+  in
+  let cp = walk root in
+  Peer.attach_child ~parent:cp ~child;
+  set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child
+
+let leave w peer =
+  if Peer.is_t_peer peer then invalid_arg "S_network.leave: t-peer";
+  if not peer.Peer.alive then invalid_arg "S_network.leave: dead peer";
+  let home = Option.get peer.Peer.t_home in
+  (* Transfer the data load to the connect point. *)
+  (match peer.Peer.cp with
+   | Some cp ->
+     List.iter
+       (fun (key, value, route_id) -> Data_store.insert_routed cp.Peer.store ~route_id ~key ~value)
+       (Data_store.take_all peer.Peer.store)
+   | None -> ());
+  (match peer.Peer.cp with
+   | Some cp -> Peer.detach_child ~parent:cp ~child:peer
+   | None -> ());
+  peer.Peer.alive <- false;
+  World.unregister w peer;
+  World.snet_size_changed w home ~delta:(-1);
+  (* Children rejoin through the t-peer, carrying their subtrees; live
+     subtrees below already-dead children are rescued too. *)
+  let orphans = Peer.live_subtree_roots peer.Peer.children in
+  peer.Peer.children <- [];
+  List.iter
+    (fun child ->
+      child.Peer.cp <- None;
+      World.send w ~src:child ~dst:home (fun () ->
+          rejoin_subtree w ~child ~root:home ~on_done:(fun ~hops:_ -> ())))
+    orphans
+
+let flood w ~from ~ttl ~visit =
+  let rec deliver peer ~depth ~sender =
+    (match (sender, w.World.on_query) with
+     | Some s, Some hook -> hook ~receiver:peer ~sender:s
+     | (None, _ | _, None) -> ());
+    let keep_forwarding = visit peer ~depth in
+    if depth < ttl && keep_forwarding then begin
+      let next_hops =
+        List.filter
+          (fun q -> q.Peer.alive && (match sender with Some s -> q != s | None -> true))
+          (Peer.tree_neighbors peer)
+      in
+      List.iter
+        (fun q ->
+          World.send w ~src:peer ~dst:q (fun () ->
+              deliver q ~depth:(depth + 1) ~sender:(Some peer)))
+        next_hops
+    end
+  in
+  deliver from ~depth:0 ~sender:None
+
+let check_tree ~delta root =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () =
+    if Peer.is_t_peer root then Ok ()
+    else Error (Printf.sprintf "root #%d is not a t-peer" root.Peer.host)
+  in
+  let* () =
+    match root.Peer.cp with
+    | None -> Ok ()
+    | Some _ -> Error (Printf.sprintf "root #%d has a connect point" root.Peer.host)
+  in
+  let seen = Hashtbl.create 64 in
+  let rec check peer =
+    if Hashtbl.mem seen peer.Peer.host then
+      Error (Printf.sprintf "cycle at peer #%d" peer.Peer.host)
+    else begin
+      Hashtbl.add seen peer.Peer.host ();
+      let* () =
+        if Peer.tree_degree peer <= delta then Ok ()
+        else Error (Printf.sprintf "peer #%d exceeds degree %d" peer.Peer.host delta)
+      in
+      let* () =
+        match peer.Peer.t_home with
+        | Some home when home == root -> Ok ()
+        | Some home ->
+          Error
+            (Printf.sprintf "peer #%d: t_home is #%d, expected #%d" peer.Peer.host
+               home.Peer.host root.Peer.host)
+        | None -> Error (Printf.sprintf "peer #%d: no t_home" peer.Peer.host)
+      in
+      let* () =
+        if peer.Peer.p_id = root.Peer.p_id then Ok ()
+        else Error (Printf.sprintf "peer #%d: p_id differs from root" peer.Peer.host)
+      in
+      let rec check_children = function
+        | [] -> Ok ()
+        | child :: rest ->
+          let* () =
+            match child.Peer.cp with
+            | Some cp when cp == peer -> Ok ()
+            | Some _ | None ->
+              Error
+                (Printf.sprintf "child #%d: cp does not point to parent #%d"
+                   child.Peer.host peer.Peer.host)
+          in
+          let* () = check child in
+          check_children rest
+      in
+      check_children peer.Peer.children
+    end
+  in
+  let* () =
+    match root.Peer.t_home with
+    | Some home when home == root -> Ok ()
+    | Some _ | None -> Error (Printf.sprintf "root #%d: t_home not itself" root.Peer.host)
+  in
+  check root

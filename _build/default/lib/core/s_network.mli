@@ -1,0 +1,61 @@
+(** The unstructured tier: tree-shaped s-networks (Section 3.2.2).
+
+    Each s-network is a tree rooted at a t-peer.  A joining s-peer walks
+    from the root down a random branch until it finds a peer with a free
+    degree slot (its "connect point"); the walk, the graceful leave with
+    subtree rejoin, and the TTL-bounded tree flood all travel as messages
+    through the underlay, so hop counts and latencies are measured, not
+    modelled. *)
+
+(** [join w ~joiner ~root ~on_done] runs the join walk from the t-peer
+    [root].  When the tree edge is wired, [on_done ~hops ~cp] fires with
+    the number of overlay hops the request travelled and the chosen
+    connect point.  The joiner is registered in the world and the server's
+    size table is maintained. *)
+val join :
+  World.t ->
+  joiner:Peer.t ->
+  root:Peer.t ->
+  on_done:(hops:int -> cp:Peer.t -> unit) ->
+  unit
+
+(** [rejoin_subtree w ~child ~root ~on_done] re-attaches an existing peer
+    (carrying its whole subtree) under [root]'s tree — used when a parent
+    leaves or crashes.  No registration or size accounting happens: the
+    peers never left the system. *)
+val rejoin_subtree :
+  World.t -> child:Peer.t -> root:Peer.t -> on_done:(hops:int -> unit) -> unit
+
+(** [rejoin_subtree_sync w ~child ~root] is {!rejoin_subtree} without
+    message traffic — used by offline repair, which models the outcome of
+    recovery rather than its timing. *)
+val rejoin_subtree_sync : World.t -> child:Peer.t -> root:Peer.t -> unit
+
+(** [leave w peer] removes an s-peer gracefully: its stored items transfer
+    to its connect point, neighbours drop it, and each orphaned child
+    rejoins through the t-peer (Section 3.2.2).
+    @raise Invalid_argument on a t-peer or a dead peer. *)
+val leave : World.t -> Peer.t -> unit
+
+(** [set_subtree_home w ~root ~home] rewrites [t_home] and [p_id] of every
+    member of [root]'s subtree — used after a role transfer. *)
+val set_subtree_home : World.t -> root:Peer.t -> home:Peer.t -> unit
+
+(** [flood w ~from ~ttl ~visit] floods over tree edges: [visit peer ~depth]
+    runs at every reached peer (including [from] at depth 0) at the
+    simulated moment the query arrives, and returns whether that peer keeps
+    forwarding — a peer that finds the item locally stops flooding
+    (Section 3.4) while other branches continue.  The tree guarantees each
+    peer is visited at most once. *)
+val flood :
+  World.t ->
+  from:Peer.t ->
+  ttl:int ->
+  visit:(Peer.t -> depth:int -> bool) ->
+  unit
+
+(** [check_tree root] verifies structural invariants of [root]'s s-network:
+    cp/children symmetry, no cycles, consistent [t_home] and [p_id].
+    Returns [Error reason] on the first violation.  The degree bound is
+    checked against [delta]. *)
+val check_tree : delta:int -> Peer.t -> (unit, string) result

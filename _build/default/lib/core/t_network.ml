@@ -1,0 +1,362 @@
+open P2p_hashspace
+module Rng = P2p_sim.Rng
+module Engine = P2p_sim.Engine
+
+let successor_or_self peer = Option.value peer.Peer.succ ~default:peer
+
+let closest_preceding_finger current target =
+  let best = ref None in
+  let fingers = current.Peer.fingers in
+  for k = Array.length fingers - 1 downto 0 do
+    if !best = None then
+      match fingers.(k) with
+      | Some f
+        when f.Peer.alive && Peer.is_t_peer f && f != current
+             && Id_space.between f.Peer.p_id ~left:current.Peer.p_id ~right:target ->
+        best := Some f
+      | Some _ | None -> ()
+  done;
+  !best
+
+(* Walk the ring from [current] until [p_id] falls in (current, succ];
+   each forward is a message.  [use_fingers] switches between the
+   O(log N) finger walk and the plain successor walk. *)
+let find_position w ~current ~p_id ~hops ~use_fingers ~on_found =
+  if use_fingers then World.ensure_fingers w;
+  let max_hops = (4 * Id_space.bits) + (2 * World.peer_count w) + 8 in
+  let rec step current hops =
+    let succ = successor_or_self current in
+    if
+      succ == current
+      || Id_space.between_incl_right p_id ~left:current.Peer.p_id ~right:succ.Peer.p_id
+    then on_found ~pre:current ~hops
+    else if hops > max_hops then begin
+      (* Crashes left the pointers inconsistent with the membership; let
+         stabilization catch up, then answer from the repaired ring. *)
+      World.stabilize_ring w;
+      match World.oracle_owner w p_id with
+      | Some owner ->
+        let pre = Option.value owner.Peer.pred ~default:owner in
+        on_found ~pre ~hops
+      | None -> on_found ~pre:current ~hops
+    end
+    else begin
+      let next =
+        if use_fingers then
+          match closest_preceding_finger current p_id with
+          | Some f -> f
+          | None -> succ
+        else succ
+      in
+      World.send w ~src:current ~dst:next (fun () -> step next (hops + 1))
+    end
+  in
+  step current hops
+
+(* Pull the joiner's new data segment (pre_id, joiner.p_id] out of every
+   member of the successor's s-network (Table 1, suc.loadtransfer). *)
+let load_transfer_on_join w ~joiner ~succ ~pre_id =
+  if succ != joiner then
+    List.iter
+      (fun member ->
+        let moved =
+          Data_store.take_segment member.Peer.store ~left:pre_id ~right:joiner.Peer.p_id
+        in
+        List.iter
+          (fun (key, value, route_id) ->
+            Data_store.insert_routed joiner.Peer.store ~route_id ~key ~value;
+            if w.World.config.Config.s_style = Config.Bittorrent_tracker then begin
+              Hashtbl.remove succ.Peer.tracker_index key;
+              Hashtbl.replace joiner.Peer.tracker_index key joiner
+            end)
+          moved)
+      (Peer.tree_members succ)
+
+let rec process_queue w pre =
+  match pre.Peer.join_queue with
+  | [] -> ()
+  | { Peer.candidate; announce; hops_so_far } :: rest ->
+    pre.Peer.join_queue <- rest;
+    begin_insert w ~pre ~joiner:candidate ~hops:hops_so_far ~announce
+      ~on_fail:(fun () -> ())
+
+and begin_insert w ~pre ~joiner ~hops ~announce ~on_fail =
+  let succ = successor_or_self pre in
+  if not pre.Peer.alive then
+    (* The located predecessor died meanwhile; restart from the oracle. *)
+    (match World.random_t_peer w with
+     | Some other ->
+       find_position w ~current:other ~p_id:joiner.Peer.p_id ~hops
+         ~use_fingers:w.World.config.Config.use_fingers_for_join
+         ~on_found:(fun ~pre ~hops -> begin_insert w ~pre ~joiner ~hops ~announce ~on_fail)
+     | None -> on_fail ())
+  else if pre.Peer.joining || pre.Peer.leaving then
+    pre.Peer.join_queue <-
+      pre.Peer.join_queue @ [ { Peer.candidate = joiner; announce; hops_so_far = hops } ]
+  else if
+    succ != pre
+    && not
+         (Id_space.between_incl_right joiner.Peer.p_id ~left:pre.Peer.p_id
+            ~right:succ.Peer.p_id)
+  then begin
+    (* The segment shrank while this request was queued; re-route the
+       candidate and keep draining this peer's queue. *)
+    find_position w ~current:pre ~p_id:joiner.Peer.p_id ~hops
+      ~use_fingers:w.World.config.Config.use_fingers_for_join
+      ~on_found:(fun ~pre ~hops -> begin_insert w ~pre ~joiner ~hops ~announce ~on_fail);
+    process_queue w pre
+  end
+  else begin
+    (* pre.check: resolve an ID conflict by the ring midpoint. *)
+    let conflict =
+      joiner.Peer.p_id = succ.Peer.p_id || joiner.Peer.p_id = pre.Peer.p_id
+    in
+    let id_ok =
+      if not conflict then true
+      else
+        match Id_space.midpoint ~left:pre.Peer.p_id ~right:succ.Peer.p_id with
+        | Some mid ->
+          joiner.Peer.p_id <- mid;
+          true
+        | None -> false
+    in
+    if not id_ok then begin
+      on_fail ();
+      process_queue w pre
+    end
+    else begin
+      pre.Peer.joining <- true;
+      let pre_id = pre.Peer.p_id in
+      (* Join triangle (Fig. 2, left): pre -> new -> suc -> pre. *)
+      World.send w ~src:pre ~dst:joiner (fun () ->
+          joiner.Peer.succ <- Some succ;
+          joiner.Peer.pred <- Some pre;
+          World.send w ~src:joiner ~dst:succ (fun () ->
+              succ.Peer.pred <- Some joiner;
+              World.send w ~src:succ ~dst:pre (fun () ->
+                  pre.Peer.succ <- Some joiner;
+                  joiner.Peer.t_home <- Some joiner;
+                  World.register w joiner;
+                  World.refresh_fingers_of w joiner;
+                  load_transfer_on_join w ~joiner ~succ ~pre_id;
+                  pre.Peer.joining <- false;
+                  announce ~hops:(hops + 3);
+                  process_queue w pre)))
+    end
+  end
+
+let join w ~joiner ~introducer ?(on_fail = fun () -> ()) ~on_done () =
+  if not (Peer.is_t_peer joiner) then invalid_arg "T_network.join: joiner must be a t-peer";
+  (* The join request first travels to the introducer. *)
+  World.send w ~src:joiner ~dst:introducer (fun () ->
+      find_position w ~current:introducer ~p_id:joiner.Peer.p_id ~hops:1
+        ~use_fingers:w.World.config.Config.use_fingers_for_join
+        ~on_found:(fun ~pre ~hops ->
+          begin_insert w ~pre ~joiner ~hops ~announce:on_done ~on_fail))
+
+let bootstrap w peer =
+  if not (Peer.is_t_peer peer) then invalid_arg "T_network.bootstrap: t-peer required";
+  peer.Peer.succ <- Some peer;
+  peer.Peer.pred <- Some peer;
+  peer.Peer.t_home <- Some peer;
+  World.register w peer;
+  World.refresh_fingers_of w peer
+
+let promote_replacement w ~old_peer ~replacement ~transfer_data =
+  let previous_size = World.snet_size w old_peer in
+  (* Detach the replacement from its tree position; its subtree follows. *)
+  (match replacement.Peer.cp with
+   | Some cp when cp.Peer.alive -> Peer.detach_child ~parent:cp ~child:replacement
+   | Some _ | None -> replacement.Peer.cp <- None);
+  replacement.Peer.role <- Peer.T_peer;
+  replacement.Peer.p_id <- old_peer.Peer.p_id;
+  replacement.Peer.t_home <- Some replacement;
+  (* Membership first, so the sorted-ring oracle already sees the
+     replacement when the old pointers are unusable (crash chains). *)
+  old_peer.Peer.alive <- false;
+  World.unregister w old_peer;
+  World.register w replacement;
+  (* Take over the ring pointers (the paper's "take over the neighbors and
+     the pointers of the original t-peer"); when a ring neighbour is dead
+     too, fall back to the stabilized ring order. *)
+  let sorted_neighbor ~offset =
+    let arr = World.t_peers w in
+    let n = Array.length arr in
+    let index = ref 0 in
+    Array.iteri (fun i p -> if p == replacement then index := i) arr;
+    arr.((!index + offset + n) mod n)
+  in
+  let ring_succ =
+    match old_peer.Peer.succ with
+    | Some s when s != old_peer && s.Peer.alive && Peer.is_t_peer s -> s
+    | Some _ | None -> sorted_neighbor ~offset:1
+  in
+  let ring_pred =
+    match old_peer.Peer.pred with
+    | Some p when p != old_peer && p.Peer.alive && Peer.is_t_peer p -> p
+    | Some _ | None -> sorted_neighbor ~offset:(-1)
+  in
+  replacement.Peer.succ <- Some ring_succ;
+  replacement.Peer.pred <- Some ring_pred;
+  if ring_succ != replacement then ring_succ.Peer.pred <- Some replacement;
+  if ring_pred != replacement then ring_pred.Peer.succ <- Some replacement;
+  (* Data and tracker state. *)
+  if transfer_data then begin
+    List.iter
+      (fun (key, value, route_id) ->
+        Data_store.insert_routed replacement.Peer.store ~route_id ~key ~value)
+      (Data_store.take_all old_peer.Peer.store);
+    Hashtbl.iter
+      (fun key holder ->
+        let holder = if holder == old_peer then replacement else holder in
+        Hashtbl.replace replacement.Peer.tracker_index key holder)
+      old_peer.Peer.tracker_index;
+    Hashtbl.reset old_peer.Peer.tracker_index
+  end;
+  World.set_snet_size w replacement (Stdlib.max 0 (previous_size - 1));
+  (* The replacement keeps its own children; re-home its subtree under the
+     inherited p_id. *)
+  S_network.set_subtree_home w ~root:replacement ~home:replacement;
+  World.refresh_fingers_of w replacement;
+  (* The cheap finger update: substitution, no recomputation. *)
+  World.substitute_in_fingers w ~old_peer ~replacement;
+  (* Orphaned children of the old t-peer rejoin under the replacement;
+     live subtrees below dead children must not be abandoned. *)
+  let orphans =
+    List.filter (fun c -> c != replacement)
+      (Peer.live_subtree_roots old_peer.Peer.children)
+  in
+  old_peer.Peer.children <- [];
+  List.iter
+    (fun child ->
+      child.Peer.cp <- None;
+      World.send w ~src:child ~dst:replacement (fun () ->
+          S_network.rejoin_subtree w ~child ~root:replacement
+            ~on_done:(fun ~hops:_ -> ())))
+    orphans
+
+(* Leave triangle (Fig. 2, right): leaving -> pre -> suc -> leaving. *)
+let leave_triangle w peer ~on_done =
+  peer.Peer.leaving <- true;
+  let succ = successor_or_self peer in
+  if succ == peer then begin
+    (* Last t-peer of the system. *)
+    peer.Peer.alive <- false;
+    World.unregister w peer;
+    on_done ()
+  end
+  else begin
+    let pred = Option.value peer.Peer.pred ~default:succ in
+    (* n.loaddump(): all data moves to the successor. *)
+    List.iter
+      (fun (key, value, route_id) ->
+        Data_store.insert_routed succ.Peer.store ~route_id ~key ~value;
+        if w.World.config.Config.s_style = Config.Bittorrent_tracker then
+          Hashtbl.replace succ.Peer.tracker_index key succ)
+      (Data_store.take_all peer.Peer.store);
+    World.send w ~src:peer ~dst:pred (fun () ->
+        pred.Peer.succ <- Some succ;
+        World.send w ~src:pred ~dst:succ (fun () ->
+            (* suc checks the leaving peer is who its predecessor pointer
+               points to before rewiring (Section 3.3). *)
+            (match succ.Peer.pred with
+             | Some p when p == peer -> succ.Peer.pred <- Some pred
+             | Some _ | None -> ());
+            World.send w ~src:succ ~dst:peer (fun () ->
+                peer.Peer.alive <- false;
+                World.unregister w peer;
+                World.substitute_in_fingers w ~old_peer:peer ~replacement:succ;
+                on_done ())))
+  end
+
+let rec leave w peer ~on_done =
+  if not peer.Peer.alive then invalid_arg "T_network.leave: dead peer";
+  if not (Peer.is_t_peer peer) then invalid_arg "T_network.leave: not a t-peer";
+  if peer.Peer.joining || peer.Peer.join_queue <> [] || peer.Peer.leaving then
+    (* Pending joins must complete first; retry shortly. *)
+    ignore
+      (Engine.schedule w.World.engine ~delay:1.0 (fun () ->
+           if peer.Peer.alive then leave w peer ~on_done)
+        : Engine.handle)
+  else begin
+    let members =
+      List.filter (fun m -> m != peer && m.Peer.alive) (Peer.tree_members peer)
+    in
+    match members with
+    | [] -> leave_triangle w peer ~on_done
+    | _ ->
+      let replacement = Rng.pick_list w.World.rng members in
+      promote_replacement w ~old_peer:peer ~replacement ~transfer_data:true;
+      on_done ()
+  end
+
+let route_to_owner w ~from ~d_id ~visit ~on_arrive =
+  if not (Peer.is_t_peer from) then invalid_arg "T_network.route_to_owner: from";
+  let use_fingers = w.World.config.Config.use_fingers_for_data in
+  if use_fingers then World.ensure_fingers w;
+  let max_hops = (4 * Id_space.bits) + (2 * World.peer_count w) + 8 in
+  let rec step current hops =
+    visit current;
+    if Peer.covers current d_id then on_arrive ~owner:current ~hops
+    else if hops > max_hops then begin
+      World.stabilize_ring w;
+      match World.oracle_owner w d_id with
+      | Some owner when owner != current -> on_arrive ~owner ~hops
+      | Some _ | None -> on_arrive ~owner:current ~hops
+    end
+    else begin
+      let succ = successor_or_self current in
+      let next =
+        if use_fingers then
+          match closest_preceding_finger current d_id with
+          | Some f -> f
+          | None -> succ
+        else succ
+      in
+      if next == current then on_arrive ~owner:current ~hops
+      else World.send w ~src:current ~dst:next (fun () -> step next (hops + 1))
+    end
+  in
+  step from 0
+
+let check_ring w =
+  let arr = World.t_peers w in
+  let n = Array.length arr in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let rec check i =
+    if i >= n then Ok ()
+    else begin
+      let node = arr.(i) in
+      let expected_succ = arr.((i + 1) mod n) in
+      let expected_pred = arr.((i + n - 1) mod n) in
+      let* () =
+        match node.Peer.succ with
+        | Some s when s == expected_succ || n = 1 -> Ok ()
+        | Some s ->
+          Error
+            (Printf.sprintf "t-peer #%d: successor #%d, expected #%d" node.Peer.host
+               s.Peer.host expected_succ.Peer.host)
+        | None -> Error (Printf.sprintf "t-peer #%d: no successor" node.Peer.host)
+      in
+      let* () =
+        match node.Peer.pred with
+        | Some p when p == expected_pred || n = 1 -> Ok ()
+        | Some p ->
+          Error
+            (Printf.sprintf "t-peer #%d: predecessor #%d, expected #%d" node.Peer.host
+               p.Peer.host expected_pred.Peer.host)
+        | None -> Error (Printf.sprintf "t-peer #%d: no predecessor" node.Peer.host)
+      in
+      let* () =
+        if node.Peer.joining then
+          Error (Printf.sprintf "t-peer #%d: joining mutex engaged" node.Peer.host)
+        else if node.Peer.leaving then
+          Error (Printf.sprintf "t-peer #%d: leaving mutex engaged" node.Peer.host)
+        else if node.Peer.join_queue <> [] then
+          Error (Printf.sprintf "t-peer #%d: non-empty join queue" node.Peer.host)
+        else Ok ()
+      in
+      check (i + 1)
+    end
+  in
+  check 0

@@ -1,0 +1,76 @@
+(** The structured tier: the ring of t-peers (Sections 3.2.1 and 3.3).
+
+    Implements the paper's Table 1 pseudocode and Fig. 2 handshakes:
+
+    - position finding for a joining t-peer, walking the ring (optionally
+      finger-accelerated) as messages through the underlay;
+    - the {e join triangle}: [pre -> new -> suc -> pre], serialized per
+      segment by the [joining]/[leaving] mutexes with a FIFO queue of
+      deferred joins;
+    - the {e leave triangle}: [leaving -> pre -> suc -> leaving], with the
+      predecessor-identity check at [suc];
+    - ID-conflict resolution by ring midpoint;
+    - role transfer: a leaving t-peer with a non-empty s-network promotes a
+      random s-peer instead of tearing the segment down, so finger tables
+      need substitution only;
+    - load transfer from the successor's whole s-network on join, and the
+      [loaddump] to the successor on triangle leave;
+    - ring forwarding of data operations ("forwarded along the ring"),
+      visiting each intermediate t-peer. *)
+
+open P2p_hashspace
+
+(** [join w ~joiner ~introducer ~on_done] inserts [joiner] (role must be
+    [T_peer]) into the ring.  The join request routes from [introducer] to
+    the correct segment, waits in the predecessor's queue if the segment is
+    locked, runs the join triangle, pulls the joiner's data segment out of
+    the successor's s-network, registers the peer and finally calls
+    [on_done ~hops].  On an unresolvable ID conflict (full segment) the
+    join is abandoned and [on_fail] fires. *)
+val join :
+  World.t ->
+  joiner:Peer.t ->
+  introducer:Peer.t ->
+  ?on_fail:(unit -> unit) ->
+  on_done:(hops:int -> unit) ->
+  unit ->
+  unit
+
+(** [bootstrap w peer] installs the very first t-peer: a one-node ring. *)
+val bootstrap : World.t -> Peer.t -> unit
+
+(** [leave w peer ~on_done] removes a t-peer gracefully.  With a non-empty
+    s-network a random s-peer is promoted in place (Section 3.2.1); with an
+    empty one the leave triangle runs and the data load dumps to the
+    successor.  If the peer's segment is busy the leave retries shortly
+    (the paper's "will not accept any leave request ... process the join
+    request first"). *)
+val leave : World.t -> Peer.t -> on_done:(unit -> unit) -> unit
+
+(** [promote_replacement w ~old_peer ~replacement ~transfer_data] executes
+    the role transfer shared by graceful leave ([transfer_data = true])
+    and crash recovery ([false]; the crashed peer's items are lost):
+    [replacement] becomes a t-peer with [old_peer]'s p_id and ring
+    pointers, its subtree follows it, [old_peer]'s remaining children
+    rejoin under it, and every finger table substitutes [old_peer] with
+    [replacement]. *)
+val promote_replacement :
+  World.t -> old_peer:Peer.t -> replacement:Peer.t -> transfer_data:bool -> unit
+
+(** [route_to_owner w ~from ~d_id ~visit ~on_arrive] forwards a data
+    operation along the ring from the t-peer [from] to the t-peer owning
+    [d_id].  [visit] runs at every t-peer the request reaches (including
+    [from] and the owner) at message-arrival time; [on_arrive] fires at the
+    owner with the accumulated hop count. *)
+val route_to_owner :
+  World.t ->
+  from:Peer.t ->
+  d_id:Id_space.id ->
+  visit:(Peer.t -> unit) ->
+  on_arrive:(owner:Peer.t -> hops:int -> unit) ->
+  unit
+
+(** [check_ring w] validates the ring: t-peers sorted by p_id with
+    mutually consistent successor/predecessor pointers and no engaged
+    mutexes (call at quiescence). *)
+val check_ring : World.t -> (unit, string) result

@@ -1,0 +1,205 @@
+open P2p_hashspace
+module Engine = P2p_sim.Engine
+module Rng = P2p_sim.Rng
+module Underlay = P2p_net.Underlay
+module Metrics = P2p_net.Metrics
+module Landmark = P2p_topology.Landmark
+
+type snet_policy =
+  | Smallest_s_network
+  | By_interest
+  | By_cluster of Landmark.t
+
+type t = {
+  engine : Engine.t;
+  underlay : Underlay.t;
+  metrics : Metrics.t;
+  config : Config.t;
+  rng : Rng.t;
+  peers : (int, Peer.t) Hashtbl.t;
+  mutable t_sorted : Peer.t array;
+  mutable t_dirty : bool;
+  mutable fingers_dirty : bool;
+  snet_sizes : (int, int) Hashtbl.t;
+  snet_policy : snet_policy;
+  pending_election : (int, Peer.t option) Hashtbl.t;
+  mutable on_query : (receiver:Peer.t -> sender:Peer.t -> unit) option;
+}
+
+let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network) () =
+  (match Config.validate config with
+   | Ok () -> ()
+   | Error reason -> invalid_arg ("World.create: " ^ reason));
+  {
+    engine;
+    underlay;
+    metrics;
+    config;
+    rng = Rng.split (Engine.rng engine);
+    peers = Hashtbl.create 256;
+    t_sorted = [||];
+    t_dirty = false;
+    fingers_dirty = false;
+    snet_sizes = Hashtbl.create 64;
+    snet_policy;
+    pending_election = Hashtbl.create 8;
+    on_query = None;
+  }
+
+let now t = Engine.now t.engine
+
+let send t ~src ~dst f =
+  Underlay.send t.underlay ~src:src.Peer.host ~dst:dst.Peer.host f
+
+let touch_ring t =
+  t.t_dirty <- true;
+  t.fingers_dirty <- true
+
+let register t peer =
+  Hashtbl.replace t.peers peer.Peer.host peer;
+  if Peer.is_t_peer peer then begin
+    touch_ring t;
+    if not (Hashtbl.mem t.snet_sizes peer.Peer.host) then
+      Hashtbl.replace t.snet_sizes peer.Peer.host 0
+  end
+
+let unregister t peer =
+  Hashtbl.remove t.peers peer.Peer.host;
+  if Peer.is_t_peer peer then begin
+    touch_ring t;
+    Hashtbl.remove t.snet_sizes peer.Peer.host
+  end
+
+let find_peer t ~host = Hashtbl.find_opt t.peers host
+
+let peer_count t = Hashtbl.length t.peers
+
+let live_peers t = Hashtbl.fold (fun _ p acc -> p :: acc) t.peers []
+
+let t_peers t =
+  if t.t_dirty then begin
+    let arr =
+      Hashtbl.fold
+        (fun _ p acc -> if Peer.is_t_peer p && p.Peer.alive then p :: acc else acc)
+        t.peers []
+      |> Array.of_list
+    in
+    Array.sort (fun a b -> compare a.Peer.p_id b.Peer.p_id) arr;
+    t.t_sorted <- arr;
+    t.t_dirty <- false
+  end;
+  t.t_sorted
+
+let oracle_owner t d_id =
+  let arr = t_peers t in
+  let n = Array.length arr in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid).Peer.p_id >= d_id then hi := mid else lo := mid + 1
+    done;
+    Some (if !lo = n then arr.(0) else arr.(!lo))
+  end
+
+let fresh_p_id t = Rng.int t.rng Id_space.size
+
+let random_t_peer t =
+  let arr = t_peers t in
+  if Array.length arr = 0 then None else Some (Rng.pick t.rng arr)
+
+let snet_size t tpeer =
+  Option.value ~default:0 (Hashtbl.find_opt t.snet_sizes tpeer.Peer.host)
+
+let snet_size_changed t tpeer ~delta =
+  Hashtbl.replace t.snet_sizes tpeer.Peer.host (snet_size t tpeer + delta)
+
+let set_snet_size t tpeer n = Hashtbl.replace t.snet_sizes tpeer.Peer.host n
+
+let smallest_s_network t =
+  let arr = t_peers t in
+  if Array.length arr = 0 then None
+  else begin
+    let best = ref arr.(0) in
+    Array.iter (fun p -> if snet_size t p < snet_size t !best then best := p) arr;
+    Some !best
+  end
+
+(* Interest-based assignment: a category's home is the s-network serving
+   the category's routing ID, so interested peers and the category's data
+   meet in one s-network (Section 5.3). *)
+let by_interest t ~joiner =
+  match joiner.Peer.interest with
+  | Some category -> oracle_owner t (Interest.route_id category)
+  | None -> smallest_s_network t
+
+let by_cluster t landmark ~joiner =
+  let arr = t_peers t in
+  let n = Array.length arr in
+  if n = 0 then None
+  else begin
+    let cluster = Landmark.cluster_id landmark joiner.Peer.host in
+    (* Same cluster -> same s-network.  Prefer a t-peer physically inside
+       the joiner's cluster (so the whole s-network is co-located and its
+       flood traffic stays off the backbone); balance by size among the
+       candidates.  Clusters without a t-peer spread round-robin. *)
+    let same_cluster =
+      Array.to_list arr
+      |> List.filter (fun p -> Landmark.cluster_id landmark p.Peer.host = cluster)
+    in
+    match same_cluster with
+    | [] -> Some arr.(cluster mod n)
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best p -> if snet_size t p < snet_size t best then p else best)
+           first rest)
+  end
+
+let choose_s_network t ~joiner =
+  match t.snet_policy with
+  | Smallest_s_network -> smallest_s_network t
+  | By_interest -> by_interest t ~joiner
+  | By_cluster landmark -> by_cluster t landmark ~joiner
+
+let refresh_fingers_of t peer =
+  let fingers =
+    if Array.length peer.Peer.fingers = Id_space.bits then peer.Peer.fingers
+    else begin
+      let arr = Array.make Id_space.bits None in
+      peer.Peer.fingers <- arr;
+      arr
+    end
+  in
+  for k = 0 to Id_space.bits - 1 do
+    fingers.(k) <- oracle_owner t (Id_space.finger_start ~base:peer.Peer.p_id k)
+  done
+
+let ensure_fingers t =
+  if t.fingers_dirty then begin
+    Array.iter (refresh_fingers_of t) (t_peers t);
+    t.fingers_dirty <- false
+  end
+
+let stabilize_ring t =
+  t.t_dirty <- true;
+  t.fingers_dirty <- true;
+  let arr = t_peers t in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    arr.(i).Peer.succ <- Some arr.((i + 1) mod n);
+    arr.(i).Peer.pred <- Some arr.((i + n - 1) mod n)
+  done;
+  ensure_fingers t
+
+let substitute_in_fingers t ~old_peer ~replacement =
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun k f ->
+          match f with
+          | Some q when q == old_peer -> p.Peer.fingers.(k) <- Some replacement
+          | Some _ | None -> ())
+        p.Peer.fingers)
+    (t_peers t)

@@ -1,0 +1,122 @@
+(** Shared simulation context for one hybrid system instance.
+
+    Bundles the engine, the underlay, the metrics sink, the configuration
+    and the membership directory, and implements the two centralized
+    entities the paper assumes:
+
+    - the {e well-known server} peers contact to join: it generates p_ids,
+      decides roles, and assigns joining s-peers to s-networks
+      (smallest-first, by interest, or by landmark cluster — Sections 3.2,
+      5.2, 5.3);
+    - the {e oracle} view of the t-ring used for finger-table refresh,
+      which models the outcome of background stabilization without
+      simulating every stabilization message. *)
+
+open P2p_hashspace
+
+(** How the server assigns a joining s-peer to an s-network. *)
+type snet_policy =
+  | Smallest_s_network  (** balance sizes (paper Section 3.2.2) *)
+  | By_interest  (** match the peer's interest category (Section 5.3) *)
+  | By_cluster of P2p_topology.Landmark.t
+      (** topology-aware: same landmark cluster -> same s-network, spread
+          round-robin when clusters outnumber s-networks (Section 5.2) *)
+
+type t = {
+  engine : P2p_sim.Engine.t;
+  underlay : P2p_net.Underlay.t;
+  metrics : P2p_net.Metrics.t;
+  config : Config.t;
+  rng : P2p_sim.Rng.t;
+  peers : (int, Peer.t) Hashtbl.t;  (** host -> live peer *)
+  mutable t_sorted : Peer.t array;  (** live t-peers by p_id (lazy) *)
+  mutable t_dirty : bool;
+  mutable fingers_dirty : bool;
+  snet_sizes : (int, int) Hashtbl.t;  (** t-peer host -> s-peer count *)
+  snet_policy : snet_policy;
+  pending_election : (int, Peer.t option) Hashtbl.t;
+      (** crashed t-peer host -> elected replacement ([None] when the
+          s-network had no survivor to promote) *)
+  mutable on_query : (receiver:Peer.t -> sender:Peer.t -> unit) option;
+      (** installed by [Failure] when heartbeats are on: lets query traffic
+          double as liveness evidence (the acknowledgment timers of
+          Section 3.2.2) *)
+}
+
+val create :
+  engine:P2p_sim.Engine.t ->
+  underlay:P2p_net.Underlay.t ->
+  metrics:P2p_net.Metrics.t ->
+  config:Config.t ->
+  ?snet_policy:snet_policy ->
+  unit ->
+  t
+
+val now : t -> float
+
+(** [send t ~src ~dst f] delivers [f] over the underlay. *)
+val send : t -> src:Peer.t -> dst:Peer.t -> (unit -> unit) -> unit
+
+(** {1 Membership directory} *)
+
+val register : t -> Peer.t -> unit
+val unregister : t -> Peer.t -> unit
+val find_peer : t -> host:int -> Peer.t option
+val peer_count : t -> int
+val live_peers : t -> Peer.t list
+
+(** Live t-peers sorted by p_id. *)
+val t_peers : t -> Peer.t array
+
+(** Mark the t-ring membership changed (invalidates oracle and fingers). *)
+val touch_ring : t -> unit
+
+(** {1 Oracle / server services} *)
+
+(** [oracle_owner t d_id] is the live t-peer owning [d_id], if any. *)
+val oracle_owner : t -> Id_space.id -> Peer.t option
+
+(** [fresh_p_id t] draws a random p_id (the server's default generation
+    mode). *)
+val fresh_p_id : t -> Id_space.id
+
+(** [random_t_peer t] — the server's "arbitrary existing peer" handed to
+    joiners; [None] on an empty system. *)
+val random_t_peer : t -> Peer.t option
+
+(** [choose_s_network t ~joiner] — the t-peer whose s-network the server
+    assigns [joiner] to, following the world's policy.  [None] when there
+    are no t-peers. *)
+val choose_s_network : t -> joiner:Peer.t -> Peer.t option
+
+(** [snet_size_changed t tpeer ~delta] maintains the server's size table. *)
+val snet_size_changed : t -> Peer.t -> delta:int -> unit
+
+(** [snet_size t tpeer] is the server's count of s-peers in [tpeer]'s
+    s-network. *)
+val snet_size : t -> Peer.t -> int
+
+(** [set_snet_size t tpeer n] overwrites the count — used on role
+    transfer. *)
+val set_snet_size : t -> Peer.t -> int -> unit
+
+(** {1 Finger tables} *)
+
+(** [ensure_fingers t] recomputes every live t-peer's fingers if stale. *)
+val ensure_fingers : t -> unit
+
+(** [refresh_fingers_of t peer] recomputes one node's fingers from the
+    oracle. *)
+val refresh_fingers_of : t -> Peer.t -> unit
+
+(** [stabilize_ring t] rewires every live t-peer's successor/predecessor
+    from the sorted membership oracle and refreshes fingers — the end
+    state the background stabilization protocol reaches.  Used when
+    routing detects that crashes left the pointers inconsistent. *)
+val stabilize_ring : t -> unit
+
+(** [substitute_in_fingers t ~old_peer ~replacement] performs the paper's
+    cheap finger update when an s-peer takes over a leaving/crashed
+    t-peer: every finger entry pointing at [old_peer] is rewritten to
+    [replacement]; nothing is recomputed. *)
+val substitute_in_fingers : t -> old_peer:Peer.t -> replacement:Peer.t -> unit

@@ -1,0 +1,1 @@
+lib/gnutella/mesh.ml: Array Hashtbl List P2p_sim

@@ -1,0 +1,1 @@
+lib/gnutella/mesh.mli: P2p_sim

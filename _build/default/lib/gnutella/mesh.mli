@@ -1,0 +1,63 @@
+(** Gnutella-style unstructured overlay — the paper's unstructured baseline.
+
+    When the hybrid system's parameter [p_s] is 1 it "becomes a
+    Gnutella-style unstructured peer-to-peer system".  This library is that
+    endpoint: peers join by linking to a handful of random existing peers
+    (a mesh, so queries may reach a peer several times — the bandwidth
+    drawback the hybrid's tree-shaped s-networks eliminate), data sits
+    wherever it was generated, and lookups are TTL-bounded floods or
+    fixed-length random walks. *)
+
+type t
+
+type peer
+
+(** Result of a lookup attempt. *)
+type lookup_result = {
+  value : string option;      (** payload if found *)
+  contacted : int;            (** distinct peers that checked their store *)
+  messages : int;             (** query transmissions, counting duplicates *)
+  hops_to_hit : int option;   (** overlay hops to the first replica found *)
+}
+
+(** [create ~rng ~links_per_join ()] prepares an empty mesh; each joining
+    peer connects to up to [links_per_join] distinct random existing peers.
+    @raise Invalid_argument if [links_per_join <= 0]. *)
+val create : rng:P2p_sim.Rng.t -> links_per_join:int -> unit -> t
+
+val peer_count : t -> int
+val peers : t -> peer list
+val host : peer -> int
+val neighbors : peer -> peer list
+val degree : peer -> int
+val alive : peer -> bool
+val stored_items : peer -> int
+
+(** [join t ~host] adds a peer and wires its random links.  Join cost is one
+    hop per link established (the paper's constant-latency unstructured
+    join). *)
+val join : t -> host:int -> peer
+
+(** [leave t peer] removes a peer gracefully: neighbours drop it from their
+    lists and its data transfers to a random neighbour (or is lost if it has
+    none). *)
+val leave : t -> peer -> unit
+
+(** [crash t peer] removes a peer abruptly: its data is lost. *)
+val crash : t -> peer -> unit
+
+(** [store t peer ~key ~value] inserts the item at [peer] itself — in an
+    unstructured network data stays where it is generated. *)
+val store : t -> peer -> key:string -> value:string -> unit
+
+(** [flood_lookup t ~from ~key ~ttl] performs a breadth-first flood limited
+    to [ttl] overlay hops. *)
+val flood_lookup : t -> from:peer -> key:string -> ttl:int -> lookup_result
+
+(** [random_walk_lookup t ~from ~key ~walkers ~ttl] launches [walkers]
+    independent random walks of at most [ttl] steps each. *)
+val random_walk_lookup :
+  t -> from:peer -> key:string -> walkers:int -> ttl:int -> lookup_result
+
+(** [is_connected t] checks overlay connectivity over live peers. *)
+val is_connected : t -> bool

@@ -1,0 +1,1 @@
+lib/hashspace/id_space.mli: Format

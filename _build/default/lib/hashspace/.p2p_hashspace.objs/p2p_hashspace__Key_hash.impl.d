@@ -1,0 +1,1 @@
+lib/hashspace/key_hash.ml: Char Id_space Int64 Printf String

@@ -1,0 +1,1 @@
+lib/hashspace/key_hash.mli: Id_space

@@ -1,0 +1,54 @@
+(** Circular identifier space shared by peers and data.
+
+    Peer IDs ([p_id]) and data IDs ([d_id]) live in the same space
+    [\[0, 2^bits)], arranged on a ring; a t-peer with ID [p] whose ring
+    predecessor has ID [q] owns the clockwise segment [(q, p]].  All the
+    interval tests the protocols need (Chord-style [between], clockwise
+    distance, midpoint for conflict resolution) live here. *)
+
+type id = int
+
+(** Number of bits of the ID space (30, so every ID fits a native int even
+    on 32-bit-boxed platforms). *)
+val bits : int
+
+(** Size of the space, [2^bits]. *)
+val size : int
+
+(** [valid i] is [true] iff [0 <= i < size]. *)
+val valid : id -> bool
+
+(** [normalize i] maps any integer into the space by taking it modulo
+    [size] (result is always non-negative). *)
+val normalize : int -> id
+
+(** [distance ~src ~dst] is the clockwise distance from [src] to [dst];
+    [0] when equal. *)
+val distance : src:id -> dst:id -> int
+
+(** [between x ~left ~right] is [true] iff travelling clockwise from [left]
+    one meets [x] strictly before [right].  This is the open interval
+    [(left, right)] on the ring; when [left = right] the interval is the
+    whole ring minus the endpoint. *)
+val between : id -> left:id -> right:id -> bool
+
+(** [between_incl_right x ~left ~right] is the half-open interval
+    [(left, right]] — the ownership test: t-peer [right] with predecessor
+    [left] owns [x] iff this holds. *)
+val between_incl_right : id -> left:id -> right:id -> bool
+
+(** [midpoint ~left ~right] is the clockwise midpoint of [(left, right)];
+    used by the paper's ID-conflict resolution ([(id + suc.id) / 2] on the
+    ring).  When [right] immediately follows [left] there is no interior
+    point and the function returns [None]. *)
+val midpoint : left:id -> right:id -> id option
+
+(** [add i k] is [i + k] on the ring. *)
+val add : id -> int -> id
+
+(** [finger_start ~base k] is [base + 2^k] on the ring — the start of the
+    [k]-th Chord finger interval.  @raise Invalid_argument if
+    [k < 0 || k >= bits]. *)
+val finger_start : base:id -> int -> id
+
+val pp : Format.formatter -> id -> unit

@@ -1,0 +1,20 @@
+(** Hashing of data keys and peer addresses into the ID space.
+
+    The paper hashes a data key (e.g. a file name) to an integer [d_id] in
+    the same range as [p_id], and optionally derives a joining peer's [p_id]
+    from its IP address.  We use FNV-1a (64-bit) folded into the
+    {!Id_space} range: deterministic across runs, well-dispersed, and
+    dependency-free. *)
+
+(** [of_string key] is the [d_id] of a data key. *)
+val of_string : string -> Id_space.id
+
+(** [of_int v] hashes an integer (e.g. a synthetic address). *)
+val of_int : int -> Id_space.id
+
+(** [of_address ~ip ~port] hashes a synthetic network address; mirrors the
+    paper's "hash the IP address of the new peer" p_id generation. *)
+val of_address : ip:string -> port:int -> Id_space.id
+
+(** Raw 64-bit FNV-1a of a string, exposed for testing dispersion. *)
+val fnv1a64 : string -> int64

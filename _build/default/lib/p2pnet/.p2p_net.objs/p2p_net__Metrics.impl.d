@@ -1,0 +1,1 @@
+lib/p2pnet/metrics.ml: Format P2p_stats

@@ -1,0 +1,1 @@
+lib/p2pnet/metrics.mli: Format P2p_stats

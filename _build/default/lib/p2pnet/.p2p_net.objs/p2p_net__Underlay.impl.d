@@ -1,0 +1,1 @@
+lib/p2pnet/underlay.ml: Metrics P2p_sim P2p_topology

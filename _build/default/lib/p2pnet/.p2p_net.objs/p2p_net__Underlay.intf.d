@@ -1,0 +1,1 @@
+lib/p2pnet/underlay.mli: Metrics P2p_sim P2p_topology

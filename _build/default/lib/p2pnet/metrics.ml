@@ -1,0 +1,73 @@
+module Summary = P2p_stats.Summary
+
+type t = {
+  mutable messages : int;
+  mutable physical_hops : int;
+  mutable lookups_issued : int;
+  mutable lookups_succeeded : int;
+  mutable lookups_failed : int;
+  mutable connum : int;
+  lookup_latency : Summary.t;
+  lookup_hops : Summary.t;
+  join_latency : Summary.t;
+  join_hops : Summary.t;
+}
+
+let create () =
+  {
+    messages = 0;
+    physical_hops = 0;
+    lookups_issued = 0;
+    lookups_succeeded = 0;
+    lookups_failed = 0;
+    connum = 0;
+    lookup_latency = Summary.create ();
+    lookup_hops = Summary.create ();
+    join_latency = Summary.create ();
+    join_hops = Summary.create ();
+  }
+
+let record_message t ~physical_hops =
+  t.messages <- t.messages + 1;
+  t.physical_hops <- t.physical_hops + physical_hops
+
+let record_lookup_issued t = t.lookups_issued <- t.lookups_issued + 1
+
+let record_lookup_success t ~latency ~hops =
+  t.lookups_succeeded <- t.lookups_succeeded + 1;
+  Summary.add t.lookup_latency latency;
+  Summary.add t.lookup_hops (float_of_int hops)
+
+let record_lookup_failure t = t.lookups_failed <- t.lookups_failed + 1
+
+let record_contact t = t.connum <- t.connum + 1
+
+let record_contacts t n = t.connum <- t.connum + n
+
+let record_join t ~latency ~hops =
+  Summary.add t.join_latency latency;
+  Summary.add t.join_hops (float_of_int hops)
+
+let messages t = t.messages
+let physical_hops t = t.physical_hops
+let lookups_issued t = t.lookups_issued
+let lookups_succeeded t = t.lookups_succeeded
+let lookups_failed t = t.lookups_failed
+
+let failure_ratio t =
+  if t.lookups_issued = 0 then 0.0
+  else float_of_int t.lookups_failed /. float_of_int t.lookups_issued
+
+let connum t = t.connum
+
+let lookup_latency t = t.lookup_latency
+let lookup_hops t = t.lookup_hops
+let join_latency t = t.join_latency
+let join_hops t = t.join_hops
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>messages: %d (physical hops %d)@,lookups: %d issued, %d ok, %d failed (ratio %.4f)@,connum: %d@,lookup latency: %a@,join latency: %a@]"
+    t.messages t.physical_hops t.lookups_issued t.lookups_succeeded
+    t.lookups_failed (failure_ratio t) t.connum Summary.pp t.lookup_latency
+    Summary.pp t.join_latency

@@ -1,0 +1,48 @@
+(** Global experiment metrics.
+
+    One instance is threaded through a simulation run and accumulates every
+    quantity the paper's evaluation reports:
+
+    - lookup latency (paper Section 6.3, Fig. 6a/6b) — simulated
+      milliseconds from issuing a lookup to receiving the data;
+    - lookup failure ratio (Fig. 5a/5b);
+    - [connum] (Table 2) — the number of peers all lookups contacted;
+    - join latency (Fig. 3a validation) — hops and milliseconds;
+    - raw message and physical-hop counts (bandwidth proxies). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val record_message : t -> physical_hops:int -> unit
+val record_lookup_issued : t -> unit
+val record_lookup_success : t -> latency:float -> hops:int -> unit
+val record_lookup_failure : t -> unit
+val record_contact : t -> unit
+(** one peer contacted (checked its database) during some lookup *)
+
+val record_contacts : t -> int -> unit
+val record_join : t -> latency:float -> hops:int -> unit
+
+(** {1 Reading} *)
+
+val messages : t -> int
+val physical_hops : t -> int
+val lookups_issued : t -> int
+val lookups_succeeded : t -> int
+val lookups_failed : t -> int
+
+(** Failed / issued; [0.] when no lookup was issued. *)
+val failure_ratio : t -> float
+
+(** Total peers contacted by all lookups — the paper's [connum]. *)
+val connum : t -> int
+
+val lookup_latency : t -> P2p_stats.Summary.t
+val lookup_hops : t -> P2p_stats.Summary.t
+val join_latency : t -> P2p_stats.Summary.t
+val join_hops : t -> P2p_stats.Summary.t
+
+val pp : Format.formatter -> t -> unit

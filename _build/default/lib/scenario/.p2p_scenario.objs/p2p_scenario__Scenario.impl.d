@@ -1,0 +1,1 @@
+lib/scenario/scenario.ml: Array Format Hybrid_p2p List P2p_sim P2p_workload Printf

@@ -1,0 +1,1 @@
+lib/scenario/scenario.mli: Format Hybrid_p2p

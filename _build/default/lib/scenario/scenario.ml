@@ -1,0 +1,174 @@
+module H = Hybrid_p2p.Hybrid
+module Peer = Hybrid_p2p.Peer
+module Data_ops = Hybrid_p2p.Data_ops
+module Rng = P2p_sim.Rng
+module Churn = P2p_workload.Churn
+
+type action =
+  | Join_t
+  | Join_s
+  | Join_many of int * float
+  | Leave_random
+  | Crash_random
+  | Crash_fraction of float
+  | Repair
+  | Insert_items of int
+  | Lookup_items of int
+  | Settle
+  | Advance of float
+
+type report = {
+  joined : int;
+  left : int;
+  crashed : int;
+  inserted : int;
+  lookups_ok : int;
+  lookups_failed : int;
+  final_peers : int;
+  final_items : int;
+  invariants : (unit, string) result;
+}
+
+type state = {
+  h : H.t;
+  rng : Rng.t;
+  mutable keys : string list; (* inserted keys, newest first *)
+  mutable key_count : int;
+  mutable joined : int;
+  mutable left : int;
+  mutable crashed : int;
+  mutable inserted : int;
+  mutable lookups_ok : int;
+  mutable lookups_failed : int;
+  mutable needs_repair : bool;
+}
+
+let join_one st ~role =
+  let host = H.fresh_host st.h in
+  let role = if H.peer_count st.h = 0 then Peer.T_peer else role in
+  ignore (H.join st.h ~host ~role () : Peer.t);
+  H.run st.h;
+  st.joined <- st.joined + 1
+
+let random_live st =
+  match H.peers st.h with
+  | [] -> None
+  | all -> Some (Rng.pick_list st.rng all)
+
+let insert_items st count =
+  for _ = 1 to count do
+    match random_live st with
+    | None -> ()
+    | Some from ->
+      let key = Printf.sprintf "scenario-%06d" st.key_count in
+      st.key_count <- st.key_count + 1;
+      st.keys <- key :: st.keys;
+      st.inserted <- st.inserted + 1;
+      H.insert st.h ~from ~key ~value:("v:" ^ key) ()
+  done;
+  H.run st.h
+
+let lookup_items st count =
+  let pool = Array.of_list st.keys in
+  for _ = 1 to count do
+    if Array.length pool = 0 then st.lookups_failed <- st.lookups_failed + 1
+    else
+      match random_live st with
+      | None -> st.lookups_failed <- st.lookups_failed + 1
+      | Some from ->
+        let key = Rng.pick st.rng pool in
+        H.lookup st.h ~from ~key
+          ~on_result:(function
+            | Data_ops.Found _ -> st.lookups_ok <- st.lookups_ok + 1
+            | Data_ops.Timed_out -> st.lookups_failed <- st.lookups_failed + 1)
+          ()
+  done;
+  H.run st.h
+
+let crash_fraction st fraction =
+  let peers = Array.of_list (H.peers st.h) in
+  let victims =
+    Churn.crash_storm ~rng:st.rng ~population:(Array.length peers) ~fraction
+  in
+  Array.iter
+    (fun i ->
+      H.crash st.h peers.(i);
+      st.crashed <- st.crashed + 1)
+    victims;
+  if Array.length victims > 0 then st.needs_repair <- true
+
+let step st = function
+  | Join_t -> join_one st ~role:Peer.T_peer
+  | Join_s -> join_one st ~role:Peer.S_peer
+  | Join_many (count, s_fraction) ->
+    for _ = 1 to count do
+      let role =
+        if Rng.bernoulli st.rng s_fraction then Peer.S_peer else Peer.T_peer
+      in
+      join_one st ~role
+    done
+  | Leave_random ->
+    (match random_live st with
+     | None -> ()
+     | Some victim ->
+       H.leave st.h victim ();
+       H.run st.h;
+       st.left <- st.left + 1)
+  | Crash_random ->
+    (match random_live st with
+     | None -> ()
+     | Some victim ->
+       H.crash st.h victim;
+       st.crashed <- st.crashed + 1;
+       st.needs_repair <- true)
+  | Crash_fraction fraction -> crash_fraction st fraction
+  | Repair ->
+    H.repair st.h;
+    H.run st.h;
+    st.needs_repair <- false
+  | Insert_items count -> insert_items st count
+  | Lookup_items count -> lookup_items st count
+  | Settle -> H.run st.h
+  | Advance ms -> H.run_for st.h ms
+
+let run h ~seed ~script =
+  let st =
+    {
+      h;
+      rng = Rng.create seed;
+      keys = [];
+      key_count = 0;
+      joined = 0;
+      left = 0;
+      crashed = 0;
+      inserted = 0;
+      lookups_ok = 0;
+      lookups_failed = 0;
+      needs_repair = false;
+    }
+  in
+  List.iter (step st) script;
+  (* the invariant check presumes crash damage was repaired; do it
+     implicitly so every script ends in a checkable state *)
+  if st.needs_repair then begin
+    H.repair st.h;
+    H.run st.h
+  end;
+  {
+    joined = st.joined;
+    left = st.left;
+    crashed = st.crashed;
+    inserted = st.inserted;
+    lookups_ok = st.lookups_ok;
+    lookups_failed = st.lookups_failed;
+    final_peers = H.peer_count st.h;
+    final_items = H.total_items st.h;
+    invariants = H.check_invariants st.h;
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>joined %d, left %d, crashed %d@,inserted %d items@,lookups: %d ok, %d failed@,final: %d peers, %d items@,invariants: %s@]"
+    r.joined r.left r.crashed r.inserted r.lookups_ok r.lookups_failed r.final_peers
+    r.final_items
+    (match r.invariants with Ok () -> "OK" | Error e -> "VIOLATED: " ^ e)

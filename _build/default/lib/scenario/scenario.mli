@@ -1,0 +1,54 @@
+(** Declarative scenario scripts for the hybrid system.
+
+    A scenario is a list of actions executed in order against a
+    {!Hybrid_p2p.Hybrid.t}: membership churn, data operations, crash
+    storms, time advancement.  The runner tracks what happened and reports
+    a summary with the final invariant check — the backbone of the
+    integration tests and a convenient harness for users experimenting
+    with the system.
+
+    Example — a flash-crowd-under-churn scenario:
+    {[
+      let report =
+        Scenario.run h ~seed:7
+          ~script:
+            [ Join_many (100, 0.7); Insert_items 500; Settle;
+              Crash_fraction 0.2; Repair; Settle;
+              Lookup_items 500; Settle ]
+      in
+      assert (Result.is_ok report.invariants)
+    ]} *)
+
+type action =
+  | Join_t  (** one structured peer joins *)
+  | Join_s  (** one unstructured peer joins (t-peer if the system is empty) *)
+  | Join_many of int * float
+      (** [(count, s_fraction)] peers join, settling between joins *)
+  | Leave_random  (** a uniformly random peer departs gracefully *)
+  | Crash_random  (** a uniformly random peer crashes *)
+  | Crash_fraction of float  (** that fraction of the population crashes at once *)
+  | Repair  (** offline repair of all crash damage *)
+  | Insert_items of int  (** insert that many fresh items from random peers *)
+  | Lookup_items of int
+      (** look up that many uniformly drawn previously inserted items *)
+  | Settle  (** drive the engine to quiescence *)
+  | Advance of float  (** advance the clock by that many ms *)
+
+type report = {
+  joined : int;
+  left : int;
+  crashed : int;
+  inserted : int;
+  lookups_ok : int;
+  lookups_failed : int;
+  final_peers : int;
+  final_items : int;
+  invariants : (unit, string) result;  (** checked after the last action *)
+}
+
+(** [run h ~seed ~script] executes the script.  Lookups before any insert
+    are counted as failed.  The scenario's randomness is independent of
+    the system's. *)
+val run : Hybrid_p2p.Hybrid.t -> seed:int -> script:action list -> report
+
+val pp_report : Format.formatter -> report -> unit

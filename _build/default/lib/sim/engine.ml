@@ -1,0 +1,51 @@
+type handle = Event_queue.handle
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable executed : int;
+  root_rng : Rng.t;
+}
+
+let create ~seed () =
+  { queue = Event_queue.create (); clock = 0.0; executed = 0; root_rng = Rng.create seed }
+
+let rng t = t.root_rng
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.add t.queue ~time:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add t.queue ~time f
+
+let cancel = Event_queue.cancel
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let rec run t = if step t then run t
+
+let run_until t ~time =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some event_time when event_time <= time ->
+      ignore (step t : bool);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if time > t.clock then t.clock <- time
+
+let events_executed t = t.executed
+
+let pending t = Event_queue.live_length t.queue

@@ -1,0 +1,99 @@
+type handle = { mutable dead : bool }
+
+type 'a entry = { time : float; seq : int; value : 'a; handle : handle }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots at index >= size are physical garbage kept only to satisfy
+     the array type; [dummy] fills freed slots. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let heap = Array.make new_cap entry in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time value =
+  let handle = { dead = false } in
+  let entry = { time; seq = t.next_seq; value; handle } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  handle
+
+let cancel h = h.dead <- true
+
+let cancelled h = h.dead
+
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end
+
+(* Discard dead events sitting at the root. *)
+let rec drop_dead t =
+  if t.size > 0 && t.heap.(0).handle.dead then begin
+    remove_top t;
+    drop_dead t
+  end
+
+let pop t =
+  drop_dead t;
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    remove_top t;
+    Some (top.time, top.value)
+  end
+
+let peek_time t =
+  drop_dead t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let is_empty t =
+  drop_dead t;
+  t.size = 0
+
+let live_length t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).handle.dead then incr n
+  done;
+  !n

@@ -1,0 +1,39 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap ordered by [(time, sequence)].  The sequence number is
+    a monotonically increasing tie-breaker so that two events scheduled for
+    the same instant fire in scheduling order — this keeps simulations
+    deterministic.  Cancellation is lazy: a cancelled event stays in the heap
+    until it reaches the top and is then discarded. *)
+
+type 'a t
+
+(** Handle to a scheduled event, usable for cancellation. *)
+type handle
+
+val create : unit -> 'a t
+
+(** [add t ~time v] schedules [v] at [time] and returns its handle. *)
+val add : 'a t -> time:float -> 'a -> handle
+
+(** [cancel h] marks the event dead; it will never be returned by
+    [pop].  Cancelling twice is harmless. *)
+val cancel : handle -> unit
+
+(** [cancelled h] is [true] iff [h] has been cancelled. *)
+val cancelled : handle -> bool
+
+(** [pop t] removes and returns the earliest live event as
+    [Some (time, v)], or [None] if the queue holds no live event. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_time t] is the timestamp of the earliest live event, if any.
+    Dead events at the front are discarded as a side effect. *)
+val peek_time : 'a t -> float option
+
+(** [is_empty t] is [true] iff no live event remains.  Dead events at the
+    front are discarded as a side effect. *)
+val is_empty : 'a t -> bool
+
+(** [live_length t] counts live events (O(n)). *)
+val live_length : 'a t -> int

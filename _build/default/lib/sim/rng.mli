@@ -1,0 +1,64 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The generator is a SplitMix64 stream.  Every run of the simulator is
+    seeded explicitly so that experiments are reproducible bit-for-bit; the
+    [split] operation derives an independent stream, which lets concurrent
+    subsystems (workload generation, topology generation, protocol noise)
+    draw randomness without perturbing each other. *)
+
+type t
+
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is a generator with the same state as [t]; the two evolve
+    independently afterwards. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+val split : t -> t
+
+(** [bits64 t] returns the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [float_in_range t ~lo ~hi] is uniform in [\[lo, hi)]. *)
+val float_in_range : t -> lo:float -> hi:float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+val bernoulli : t -> float -> bool
+
+(** [exponential t ~mean] samples an exponential with the given mean.
+    Used for churn inter-arrival times. *)
+val exponential : t -> mean:float -> float
+
+(** [pick t arr] is a uniformly random element of [arr].
+    @raise Invalid_argument on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_list t l] is a uniformly random element of [l].
+    @raise Invalid_argument on an empty list. *)
+val pick_list : t -> 'a list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample_without_replacement t ~k arr] returns [k] distinct elements of
+    [arr] in random order.  @raise Invalid_argument if [k] exceeds the array
+    length or is negative. *)
+val sample_without_replacement : t -> k:int -> 'a array -> 'a array

@@ -1,0 +1,42 @@
+type kind = One_shot | Periodic
+
+type t = {
+  engine : Engine.t;
+  delay : float;
+  kind : kind;
+  action : unit -> unit;
+  mutable handle : Engine.handle option;
+}
+
+let arm t =
+  let rec fire () =
+    t.handle <- None;
+    (match t.kind with
+     | Periodic -> t.handle <- Some (Engine.schedule t.engine ~delay:t.delay fire)
+     | One_shot -> ());
+    t.action ()
+  in
+  t.handle <- Some (Engine.schedule t.engine ~delay:t.delay fire)
+
+let one_shot engine ~delay action =
+  let t = { engine; delay; kind = One_shot; action; handle = None } in
+  arm t;
+  t
+
+let periodic engine ~period action =
+  let t = { engine; delay = period; kind = Periodic; action; handle = None } in
+  arm t;
+  t
+
+let cancel t =
+  match t.handle with
+  | None -> ()
+  | Some h ->
+    Engine.cancel h;
+    t.handle <- None
+
+let reset t =
+  cancel t;
+  arm t
+
+let active t = t.handle <> None

@@ -1,0 +1,61 @@
+type event = { time : float; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int; (* slot for the next write *)
+  mutable retained : int;
+  mutable total : int;
+  active : bool;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    capacity;
+    buffer = Array.make capacity None;
+    next = 0;
+    retained = 0;
+    total = 0;
+    active = true;
+  }
+
+let disabled =
+  { capacity = 1; buffer = [| None |]; next = 0; retained = 0; total = 0; active = false }
+
+let enabled t = t.active
+
+let record t ~time ~tag detail =
+  if t.active then begin
+    t.buffer.(t.next) <- Some { time; tag; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.retained < t.capacity then t.retained <- t.retained + 1;
+    t.total <- t.total + 1
+  end
+
+let record_f t ~time ~tag fmt =
+  if t.active then Printf.ksprintf (record t ~time ~tag) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
+
+let length t = t.retained
+
+let total_recorded t = t.total
+
+let events t =
+  (* the oldest retained event sits [retained] writes behind [next] *)
+  let start = (t.next - t.retained + t.capacity) mod t.capacity in
+  List.init t.retained (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let find t ~tag = List.filter (fun e -> e.tag = tag) (events t)
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.retained <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "%.3f [%s] %s@." e.time e.tag e.detail)
+    (events t)

@@ -1,0 +1,54 @@
+(** Bounded in-memory event tracing.
+
+    A trace is a ring buffer of timestamped, tagged events.  Subsystems
+    record what they do ([message], [join], [lookup], ...); tests and
+    debugging sessions inspect, filter, or dump the buffer.  Keeping the
+    buffer bounded makes tracing safe to leave enabled in long experiments
+    — old events fall off the back.
+
+    Recording through a disabled trace is a no-op costing one branch, so
+    library code can trace unconditionally. *)
+
+type t
+
+type event = {
+  time : float;  (** simulated ms *)
+  tag : string;  (** category, e.g. ["message"], ["join"], ["crash"] *)
+  detail : string;
+}
+
+(** [create ~capacity ()] makes a trace keeping the last [capacity]
+    events.  @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> unit -> t
+
+(** A trace that drops everything (the default wiring). *)
+val disabled : t
+
+(** [enabled t] — does recording do anything? *)
+val enabled : t -> bool
+
+(** [record t ~time ~tag detail] appends an event (dropping the oldest if
+    full). *)
+val record : t -> time:float -> tag:string -> string -> unit
+
+(** [record_f t ~time ~tag fmt ...] — like {!record} with a format string;
+    the message is not built when the trace is disabled. *)
+val record_f : t -> time:float -> tag:string -> ('a, unit, string, unit) format4 -> 'a
+
+(** Number of events currently retained. *)
+val length : t -> int
+
+(** Total events ever recorded (including dropped ones). *)
+val total_recorded : t -> int
+
+(** Retained events, oldest first. *)
+val events : t -> event list
+
+(** [find t ~tag] retains only events with the given tag, oldest first. *)
+val find : t -> tag:string -> event list
+
+(** [clear t] empties the buffer (the total count survives). *)
+val clear : t -> unit
+
+(** [pp ppf t] prints one event per line: ["%.3f [tag] detail"]. *)
+val pp : Format.formatter -> t -> unit

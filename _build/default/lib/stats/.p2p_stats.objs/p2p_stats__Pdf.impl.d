@@ -1,0 +1,1 @@
+lib/stats/pdf.ml: Format Histogram List Stdlib

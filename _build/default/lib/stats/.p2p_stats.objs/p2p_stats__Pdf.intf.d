@@ -1,0 +1,1 @@
+lib/stats/pdf.mli: Format Histogram

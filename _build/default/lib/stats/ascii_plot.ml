@@ -1,0 +1,75 @@
+type series = { name : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; 'a'; 'b'; 'c'; 'd' |]
+
+let line_chart ?(width = 64) ?(height = 16) ~series () =
+  if width < 16 then invalid_arg "Ascii_plot.line_chart: width";
+  if height < 4 then invalid_arg "Ascii_plot.line_chart: height";
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then "(empty chart)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_min = List.fold_left Float.min (List.hd xs) xs in
+    let x_max = List.fold_left Float.max (List.hd xs) xs in
+    let y_min = List.fold_left Float.min (List.hd ys) ys in
+    let y_max = List.fold_left Float.max (List.hd ys) ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      Stdlib.min (width - 1)
+        (int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1))))
+    in
+    let line y =
+      let r =
+        int_of_float (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+      in
+      height - 1 - Stdlib.min (height - 1) r
+    in
+    List.iteri
+      (fun i s ->
+        let glyph = glyphs.(i mod Array.length glyphs) in
+        List.iter (fun (x, y) -> grid.(line y).(col x) <- glyph) s.points)
+      series;
+    let buffer = Buffer.create ((width + 16) * (height + 2)) in
+    Array.iteri
+      (fun r row ->
+        let label =
+          if r = 0 then Printf.sprintf "%10.2f |" y_max
+          else if r = height - 1 then Printf.sprintf "%10.2f |" y_min
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buffer label;
+        Array.iter (Buffer.add_char buffer) row;
+        Buffer.add_char buffer '\n')
+      grid;
+    Buffer.add_string buffer (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buffer
+      (Printf.sprintf "%10s  %-8.2f%*s%8.2f\n" "" x_min (width - 16) "" x_max);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buffer
+          (Printf.sprintf "%10s  %c = %s\n" "" glyphs.(i mod Array.length glyphs) s.name))
+      series;
+    Buffer.contents buffer
+  end
+
+let histogram ?(width = 50) ~bars () =
+  if bars = [] then "(empty histogram)\n"
+  else begin
+    let largest = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 bars in
+    let label_width =
+      List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 bars
+    in
+    let buffer = Buffer.create 256 in
+    List.iter
+      (fun (label, value) ->
+        let filled =
+          if largest <= 0.0 then 0
+          else int_of_float (Float.round (value /. largest *. float_of_int width))
+        in
+        Buffer.add_string buffer
+          (Printf.sprintf "%-*s |%s %g\n" label_width label (String.make filled '#') value))
+      bars;
+    Buffer.contents buffer
+  end

@@ -1,0 +1,22 @@
+(** Text rendering of experiment series.
+
+    The benchmark harness regenerates the paper's *figures*; this module
+    draws them as fixed-size ASCII charts so a terminal run of
+    [bench/main.exe] shows the curve shapes, not just number columns.
+
+    Rendering is deterministic and pure; all functions return strings. *)
+
+(** One named series of (x, y) points. *)
+type series = { name : string; points : (float * float) list }
+
+(** [line_chart ~width ~height ~series ()] plots the series over a shared
+    scale.  Each series is drawn with its own glyph ([*], [o], [+], [x],
+    then letters) and a legend line follows the chart.  X values need not
+    be sorted or shared between series.  Empty input yields an
+    ["(empty chart)"] placeholder.
+    @raise Invalid_argument if [width < 16] or [height < 4]. *)
+val line_chart : ?width:int -> ?height:int -> series:series list -> unit -> string
+
+(** [histogram ~width ~bars ()] renders labelled horizontal bars scaled to
+    the largest value, e.g. for per-bucket PDFs. *)
+val histogram : ?width:int -> bars:(string * float) list -> unit -> string

@@ -1,0 +1,75 @@
+type t = { mutable bins : int array; mutable total : int; mutable max_v : int }
+
+let create () = { bins = [||]; total = 0; max_v = -1 }
+
+let ensure t v =
+  let cap = Array.length t.bins in
+  if v >= cap then begin
+    let new_cap = Stdlib.max (v + 1) (Stdlib.max 16 (cap * 2)) in
+    let bins = Array.make new_cap 0 in
+    Array.blit t.bins 0 bins 0 cap;
+    t.bins <- bins
+  end
+
+let observe_many t v n =
+  if v < 0 then invalid_arg "Histogram.observe: negative value";
+  if n < 0 then invalid_arg "Histogram.observe_many: negative count";
+  ensure t v;
+  t.bins.(v) <- t.bins.(v) + n;
+  t.total <- t.total + n;
+  if n > 0 && v > t.max_v then t.max_v <- v
+
+let observe t v = observe_many t v 1
+
+let count t v = if v < 0 || v >= Array.length t.bins then 0 else t.bins.(v)
+
+let total t = t.total
+
+let max_value t = t.max_v
+
+let fraction t v =
+  if t.total = 0 then 0.0 else float_of_int (count t v) /. float_of_int t.total
+
+let fraction_at_most t v =
+  if t.total = 0 then 0.0
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Stdlib.min v t.max_v do
+      acc := !acc + t.bins.(i)
+    done;
+    float_of_int !acc /. float_of_int t.total
+  end
+
+let to_assoc t =
+  let acc = ref [] in
+  for v = t.max_v downto 0 do
+    if t.bins.(v) > 0 then acc := (v, t.bins.(v)) :: !acc
+  done;
+  !acc
+
+let rebin t ~width =
+  if width <= 0 then invalid_arg "Histogram.rebin: width must be positive";
+  if t.max_v < 0 then []
+  else begin
+    let buckets = (t.max_v / width) + 1 in
+    let counts = Array.make buckets 0 in
+    for v = 0 to t.max_v do
+      counts.(v / width) <- counts.(v / width) + t.bins.(v)
+    done;
+    List.init buckets (fun b -> (b * width, counts.(b)))
+  end
+
+let mean t =
+  if t.total = 0 then 0.0
+  else begin
+    let acc = ref 0 in
+    for v = 0 to t.max_v do
+      acc := !acc + (v * t.bins.(v))
+    done;
+    float_of_int !acc /. float_of_int t.total
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (v, c) -> Format.fprintf ppf "%d: %d@," v c) (to_assoc t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Integer-valued histograms.
+
+    Counts occurrences of non-negative integer observations (e.g. number of
+    data items stored per peer, hop counts).  Bins grow on demand. *)
+
+type t
+
+val create : unit -> t
+
+(** [observe t v] increments the count of value [v].
+    @raise Invalid_argument if [v < 0]. *)
+val observe : t -> int -> unit
+
+(** [observe_many t v n] records [n] occurrences of [v]. *)
+val observe_many : t -> int -> int -> unit
+
+(** [count t v] is the number of observations equal to [v]. *)
+val count : t -> int -> int
+
+(** Total number of observations. *)
+val total : t -> int
+
+(** Largest observed value; [-1] when empty. *)
+val max_value : t -> int
+
+(** [fraction t v] is [count t v / total t]; [0.] when empty. *)
+val fraction : t -> int -> float
+
+(** [fraction_at_most t v] is the empirical CDF at [v]. *)
+val fraction_at_most : t -> int -> float
+
+(** [to_assoc t] lists [(value, count)] pairs with non-zero counts in
+    increasing value order. *)
+val to_assoc : t -> (int * int) list
+
+(** [rebin t ~width] groups values into buckets of [width] consecutive
+    values and returns [(bucket_start, count)] pairs — used to plot the
+    paper's Fig. 4 probability density functions.
+    @raise Invalid_argument if [width <= 0]. *)
+val rebin : t -> width:int -> (int * int) list
+
+(** [mean t] is the mean observed value. *)
+val mean : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : float array option; (* cache invalidated by add *)
+}
+
+let create () =
+  {
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    total = 0.0;
+    data = [||];
+    len = 0;
+    sorted = None;
+  }
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let new_cap = if cap = 0 then 64 else cap * 2 in
+    let data = Array.make new_cap 0.0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.total <- t.total +. x;
+  t.sorted <- None;
+  push t x
+
+let add_all t xs = List.iter (add t) xs
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t =
+  if t.count = 0 then invalid_arg "Summary.min: empty";
+  t.min_v
+
+let max t =
+  if t.count = 0 then invalid_arg "Summary.max: empty";
+  t.max_v
+
+let total t = t.total
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+    let s = Array.sub t.data 0 t.len in
+    Array.sort compare s;
+    t.sorted <- Some s;
+    s
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: out of range";
+  let s = sorted t in
+  let n = Array.length s in
+  (* Nearest-rank: ceil(p/100 * n), 1-indexed. *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let rank = Stdlib.max 1 (Stdlib.min n rank) in
+  s.(rank - 1)
+
+let median t = percentile t 50.0
+
+let ci95 t =
+  if t.count < 2 then 0.0
+  else 1.96 *. stddev t /. sqrt (float_of_int t.count)
+
+let samples t = Array.sub t.data 0 t.len
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f"
+      t.count (mean t) (stddev t) t.min_v (median t) (percentile t 95.0) t.max_v

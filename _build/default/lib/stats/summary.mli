@@ -1,0 +1,53 @@
+(** Streaming summary statistics (count, mean, variance, extrema) and
+    percentile computation over collected samples.
+
+    Means use Welford's online algorithm so that accumulating millions of
+    latency samples stays numerically stable. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] folds sample [x] into the summary and records it for
+    percentile queries. *)
+val add : t -> float -> unit
+
+(** [add_all t xs] adds every element of [xs]. *)
+val add_all : t -> float list -> unit
+
+val count : t -> int
+
+(** Mean of the samples; [0.] when empty. *)
+val mean : t -> float
+
+(** Unbiased sample variance; [0.] for fewer than two samples. *)
+val variance : t -> float
+
+(** Sample standard deviation. *)
+val stddev : t -> float
+
+(** Minimum sample.  @raise Invalid_argument when empty. *)
+val min : t -> float
+
+(** Maximum sample.  @raise Invalid_argument when empty. *)
+val max : t -> float
+
+(** Sum of all samples. *)
+val total : t -> float
+
+(** [percentile t p] for [p] in [\[0, 100\]], by nearest-rank on the sorted
+    samples.  @raise Invalid_argument when empty or [p] out of range. *)
+val percentile : t -> float -> float
+
+(** Median, i.e. [percentile t 50.]. *)
+val median : t -> float
+
+(** Half-width of the 95% confidence interval of the mean under a normal
+    approximation ([1.96 * stddev / sqrt count]); [0.] for fewer than two
+    samples. *)
+val ci95 : t -> float
+
+(** All samples in insertion order (a copy). *)
+val samples : t -> float array
+
+val pp : Format.formatter -> t -> unit

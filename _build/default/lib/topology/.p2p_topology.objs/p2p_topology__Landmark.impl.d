@@ -1,0 +1,1 @@
+lib/topology/landmark.ml: Array Graph Hashtbl List P2p_sim Printf Routing String

@@ -1,0 +1,1 @@
+lib/topology/landmark.mli: P2p_sim Routing

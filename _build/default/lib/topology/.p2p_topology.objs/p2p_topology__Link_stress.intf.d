@@ -1,0 +1,1 @@
+lib/topology/link_stress.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/routing.mli: Graph

@@ -1,0 +1,88 @@
+module Rng = P2p_sim.Rng
+
+type t = {
+  routing : Routing.t;
+  landmark_list : int list;
+  levels : float list;
+  coords : (int, string) Hashtbl.t;
+  clusters : (string, int) Hashtbl.t;
+  mutable next_cluster : int;
+}
+
+let select_landmarks ~rng routing ~count =
+  let n = Graph.node_count (Routing.graph routing) in
+  if count <= 0 || count > n then invalid_arg "Landmark.select_landmarks";
+  (* Farthest-point sampling: greedily add the node maximizing its distance
+     to the already-chosen set. *)
+  let first = Rng.int rng n in
+  let chosen = ref [ first ] in
+  let min_dist = Array.init n (fun v -> Routing.distance routing first v) in
+  for _ = 2 to count do
+    let best = ref 0 and best_d = ref neg_infinity in
+    for v = 0 to n - 1 do
+      if min_dist.(v) > !best_d && min_dist.(v) <> infinity then begin
+        best := v;
+        best_d := min_dist.(v)
+      end
+    done;
+    chosen := !best :: !chosen;
+    for v = 0 to n - 1 do
+      let d = Routing.distance routing !best v in
+      if d < min_dist.(v) then min_dist.(v) <- d
+    done
+  done;
+  List.rev !chosen
+
+let create routing ~landmarks ~levels =
+  {
+    routing;
+    landmark_list = landmarks;
+    levels;
+    coords = Hashtbl.create 64;
+    clusters = Hashtbl.create 64;
+    next_cluster = 0;
+  }
+
+let level_of t d =
+  let rec index i = function
+    | [] -> i
+    | threshold :: rest -> if d < threshold then i else index (i + 1) rest
+  in
+  index 0 t.levels
+
+let compute_coordinate t node =
+  let measured =
+    List.mapi (fun i l -> (i, Routing.distance t.routing node l)) t.landmark_list
+  in
+  let sorted =
+    List.sort
+      (fun (i, d) (j, d') -> if d = d' then compare i j else compare d d')
+      measured
+  in
+  let part (i, d) =
+    if t.levels = [] then string_of_int i
+    else Printf.sprintf "%d:%d" i (level_of t d)
+  in
+  String.concat "<" (List.map part sorted)
+
+let coordinate t node =
+  match Hashtbl.find_opt t.coords node with
+  | Some c -> c
+  | None ->
+    let c = compute_coordinate t node in
+    Hashtbl.add t.coords node c;
+    c
+
+let cluster_id t node =
+  let c = coordinate t node in
+  match Hashtbl.find_opt t.clusters c with
+  | Some id -> id
+  | None ->
+    let id = t.next_cluster in
+    t.next_cluster <- id + 1;
+    Hashtbl.add t.clusters c id;
+    id
+
+let cluster_count t = t.next_cluster
+
+let landmarks t = t.landmark_list

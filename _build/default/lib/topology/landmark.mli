@@ -1,0 +1,37 @@
+(** Landmark binning for topology-aware peer clustering (paper Section 5.2,
+    after Ratnasamy et al.'s binning scheme).
+
+    A set of landmark nodes is fixed; each node probes its latency to every
+    landmark and orders the landmarks by increasing distance.  The ordered
+    list is the node's *coordinate*; nodes sharing a coordinate form a
+    cluster and are assigned to the same s-network.  Optionally each
+    distance is also discretized into latency *levels*, which refines the
+    coordinate exactly as in the original binning paper. *)
+
+type t
+
+(** [select_landmarks ~rng routing ~count] picks [count] landmarks spread
+    across the topology using farthest-point sampling from a random seed
+    node — this realizes the paper's "landmarks are predetermined so that
+    they are uniformly distributed around the network".
+    @raise Invalid_argument if [count] exceeds the node count or is [<= 0]. *)
+val select_landmarks : rng:P2p_sim.Rng.t -> Routing.t -> count:int -> int list
+
+(** [create routing ~landmarks ~levels] prepares the binning structure.
+    [levels] are the latency thresholds (ms) splitting distances into bins;
+    pass [[]] to use pure ordering coordinates. *)
+val create : Routing.t -> landmarks:int list -> levels:float list -> t
+
+(** [coordinate t node] is the node's coordinate string, e.g. ["2<0<1"] or
+    with levels ["2:0<0:1<1:2"]. *)
+val coordinate : t -> int -> string
+
+(** [cluster_id t node] is a dense integer identifying the node's cluster;
+    two nodes share a cluster iff their coordinates are equal. *)
+val cluster_id : t -> int -> int
+
+(** Number of distinct clusters seen so far. *)
+val cluster_count : t -> int
+
+(** [landmarks t] returns the landmark list. *)
+val landmarks : t -> int list

@@ -1,0 +1,33 @@
+type t = {
+  node_count : int;
+  counts : (int, int) Hashtbl.t; (* key = u * node_count + v with u < v *)
+}
+
+let create graph = { node_count = Graph.node_count graph; counts = Hashtbl.create 256 }
+
+let key t u v =
+  let u, v = if u < v then (u, v) else (v, u) in
+  (u * t.node_count) + v
+
+let charge t u v =
+  let k = key t u v in
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counts k) in
+  Hashtbl.replace t.counts k (current + 1)
+
+let rec charge_path t = function
+  | [] | [ _ ] -> ()
+  | u :: (v :: _ as rest) ->
+    charge t u v;
+    charge_path t rest
+
+let stress t u v = Option.value ~default:0 (Hashtbl.find_opt t.counts (key t u v))
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + c) t.counts 0
+
+let max_stress t = Hashtbl.fold (fun _ c acc -> Stdlib.max c acc) t.counts 0
+
+let mean_over_used_links t =
+  let n = Hashtbl.length t.counts in
+  if n = 0 then 0.0 else float_of_int (total t) /. float_of_int n
+
+let clear t = Hashtbl.reset t.counts

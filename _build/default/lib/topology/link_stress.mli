@@ -1,0 +1,31 @@
+(** Link stress accounting.
+
+    Link stress (paper Section 5.2) is the number of copies of a message
+    transmitted over a given physical link.  Every overlay message charges
+    one unit to each physical link on its path; the topology-awareness
+    experiments compare stress distributions with and without landmark
+    clustering. *)
+
+type t
+
+val create : Graph.t -> t
+
+(** [charge_path t path] adds one unit of stress to each physical link along
+    the node sequence [path]. *)
+val charge_path : t -> int list -> unit
+
+(** [stress t u v] is the accumulated stress of link [u -- v] (order
+    irrelevant); [0] if never charged. *)
+val stress : t -> int -> int -> int
+
+(** Total stress over all links = total link-hops transmitted. *)
+val total : t -> int
+
+(** Highest per-link stress, [0] when nothing charged. *)
+val max_stress : t -> int
+
+(** Mean stress over links that were charged at least once. *)
+val mean_over_used_links : t -> float
+
+(** Reset all counters. *)
+val clear : t -> unit

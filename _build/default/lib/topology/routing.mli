@@ -1,0 +1,30 @@
+(** Shortest-path routing over the physical graph.
+
+    Overlay links are logical: a message sent over the overlay edge
+    [u -> v] traverses the latency-shortest physical path from [u] to [v].
+    This module computes those paths with Dijkstra's algorithm, caching the
+    full single-source result per source on first use (a 1,000-node topology
+    fits comfortably). *)
+
+type t
+
+(** [create graph] prepares a router; no paths are computed yet. *)
+val create : Graph.t -> t
+
+(** [distance t u v] is the latency of the shortest path.  [infinity] when
+    unreachable. *)
+val distance : t -> int -> int -> float
+
+(** [path t u v] is the node sequence [u; ...; v] of a shortest path.
+    @raise Not_found when unreachable. *)
+val path : t -> int -> int -> int list
+
+(** [hop_count t u v] is [List.length (path t u v) - 1]; 0 when [u = v].
+    @raise Not_found when unreachable. *)
+val hop_count : t -> int -> int -> int
+
+(** [eccentricity t u] is the maximum finite distance from [u]. *)
+val eccentricity : t -> int -> float
+
+(** [graph t] is the underlying graph. *)
+val graph : t -> Graph.t

@@ -1,0 +1,1 @@
+lib/workload/churn.ml: Array Float List P2p_sim

@@ -1,0 +1,1 @@
+lib/workload/keys.ml: Array P2p_hashspace P2p_sim Printf Zipf

@@ -1,0 +1,1 @@
+lib/workload/keys.mli: P2p_hashspace P2p_sim

@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array P2p_sim

@@ -1,0 +1,35 @@
+module Rng = P2p_sim.Rng
+
+type event_kind = Join | Leave | Crash
+
+type event = { time : float; kind : event_kind }
+
+let process ~rng ~duration ~rate kind =
+  if rate = 0.0 then []
+  else begin
+    let rec loop t acc =
+      let t = t +. Rng.exponential rng ~mean:(1.0 /. rate) in
+      if t >= duration then List.rev acc else loop t ({ time = t; kind } :: acc)
+    in
+    loop 0.0 []
+  end
+
+let poisson ~rng ~duration ~join_rate ~leave_rate ~crash_rate =
+  if duration < 0.0 then invalid_arg "Churn.poisson: negative duration";
+  if join_rate < 0.0 || leave_rate < 0.0 || crash_rate < 0.0 then
+    invalid_arg "Churn.poisson: negative rate";
+  let joins = process ~rng ~duration ~rate:join_rate Join in
+  let leaves = process ~rng ~duration ~rate:leave_rate Leave in
+  let crashes = process ~rng ~duration ~rate:crash_rate Crash in
+  List.sort (fun a b -> compare a.time b.time) (joins @ leaves @ crashes)
+
+let crash_storm ~rng ~population ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Churn.crash_storm: fraction";
+  if population < 0 then invalid_arg "Churn.crash_storm: population";
+  let k = int_of_float (Float.round (fraction *. float_of_int population)) in
+  let everyone = Array.init population (fun i -> i) in
+  Rng.sample_without_replacement rng ~k everyone
+
+let rec is_sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a.time <= b.time && is_sorted rest

@@ -1,0 +1,34 @@
+(** Churn schedules: timed sequences of join / graceful-leave / crash
+    events.
+
+    Deployed P2P systems see constant membership turnover (the paper cites
+    the measurement studies [21], [22]); the hybrid design's whole point is
+    tolerating it cheaply.  This module generates Poisson churn processes
+    and crash storms to drive the failure experiments (Fig. 5b) and the
+    churn-resilience example. *)
+
+type event_kind = Join | Leave | Crash
+
+type event = { time : float; kind : event_kind }
+
+(** [poisson ~rng ~duration ~join_rate ~leave_rate ~crash_rate] generates
+    events on [\[0, duration)] from three independent Poisson processes
+    (rates in events per unit time), merged in time order.
+    @raise Invalid_argument on negative rates or duration. *)
+val poisson :
+  rng:P2p_sim.Rng.t ->
+  duration:float ->
+  join_rate:float ->
+  leave_rate:float ->
+  crash_rate:float ->
+  event list
+
+(** [crash_storm ~rng ~population ~fraction] picks
+    [round (fraction * population)] distinct victims among
+    [0 .. population-1] — the paper's Fig. 5b setup where a proportion of
+    peers leaves without transferring data.
+    @raise Invalid_argument unless [0 <= fraction <= 1]. *)
+val crash_storm : rng:P2p_sim.Rng.t -> population:int -> fraction:float -> int array
+
+(** [is_sorted events] checks ascending time order (exposed for tests). *)
+val is_sorted : event list -> bool

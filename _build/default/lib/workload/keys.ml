@@ -1,0 +1,26 @@
+module Rng = P2p_sim.Rng
+
+type item = { key : string; value : string; category : int }
+
+let generate ~rng ~count ~categories =
+  if count < 0 then invalid_arg "Keys.generate: negative count";
+  if categories <= 0 then invalid_arg "Keys.generate: categories";
+  Array.init count (fun i ->
+      let tag = Rng.int rng 1_000_000_000 in
+      {
+        key = Printf.sprintf "file-%06d-%09d" i tag;
+        value = Printf.sprintf "contents-of-%06d" i;
+        category = Rng.int rng categories;
+      })
+
+let d_id item = P2p_hashspace.Key_hash.of_string item.key
+
+let lookup_sequence ~rng ~items ~count =
+  if Array.length items = 0 then invalid_arg "Keys.lookup_sequence: no items";
+  Array.init count (fun _ -> Rng.pick rng items)
+
+let zipf_lookup_sequence ~rng ~items ~count ~exponent =
+  let n = Array.length items in
+  if n = 0 then invalid_arg "Keys.zipf_lookup_sequence: no items";
+  let sampler = Zipf.create ~n ~exponent in
+  Array.init count (fun _ -> items.(Zipf.sample sampler rng))

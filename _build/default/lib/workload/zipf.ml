@@ -1,0 +1,33 @@
+module Rng = P2p_sim.Rng
+
+type t = { cdf : float array }
+
+let create ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.create: n";
+  if exponent < 0.0 then invalid_arg "Zipf.create: exponent";
+  let weights = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cdf.(k) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* First index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t k =
+  let n = Array.length t.cdf in
+  if k < 0 || k >= n then invalid_arg "Zipf.probability";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

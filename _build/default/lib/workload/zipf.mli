@@ -1,0 +1,20 @@
+(** Zipf-distributed rank sampling.
+
+    P2P file popularity is heavy-tailed; measurement studies the paper
+    cites ([21], [22]) motivate Zipf-like request distributions.  The
+    sampler precomputes the normalized CDF over [n] ranks and draws by
+    binary search. *)
+
+type t
+
+(** [create ~n ~exponent] prepares a sampler over ranks [0 .. n-1] with
+    P(rank k) proportional to [1 / (k+1)^exponent].
+    @raise Invalid_argument if [n <= 0] or [exponent < 0.]. *)
+val create : n:int -> exponent:float -> t
+
+(** [sample t rng] draws a rank. *)
+val sample : t -> P2p_sim.Rng.t -> int
+
+(** [probability t k] is P(rank k).  @raise Invalid_argument if out of
+    range. *)
+val probability : t -> int -> float

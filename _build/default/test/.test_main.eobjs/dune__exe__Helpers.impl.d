@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Hybrid_p2p List Printf

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List P2p_analysis Printf

@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array Hashtbl List P2p_chord P2p_hashspace P2p_sim Printf

@@ -1,0 +1,1 @@
+test/test_data_failure.ml: Alcotest Array Config Data_ops H Helpers Hybrid_p2p List Option P2p_hashspace P2p_net P2p_stats Peer Printf World

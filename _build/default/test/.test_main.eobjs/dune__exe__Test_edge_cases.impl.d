@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Config Data_ops H Helpers List Option P2p_hashspace P2p_net P2p_sim P2p_stats Peer Printf Result

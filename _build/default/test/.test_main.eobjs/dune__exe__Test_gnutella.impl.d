@@ -1,0 +1,1 @@
+test/test_gnutella.ml: Alcotest List P2p_gnutella P2p_sim Printf

@@ -1,0 +1,1 @@
+test/test_hashspace.ml: Alcotest Array Option P2p_hashspace P2p_sim Printf

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest H Helpers Hybrid_p2p List Option P2p_hashspace P2p_net P2p_sim P2p_stats Printf

@@ -1,0 +1,1 @@
+test/test_networks.ml: Alcotest Config H Hashtbl Helpers Hybrid_p2p List Option P2p_hashspace Peer Printf World

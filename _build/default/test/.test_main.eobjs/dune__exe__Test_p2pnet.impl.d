@@ -1,0 +1,1 @@
+test/test_p2pnet.ml: Alcotest P2p_net P2p_sim P2p_stats P2p_topology

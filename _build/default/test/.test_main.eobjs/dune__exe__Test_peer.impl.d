@@ -1,0 +1,1 @@
+test/test_peer.ml: Alcotest Hybrid_p2p List

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Hashtbl Hybrid_p2p List P2p_chord P2p_hashspace P2p_sim P2p_stats Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_properties2.ml: Hashtbl Hybrid_p2p List P2p_scenario P2p_sim P2p_stats Printf QCheck QCheck_alcotest Random Result String

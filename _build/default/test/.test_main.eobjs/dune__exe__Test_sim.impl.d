@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float List Option P2p_sim

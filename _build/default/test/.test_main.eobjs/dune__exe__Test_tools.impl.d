@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Hybrid_p2p List P2p_scenario P2p_sim P2p_stats P2p_topology Result String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List P2p_sim P2p_topology

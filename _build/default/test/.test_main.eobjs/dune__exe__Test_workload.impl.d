@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl List P2p_hashspace P2p_sim P2p_workload

@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Array H Helpers Hybrid_p2p List Option P2p_hashspace P2p_sim P2p_topology Peer World

@@ -1,0 +1,127 @@
+(* Tests for the Section-4 closed-form model (P2p_analysis.Formulas). *)
+
+module F = P2p_analysis.Formulas
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf3 = Alcotest.check (Alcotest.float 1e-3)
+
+let n = 1000
+
+let test_avg_snetwork_size () =
+  checkf3 "ps=0.5 -> 1 s-peer per t-peer" 1.0 (F.avg_snetwork_size ~ps:0.5);
+  checkf3 "ps=0 -> empty" 0.0 (F.avg_snetwork_size ~ps:0.0);
+  checkf3 "ps=0.9 -> 9" 9.0 (F.avg_snetwork_size ~ps:0.9);
+  checkb "ps=1 -> infinite" true (F.avg_snetwork_size ~ps:1.0 = infinity)
+
+let test_t_join_latency_endpoints () =
+  (* log2(1000/2) ~ 8.97 at ps=0 *)
+  checkb "ps=0 near log2(N/2)" true (abs_float (F.t_join_latency ~ps:0.0 ~n -. 8.966) < 0.01);
+  checkb "decreasing in ps" true
+    (F.t_join_latency ~ps:0.5 ~n < F.t_join_latency ~ps:0.0 ~n);
+  checkf3 "ps=1" 0.0 (F.t_join_latency ~ps:1.0 ~n)
+
+let test_s_join_latency () =
+  checkf3 "ps=0" 0.0 (F.s_join_latency ~ps:0.0 ~delta:2);
+  (* ps=0.9: log_2 9 ~ 3.17 *)
+  checkb "ps=0.9 delta=2" true (abs_float (F.s_join_latency ~ps:0.9 ~delta:2 -. 3.17) < 0.01);
+  checkb "bigger delta shorter walk" true
+    (F.s_join_latency ~ps:0.9 ~delta:4 < F.s_join_latency ~ps:0.9 ~delta:2);
+  (* below ps=0.5 the average s-network has < 1 peer: walk length clamps to 0 *)
+  checkf3 "tiny s-networks clamp" 0.0 (F.s_join_latency ~ps:0.3 ~delta:2)
+
+let test_join_latency_u_shape () =
+  (* Fig. 3a: the hybrid minimizes join latency at an interior ps *)
+  let at ps = F.join_latency ~ps ~n ~delta:2 in
+  let structured = at 0.0 in
+  let interior = at 0.7 in
+  checkb "interior beats pure structured" true (interior < structured);
+  (* the minimum over a sweep lies strictly inside (0, 1) *)
+  let best_ps = ref 0.0 and best = ref infinity in
+  for i = 0 to 100 do
+    let ps = float_of_int i /. 100.0 in
+    let v = at ps in
+    if v < !best then begin
+      best := v;
+      best_ps := ps
+    end
+  done;
+  checkb (Printf.sprintf "argmin %.2f interior" !best_ps) true
+    (!best_ps > 0.3 && !best_ps < 1.0)
+
+let test_join_latency_delta_ordering () =
+  (* Fig. 3a: at fixed ps, larger delta -> shorter join latency *)
+  List.iter
+    (fun ps ->
+      let l2 = F.join_latency ~ps ~n ~delta:2 in
+      let l3 = F.join_latency ~ps ~n ~delta:3 in
+      let l4 = F.join_latency ~ps ~n ~delta:4 in
+      checkb (Printf.sprintf "ordering at ps=%.1f" ps) true (l4 <= l3 && l3 <= l2))
+    [ 0.6; 0.7; 0.8; 0.9 ]
+
+let test_local_hit_probability () =
+  checkf3 "ps=0" 0.0 (F.local_hit_probability ~ps:0.0 ~n);
+  checkb "grows with ps" true
+    (F.local_hit_probability ~ps:0.9 ~n > F.local_hit_probability ~ps:0.5 ~n);
+  checkf3 "ps=1 clamps to 1" 1.0 (F.local_hit_probability ~ps:1.0 ~n)
+
+let test_out_of_reach_monotonicity () =
+  (* Eq. 2: failure grows with ps, shrinks with ttl *)
+  checkb "grows with ps" true
+    (F.peers_out_of_reach ~ps:0.95 ~delta:3 ~ttl:1
+     > F.peers_out_of_reach ~ps:0.8 ~delta:3 ~ttl:1);
+  checkb "shrinks with ttl" true
+    (F.peers_out_of_reach ~ps:0.95 ~delta:3 ~ttl:4
+     <= F.peers_out_of_reach ~ps:0.95 ~delta:3 ~ttl:1);
+  checkf3 "small s-network fully reachable" 0.0
+    (F.peers_out_of_reach ~ps:0.4 ~delta:3 ~ttl:2)
+
+let test_failure_ratio_range () =
+  List.iter
+    (fun ps ->
+      List.iter
+        (fun ttl ->
+          let r = F.lookup_failure_ratio ~ps ~delta:3 ~ttl in
+          checkb "in [0,1]" true (r >= 0.0 && r <= 1.0))
+        [ 0; 1; 2; 4 ])
+    [ 0.0; 0.3; 0.5; 0.7; 0.9; 0.99 ];
+  checkf3 "structured never fails" 0.0 (F.lookup_failure_ratio ~ps:0.0 ~delta:3 ~ttl:1)
+
+let test_lookup_latency_shapes () =
+  (* Fig. 3b: latency decreases as ps grows (fewer ring hops); larger
+     delta no slower *)
+  let l ps = F.lookup_latency ~ps ~n ~delta:2 ~ttl:4 in
+  checkb "decreasing towards high ps" true (l 0.9 < l 0.1);
+  List.iter
+    (fun ps ->
+      checkb "delta ordering" true
+        (F.lookup_latency ~ps ~n ~delta:4 ~ttl:4 <= F.lookup_latency ~ps ~n ~delta:2 ~ttl:4))
+    [ 0.6; 0.8; 0.9 ]
+
+let test_lookup_latency_unconstrained () =
+  (* star s-networks: diameter 2, so local lookups cost exactly 2 *)
+  let v = F.lookup_latency_unconstrained ~ps:1.0 ~n in
+  checkf3 "pure unstructured costs 2" 2.0 v;
+  checkb "structured costs more" true (F.lookup_latency_unconstrained ~ps:0.0 ~n > 2.0)
+
+let test_rejects () =
+  Alcotest.check_raises "bad ps" (Invalid_argument "Formulas: ps out of [0,1]") (fun () ->
+      ignore (F.join_latency ~ps:1.5 ~n ~delta:2 : float));
+  Alcotest.check_raises "bad delta" (Invalid_argument "Formulas: delta must be >= 2")
+    (fun () -> ignore (F.join_latency ~ps:0.5 ~n ~delta:1 : float));
+  Alcotest.check_raises "bad ttl" (Invalid_argument "Formulas: ttl must be >= 0")
+    (fun () -> ignore (F.lookup_latency ~ps:0.5 ~n ~delta:2 ~ttl:(-1) : float))
+
+let suite =
+  [
+    Alcotest.test_case "avg s-network size" `Quick test_avg_snetwork_size;
+    Alcotest.test_case "t-join latency endpoints" `Quick test_t_join_latency_endpoints;
+    Alcotest.test_case "s-join latency" `Quick test_s_join_latency;
+    Alcotest.test_case "Fig 3a: U shape" `Quick test_join_latency_u_shape;
+    Alcotest.test_case "Fig 3a: delta ordering" `Quick test_join_latency_delta_ordering;
+    Alcotest.test_case "local hit probability" `Quick test_local_hit_probability;
+    Alcotest.test_case "Eq 2: monotonicity" `Quick test_out_of_reach_monotonicity;
+    Alcotest.test_case "failure ratio in range" `Quick test_failure_ratio_range;
+    Alcotest.test_case "Fig 3b: latency shapes" `Quick test_lookup_latency_shapes;
+    Alcotest.test_case "unconstrained lookup latency" `Quick test_lookup_latency_unconstrained;
+    Alcotest.test_case "rejects bad arguments" `Quick test_rejects;
+  ]

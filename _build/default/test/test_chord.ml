@@ -1,0 +1,236 @@
+(* Tests for the Chord baseline (P2p_chord.Ring). *)
+
+module Ring = P2p_chord.Ring
+module Id_space = P2p_hashspace.Id_space
+module Key_hash = P2p_hashspace.Key_hash
+module Rng = P2p_sim.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let ok_invariants ring =
+  match Ring.check_invariants ring with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail ("invariants: " ^ reason)
+
+let build ids =
+  let ring = Ring.create () in
+  let nodes =
+    List.mapi (fun i id -> fst (Ring.join ring ~host:i ~p_id:id)) ids
+  in
+  (ring, nodes)
+
+let random_ring ~seed n =
+  let rng = Rng.create seed in
+  let ring = Ring.create () in
+  let nodes = ref [] in
+  let used = Hashtbl.create 64 in
+  let host = ref 0 in
+  while List.length !nodes < n do
+    let id = Rng.int rng Id_space.size in
+    if not (Hashtbl.mem used id) then begin
+      Hashtbl.add used id ();
+      nodes := fst (Ring.join ring ~host:!host ~p_id:id) :: !nodes;
+      incr host
+    end
+  done;
+  (ring, !nodes, rng)
+
+let test_single_node () =
+  let ring, nodes = build [ 100 ] in
+  let n = List.hd nodes in
+  checki "count" 1 (Ring.node_count ring);
+  checkb "own successor" true (Ring.successor n == n);
+  ok_invariants ring
+
+let test_join_order_independent () =
+  let ring, _ = build [ 500; 100; 300; 900; 700 ] in
+  checki "count" 5 (Ring.node_count ring);
+  ok_invariants ring
+
+let test_join_duplicate_id () =
+  let ring, _ = build [ 100 ] in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Ring.join: duplicate p_id")
+    (fun () -> ignore (Ring.join ring ~host:9 ~p_id:100 : Ring.node * Ring.node list))
+
+let test_join_path_nonempty () =
+  let ring, _ = build [ 100; 200; 300 ] in
+  let _, path = Ring.join ring ~host:7 ~p_id:250 in
+  checkb "path has hops" true (List.length path >= 1);
+  ok_invariants ring
+
+let test_find_successor_owner () =
+  let ring, nodes = build [ 100; 200; 300 ] in
+  let from = List.hd nodes in
+  let owner, path = Ring.find_successor ring ~from 150 in
+  checki "owner of 150 is 200" 200 (Ring.p_id owner);
+  checkb "path starts at from" true (List.hd path == from);
+  checkb "path ends at owner" true (List.nth path (List.length path - 1) == owner);
+  let owner, _ = Ring.find_successor ring ~from 300 in
+  checki "exact id" 300 (Ring.p_id owner);
+  let owner, _ = Ring.find_successor ring ~from 301 in
+  checki "wraps to smallest" 100 (Ring.p_id owner)
+
+let test_store_lookup_roundtrip () =
+  let ring, nodes, rng = random_ring ~seed:11 50 in
+  let from () = Rng.pick_list rng nodes in
+  for i = 0 to 99 do
+    let key = Printf.sprintf "k%d" i in
+    ignore (Ring.store ring ~from:(from ()) ~key ~value:(string_of_int i) : Ring.node list)
+  done;
+  for i = 0 to 99 do
+    let key = Printf.sprintf "k%d" i in
+    let value, _ = Ring.lookup ring ~from:(from ()) ~key in
+    Alcotest.check (Alcotest.option Alcotest.string) key (Some (string_of_int i)) value
+  done
+
+let test_data_at_owner () =
+  let ring, nodes, _ = random_ring ~seed:12 20 in
+  let from = List.hd nodes in
+  let key = "some-file" in
+  ignore (Ring.store ring ~from ~key ~value:"v" : Ring.node list);
+  let owner, _ = Ring.find_successor ring ~from (Key_hash.of_string key) in
+  checki "stored at owner" 1 (Ring.stored_items owner)
+
+let test_lookup_path_logarithmic () =
+  let ring, nodes, rng = random_ring ~seed:13 256 in
+  (* with fingers, path length should be well below N/2 *)
+  let total = ref 0 and samples = 200 in
+  for _ = 1 to samples do
+    let from = Rng.pick_list rng nodes in
+    let id = Rng.int rng Id_space.size in
+    let _, path = Ring.find_successor ring ~from id in
+    total := !total + List.length path - 1
+  done;
+  let mean = float_of_int !total /. float_of_int samples in
+  checkb (Printf.sprintf "mean path %.1f < 16 (log2 256 = 8)" mean) true (mean < 16.0)
+
+let test_leave_transfers_data () =
+  let ring, _ = build [ 100; 200; 300 ] in
+  let items_before key = key in
+  ignore items_before;
+  (* put data at every node by hashing keys until each node has some *)
+  let nodes = Ring.nodes ring in
+  let from = List.hd nodes in
+  for i = 0 to 49 do
+    ignore (Ring.store ring ~from ~key:(Printf.sprintf "x%d" i) ~value:"v" : Ring.node list)
+  done;
+  let total_before = List.fold_left (fun acc n -> acc + Ring.stored_items n) 0 nodes in
+  let victim = List.find (fun n -> Ring.p_id n = 200) nodes in
+  Ring.leave ring victim;
+  let total_after =
+    List.fold_left (fun acc n -> acc + Ring.stored_items n) 0 (Ring.nodes ring)
+  in
+  checki "no data lost on graceful leave" total_before total_after;
+  Ring.stabilize ring;
+  ok_invariants ring
+
+let test_leave_last_nodes () =
+  let ring, nodes = build [ 100; 200 ] in
+  List.iter (fun n -> Ring.leave ring n) nodes;
+  checki "empty" 0 (Ring.node_count ring)
+
+let test_leave_twice_rejected () =
+  let ring, nodes = build [ 100; 200 ] in
+  let n = List.hd nodes in
+  Ring.leave ring n;
+  Alcotest.check_raises "double leave" (Invalid_argument "Ring.leave: node already left")
+    (fun () -> Ring.leave ring n)
+
+let test_crash_loses_data () =
+  let ring, _ = build [ 100; 200; 300 ] in
+  let nodes = Ring.nodes ring in
+  let from = List.hd nodes in
+  for i = 0 to 49 do
+    ignore (Ring.store ring ~from ~key:(Printf.sprintf "y%d" i) ~value:"v" : Ring.node list)
+  done;
+  let victim = List.find (fun n -> Ring.stored_items n > 0) nodes in
+  let lost = Ring.stored_items victim in
+  let total_before = List.fold_left (fun acc n -> acc + Ring.stored_items n) 0 nodes in
+  Ring.crash ring victim;
+  let total_after =
+    List.fold_left (fun acc n -> acc + Ring.stored_items n) 0 (Ring.nodes ring)
+  in
+  checki "crash loses exactly the victim's items" (total_before - lost) total_after
+
+let test_crash_then_stabilize () =
+  let ring, nodes, rng = random_ring ~seed:14 60 in
+  (* crash 10 random nodes, stabilize, invariants must hold again *)
+  let victims = ref [] in
+  let alive = ref nodes in
+  for _ = 1 to 10 do
+    let v = Rng.pick_list rng !alive in
+    alive := List.filter (fun n -> n != v) !alive;
+    victims := v :: !victims
+  done;
+  List.iter (fun v -> Ring.crash ring v) !victims;
+  Ring.stabilize ring;
+  Ring.stabilize ring;
+  checki "fifty remain" 50 (Ring.node_count ring);
+  ok_invariants ring
+
+let test_routing_survives_crash_before_stabilize () =
+  let ring, nodes, rng = random_ring ~seed:15 40 in
+  ignore (Ring.store ring ~from:(List.hd nodes) ~key:"needle" ~value:"found" : Ring.node list);
+  (* crash nodes that do NOT hold the item *)
+  let holder, _ = Ring.find_successor ring ~from:(List.hd nodes)
+      (Key_hash.of_string "needle") in
+  let alive = List.filter (fun n -> n != holder) nodes in
+  let victims = ref [] in
+  let pool = ref alive in
+  for _ = 1 to 5 do
+    let v = Rng.pick_list rng !pool in
+    pool := List.filter (fun n -> n != v) !pool;
+    victims := v :: !victims
+  done;
+  List.iter (fun v -> Ring.crash ring v) !victims;
+  (* no stabilization yet: lookup must still succeed via successor lists *)
+  let from = List.find (fun n -> Ring.alive n) !pool in
+  let value, _ = Ring.lookup ring ~from ~key:"needle" in
+  Alcotest.check (Alcotest.option Alcotest.string) "found despite crashes" (Some "found") value
+
+let test_fingers_point_correctly () =
+  let ring, _, _ = random_ring ~seed:16 64 in
+  ok_invariants ring (* forces the lazy finger refresh *);
+  List.iter
+    (fun n ->
+      Array.iteri
+        (fun k f ->
+          match f with
+          | Some target ->
+            let start = Id_space.finger_start ~base:(Ring.p_id n) k in
+            (* a node exactly at [start] is trivially the correct finger *)
+            if Ring.p_id target <> start then
+            (* no live node lies strictly between start and the finger *)
+            List.iter
+              (fun other ->
+                checkb "finger is first at/after start" false
+                  (Id_space.between (Ring.p_id other) ~left:start
+                     ~right:(Ring.p_id target)
+                   && Ring.p_id other <> Ring.p_id target
+                   && Id_space.distance ~src:start ~dst:(Ring.p_id other)
+                      < Id_space.distance ~src:start ~dst:(Ring.p_id target)))
+              (Ring.nodes ring)
+          | None -> Alcotest.fail "missing finger")
+        (Ring.fingers n))
+    (Ring.nodes ring)
+
+let suite =
+  [
+    Alcotest.test_case "single node ring" `Quick test_single_node;
+    Alcotest.test_case "join in arbitrary order" `Quick test_join_order_independent;
+    Alcotest.test_case "duplicate id rejected" `Quick test_join_duplicate_id;
+    Alcotest.test_case "join path non-empty" `Quick test_join_path_nonempty;
+    Alcotest.test_case "find_successor ownership" `Quick test_find_successor_owner;
+    Alcotest.test_case "store/lookup roundtrip" `Quick test_store_lookup_roundtrip;
+    Alcotest.test_case "data placed at owner" `Quick test_data_at_owner;
+    Alcotest.test_case "finger routing is fast" `Quick test_lookup_path_logarithmic;
+    Alcotest.test_case "graceful leave keeps data" `Quick test_leave_transfers_data;
+    Alcotest.test_case "leave down to empty" `Quick test_leave_last_nodes;
+    Alcotest.test_case "double leave rejected" `Quick test_leave_twice_rejected;
+    Alcotest.test_case "crash loses data" `Quick test_crash_loses_data;
+    Alcotest.test_case "crash then stabilize" `Quick test_crash_then_stabilize;
+    Alcotest.test_case "routing survives crashes pre-stabilize" `Quick
+      test_routing_survives_crash_before_stabilize;
+    Alcotest.test_case "fingers point correctly" `Quick test_fingers_point_correctly;
+  ]

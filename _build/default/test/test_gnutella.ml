@@ -1,0 +1,190 @@
+(* Tests for the Gnutella baseline (P2p_gnutella.Mesh). *)
+
+module Mesh = P2p_gnutella.Mesh
+module Rng = P2p_sim.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let build ~seed ~links n =
+  let rng = Rng.create seed in
+  let mesh = Mesh.create ~rng ~links_per_join:links () in
+  let peers = List.init n (fun host -> Mesh.join mesh ~host) in
+  (mesh, peers)
+
+let test_join_links () =
+  let mesh, peers = build ~seed:1 ~links:3 10 in
+  checki "count" 10 (Mesh.peer_count mesh);
+  checkb "connected" true (Mesh.is_connected mesh);
+  (* first peer has no one to link to; later peers link up to 3 *)
+  checki "first peer linked by others only"
+    (Mesh.degree (List.hd peers))
+    (List.length (Mesh.neighbors (List.hd peers)));
+  List.iteri
+    (fun i p ->
+      if i > 0 then checkb (Printf.sprintf "peer %d has neighbors" i) true (Mesh.degree p >= 1))
+    peers
+
+let test_join_small_population () =
+  let mesh, _ = build ~seed:2 ~links:5 3 in
+  (* only 2 candidates for the third peer *)
+  checkb "connected" true (Mesh.is_connected mesh);
+  checki "count" 3 (Mesh.peer_count mesh)
+
+let test_store_stays_local () =
+  let mesh, peers = build ~seed:3 ~links:2 5 in
+  let p = List.nth peers 2 in
+  Mesh.store mesh p ~key:"k" ~value:"v";
+  checki "stored locally" 1 (Mesh.stored_items p);
+  List.iteri
+    (fun i q -> if q != p then checki (Printf.sprintf "peer %d empty" i) 0 (Mesh.stored_items q))
+    peers
+
+let test_flood_finds_nearby () =
+  let mesh, peers = build ~seed:4 ~links:3 30 in
+  let holder = List.nth peers 7 in
+  Mesh.store mesh holder ~key:"needle" ~value:"gold";
+  let result = Mesh.flood_lookup mesh ~from:holder ~key:"needle" ~ttl:0 in
+  Alcotest.check (Alcotest.option Alcotest.string) "ttl 0 finds own data" (Some "gold")
+    result.Mesh.value;
+  checki "only self contacted" 1 result.Mesh.contacted;
+  Alcotest.check (Alcotest.option Alcotest.int) "0 hops" (Some 0) result.Mesh.hops_to_hit
+
+let test_flood_ttl_limits () =
+  (* build a long chain by joining with 1 link each: a path graph *)
+  let rng = Rng.create 5 in
+  let mesh = Mesh.create ~rng ~links_per_join:1 () in
+  let first = Mesh.join mesh ~host:0 in
+  let rec chain prev n acc =
+    if n = 0 then List.rev acc
+    else begin
+      ignore prev;
+      let p = Mesh.join mesh ~host:n in
+      chain p (n - 1) (p :: acc)
+    end
+  in
+  ignore (chain first 10 []);
+  (* distance from first to the farthest peer is at least a few hops;
+     ttl 1 reaches only direct neighbors *)
+  let far =
+    List.find
+      (fun p ->
+        let r = Mesh.flood_lookup mesh ~from:first ~key:"absent" ~ttl:1 in
+        ignore r;
+        not (List.exists (fun q -> q == p) (Mesh.neighbors first)) && p != first)
+      (Mesh.peers mesh)
+  in
+  Mesh.store mesh far ~key:"distant" ~value:"v";
+  let r1 = Mesh.flood_lookup mesh ~from:first ~key:"distant" ~ttl:1 in
+  checkb "ttl 1 misses far data" true (r1.Mesh.value = None);
+  let r10 = Mesh.flood_lookup mesh ~from:first ~key:"distant" ~ttl:10 in
+  checkb "large ttl finds it" true (r10.Mesh.value = Some "v")
+
+let test_flood_contacts_monotone_in_ttl () =
+  let mesh, peers = build ~seed:6 ~links:3 50 in
+  let from = List.hd peers in
+  let prev = ref 0 in
+  List.iter
+    (fun ttl ->
+      let r = Mesh.flood_lookup mesh ~from ~key:"nothing" ~ttl in
+      checkb (Printf.sprintf "ttl %d contacts >= previous" ttl) true
+        (r.Mesh.contacted >= !prev);
+      prev := r.Mesh.contacted)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_flood_mesh_duplicates () =
+  (* triangle: A-B, B-C, C-A; flood from A with ttl 2 sends duplicate
+     transmissions but contacts each peer once *)
+  let rng = Rng.create 7 in
+  let mesh = Mesh.create ~rng ~links_per_join:2 () in
+  let a = Mesh.join mesh ~host:0 in
+  let _b = Mesh.join mesh ~host:1 in
+  let _c = Mesh.join mesh ~host:2 in
+  let r = Mesh.flood_lookup mesh ~from:a ~key:"no" ~ttl:2 in
+  checki "three distinct contacts" 3 r.Mesh.contacted;
+  checkb "messages exceed contacts (duplicates)" true (r.Mesh.messages > 2)
+
+let test_random_walk () =
+  let mesh, peers = build ~seed:8 ~links:3 40 in
+  let holder = List.nth peers 20 in
+  Mesh.store mesh holder ~key:"walk-target" ~value:"v";
+  let r =
+    Mesh.random_walk_lookup mesh ~from:(List.hd peers) ~key:"walk-target" ~walkers:8
+      ~ttl:100
+  in
+  checkb "walkers find popular-enough item" true (r.Mesh.value = Some "v");
+  let r_zero =
+    Mesh.random_walk_lookup mesh ~from:(List.hd peers) ~key:"absent" ~walkers:2 ~ttl:5
+  in
+  checkb "absent not found" true (r_zero.Mesh.value = None);
+  checkb "walk messages bounded by walkers*ttl" true (r_zero.Mesh.messages <= 10)
+
+let test_random_walk_rejects () =
+  let mesh, peers = build ~seed:9 ~links:2 5 in
+  Alcotest.check_raises "walkers 0" (Invalid_argument "Mesh.random_walk_lookup")
+    (fun () ->
+      ignore
+        (Mesh.random_walk_lookup mesh ~from:(List.hd peers) ~key:"k" ~walkers:0 ~ttl:5
+          : Mesh.lookup_result))
+
+let test_leave_transfers_data () =
+  let mesh, peers = build ~seed:10 ~links:2 10 in
+  let p = List.nth peers 5 in
+  Mesh.store mesh p ~key:"a" ~value:"1";
+  Mesh.store mesh p ~key:"b" ~value:"2";
+  let total () =
+    List.fold_left (fun acc q -> acc + Mesh.stored_items q) 0 (Mesh.peers mesh)
+  in
+  let before = total () in
+  Mesh.leave mesh p;
+  checki "items preserved" before (total ());
+  checki "population shrank" 9 (Mesh.peer_count mesh);
+  checkb "victim unlinked everywhere" true
+    (List.for_all
+       (fun q -> not (List.exists (fun n -> n == p) (Mesh.neighbors q)))
+       (Mesh.peers mesh))
+
+let test_crash_loses_data () =
+  let mesh, peers = build ~seed:11 ~links:2 10 in
+  let p = List.nth peers 5 in
+  Mesh.store mesh p ~key:"a" ~value:"1";
+  Mesh.crash mesh p;
+  let total =
+    List.fold_left (fun acc q -> acc + Mesh.stored_items q) 0 (Mesh.peers mesh)
+  in
+  checki "data gone" 0 total;
+  checkb "dead" false (Mesh.alive p)
+
+let test_double_leave_rejected () =
+  let mesh, peers = build ~seed:12 ~links:2 4 in
+  let p = List.hd peers in
+  Mesh.leave mesh p;
+  Alcotest.check_raises "double leave" (Invalid_argument "Mesh.leave: peer already gone")
+    (fun () -> Mesh.leave mesh p);
+  Alcotest.check_raises "crash after leave" (Invalid_argument "Mesh.crash: peer already gone")
+    (fun () -> Mesh.crash mesh p)
+
+let test_flood_ignores_dead () =
+  let mesh, peers = build ~seed:13 ~links:3 20 in
+  let victim = List.nth peers 10 in
+  Mesh.crash mesh victim;
+  let r = Mesh.flood_lookup mesh ~from:(List.hd peers) ~key:"x" ~ttl:10 in
+  checkb "contacts at most live population" true (r.Mesh.contacted <= 19)
+
+let suite =
+  [
+    Alcotest.test_case "join wires random links" `Quick test_join_links;
+    Alcotest.test_case "join with few candidates" `Quick test_join_small_population;
+    Alcotest.test_case "store is local" `Quick test_store_stays_local;
+    Alcotest.test_case "flood finds own data at ttl 0" `Quick test_flood_finds_nearby;
+    Alcotest.test_case "flood ttl limits reach" `Quick test_flood_ttl_limits;
+    Alcotest.test_case "flood contacts monotone in ttl" `Quick
+      test_flood_contacts_monotone_in_ttl;
+    Alcotest.test_case "mesh floods duplicate messages" `Quick test_flood_mesh_duplicates;
+    Alcotest.test_case "random walk" `Quick test_random_walk;
+    Alcotest.test_case "random walk rejects bad args" `Quick test_random_walk_rejects;
+    Alcotest.test_case "graceful leave transfers data" `Quick test_leave_transfers_data;
+    Alcotest.test_case "crash loses data" `Quick test_crash_loses_data;
+    Alcotest.test_case "double leave rejected" `Quick test_double_leave_rejected;
+    Alcotest.test_case "flood ignores dead peers" `Quick test_flood_ignores_dead;
+  ]

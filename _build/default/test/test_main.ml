@@ -1,0 +1,26 @@
+(* Test runner: one Alcotest section per library module. *)
+
+let () =
+  Alcotest.run "hybrid_p2p"
+    [
+      ("sim.rng", Test_rng.suite);
+      ("sim.engine", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("hashspace", Test_hashspace.suite);
+      ("topology", Test_topology.suite);
+      ("p2pnet", Test_p2pnet.suite);
+      ("chord", Test_chord.suite);
+      ("gnutella", Test_gnutella.suite);
+      ("workload", Test_workload.suite);
+      ("hybrid.peer", Test_peer.suite);
+      ("hybrid.world", Test_world.suite);
+      ("hybrid.networks", Test_networks.suite);
+      ("hybrid.data+failure", Test_data_failure.suite);
+      ("hybrid.system", Test_hybrid.suite);
+      ("hybrid.extensions", Test_extensions.suite);
+      ("tools", Test_tools.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("analysis", Test_analysis.suite);
+      ("properties", Test_properties.suite);
+      ("properties.extensions", Test_properties2.suite);
+    ]

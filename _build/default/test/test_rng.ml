@@ -1,0 +1,193 @@
+(* Tests for P2p_sim.Rng: determinism, ranges, splitting, sampling. *)
+
+module Rng = P2p_sim.Rng
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  checkb "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a : int64);
+  let b = Rng.copy a in
+  Alcotest.check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a : int64);
+  (* advancing a does not advance b *)
+  let a2 = Rng.bits64 a and b2 = Rng.bits64 b in
+  checkb "diverged" true (a2 <> b2)
+
+let test_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    checkb "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_invalid () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0 : int))
+
+let test_int_in_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range r ~lo:(-5) ~hi:5 in
+    checkb "in range" true (v >= -5 && v <= 5)
+  done;
+  check Alcotest.int "singleton range" 9 (Rng.int_in_range r ~lo:9 ~hi:9)
+
+let test_int_uniformity () =
+  let r = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 10 in
+      checkb (Printf.sprintf "bucket %d near uniform" i) true
+        (abs (c - expected) < expected / 5))
+    counts
+
+let test_float_range () =
+  let r = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    checkb "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let r = Rng.create 17 in
+  let sum = ref 0.0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    sum := !sum +. Rng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int trials in
+  checkb "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let r = Rng.create 19 in
+  checkb "p=0 false" false (Rng.bernoulli r 0.0);
+  checkb "p=1 true" true (Rng.bernoulli r 1.0);
+  checkb "p<0 false" false (Rng.bernoulli r (-1.0));
+  checkb "p>1 true" true (Rng.bernoulli r 2.0)
+
+let test_bernoulli_rate () =
+  let r = Rng.create 23 in
+  let hits = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  checkb "rate near 0.3" true (abs_float (rate -. 0.3) < 0.01)
+
+let test_exponential_mean () =
+  let r = Rng.create 29 in
+  let sum = ref 0.0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let v = Rng.exponential r ~mean:4.0 in
+    checkb "non-negative" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int trials in
+  checkb "mean near 4" true (abs_float (mean -. 4.0) < 0.15)
+
+let test_split_independent () =
+  let a = Rng.create 31 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  checkb "split streams differ" true (!same < 4)
+
+let test_pick () =
+  let r = Rng.create 37 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick r arr in
+    checkb "element of array" true (Array.exists (fun x -> x = v) arr)
+  done;
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick r [||] : int))
+
+let test_pick_list () =
+  let r = Rng.create 41 in
+  check Alcotest.int "singleton" 5 (Rng.pick_list r [ 5 ]);
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick_list: empty list")
+    (fun () -> ignore (Rng.pick_list r [] : int))
+
+let test_shuffle_permutation () =
+  let r = Rng.create 43 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_shuffle_actually_shuffles () =
+  let r = Rng.create 47 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle r arr;
+  let fixed = ref 0 in
+  Array.iteri (fun i v -> if i = v then incr fixed) arr;
+  checkb "most elements moved" true (!fixed < 20)
+
+let test_sample_without_replacement () =
+  let r = Rng.create 53 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Rng.sample_without_replacement r ~k:10 arr in
+  check Alcotest.int "size" 10 (Array.length s);
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      checkb "no duplicates" false (Hashtbl.mem seen v);
+      Hashtbl.add seen v ();
+      checkb "from source" true (v >= 0 && v < 20))
+    s;
+  check Alcotest.int "k = 0" 0 (Array.length (Rng.sample_without_replacement r ~k:0 arr));
+  check Alcotest.int "k = n" 20 (Array.length (Rng.sample_without_replacement r ~k:20 arr));
+  Alcotest.check_raises "k > n" (Invalid_argument "Rng.sample_without_replacement")
+    (fun () -> ignore (Rng.sample_without_replacement r ~k:21 arr : int array))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "pick_list" `Quick test_pick_list;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "shuffle moves elements" `Quick test_shuffle_actually_shuffles;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+  ]

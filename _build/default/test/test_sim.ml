@@ -1,0 +1,244 @@
+(* Tests for the discrete-event substrate: Event_queue, Engine, Timer. *)
+
+module Event_queue = P2p_sim.Event_queue
+module Engine = P2p_sim.Engine
+module Timer = P2p_sim.Timer
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Event_queue --- *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:3.0 'c' : Event_queue.handle);
+  ignore (Event_queue.add q ~time:1.0 'a' : Event_queue.handle);
+  ignore (Event_queue.add q ~time:2.0 'b' : Event_queue.handle);
+  let pop () = Option.get (Event_queue.pop q) in
+  Alcotest.check Alcotest.char "first" 'a' (snd (pop ()));
+  Alcotest.check Alcotest.char "second" 'b' (snd (pop ()));
+  Alcotest.check Alcotest.char "third" 'c' (snd (pop ()));
+  checkb "empty" true (Event_queue.pop q = None)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.add q ~time:5.0 i : Event_queue.handle)
+  done;
+  for i = 0 to 9 do
+    checki "tie broken by insertion order" i (snd (Option.get (Event_queue.pop q)))
+  done
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~time:1.0 "dead" in
+  ignore (Event_queue.add q ~time:2.0 "live" : Event_queue.handle);
+  Event_queue.cancel h1;
+  checkb "cancelled flag" true (Event_queue.cancelled h1);
+  Alcotest.check Alcotest.string "cancelled skipped" "live"
+    (snd (Option.get (Event_queue.pop q)));
+  Event_queue.cancel h1 (* double cancel is harmless *)
+
+let test_queue_cancel_all () =
+  let q = Event_queue.create () in
+  let handles = List.init 5 (fun i -> Event_queue.add q ~time:(float_of_int i) i) in
+  List.iter Event_queue.cancel handles;
+  checkb "is_empty" true (Event_queue.is_empty q);
+  checkb "pop none" true (Event_queue.pop q = None)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  checkb "peek empty" true (Event_queue.peek_time q = None);
+  let h = Event_queue.add q ~time:4.0 () in
+  ignore (Event_queue.add q ~time:7.0 () : Event_queue.handle);
+  checkf "peek earliest" 4.0 (Option.get (Event_queue.peek_time q));
+  Event_queue.cancel h;
+  checkf "peek skips dead" 7.0 (Option.get (Event_queue.peek_time q))
+
+let test_queue_live_length () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1.0 () in
+  ignore (Event_queue.add q ~time:2.0 () : Event_queue.handle);
+  checki "two live" 2 (Event_queue.live_length q);
+  Event_queue.cancel h;
+  checki "one live" 1 (Event_queue.live_length q)
+
+let test_queue_interleaved () =
+  (* Random adds/pops stay sorted. *)
+  let q = Event_queue.create () in
+  let rng = P2p_sim.Rng.create 99 in
+  let last = ref neg_infinity in
+  let pending = ref 0 in
+  for _ = 1 to 2000 do
+    if !pending = 0 || P2p_sim.Rng.bool rng then begin
+      let time = P2p_sim.Rng.float rng 1000.0 in
+      (* never schedule in the past relative to what was already popped *)
+      let time = Float.max time !last in
+      ignore (Event_queue.add q ~time () : Event_queue.handle);
+      incr pending
+    end
+    else begin
+      let time, () = Option.get (Event_queue.pop q) in
+      checkb "monotone pops" true (time >= !last);
+      last := time;
+      decr pending
+    end
+  done
+
+(* --- Engine --- *)
+
+let test_engine_clock () =
+  let e = Engine.create ~seed:1 () in
+  checkf "starts at 0" 0.0 (Engine.now e);
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> fired := 5 :: !fired) : Engine.handle);
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> fired := 2 :: !fired) : Engine.handle);
+  Engine.run e;
+  checkf "clock advanced" 5.0 (Engine.now e);
+  Alcotest.check (Alcotest.list Alcotest.int) "order" [ 5; 2 ] !fired
+
+let test_engine_negative_delay () =
+  let e = Engine.create ~seed:1 () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Engine.schedule e ~delay:(-1.0) (fun () -> ()) : Engine.handle))
+
+let test_engine_schedule_at_past () =
+  let e = Engine.create ~seed:1 () in
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> ()) : Engine.handle);
+  Engine.run e;
+  Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Engine.schedule_at e ~time:5.0 (fun () -> ()) : Engine.handle))
+
+let test_engine_cascading () =
+  let e = Engine.create ~seed:1 () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Engine.schedule e ~delay:1.0 (fun () ->
+             incr count;
+             chain (n - 1))
+          : Engine.handle)
+  in
+  chain 10;
+  Engine.run e;
+  checki "all fired" 10 !count;
+  checkf "clock = 10" 10.0 (Engine.now e);
+  checki "events_executed" 10 (Engine.events_executed e)
+
+let test_engine_run_until () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired) : Engine.handle)
+  done;
+  Engine.run_until e ~time:5.5;
+  checki "five fired" 5 !fired;
+  checkf "clock at 5.5" 5.5 (Engine.now e);
+  checki "pending" 5 (Engine.pending e);
+  Engine.run e;
+  checki "rest fired" 10 !fired
+
+let test_engine_cancel () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  checkb "cancelled never fires" false !fired
+
+let test_engine_same_time_order () =
+  let e = Engine.create ~seed:1 () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:3.0 (fun () -> order := i :: !order) : Engine.handle)
+  done;
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.int) "scheduling order preserved" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+(* --- Timer --- *)
+
+let test_timer_one_shot () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  let t = Timer.one_shot e ~delay:10.0 (fun () -> incr fired) in
+  checkb "active" true (Timer.active t);
+  Engine.run e;
+  checki "fired once" 1 !fired;
+  checkb "inactive after fire" false (Timer.active t)
+
+let test_timer_cancel () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  let t = Timer.one_shot e ~delay:10.0 (fun () -> incr fired) in
+  Timer.cancel t;
+  Engine.run e;
+  checki "never fired" 0 !fired
+
+let test_timer_reset_postpones () =
+  let e = Engine.create ~seed:1 () in
+  let fire_time = ref 0.0 in
+  let t = Timer.one_shot e ~delay:10.0 (fun () -> fire_time := Engine.now e) in
+  Engine.run_until e ~time:6.0;
+  Timer.reset t;
+  Engine.run e;
+  checkf "postponed to 16" 16.0 !fire_time
+
+let test_timer_reset_rearms () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  let t = Timer.one_shot e ~delay:5.0 (fun () -> incr fired) in
+  Engine.run e;
+  checki "first" 1 !fired;
+  Timer.reset t;
+  Engine.run e;
+  checki "rearmed fires again" 2 !fired
+
+let test_timer_periodic () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  let t = Timer.periodic e ~period:2.0 (fun () -> incr fired) in
+  Engine.run_until e ~time:9.0;
+  checki "four ticks in 9ms at period 2" 4 !fired;
+  Timer.cancel t;
+  Engine.run_until e ~time:20.0;
+  checki "no ticks after cancel" 4 !fired
+
+let test_timer_periodic_cancel_in_action () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  let cell = ref None in
+  let t =
+    Timer.periodic e ~period:1.0 (fun () ->
+        incr fired;
+        if !fired = 3 then Timer.cancel (Option.get !cell))
+  in
+  cell := Some t;
+  Engine.run_until e ~time:10.0;
+  checki "self-cancel stops at 3" 3 !fired
+
+let suite =
+  [
+    Alcotest.test_case "queue: pops in time order" `Quick test_queue_order;
+    Alcotest.test_case "queue: FIFO on equal times" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue: cancellation" `Quick test_queue_cancel;
+    Alcotest.test_case "queue: cancel all" `Quick test_queue_cancel_all;
+    Alcotest.test_case "queue: peek_time" `Quick test_queue_peek;
+    Alcotest.test_case "queue: live_length" `Quick test_queue_live_length;
+    Alcotest.test_case "queue: interleaved ops stay sorted" `Quick test_queue_interleaved;
+    Alcotest.test_case "engine: clock and ordering" `Quick test_engine_clock;
+    Alcotest.test_case "engine: negative delay rejected" `Quick test_engine_negative_delay;
+    Alcotest.test_case "engine: schedule_at past rejected" `Quick test_engine_schedule_at_past;
+    Alcotest.test_case "engine: cascading events" `Quick test_engine_cascading;
+    Alcotest.test_case "engine: run_until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: same-time scheduling order" `Quick test_engine_same_time_order;
+    Alcotest.test_case "timer: one-shot" `Quick test_timer_one_shot;
+    Alcotest.test_case "timer: cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "timer: reset postpones" `Quick test_timer_reset_postpones;
+    Alcotest.test_case "timer: reset rearms" `Quick test_timer_reset_rearms;
+    Alcotest.test_case "timer: periodic" `Quick test_timer_periodic;
+    Alcotest.test_case "timer: periodic self-cancel" `Quick test_timer_periodic_cancel_in_action;
+  ]

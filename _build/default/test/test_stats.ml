@@ -1,0 +1,180 @@
+(* Tests for P2p_stats: Summary, Histogram, Pdf. *)
+
+module Summary = P2p_stats.Summary
+module Histogram = P2p_stats.Histogram
+module Pdf = P2p_stats.Pdf
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checkf3 = Alcotest.check (Alcotest.float 1e-3)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  checki "count" 0 (Summary.count s);
+  checkf "mean" 0.0 (Summary.mean s);
+  checkf "variance" 0.0 (Summary.variance s);
+  checkf "ci95" 0.0 (Summary.ci95 s);
+  Alcotest.check_raises "min empty" (Invalid_argument "Summary.min: empty") (fun () ->
+      ignore (Summary.min s : float))
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  Summary.add_all s [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  checki "count" 5 (Summary.count s);
+  checkf "mean" 3.0 (Summary.mean s);
+  checkf "min" 1.0 (Summary.min s);
+  checkf "max" 5.0 (Summary.max s);
+  checkf "total" 15.0 (Summary.total s);
+  checkf "variance" 2.5 (Summary.variance s);
+  checkf3 "stddev" (sqrt 2.5) (Summary.stddev s)
+
+let test_summary_single () =
+  let s = Summary.create () in
+  Summary.add s 7.0;
+  checkf "mean" 7.0 (Summary.mean s);
+  checkf "variance of one sample" 0.0 (Summary.variance s);
+  checkf "median" 7.0 (Summary.median s)
+
+let test_summary_percentiles () =
+  let s = Summary.create () in
+  for i = 1 to 100 do
+    Summary.add s (float_of_int i)
+  done;
+  checkf "p50" 50.0 (Summary.percentile s 50.0);
+  checkf "p95" 95.0 (Summary.percentile s 95.0);
+  checkf "p100" 100.0 (Summary.percentile s 100.0);
+  checkf "p0 clamps to first" 1.0 (Summary.percentile s 0.0);
+  Alcotest.check_raises "out of range" (Invalid_argument "Summary.percentile: out of range")
+    (fun () -> ignore (Summary.percentile s 101.0 : float))
+
+let test_summary_percentile_after_add () =
+  (* the sorted cache must invalidate on add *)
+  let s = Summary.create () in
+  Summary.add_all s [ 10.0; 20.0 ];
+  checkf "median before" 10.0 (Summary.median s);
+  Summary.add s 1.0;
+  checkf "median after new min" 10.0 (Summary.median s);
+  Summary.add s 0.5;
+  checkf "p25 reflects new data" 1.0 (Summary.percentile s 50.0)
+
+let test_summary_welford_stability () =
+  let s = Summary.create () in
+  (* large offset exercises numerical stability *)
+  let offset = 1e9 in
+  List.iter (fun v -> Summary.add s (offset +. v)) [ 1.0; 2.0; 3.0 ];
+  checkf3 "variance independent of offset" 1.0 (Summary.variance s)
+
+let test_summary_samples_order () =
+  let s = Summary.create () in
+  Summary.add_all s [ 3.0; 1.0; 2.0 ];
+  Alcotest.check (Alcotest.array (Alcotest.float 0.0)) "insertion order"
+    [| 3.0; 1.0; 2.0 |] (Summary.samples s)
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  Histogram.observe h 3;
+  Histogram.observe h 3;
+  Histogram.observe h 0;
+  checki "count 3" 2 (Histogram.count h 3);
+  checki "count 0" 1 (Histogram.count h 0);
+  checki "count absent" 0 (Histogram.count h 7);
+  checki "total" 3 (Histogram.total h);
+  checki "max_value" 3 (Histogram.max_value h);
+  checkf3 "fraction" (2.0 /. 3.0) (Histogram.fraction h 3)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  checki "total" 0 (Histogram.total h);
+  checki "max_value" (-1) (Histogram.max_value h);
+  checkf "fraction" 0.0 (Histogram.fraction h 0);
+  checkb "to_assoc empty" true (Histogram.to_assoc h = [])
+
+let test_histogram_negative () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.observe: negative value")
+    (fun () -> Histogram.observe h (-1))
+
+let test_histogram_observe_many () =
+  let h = Histogram.create () in
+  Histogram.observe_many h 5 10;
+  checki "bulk count" 10 (Histogram.count h 5);
+  Histogram.observe_many h 2 0;
+  checki "zero count no-op" 0 (Histogram.count h 2);
+  checki "max unchanged by zero-count" 5 (Histogram.max_value h)
+
+let test_histogram_cdf () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 1; 1; 2; 5 ];
+  checkf3 "cdf at 1" 0.6 (Histogram.fraction_at_most h 1);
+  checkf3 "cdf at 4" 0.8 (Histogram.fraction_at_most h 4);
+  checkf3 "cdf at max" 1.0 (Histogram.fraction_at_most h 5);
+  checkf3 "cdf beyond" 1.0 (Histogram.fraction_at_most h 100)
+
+let test_histogram_to_assoc () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 4; 2; 4; 9 ];
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "sorted sparse pairs"
+    [ (2, 1); (4, 2); (9, 1) ]
+    (Histogram.to_assoc h)
+
+let test_histogram_rebin () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 1; 9; 10; 11; 25 ];
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "width-10 buckets"
+    [ (0, 3); (10, 2); (20, 1) ]
+    (Histogram.rebin h ~width:10);
+  Alcotest.check_raises "bad width" (Invalid_argument "Histogram.rebin: width must be positive")
+    (fun () -> ignore (Histogram.rebin h ~width:0 : (int * int) list))
+
+let test_histogram_mean () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 2; 4; 6 ];
+  checkf3 "mean" 4.0 (Histogram.mean h)
+
+let test_pdf_normalized () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 0; 5; 15 ];
+  let pdf = Pdf.of_histogram h ~bin_width:10 in
+  let total = List.fold_left (fun acc p -> acc +. p.Pdf.density) 0.0 pdf in
+  checkf3 "densities sum to 1" 1.0 total;
+  checkf3 "first bucket" 0.75 (List.hd pdf).Pdf.density
+
+let test_pdf_headline_quantities () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 0; 3; 8; 80 ];
+  checkf3 "fraction zero" 0.4 (Pdf.fraction_zero h);
+  checkf3 "fraction below 10" 0.8 (Pdf.fraction_below h 10);
+  checki "max load" 80 (Pdf.max_load h);
+  checkf "fraction below 0" 0.0 (Pdf.fraction_below h 0)
+
+let test_pdf_empty () =
+  let h = Histogram.create () in
+  checkb "empty pdf" true (Pdf.of_histogram h ~bin_width:10 = []);
+  checki "max load 0" 0 (Pdf.max_load h)
+
+let suite =
+  [
+    Alcotest.test_case "summary: empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary: basic moments" `Quick test_summary_basic;
+    Alcotest.test_case "summary: single sample" `Quick test_summary_single;
+    Alcotest.test_case "summary: percentiles" `Quick test_summary_percentiles;
+    Alcotest.test_case "summary: cache invalidation" `Quick test_summary_percentile_after_add;
+    Alcotest.test_case "summary: Welford stability" `Quick test_summary_welford_stability;
+    Alcotest.test_case "summary: samples order" `Quick test_summary_samples_order;
+    Alcotest.test_case "histogram: basic" `Quick test_histogram_basic;
+    Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram: negative rejected" `Quick test_histogram_negative;
+    Alcotest.test_case "histogram: observe_many" `Quick test_histogram_observe_many;
+    Alcotest.test_case "histogram: cdf" `Quick test_histogram_cdf;
+    Alcotest.test_case "histogram: to_assoc" `Quick test_histogram_to_assoc;
+    Alcotest.test_case "histogram: rebin" `Quick test_histogram_rebin;
+    Alcotest.test_case "histogram: mean" `Quick test_histogram_mean;
+    Alcotest.test_case "pdf: normalized" `Quick test_pdf_normalized;
+    Alcotest.test_case "pdf: headline quantities" `Quick test_pdf_headline_quantities;
+    Alcotest.test_case "pdf: empty" `Quick test_pdf_empty;
+  ]

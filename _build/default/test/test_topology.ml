@@ -1,0 +1,298 @@
+(* Tests for P2p_topology: Graph, Transit_stub, Routing, Link_stress,
+   Landmark. *)
+
+module Rng = P2p_sim.Rng
+module Graph = P2p_topology.Graph
+module Transit_stub = P2p_topology.Transit_stub
+module Routing = P2p_topology.Routing
+module Link_stress = P2p_topology.Link_stress
+module Landmark = P2p_topology.Landmark
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Graph --- *)
+
+let test_graph_basic () =
+  let g = Graph.create 4 in
+  checki "nodes" 4 (Graph.node_count g);
+  checki "no edges" 0 (Graph.edge_count g);
+  Graph.add_edge g 0 1 ~latency:2.0;
+  Graph.add_edge g 1 2 ~latency:3.0;
+  checki "edges" 2 (Graph.edge_count g);
+  checkb "has 0-1" true (Graph.has_edge g 0 1);
+  checkb "symmetric" true (Graph.has_edge g 1 0);
+  checkb "absent" false (Graph.has_edge g 0 2);
+  checkf "latency" 2.0 (Graph.latency g 0 1);
+  checkf "latency symmetric" 2.0 (Graph.latency g 1 0);
+  checki "degree" 2 (Graph.degree g 1)
+
+let test_graph_rejects () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 ~latency:1.0;
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop")
+    (fun () -> Graph.add_edge g 1 1 ~latency:1.0);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_edge: duplicate edge")
+    (fun () -> Graph.add_edge g 1 0 ~latency:1.0);
+  Alcotest.check_raises "bad latency"
+    (Invalid_argument "Graph.add_edge: non-positive latency") (fun () ->
+      Graph.add_edge g 1 2 ~latency:0.0);
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph: node out of range")
+    (fun () -> Graph.add_edge g 0 3 ~latency:1.0)
+
+let test_graph_edges_listing () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 2 0 ~latency:1.5;
+  (match Graph.edges g with
+   | [ { Graph.u; v; latency } ] ->
+     checki "u < v" 0 u;
+     checki "v" 2 v;
+     checkf "latency" 1.5 latency
+   | _ -> Alcotest.fail "expected exactly one edge")
+
+let test_graph_connectivity () =
+  let g = Graph.create 4 in
+  checkb "disconnected" false (Graph.is_connected g);
+  Graph.add_edge g 0 1 ~latency:1.0;
+  Graph.add_edge g 1 2 ~latency:1.0;
+  checkb "still disconnected" false (Graph.is_connected g);
+  Graph.add_edge g 2 3 ~latency:1.0;
+  checkb "connected" true (Graph.is_connected g);
+  checkb "empty graph connected" true (Graph.is_connected (Graph.create 0))
+
+(* --- Transit_stub --- *)
+
+let small_params =
+  {
+    Transit_stub.default_params with
+    Transit_stub.transit_domains = 2;
+    transit_nodes = 3;
+    stub_domains_per_node = 2;
+    stub_nodes = 4;
+  }
+
+let test_ts_node_count () =
+  checki "formula" (6 + (6 * 2 * 4)) (Transit_stub.node_count small_params);
+  checki "default params give 1000" 1000 (Transit_stub.node_count Transit_stub.default_params)
+
+let test_ts_connected () =
+  let rng = Rng.create 1 in
+  let t = Transit_stub.generate ~rng small_params in
+  checkb "connected" true (Graph.is_connected t.Transit_stub.graph);
+  checki "node count" (Transit_stub.node_count small_params)
+    (Graph.node_count t.Transit_stub.graph)
+
+let test_ts_classes () =
+  let rng = Rng.create 2 in
+  let t = Transit_stub.generate ~rng small_params in
+  let transit = Transit_stub.transit_nodes t and stub = Transit_stub.stub_nodes t in
+  checki "transit count" 6 (List.length transit);
+  checki "stub count" 48 (List.length stub);
+  (* stub nodes reference a valid transit node *)
+  List.iter
+    (fun u ->
+      match t.Transit_stub.classes.(u) with
+      | Transit_stub.Stub owner -> checkb "owner is transit" true (owner >= 0 && owner < 6)
+      | Transit_stub.Transit _ -> Alcotest.fail "stub classified as transit")
+    stub
+
+let test_ts_deterministic () =
+  let t1 = Transit_stub.generate ~rng:(Rng.create 7) small_params in
+  let t2 = Transit_stub.generate ~rng:(Rng.create 7) small_params in
+  checki "same edge count" (Graph.edge_count t1.Transit_stub.graph)
+    (Graph.edge_count t2.Transit_stub.graph);
+  let e1 = Graph.edges t1.Transit_stub.graph and e2 = Graph.edges t2.Transit_stub.graph in
+  checkb "identical topologies" true
+    (List.for_all2 (fun a b -> a.Graph.u = b.Graph.u && a.Graph.v = b.Graph.v) e1 e2)
+
+let test_ts_latency_classes () =
+  let rng = Rng.create 3 in
+  let t = Transit_stub.generate ~rng Transit_stub.default_params in
+  let p = Transit_stub.default_params in
+  List.iter
+    (fun { Graph.u; v; latency } ->
+      let lo, hi =
+        match (t.Transit_stub.classes.(u), t.Transit_stub.classes.(v)) with
+        | Transit_stub.Transit a, Transit_stub.Transit b when a = b ->
+          p.Transit_stub.intra_transit_latency
+        | Transit_stub.Transit _, Transit_stub.Transit _ ->
+          p.Transit_stub.transit_transit_latency
+        | Transit_stub.Stub _, Transit_stub.Stub _ -> p.Transit_stub.intra_stub_latency
+        | Transit_stub.Transit _, Transit_stub.Stub _
+        | Transit_stub.Stub _, Transit_stub.Transit _ ->
+          p.Transit_stub.transit_stub_latency
+      in
+      checkb "latency in class range" true (latency >= lo && latency <= hi))
+    (Graph.edges t.Transit_stub.graph)
+
+let test_ts_rejects () =
+  Alcotest.check_raises "bad params"
+    (Invalid_argument "Transit_stub.generate: non-positive size parameter") (fun () ->
+      ignore
+        (Transit_stub.generate ~rng:(Rng.create 1)
+           { small_params with Transit_stub.transit_nodes = 0 }
+          : Transit_stub.t))
+
+(* --- Routing --- *)
+
+let line_graph n =
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1) ~latency:1.0
+  done;
+  g
+
+let test_routing_line () =
+  let r = Routing.create (line_graph 5) in
+  checkf "0 to 4" 4.0 (Routing.distance r 0 4);
+  checkf "self" 0.0 (Routing.distance r 2 2);
+  Alcotest.check (Alcotest.list Alcotest.int) "path" [ 0; 1; 2; 3; 4 ] (Routing.path r 0 4);
+  checki "hop count" 4 (Routing.hop_count r 0 4);
+  checki "self hops" 0 (Routing.hop_count r 3 3)
+
+let test_routing_shortcut () =
+  let g = line_graph 5 in
+  Graph.add_edge g 0 4 ~latency:1.5;
+  let r = Routing.create g in
+  checkf "uses shortcut" 1.5 (Routing.distance r 0 4);
+  Alcotest.check (Alcotest.list Alcotest.int) "short path" [ 0; 4 ] (Routing.path r 0 4)
+
+let test_routing_unreachable () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 ~latency:1.0;
+  let r = Routing.create g in
+  checkb "infinite" true (Routing.distance r 0 2 = infinity);
+  Alcotest.check_raises "no path" Not_found (fun () ->
+      ignore (Routing.path r 0 2 : int list))
+
+let test_routing_symmetric () =
+  let rng = Rng.create 4 in
+  let t = Transit_stub.generate ~rng small_params in
+  let r = Routing.create t.Transit_stub.graph in
+  for _ = 1 to 50 do
+    let u = Rng.int rng 54 and v = Rng.int rng 54 in
+    checkf "d(u,v) = d(v,u)"
+      (Routing.distance r u v) (Routing.distance r v u)
+  done
+
+let test_routing_triangle_inequality () =
+  let rng = Rng.create 5 in
+  let t = Transit_stub.generate ~rng small_params in
+  let r = Routing.create t.Transit_stub.graph in
+  for _ = 1 to 100 do
+    let a = Rng.int rng 54 and b = Rng.int rng 54 and c = Rng.int rng 54 in
+    checkb "triangle" true
+      (Routing.distance r a c <= Routing.distance r a b +. Routing.distance r b c +. 1e-9)
+  done
+
+let test_routing_eccentricity () =
+  let r = Routing.create (line_graph 5) in
+  checkf "end node" 4.0 (Routing.eccentricity r 0);
+  checkf "middle node" 2.0 (Routing.eccentricity r 2)
+
+(* --- Link_stress --- *)
+
+let test_stress_basic () =
+  let g = line_graph 4 in
+  let s = Link_stress.create g in
+  Link_stress.charge_path s [ 0; 1; 2 ];
+  Link_stress.charge_path s [ 1; 2; 3 ];
+  checki "link 0-1" 1 (Link_stress.stress s 0 1);
+  checki "link 1-2 charged twice" 2 (Link_stress.stress s 1 2);
+  checki "order irrelevant" 2 (Link_stress.stress s 2 1);
+  checki "uncharged" 0 (Link_stress.stress s 2 3 - 1);
+  checki "total" 4 (Link_stress.total s);
+  checki "max" 2 (Link_stress.max_stress s);
+  checkf "mean over used" (4.0 /. 3.0) (Link_stress.mean_over_used_links s)
+
+let test_stress_trivial_paths () =
+  let s = Link_stress.create (line_graph 3) in
+  Link_stress.charge_path s [];
+  Link_stress.charge_path s [ 1 ];
+  checki "nothing charged" 0 (Link_stress.total s)
+
+let test_stress_clear () =
+  let s = Link_stress.create (line_graph 3) in
+  Link_stress.charge_path s [ 0; 1; 2 ];
+  Link_stress.clear s;
+  checki "cleared" 0 (Link_stress.total s);
+  checki "max cleared" 0 (Link_stress.max_stress s)
+
+(* --- Landmark --- *)
+
+let test_landmark_selection () =
+  let r = Routing.create (line_graph 10) in
+  let rng = Rng.create 6 in
+  let marks = Landmark.select_landmarks ~rng r ~count:3 in
+  checki "count" 3 (List.length marks);
+  checki "distinct" 3 (List.length (List.sort_uniq compare marks));
+  Alcotest.check_raises "too many" (Invalid_argument "Landmark.select_landmarks")
+    (fun () -> ignore (Landmark.select_landmarks ~rng r ~count:11 : int list))
+
+let test_landmark_farthest_point_spread () =
+  (* On a line, 2 landmarks by farthest-point sampling must include both
+     extremes or at least be far apart. *)
+  let r = Routing.create (line_graph 100) in
+  let rng = Rng.create 7 in
+  match Landmark.select_landmarks ~rng r ~count:2 with
+  | [ a; b ] -> checkb "spread out" true (abs (a - b) > 50)
+  | _ -> Alcotest.fail "expected two landmarks"
+
+let test_landmark_clusters () =
+  let r = Routing.create (line_graph 10) in
+  let t = Landmark.create r ~landmarks:[ 0; 9 ] ~levels:[] in
+  (* nodes 0..4 are closer to 0; nodes 5..9 closer to 9 *)
+  checkb "same side same cluster" true
+    (Landmark.cluster_id t 1 = Landmark.cluster_id t 2);
+  checkb "opposite sides differ" true
+    (Landmark.cluster_id t 1 <> Landmark.cluster_id t 8);
+  checki "two clusters" 2 (Landmark.cluster_count t)
+
+let test_landmark_levels_refine () =
+  let r = Routing.create (line_graph 10) in
+  let coarse = Landmark.create r ~landmarks:[ 0; 9 ] ~levels:[] in
+  let fine = Landmark.create r ~landmarks:[ 0; 9 ] ~levels:[ 2.0; 5.0 ] in
+  ignore (Landmark.cluster_id coarse 1 : int);
+  ignore (Landmark.cluster_id coarse 4 : int);
+  ignore (Landmark.cluster_id fine 1 : int);
+  ignore (Landmark.cluster_id fine 4 : int);
+  (* with latency levels, node 1 (d=1 to landmark 0) and node 4 (d=4)
+     split into different clusters even though the ordering is the same *)
+  checkb "levels refine clusters" true
+    (Landmark.cluster_id fine 1 <> Landmark.cluster_id fine 4);
+  checkb "ordering-only merges them" true
+    (Landmark.cluster_id coarse 1 = Landmark.cluster_id coarse 4)
+
+let test_landmark_coordinate_stable () =
+  let r = Routing.create (line_graph 6) in
+  let t = Landmark.create r ~landmarks:[ 0; 5 ] ~levels:[] in
+  Alcotest.check Alcotest.string "memoized" (Landmark.coordinate t 3) (Landmark.coordinate t 3)
+
+let suite =
+  [
+    Alcotest.test_case "graph: basics" `Quick test_graph_basic;
+    Alcotest.test_case "graph: rejects bad edges" `Quick test_graph_rejects;
+    Alcotest.test_case "graph: edges listing" `Quick test_graph_edges_listing;
+    Alcotest.test_case "graph: connectivity" `Quick test_graph_connectivity;
+    Alcotest.test_case "transit-stub: node count" `Quick test_ts_node_count;
+    Alcotest.test_case "transit-stub: connected" `Quick test_ts_connected;
+    Alcotest.test_case "transit-stub: classes" `Quick test_ts_classes;
+    Alcotest.test_case "transit-stub: deterministic" `Quick test_ts_deterministic;
+    Alcotest.test_case "transit-stub: latency classes" `Quick test_ts_latency_classes;
+    Alcotest.test_case "transit-stub: rejects bad params" `Quick test_ts_rejects;
+    Alcotest.test_case "routing: line graph" `Quick test_routing_line;
+    Alcotest.test_case "routing: picks shortcut" `Quick test_routing_shortcut;
+    Alcotest.test_case "routing: unreachable" `Quick test_routing_unreachable;
+    Alcotest.test_case "routing: symmetric" `Quick test_routing_symmetric;
+    Alcotest.test_case "routing: triangle inequality" `Quick test_routing_triangle_inequality;
+    Alcotest.test_case "routing: eccentricity" `Quick test_routing_eccentricity;
+    Alcotest.test_case "stress: accounting" `Quick test_stress_basic;
+    Alcotest.test_case "stress: trivial paths" `Quick test_stress_trivial_paths;
+    Alcotest.test_case "stress: clear" `Quick test_stress_clear;
+    Alcotest.test_case "landmark: selection" `Quick test_landmark_selection;
+    Alcotest.test_case "landmark: farthest-point spread" `Quick test_landmark_farthest_point_spread;
+    Alcotest.test_case "landmark: clustering" `Quick test_landmark_clusters;
+    Alcotest.test_case "landmark: latency levels refine" `Quick test_landmark_levels_refine;
+    Alcotest.test_case "landmark: coordinate memoized" `Quick test_landmark_coordinate_stable;
+  ]

@@ -1,0 +1,188 @@
+(* Unit tests for Hybrid_p2p.World: the membership directory, the
+   server's assignment policies, the ring oracle, finger maintenance and
+   ring stabilization. *)
+
+open Helpers
+module Id_space = P2p_hashspace.Id_space
+module Landmark = P2p_topology.Landmark
+module Graph = P2p_topology.Graph
+module Routing = P2p_topology.Routing
+module Rng = P2p_sim.Rng
+module Interest = Hybrid_p2p.Interest
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* a quiesced world with an explicit ring of t-peers at given p_ids *)
+let world_with_ring ?(config = default_config) ids =
+  let h = H.create_star ~seed:90 ~peers:64 ~config () in
+  let peers =
+    List.mapi
+      (fun host p_id ->
+        let p = H.join h ~host ~role:Peer.T_peer ~p_id () in
+        H.run h;
+        p)
+      ids
+  in
+  (h, peers)
+
+let test_membership_directory () =
+  let h, peers = world_with_ring [ 100; 200; 300 ] in
+  let w = H.world h in
+  checki "count" 3 (World.peer_count w);
+  List.iter
+    (fun p ->
+      match World.find_peer w ~host:p.Peer.host with
+      | Some q -> checkb "found self" true (q == p)
+      | None -> Alcotest.fail "missing peer")
+    peers;
+  checkb "absent host" true (World.find_peer w ~host:63 = None);
+  World.unregister w (List.hd peers);
+  checki "unregistered" 2 (World.peer_count w)
+
+let test_t_peers_sorted () =
+  let h, _ = world_with_ring [ 500; 100; 300 ] in
+  let arr = World.t_peers (H.world h) in
+  Alcotest.check (Alcotest.list Alcotest.int) "sorted by p_id" [ 100; 300; 500 ]
+    (Array.to_list (Array.map (fun p -> p.Peer.p_id) arr))
+
+let test_oracle_owner () =
+  let h, peers = world_with_ring [ 100; 200; 300 ] in
+  let w = H.world h in
+  let owner id = (Option.get (World.oracle_owner w id)).Peer.p_id in
+  checki "interior" 200 (owner 150);
+  checki "exact" 200 (owner 200);
+  checki "wraps" 100 (owner 301);
+  checki "before first" 100 (owner 50);
+  List.iter (fun p -> H.crash h p) peers;
+  checkb "empty ring" true (World.oracle_owner w 1 = None)
+
+let test_smallest_s_network_policy () =
+  let h, tpeers = world_with_ring [ 100; 200 ] in
+  let w = H.world h in
+  let t0 = List.nth tpeers 0 and t1 = List.nth tpeers 1 in
+  (* grow t0's s-network by hand through the size table *)
+  World.set_snet_size w t0 5;
+  World.set_snet_size w t1 1;
+  let joiner = Peer.make ~host:60 ~p_id:0 ~role:Peer.S_peer ~link_capacity:1.0 () in
+  (match World.choose_s_network w ~joiner with
+   | Some t -> checkb "smallest wins" true (t == t1)
+   | None -> Alcotest.fail "no assignment");
+  World.set_snet_size w t1 9;
+  (match World.choose_s_network w ~joiner with
+   | Some t -> checkb "flips when sizes flip" true (t == t0)
+   | None -> Alcotest.fail "no assignment")
+
+let test_by_interest_policy_uses_route_id () =
+  let h = H.create_star ~seed:91 ~peers:64 ~snet_policy:Hybrid_p2p.World.By_interest () in
+  let home0 = H.join h ~host:0 ~role:Peer.T_peer ~p_id:(Interest.route_id 0) () in
+  H.run h;
+  let home1 = H.join h ~host:1 ~role:Peer.T_peer ~p_id:(Interest.route_id 1) () in
+  H.run h;
+  let w = H.world h in
+  let joiner interest =
+    Peer.make ~host:50 ~p_id:0 ~role:Peer.S_peer ~link_capacity:1.0 ~interest ()
+  in
+  (match World.choose_s_network w ~joiner:(joiner 0) with
+   | Some t -> checkb "category 0 -> its home" true (t == home0)
+   | None -> Alcotest.fail "no assignment");
+  (match World.choose_s_network w ~joiner:(joiner 1) with
+   | Some t -> checkb "category 1 -> its home" true (t == home1)
+   | None -> Alcotest.fail "no assignment");
+  (* a peer without interest falls back to load balancing *)
+  let no_interest = Peer.make ~host:51 ~p_id:0 ~role:Peer.S_peer ~link_capacity:1.0 () in
+  checkb "no-interest handled" true (World.choose_s_network w ~joiner:no_interest <> None)
+
+let test_by_cluster_prefers_local_t_peer () =
+  (* line graph: two halves; landmarks at the ends *)
+  let g = Graph.create 10 in
+  for i = 0 to 8 do
+    Graph.add_edge g i (i + 1) ~latency:1.0
+  done;
+  let routing = Routing.create g in
+  let landmark = Landmark.create routing ~landmarks:[ 0; 9 ] ~levels:[] in
+  let h =
+    Hybrid_p2p.Hybrid.create ~seed:92 ~routing
+      ~snet_policy:(Hybrid_p2p.World.By_cluster landmark) ()
+  in
+  (* one t-peer per half *)
+  let t_left = H.join h ~host:1 ~role:Peer.T_peer () in
+  H.run h;
+  let t_right = H.join h ~host:8 ~role:Peer.T_peer () in
+  H.run h;
+  let w = H.world h in
+  let joiner host = Peer.make ~host ~p_id:0 ~role:Peer.S_peer ~link_capacity:1.0 () in
+  (match World.choose_s_network w ~joiner:(joiner 2) with
+   | Some t -> checkb "left joiner -> left t-peer" true (t == t_left)
+   | None -> Alcotest.fail "no assignment");
+  match World.choose_s_network w ~joiner:(joiner 7) with
+  | Some t -> checkb "right joiner -> right t-peer" true (t == t_right)
+  | None -> Alcotest.fail "no assignment"
+
+let test_fresh_p_id_in_range () =
+  let h, _ = world_with_ring [ 100 ] in
+  let w = H.world h in
+  for _ = 1 to 200 do
+    checkb "valid" true (Id_space.valid (World.fresh_p_id w))
+  done
+
+let test_refresh_and_substitute_fingers () =
+  let h, peers = world_with_ring [ 100; 200; 300; 400 ] in
+  let w = H.world h in
+  World.ensure_fingers w;
+  let p100 = List.nth peers 0 and p200 = List.nth peers 1 in
+  (* finger 0 of 100 targets 101 -> owner is 200 *)
+  (match p100.Peer.fingers.(0) with
+   | Some f -> checki "finger 0" 200 f.Peer.p_id
+   | None -> Alcotest.fail "no finger");
+  (* substitution: replace 200 by a stand-in everywhere *)
+  let stand_in = Peer.make ~host:60 ~p_id:200 ~role:Peer.T_peer ~link_capacity:1.0 () in
+  World.substitute_in_fingers w ~old_peer:p200 ~replacement:stand_in;
+  (match p100.Peer.fingers.(0) with
+   | Some f -> checkb "substituted" true (f == stand_in)
+   | None -> Alcotest.fail "no finger")
+
+let test_stabilize_ring_rewires () =
+  let h, peers = world_with_ring [ 100; 200; 300; 400 ] in
+  let w = H.world h in
+  (* scramble the pointers *)
+  List.iter
+    (fun p ->
+      p.Peer.succ <- Some p;
+      p.Peer.pred <- None)
+    peers;
+  World.stabilize_ring w;
+  match Hybrid_p2p.T_network.check_ring w with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_snet_size_accounting_via_joins () =
+  let h, tpeers = world_with_ring [ 100 ] in
+  let w = H.world h in
+  let root = List.hd tpeers in
+  checki "starts empty" 0 (World.snet_size w root);
+  for host = 10 to 14 do
+    ignore (H.join h ~host ~role:Peer.S_peer () : Peer.t);
+    H.run h
+  done;
+  checki "five joined" 5 (World.snet_size w root);
+  let victim = List.find Peer.is_s_peer (H.peers h) in
+  H.leave h victim ();
+  H.run h;
+  checki "one left" 4 (World.snet_size w root)
+
+let suite =
+  [
+    Alcotest.test_case "membership directory" `Quick test_membership_directory;
+    Alcotest.test_case "t-peers sorted" `Quick test_t_peers_sorted;
+    Alcotest.test_case "oracle owner" `Quick test_oracle_owner;
+    Alcotest.test_case "policy: smallest s-network" `Quick test_smallest_s_network_policy;
+    Alcotest.test_case "policy: by interest" `Quick test_by_interest_policy_uses_route_id;
+    Alcotest.test_case "policy: by cluster prefers local" `Quick
+      test_by_cluster_prefers_local_t_peer;
+    Alcotest.test_case "fresh p_id in range" `Quick test_fresh_p_id_in_range;
+    Alcotest.test_case "finger refresh and substitution" `Quick
+      test_refresh_and_substitute_fingers;
+    Alcotest.test_case "stabilize_ring rewires" `Quick test_stabilize_ring_rewires;
+    Alcotest.test_case "s-network size accounting" `Quick test_snet_size_accounting_via_joins;
+  ]
