@@ -136,6 +136,33 @@ let build ?(config = Config.default) ?(seed = 1) ?(ps = 0.5) ?(heterogeneity = f
   let items = Keys.generate ~rng ~count:scale.n_items ~categories:8 in
   { h; peers; items; rng }
 
+(* --- registry dumps (--metrics-dir) --- *)
+
+(* When set (by main's --metrics-dir flag), every measured system dumps
+   its metrics registry as JSON into this directory, one file per dump,
+   readable with `p2psim report`. *)
+let metrics_dir : string option ref = ref None
+
+let dump_counter = ref 0
+
+(* Dump [b]'s registry to "<metrics-dir>/<name>.json"; [name] defaults to
+   a running "dump-NNN" counter so sweep iterations stay distinct.  No-op
+   unless --metrics-dir was given. *)
+let dump_metrics ?name b =
+  match !metrics_dir with
+  | None -> ()
+  | Some dir ->
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+        incr dump_counter;
+        Printf.sprintf "dump-%03d" !dump_counter
+    in
+    let path = Filename.concat dir (name ^ ".json") in
+    P2p_obs.Export.write_metrics ~path (Metrics.registry (H.metrics b.h));
+    Printf.printf "  [metrics -> %s]\n%!" path
+
 (* Insert the whole corpus from random peers and settle. *)
 let insert_corpus b =
   Array.iter
@@ -156,7 +183,8 @@ let run_lookups ?ttl b ~count =
       let from = Rng.pick b.rng live in
       H.lookup b.h ~from ~key:item.Keys.key ?ttl ~on_result:(fun _ -> ()) ())
     targets;
-  H.run b.h
+  H.run b.h;
+  dump_metrics b
 
 (* --- output helpers --- *)
 

@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- fig5a            # one experiment
      dune exec bench/main.exe -- all --paper      # full 1000-peer paper scale
      dune exec bench/main.exe -- bechamel         # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- fig4 --metrics-dir out/   # dump registries as JSON
 
    Experiments: fig3a fig3b fig3-sim fig4 fig5a fig5b fig6a fig6b table2
                 ablate-delta ablate-fingers ablate-bypass ablate-bt
@@ -17,7 +18,7 @@ let usage () =
     "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|fig6a|fig6b|table2|\n\
     \                 ablate-delta|ablate-fingers|ablate-bypass|ablate-bt|\n\
     \                 ablate-cache|stress|bechamel]\n\
-    \                [--paper]"
+    \                [--paper] [--metrics-dir DIR]"
 
 (* --- Bechamel micro-benchmarks: one per experiment kernel plus the hot
    core operations. --- *)
@@ -107,7 +108,18 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
   let scale = if paper then paper_scale else small_scale in
-  let commands = List.filter (fun a -> a <> "--paper") args in
+  (* consume "--metrics-dir DIR" before picking the command *)
+  let rec extract_metrics_dir = function
+    | "--metrics-dir" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      metrics_dir := Some dir;
+      rest
+    | a :: rest -> a :: extract_metrics_dir rest
+    | [] -> []
+  in
+  let commands =
+    extract_metrics_dir (List.filter (fun a -> a <> "--paper") args)
+  in
   let command = match commands with [] -> "all" | c :: _ -> c in
   Printf.printf "scale: %s\n%!" scale.label;
   let all () =

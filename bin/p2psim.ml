@@ -5,13 +5,19 @@
      churn     crash a fraction of the population and report the damage
      compare   hybrid vs pure Chord vs pure Gnutella on one workload
      scenario  run a declarative churn/workload script (see parse_script)
-     analyze   print the Section-4 analytical model for given parameters *)
+     analyze   print the Section-4 analytical model for given parameters
+     report    pretty-print a metrics JSON file written by run *)
 
 module H = Hybrid_p2p.Hybrid
 module Peer = Hybrid_p2p.Peer
 module Config = Hybrid_p2p.Config
 module Data_ops = Hybrid_p2p.Data_ops
 module Rng = P2p_sim.Rng
+module Trace = P2p_sim.Trace
+module Engine = P2p_sim.Engine
+module Registry = P2p_obs.Registry
+module Export = P2p_obs.Export
+module Report = P2p_obs.Report
 module Transit_stub = P2p_topology.Transit_stub
 module Routing = P2p_topology.Routing
 module Metrics = P2p_net.Metrics
@@ -69,6 +75,91 @@ let scheme_arg =
     & opt (conv (parse, print)) Config.Spread_to_neighbors
     & info [ "placement" ] ~docv:"SCHEME" ~doc:"Data placement: tpeer or spread.")
 
+(* --- observability argument definitions --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the structured event trace as JSON Lines to $(docv).")
+
+let trace_cap_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:"Trace ring-buffer capacity: the newest $(docv) events are kept.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Dump the metrics registry as JSON to $(docv) (read by $(b,report)).")
+
+let metrics_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:"Dump the metrics registry as CSV to $(docv).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable engine profiling: per-label handler CPU time and the event-queue \
+           high-water mark, printed after the run.")
+
+(* Snapshot engine counters into the registry so exported metrics carry
+   them alongside the protocol subsystems. *)
+let snapshot_engine_stats h =
+  let engine = H.engine h in
+  let reg = Metrics.registry (H.metrics h) in
+  Registry.set
+    (Registry.gauge reg ~subsystem:"engine" ~name:"events_executed")
+    (float_of_int (Engine.events_executed engine));
+  Registry.set
+    (Registry.gauge reg ~subsystem:"engine" ~name:"queue_high_water")
+    (float_of_int (Engine.queue_high_water engine));
+  reg
+
+let export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile =
+  let reg = snapshot_engine_stats h in
+  try
+  (match trace_out with
+   | Some path ->
+     Export.write_trace ~path (H.trace h);
+     Printf.printf "trace: %d events (%d ops) -> %s\n"
+       (Trace.length (H.trace h))
+       (Trace.ops_started (H.trace h))
+       path
+   | None -> ());
+  (match metrics_out with
+   | Some path ->
+     Export.write_metrics ~path reg;
+     Printf.printf "metrics -> %s\n" path
+   | None -> ());
+  (match metrics_csv with
+   | Some path ->
+     Export.write_metrics_csv ~path reg;
+     Printf.printf "metrics (csv) -> %s\n" path
+   | None -> ());
+  if profile then begin
+    let engine = H.engine h in
+    Printf.printf "engine: %d events executed, queue high-water %d\n"
+      (Engine.events_executed engine)
+      (Engine.queue_high_water engine);
+    List.iter
+      (fun (label, fires, cpu_s) ->
+        Printf.printf "  %-12s %9d fires  %9.3f ms cpu\n" label fires (cpu_s *. 1e3))
+      (Engine.profile engine)
+  end
+  with Sys_error e ->
+    Printf.eprintf "p2psim: cannot write output: %s\n" e;
+    exit 1
+
 (* --- system construction over a transit-stub underlay --- *)
 
 let topology_for n =
@@ -87,10 +178,11 @@ let topology_for n =
   in
   fit 3
 
-let build_system ~seed ~ps ~n ~config =
+let build_system ?trace ?(profile = false) ~seed ~ps ~n ~config () =
   let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
   let routing = Routing.create topo.Transit_stub.graph in
-  let h = H.create ~seed ~routing ~config () in
+  let h = H.create ~seed ~routing ~config ?trace () in
+  if profile then Engine.enable_profiling (H.engine h);
   let rng = Rng.create (seed + 2) in
   let roles = Array.init n (fun _ -> if Rng.bernoulli rng ps then Peer.S_peer else Peer.T_peer) in
   roles.(0) <- Peer.T_peer;
@@ -110,10 +202,20 @@ let print_metrics h =
 (* --- run subcommand --- *)
 
 let run_cmd =
-  let run seed ps n items lookups ttl delta placement =
+  let run seed ps n items lookups ttl delta placement trace_out trace_cap metrics_out
+      metrics_csv profile =
     let config = { Config.default with Config.default_ttl = ttl; delta; placement } in
+    if trace_cap <= 0 then begin
+      Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
+      exit 1
+    end;
+    let trace =
+      match trace_out with
+      | Some _ -> Some (Trace.create ~capacity:trace_cap ())
+      | None -> None
+    in
     Printf.printf "building %d peers (p_s = %.2f) over a transit-stub underlay...\n%!" n ps;
-    let h, rng = build_system ~seed ~ps ~n ~config in
+    let h, rng = build_system ?trace ~profile ~seed ~ps ~n ~config () in
     Printf.printf "system: %d t-peers, %d s-peers\n%!" (H.t_peer_count h) (H.s_peer_count h);
     let corpus = Keys.generate ~rng ~count:items ~categories:4 in
     Array.iter
@@ -128,12 +230,14 @@ let run_cmd =
         H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
       targets;
     H.run h;
-    print_metrics h
+    print_metrics h;
+    export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile
   in
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
-      $ delta_arg $ scheme_arg)
+      $ delta_arg $ scheme_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg
+      $ metrics_csv_arg $ profile_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Build a hybrid system, insert items, run lookups, print metrics.")
@@ -144,7 +248,7 @@ let run_cmd =
 let churn_cmd =
   let run seed ps n crash_fraction =
     let config = Config.default in
-    let h, rng = build_system ~seed ~ps ~n ~config in
+    let h, rng = build_system ~seed ~ps ~n ~config () in
     let corpus = Keys.generate ~rng ~count:1000 ~categories:4 in
     Array.iter
       (fun it ->
@@ -184,7 +288,7 @@ let compare_cmd =
     let corpus = Keys.generate ~rng ~count:items ~categories:4 in
     (* hybrid at the paper's sweet spot *)
     let config = { Config.default with Config.default_ttl = ttl } in
-    let h, hrng = build_system ~seed ~ps:0.7 ~n ~config in
+    let h, hrng = build_system ~seed ~ps:0.7 ~n ~config () in
     ignore hrng;
     Array.iter
       (fun it ->
@@ -338,7 +442,35 @@ let analyze_cmd =
   let term = Term.(const run $ n_arg $ delta_arg $ ttl_arg) in
   Cmd.v (Cmd.info "analyze" ~doc:"Print the paper's Section-4 analytical model.") term
 
+(* --- report subcommand --- *)
+
+let report_cmd =
+  let run path =
+    match Report.of_string (Export.read_file path) with
+    | Ok report -> print_string (Report.render report)
+    | Error msg ->
+      Printf.eprintf "p2psim report: cannot parse %s: %s\n" path msg;
+      exit 1
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"METRICS.json"
+          ~doc:"Metrics JSON file written by $(b,run --metrics-out).")
+  in
+  let term = Term.(const run $ path_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Pretty-print a metrics JSON dump: per-subsystem counters, gauges and \
+          latency histograms with ASCII charts.")
+    term
+
 let () =
   let doc = "hybrid peer-to-peer system simulator (Yang & Yang reproduction)" in
   let info = Cmd.info "p2psim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; analyze_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; analyze_cmd; report_cmd ]))

@@ -2,6 +2,7 @@ open P2p_hashspace
 module Rng = P2p_sim.Rng
 module Engine = P2p_sim.Engine
 module Timer = P2p_sim.Timer
+module Trace = P2p_sim.Trace
 module Metrics = P2p_net.Metrics
 
 type lookup_outcome =
@@ -37,80 +38,86 @@ let link_if_cross_network w a b =
 
 (* Report a newly stored item to the s-network's tracker (BitTorrent-style
    mode, Section 5.5). *)
-let tracker_report w ~holder ~key =
+let tracker_report w ?op ~holder ~key () =
   if w.World.config.Config.s_style = Config.Bittorrent_tracker then
     match holder.Peer.t_home with
     | Some home when home != holder ->
-      World.send w ~src:holder ~dst:home (fun () ->
+      World.send w ?op ~src:holder ~dst:home (fun () ->
           if home.Peer.alive then Hashtbl.replace home.Peer.tracker_index key holder)
     | Some home -> Hashtbl.replace home.Peer.tracker_index key holder
     | None -> ()
 
-let store_here w peer ~route_id ~key ~value =
+let store_here w ?op peer ~route_id ~key ~value =
   Data_store.insert_routed peer.Peer.store ~route_id ~key ~value;
-  tracker_report w ~holder:peer ~key
+  tracker_report w ?op ~holder:peer ~key ()
 
 (* Placement scheme B: the random spreading walk from the owning t-peer
    down its tree.  Choosing the peer itself ends the walk. *)
-let rec spread_walk w current ~route_id ~key ~value ~hops ~on_done =
+let rec spread_walk w ?op current ~route_id ~key ~value ~hops ~on_done =
   let candidates = Array.of_list (current :: current.Peer.children) in
   let chosen = Rng.pick w.World.rng candidates in
   if chosen == current then begin
-    store_here w current ~route_id ~key ~value;
+    store_here w ?op current ~route_id ~key ~value;
     on_done ~holder:current ~hops
   end
   else
-    World.send w ~src:current ~dst:chosen (fun () ->
-        spread_walk w chosen ~route_id ~key ~value ~hops:(hops + 1) ~on_done)
+    World.send w ?op ~src:current ~dst:chosen (fun () ->
+        spread_walk w ?op chosen ~route_id ~key ~value ~hops:(hops + 1) ~on_done)
 
 (* The item has arrived in the s-network that serves it; place it there. *)
-let place_in_snetwork w entry ~route_id ~key ~value ~hops ~on_done =
+let place_in_snetwork w ?op entry ~route_id ~key ~value ~hops ~on_done =
   match w.World.config.Config.placement with
   | Config.Store_at_tpeer | Config.Spread_to_neighbors
     when not (Peer.is_t_peer entry) ->
     (* Entered through a bypass link or generated locally: data stays at
        the entry peer — it is already inside the right s-network. *)
-    store_here w entry ~route_id ~key ~value;
+    store_here w ?op entry ~route_id ~key ~value;
     on_done ~holder:entry ~hops
   | Config.Store_at_tpeer ->
-    store_here w entry ~route_id ~key ~value;
+    store_here w ?op entry ~route_id ~key ~value;
     on_done ~holder:entry ~hops
   | Config.Spread_to_neighbors ->
-    spread_walk w entry ~route_id ~key ~value ~hops ~on_done
+    spread_walk w ?op entry ~route_id ~key ~value ~hops ~on_done
 
 let insert w ~from ~key ~value ?route_id () ~on_done =
   let d_id = match route_id with Some id -> id | None -> Key_hash.of_string key in
+  let op = Trace.begin_op (World.trace w) ~time:(World.now w) ~kind:Trace.Insert key in
+  World.bump w ~subsystem:"data_ops" ~name:"inserts";
   let on_done ~holder ~hops =
     link_if_cross_network w from holder;
+    Trace.end_op (World.trace w) ~time:(World.now w) ~op
+      (Printf.sprintf "stored at #%d after %d hops" holder.Peer.host hops);
     on_done ~holder ~hops
   in
   if snet_covers from d_id then
-    place_in_snetwork w from ~route_id:d_id ~key ~value ~hops:0 ~on_done
+    place_in_snetwork w ~op from ~route_id:d_id ~key ~value ~hops:0 ~on_done
   else
     match bypass_towards w from d_id with
     | Some target ->
       refresh_bypass w from target;
-      World.send w ~src:from ~dst:target (fun () ->
-          place_in_snetwork w target ~route_id:d_id ~key ~value ~hops:1 ~on_done)
+      World.send w ~op ~src:from ~dst:target (fun () ->
+          place_in_snetwork w ~op target ~route_id:d_id ~key ~value ~hops:1 ~on_done)
     | None ->
       (match from.Peer.t_home with
        | None -> invalid_arg "Data_ops.insert: peer outside any s-network"
        | Some home ->
          let forward_from_home () =
-           T_network.route_to_owner w ~from:home ~d_id
+           T_network.route_to_owner w ~op ~from:home ~d_id
              ~visit:(fun _ -> ())
              ~on_arrive:(fun ~owner ~hops ->
-               place_in_snetwork w owner ~route_id:d_id ~key ~value ~hops:(hops + 1)
+               place_in_snetwork w ~op owner ~route_id:d_id ~key ~value ~hops:(hops + 1)
                  ~on_done)
+             ()
          in
          if home == from then forward_from_home ()
-         else World.send w ~src:from ~dst:home forward_from_home)
+         else World.send w ~op ~src:from ~dst:home forward_from_home)
 
 (* --- Lookup --- *)
 
 type ctx = {
   requester : Peer.t;
   key : string;
+  op : int;  (* trace operation id minted at lookup initiation *)
   started : float;
   mutable finished : bool;
   mutable replied : bool;
@@ -125,6 +132,8 @@ let finish_success ctx ~holder ~value ~hops =
     Timer.cancel ctx.timer;
     let latency = World.now ctx.w -. ctx.started in
     Metrics.record_lookup_success ctx.w.World.metrics ~latency ~hops;
+    Trace.end_op (World.trace ctx.w) ~time:(World.now ctx.w) ~op:ctx.op
+      (Printf.sprintf "found at #%d, %d hops, %.2f ms" holder.Peer.host hops latency);
     link_if_cross_network ctx.w ctx.requester holder;
     (* the Section-7 caching scheme: the requester keeps a soft copy, so
        the next popular request is served locally *)
@@ -150,23 +159,25 @@ let check_peer ctx peer ~hops =
   match found with
   | Some value when not ctx.replied ->
     ctx.replied <- true;
-    World.send ctx.w ~src:peer ~dst:ctx.requester (fun () ->
+    World.send ctx.w ~op:ctx.op ~src:peer ~dst:ctx.requester (fun () ->
         finish_success ctx ~holder:peer ~value ~hops:(hops + 1));
     false
   | Some _ -> false
   | None -> true
 
 let flood_snetwork ctx ~entry ~base_hops ~ttl ~skip_entry_check =
-  S_network.flood ctx.w ~from:entry ~ttl ~visit:(fun peer ~depth ->
+  S_network.flood ctx.w ~op:ctx.op ~from:entry ~ttl
+    ~visit:(fun peer ~depth ->
       if depth = 0 && skip_entry_check then true
       else check_peer ctx peer ~hops:(base_hops + depth))
+    ()
 
 (* BitTorrent-style resolution at the tracker t-peer. *)
 let tracker_resolve ctx ~tracker ~base_hops =
   Metrics.record_contact ctx.w.World.metrics;
   match Hashtbl.find_opt tracker.Peer.tracker_index ctx.key with
   | Some holder when holder.Peer.alive ->
-    World.send ctx.w ~src:tracker ~dst:holder (fun () ->
+    World.send ctx.w ~op:ctx.op ~src:tracker ~dst:holder (fun () ->
         if holder.Peer.alive then
           ignore (check_peer ctx holder ~hops:(base_hops + 1) : bool)
         else Hashtbl.remove tracker.Peer.tracker_index ctx.key)
@@ -193,7 +204,7 @@ let random_walk_snetwork ctx ~entry ~base_hops ~ttl ~walkers ~skip_entry_check =
           | [] -> ()
           | _ ->
             let next = Rng.pick_list ctx.w.World.rng candidates in
-            World.send ctx.w ~src:current ~dst:next (fun () ->
+            World.send ctx.w ~op:ctx.op ~src:current ~dst:next (fun () ->
                 if next.Peer.alive then
                   if check_peer ctx next ~hops:(base_hops + depth + 1) then
                     step next (depth + 1))
@@ -211,13 +222,14 @@ let resolve_in_snetwork ctx ~entry ~base_hops ~ttl ~skip_entry_check =
     let tracker = Option.value entry.Peer.t_home ~default:entry in
     if tracker == entry then tracker_resolve ctx ~tracker ~base_hops
     else
-      World.send ctx.w ~src:entry ~dst:tracker (fun () ->
+      World.send ctx.w ~op:ctx.op ~src:entry ~dst:tracker (fun () ->
           if tracker.Peer.alive then tracker_resolve ctx ~tracker ~base_hops:(base_hops + 1))
 
 let lookup w ~from ~key ?ttl ?route_id () ~on_result =
   let initial_ttl = Option.value ttl ~default:w.World.config.Config.default_ttl in
   let d_id = match route_id with Some id -> id | None -> Key_hash.of_string key in
   Metrics.record_lookup_issued w.World.metrics;
+  let op = Trace.begin_op (World.trace w) ~time:(World.now w) ~kind:Trace.Lookup key in
   let expire_hook = ref (fun () -> ()) in
   let make_timer () =
     Timer.one_shot w.World.engine ~delay:w.World.config.Config.lookup_timeout
@@ -227,6 +239,7 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
     {
       requester = from;
       key;
+      op;
       started = World.now w;
       finished = false;
       replied = false;
@@ -247,7 +260,7 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
       match bypass_towards w from d_id with
       | Some target ->
         refresh_bypass w from target;
-        World.send w ~src:from ~dst:target (fun () ->
+        World.send w ~op ~src:from ~dst:target (fun () ->
             if target.Peer.alive then
               resolve_in_snetwork ctx ~entry:target ~base_hops:1 ~ttl
                 ~skip_entry_check:false)
@@ -256,7 +269,7 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
          | None -> invalid_arg "Data_ops.lookup: peer outside any s-network"
          | Some home ->
            let route_from_home ~base_hops =
-             T_network.route_to_owner w ~from:home ~d_id
+             T_network.route_to_owner w ~op ~from:home ~d_id
                ~visit:(fun tpeer ->
                  (* every t-peer on the ring path checks its database *)
                  if tpeer.Peer.alive then
@@ -264,10 +277,11 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
                ~on_arrive:(fun ~owner ~hops ->
                  resolve_in_snetwork ctx ~entry:owner ~base_hops:(base_hops + hops) ~ttl
                    ~skip_entry_check:true)
+               ()
            in
            if home == from then route_from_home ~base_hops:0
            else
-             World.send w ~src:from ~dst:home (fun () ->
+             World.send w ~op ~src:from ~dst:home (fun () ->
                  if home.Peer.alive then route_from_home ~base_hops:1))
   and attempt ~ttl ~attempts_left =
     expire_hook :=
@@ -282,6 +296,7 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
           else begin
             ctx.finished <- true;
             Metrics.record_lookup_failure w.World.metrics;
+            Trace.end_op (World.trace w) ~time:(World.now w) ~op "timed out";
             on_result Timed_out
           end
         end);
@@ -308,32 +323,41 @@ let contains_substring ~needle haystack =
 let keyword_lookup w ~from ~substring ~route_id ?ttl ~window () ~on_result =
   if window <= 0.0 then invalid_arg "Data_ops.keyword_lookup: window";
   let ttl = Option.value ttl ~default:w.World.config.Config.default_ttl in
+  let op =
+    Trace.begin_op (World.trace w) ~time:(World.now w) ~kind:Trace.Keyword substring
+  in
+  World.bump w ~subsystem:"data_ops" ~name:"keyword_lookups";
   let matches = ref [] in
   let closed = ref false in
   ignore
     (Timer.one_shot w.World.engine ~delay:window (fun () ->
          closed := true;
+         Trace.end_op (World.trace w) ~time:(World.now w) ~op
+           (Printf.sprintf "%d matches" (List.length !matches));
          on_result (List.rev !matches))
       : Timer.t);
   let scan_peer peer =
     Metrics.record_contact w.World.metrics;
     Data_store.iter peer.Peer.store (fun ~key ~value:_ ~route_id:_ ->
         if contains_substring ~needle:substring key then
-          World.send w ~src:peer ~dst:from (fun () ->
+          World.send w ~op ~src:peer ~dst:from (fun () ->
               if not !closed then
                 matches := { match_key = key; match_holder = peer } :: !matches));
     true (* partial search keeps flooding: it wants every match *)
   in
   let flood_from entry =
-    S_network.flood w ~from:entry ~ttl ~visit:(fun peer ~depth:_ -> scan_peer peer)
+    S_network.flood w ~op ~from:entry ~ttl
+      ~visit:(fun peer ~depth:_ -> scan_peer peer)
+      ()
   in
   if snet_covers from route_id then flood_from from
   else
     match from.Peer.t_home with
     | None -> invalid_arg "Data_ops.keyword_lookup: peer outside any s-network"
     | Some home ->
-      World.send w ~src:from ~dst:home (fun () ->
+      World.send w ~op ~src:from ~dst:home (fun () ->
           if home.Peer.alive then
-            T_network.route_to_owner w ~from:home ~d_id:route_id
+            T_network.route_to_owner w ~op ~from:home ~d_id:route_id
               ~visit:(fun _ -> ())
-              ~on_arrive:(fun ~owner ~hops:_ -> flood_from owner))
+              ~on_arrive:(fun ~owner ~hops:_ -> flood_from owner)
+              ())

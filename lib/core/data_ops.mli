@@ -28,7 +28,9 @@ type lookup_outcome =
     (at the simulated completion instant) with the final holder and the
     overlay hop count the insertion travelled.  [route_id] overrides the
     routing ID (default: the key's hash) — interest-based s-networks
-    (Section 5.3) route a whole category under {!Interest.route_id}. *)
+    (Section 5.3) route a whole category under {!Interest.route_id}.
+    A trace operation id is minted at initiation ({!P2p_sim.Trace.begin_op}
+    with kind [Insert]); every message the insertion causes carries it. *)
 val insert :
   World.t ->
   from:Peer.t ->
@@ -43,7 +45,10 @@ val insert :
     outcome exactly once — when the value arrives or when the lookup timer
     expires.  [ttl] defaults to the configured flood TTL.  Metrics
     (issued/success/failure counters, latency, connum) are recorded on the
-    world's metrics sink. *)
+    world's metrics sink.  A trace operation id (kind [Lookup]) is minted
+    at initiation and stamped on every message of the resolution — ring
+    forwarding, s-network flood/walks, and the reply — so the whole lookup
+    can be replayed from the trace ({!P2p_sim.Trace.events_of_op}). *)
 val lookup :
   World.t ->
   from:Peer.t ->
@@ -66,7 +71,8 @@ type keyword_match = { match_key : string; match_holder : Peer.t }
 (** [keyword_lookup w ~from ~substring ~route_id ~window ()] floods the
     s-network serving [route_id] and reports, after [window] simulated
     ms, every stored key containing [substring] (with its holder).
-    [on_result] fires exactly once. *)
+    [on_result] fires exactly once.  A trace operation id (kind [Keyword])
+    spans the flood and the match replies. *)
 val keyword_lookup :
   World.t ->
   from:Peer.t ->

@@ -1,4 +1,5 @@
 module Timer = P2p_sim.Timer
+module Trace = P2p_sim.Trace
 
 (* Every overlay link a peer maintains: its tree edges plus, for a t-peer,
    its ring neighbours. *)
@@ -58,9 +59,10 @@ let elect w ~dead =
             (List.hd members) (List.tl members)
         in
         T_network.promote_replacement w ~old_peer:dead ~replacement:smallest
-          ~transfer_data:false;
+          ~transfer_data:false ();
         Some smallest
     in
+    World.bump w ~subsystem:"failure" ~name:"elections";
     Hashtbl.replace w.World.pending_election dead.Peer.host result;
     result
 
@@ -76,6 +78,7 @@ let rec arm_watchdog w peer ~target =
 
 and on_timeout w peer ~target =
   Hashtbl.remove peer.Peer.watchdogs target.Peer.host;
+  World.bump w ~subsystem:"failure" ~name:"watchdog_timeouts";
   if peer.Peer.alive then
     if target.Peer.alive then begin
       (* False alarm (e.g. suppressed HELLOs); re-arm if still a neighbour. *)
@@ -99,7 +102,7 @@ and on_timeout w peer ~target =
             World.send w ~src:peer ~dst:root (fun () ->
                 if root.Peer.alive && peer.Peer.alive && peer.Peer.cp = None then
                   S_network.rejoin_subtree w ~child:peer ~root
-                    ~on_done:(fun ~hops:_ -> ()))
+                    ~on_done:(fun ~hops:_ -> ()) ())
           | Some _ | None -> ())
        | Some _ | None -> ());
       if Peer.is_t_peer peer && Peer.is_t_peer target then begin
@@ -160,6 +163,10 @@ let install_query_hook w =
 
 let crash w peer =
   if not peer.Peer.alive then invalid_arg "Failure.crash: peer already dead";
+  World.bump w ~subsystem:"failure" ~name:"crashes";
+  Trace.record (World.trace w) ~time:(World.now w) ~tag:"crash"
+    ~src:peer.Peer.host
+    (if Peer.is_t_peer peer then "t-peer" else "s-peer");
   peer.Peer.alive <- false;
   Data_store.clear peer.Peer.store;
   Cache.clear peer.Peer.cache;
@@ -174,6 +181,8 @@ let crash w peer =
   World.unregister w peer
 
 let repair w =
+  let op = Trace.begin_op (World.trace w) ~time:(World.now w) ~kind:Trace.Repair "" in
+  World.bump w ~subsystem:"failure" ~name:"repairs";
   let live = World.live_peers w in
   (* Pass 1: drop dead children everywhere. *)
   List.iter
@@ -198,8 +207,8 @@ let repair w =
             (* Orphans are reattached synchronously below; keep promote from
                racing them through async rejoins. *)
             home.Peer.children <- [];
-            T_network.promote_replacement w ~old_peer:home ~replacement:smallest
-              ~transfer_data:false;
+            T_network.promote_replacement w ~op ~old_peer:home ~replacement:smallest
+              ~transfer_data:false ();
             Hashtbl.replace replacements home.Peer.host smallest
         end
       | Some _ | None -> ())
@@ -274,4 +283,6 @@ let repair w =
           end
         | Some _ | None -> ())
       (World.live_peers w);
-  Hashtbl.reset w.World.pending_election
+  Hashtbl.reset w.World.pending_election;
+  Trace.end_op (World.trace w) ~time:(World.now w) ~op
+    (Printf.sprintf "%d live peers" (List.length (World.live_peers w)))

@@ -21,7 +21,9 @@
 
 (** [crash w peer] makes [peer] abruptly leave: its data evaporates, no
     pointer is repaired, its timers stop.  Detection is the neighbours'
-    problem.  @raise Invalid_argument if already dead. *)
+    problem.  A ["crash"] trace event is recorded and the
+    [failure/crashes] counter bumped.
+    @raise Invalid_argument if already dead. *)
 val crash : World.t -> Peer.t -> unit
 
 (** [enable_heartbeats w peer] starts the peer's periodic HELLO broadcast
@@ -36,5 +38,6 @@ val install_query_hook : World.t -> unit
 (** [repair w] synchronously restores all structural invariants damaged by
     crashes: elects replacements for crashed t-peers (smallest surviving
     address), reattaches orphaned subtrees, rebuilds ring pointers and
-    fingers, and recounts s-network sizes. *)
+    fingers, and recounts s-network sizes.  The whole repair is spanned by
+    one trace operation of kind [Repair]. *)
 val repair : World.t -> unit

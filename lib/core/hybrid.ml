@@ -1,5 +1,6 @@
 module Engine = P2p_sim.Engine
 module Rng = P2p_sim.Rng
+module Trace = P2p_sim.Trace
 module Graph = P2p_topology.Graph
 module Routing = P2p_topology.Routing
 module Metrics = P2p_net.Metrics
@@ -35,7 +36,8 @@ let create ~seed ~routing ?(config = Config.default) ?snet_policy ?(s_fraction =
         config.Config.transmission_ms /. Float.min (capacity src) (capacity dst));
   { w; routing; s_fraction; next_host = 0 }
 
-let create_star ~seed ~peers ?(latency = 1.0) ?config ?snet_policy ?s_fraction () =
+let create_star ~seed ~peers ?(latency = 1.0) ?config ?snet_policy ?s_fraction ?trace
+    () =
   if peers <= 0 then invalid_arg "Hybrid.create_star: peers";
   let graph = Graph.create (peers + 1) in
   let hub = peers in
@@ -43,7 +45,7 @@ let create_star ~seed ~peers ?(latency = 1.0) ?config ?snet_policy ?s_fraction (
     Graph.add_edge graph host hub ~latency
   done;
   let routing = Routing.create graph in
-  create ~seed ~routing ?config ?snet_policy ?s_fraction ()
+  create ~seed ~routing ?config ?snet_policy ?s_fraction ?trace ()
 
 let engine t = t.w.World.engine
 let trace t = Underlay.trace t.w.World.underlay
@@ -67,9 +69,11 @@ let run t = Engine.run (engine t)
 
 let run_for t ms = Engine.run_until (engine t) ~time:(now t +. ms)
 
-let finish_join t peer started ?(on_done = fun (_ : join_outcome) -> ()) ~hops () =
+let finish_join t peer started ~op ?(on_done = fun (_ : join_outcome) -> ()) ~hops () =
   let latency = now t -. started in
   Metrics.record_join (metrics t) ~latency ~hops;
+  Trace.end_op (trace t) ~time:(now t) ~op
+    (Printf.sprintf "#%d joined, %d hops, %.2f ms" peer.Peer.host hops latency);
   Failure.enable_heartbeats t.w peer;
   on_done { peer; hops; latency }
 
@@ -96,6 +100,10 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
     let peer =
       Peer.make ~cache_capacity ~host ~p_id ~role:Peer.T_peer ~link_capacity ?interest ()
     in
+    let op =
+      Trace.begin_op (trace t) ~time:started ~kind:Trace.T_join
+        (Printf.sprintf "#%d" host)
+    in
     (* A join can fail if the ring empties while the request is in
        flight; the joiner then retries through the server, bootstrapping a
        fresh ring if it is first. *)
@@ -104,16 +112,17 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
       match World.random_t_peer t.w with
       | None ->
         T_network.bootstrap t.w peer;
-        finish_join t peer started ?on_done ~hops:0 ()
+        finish_join t peer started ~op ?on_done ~hops:0 ()
       | Some introducer ->
-        T_network.join t.w ~joiner:peer ~introducer
+        T_network.join t.w ~op ~joiner:peer ~introducer
           ~on_fail:(fun () ->
             incr retries;
             if !retries <= 30 then
               ignore
-                (Engine.schedule t.w.World.engine ~delay:1.0 start_join
+                (Engine.schedule t.w.World.engine ~label:"timer" ~delay:1.0
+                   start_join
                   : Engine.handle))
-          ~on_done:(fun ~hops -> finish_join t peer started ?on_done ~hops ())
+          ~on_done:(fun ~hops -> finish_join t peer started ~op ?on_done ~hops ())
           ()
     in
     start_join ();
@@ -123,15 +132,21 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
     let peer =
       Peer.make ~cache_capacity ~host ~p_id:0 ~role:Peer.S_peer ~link_capacity ?interest ()
     in
+    let op =
+      Trace.begin_op (trace t) ~time:started ~kind:Trace.S_join
+        (Printf.sprintf "#%d" host)
+    in
     let root =
       match World.choose_s_network t.w ~joiner:peer with
       | Some root -> root
       | None -> assert false (* no_t_peers handled above *)
     in
     (* The join request first travels to the assigned t-peer. *)
-    World.send t.w ~src:peer ~dst:root (fun () ->
-        S_network.join t.w ~joiner:peer ~root ~on_done:(fun ~hops ~cp:_ ->
-            finish_join t peer started ?on_done ~hops:(hops + 1) ()));
+    World.send t.w ~op ~src:peer ~dst:root (fun () ->
+        S_network.join t.w ~op ~joiner:peer ~root
+          ~on_done:(fun ~hops ~cp:_ ->
+            finish_join t peer started ~op ?on_done ~hops:(hops + 1) ())
+          ());
     peer
 
 let settle t =
@@ -165,10 +180,19 @@ let grow t ~count ~s_fraction =
       peer)
 
 let leave t peer ?(on_done = fun () -> ()) () =
+  let op =
+    Trace.begin_op (trace t) ~time:(now t) ~kind:Trace.Leave
+      (Printf.sprintf "#%d" peer.Peer.host)
+  in
+  let on_done () =
+    Trace.end_op (trace t) ~time:(now t) ~op
+      (Printf.sprintf "#%d left" peer.Peer.host);
+    on_done ()
+  in
   match peer.Peer.role with
-  | Peer.T_peer -> T_network.leave t.w peer ~on_done
+  | Peer.T_peer -> T_network.leave t.w ~op peer ~on_done
   | Peer.S_peer ->
-    S_network.leave t.w peer;
+    S_network.leave t.w ~op peer;
     on_done ()
 
 let crash t peer = Failure.crash t.w peer

@@ -52,6 +52,7 @@ val create_star :
   ?config:Config.t ->
   ?snet_policy:World.snet_policy ->
   ?s_fraction:float ->
+  ?trace:P2p_sim.Trace.t ->
   unit ->
   t
 

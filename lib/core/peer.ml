@@ -6,6 +6,7 @@ type 'peer pending_join = {
   candidate : 'peer;
   announce : hops:int -> unit;
   hops_so_far : int;
+  op : int option;
 }
 
 type t = {

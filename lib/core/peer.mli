@@ -21,6 +21,7 @@ type 'peer pending_join = {
       (** called when the join triangle completes, with the hop count the
           join request accumulated *)
   hops_so_far : int;
+  op : int option;  (** trace operation id of the join, if tracing *)
 }
 
 type t = {

@@ -5,11 +5,12 @@ module Rng = P2p_sim.Rng
    A hop may arrive at a peer that died while the request was in flight;
    the walk then restarts at the live t-peer now owning the tree's ring
    segment (the server re-resolving the assignment). *)
-let rec walk w ~at ~hops ~attach =
+let rec walk w ?op ~at ~hops ~attach () =
   if not at.Peer.alive then begin
     match World.oracle_owner w at.Peer.p_id with
     | Some root when root.Peer.alive ->
-      World.send w ~src:at ~dst:root (fun () -> walk w ~at:root ~hops:(hops + 1) ~attach)
+      World.send w ?op ~src:at ~dst:root (fun () ->
+          walk w ?op ~at:root ~hops:(hops + 1) ~attach ())
     | Some _ | None -> () (* no live t-peer left: the join is abandoned *)
   end
   else if Peer.has_free_slot w.World.config at || at.Peer.children = [] then
@@ -20,20 +21,22 @@ let rec walk w ~at ~hops ~attach =
     | [] -> attach ~cp:at ~hops
     | _ ->
       let next = Rng.pick_list w.World.rng live_children in
-      World.send w ~src:at ~dst:next (fun () -> walk w ~at:next ~hops:(hops + 1) ~attach)
+      World.send w ?op ~src:at ~dst:next (fun () ->
+          walk w ?op ~at:next ~hops:(hops + 1) ~attach ())
   end
 
-let join w ~joiner ~root ~on_done =
+let join w ?op ~joiner ~root ~on_done () =
   let attach ~cp ~hops =
     Peer.attach_child ~parent:cp ~child:joiner;
     World.register w joiner;
     (match joiner.Peer.t_home with
      | Some home -> World.snet_size_changed w home ~delta:1
      | None -> ());
+    World.bump w ~subsystem:"s_network" ~name:"joins_completed";
     (* Completion notice travels back to the joiner. *)
-    World.send w ~src:cp ~dst:joiner (fun () -> on_done ~hops:(hops + 1) ~cp)
+    World.send w ?op ~src:cp ~dst:joiner (fun () -> on_done ~hops:(hops + 1) ~cp)
   in
-  walk w ~at:root ~hops:0 ~attach
+  walk w ?op ~at:root ~hops:0 ~attach ()
 
 let rec set_subtree_home_peer ~home peer =
   peer.Peer.t_home <- Some home;
@@ -42,14 +45,15 @@ let rec set_subtree_home_peer ~home peer =
 
 let set_subtree_home _w ~root ~home = set_subtree_home_peer ~home root
 
-let rejoin_subtree w ~child ~root ~on_done =
+let rejoin_subtree w ?op ~child ~root ~on_done () =
+  World.bump w ~subsystem:"s_network" ~name:"rejoins";
   let attach ~cp ~hops =
     Peer.attach_child ~parent:cp ~child;
     (* attach_child only rewires the child itself; carry the subtree. *)
     set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child;
     on_done ~hops
   in
-  walk w ~at:root ~hops:0 ~attach
+  walk w ?op ~at:root ~hops:0 ~attach ()
 
 (* Synchronous variant used by offline repair: same random walk, no
    messages (repair models the *outcome* of recovery, not its timing). *)
@@ -62,9 +66,10 @@ let rejoin_subtree_sync w ~child ~root =
   Peer.attach_child ~parent:cp ~child;
   set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child
 
-let leave w peer =
+let leave w ?op peer =
   if Peer.is_t_peer peer then invalid_arg "S_network.leave: t-peer";
   if not peer.Peer.alive then invalid_arg "S_network.leave: dead peer";
+  World.bump w ~subsystem:"s_network" ~name:"leaves";
   let home = Option.get peer.Peer.t_home in
   (* Transfer the data load to the connect point. *)
   (match peer.Peer.cp with
@@ -86,12 +91,14 @@ let leave w peer =
   List.iter
     (fun child ->
       child.Peer.cp <- None;
-      World.send w ~src:child ~dst:home (fun () ->
-          rejoin_subtree w ~child ~root:home ~on_done:(fun ~hops:_ -> ())))
+      World.send w ?op ~src:child ~dst:home (fun () ->
+          rejoin_subtree w ?op ~child ~root:home ~on_done:(fun ~hops:_ -> ()) ()))
     orphans
 
-let flood w ~from ~ttl ~visit =
+let flood w ?op ~from ~ttl ~visit () =
+  World.bump w ~subsystem:"s_network" ~name:"floods";
   let rec deliver peer ~depth ~sender =
+    World.bump w ~subsystem:"s_network" ~name:"flood_visits";
     (match (sender, w.World.on_query) with
      | Some s, Some hook -> hook ~receiver:peer ~sender:s
      | (None, _ | _, None) -> ());
@@ -104,7 +111,7 @@ let flood w ~from ~ttl ~visit =
       in
       List.iter
         (fun q ->
-          World.send w ~src:peer ~dst:q (fun () ->
+          World.send w ?op ~src:peer ~dst:q (fun () ->
               deliver q ~depth:(depth + 1) ~sender:(Some peer)))
         next_hops
     end

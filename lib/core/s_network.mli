@@ -11,20 +11,30 @@
     [root].  When the tree edge is wired, [on_done ~hops ~cp] fires with
     the number of overlay hops the request travelled and the chosen
     connect point.  The joiner is registered in the world and the server's
-    size table is maintained. *)
+    size table is maintained.  [op] stamps every walk message with the
+    join's trace operation id. *)
 val join :
   World.t ->
+  ?op:int ->
   joiner:Peer.t ->
   root:Peer.t ->
   on_done:(hops:int -> cp:Peer.t -> unit) ->
+  unit ->
   unit
 
 (** [rejoin_subtree w ~child ~root ~on_done] re-attaches an existing peer
     (carrying its whole subtree) under [root]'s tree — used when a parent
     leaves or crashes.  No registration or size accounting happens: the
-    peers never left the system. *)
+    peers never left the system.  [op] attributes the walk messages to the
+    triggering leave/repair operation in the trace. *)
 val rejoin_subtree :
-  World.t -> child:Peer.t -> root:Peer.t -> on_done:(hops:int -> unit) -> unit
+  World.t ->
+  ?op:int ->
+  child:Peer.t ->
+  root:Peer.t ->
+  on_done:(hops:int -> unit) ->
+  unit ->
+  unit
 
 (** [rejoin_subtree_sync w ~child ~root] is {!rejoin_subtree} without
     message traffic — used by offline repair, which models the outcome of
@@ -33,9 +43,10 @@ val rejoin_subtree_sync : World.t -> child:Peer.t -> root:Peer.t -> unit
 
 (** [leave w peer] removes an s-peer gracefully: its stored items transfer
     to its connect point, neighbours drop it, and each orphaned child
-    rejoins through the t-peer (Section 3.2.2).
+    rejoins through the t-peer (Section 3.2.2).  [op] is the trace
+    operation id of the leave.
     @raise Invalid_argument on a t-peer or a dead peer. *)
-val leave : World.t -> Peer.t -> unit
+val leave : World.t -> ?op:int -> Peer.t -> unit
 
 (** [set_subtree_home w ~root ~home] rewrites [t_home] and [p_id] of every
     member of [root]'s subtree — used after a role transfer. *)
@@ -46,12 +57,15 @@ val set_subtree_home : World.t -> root:Peer.t -> home:Peer.t -> unit
     simulated moment the query arrives, and returns whether that peer keeps
     forwarding — a peer that finds the item locally stops flooding
     (Section 3.4) while other branches continue.  The tree guarantees each
-    peer is visited at most once. *)
+    peer is visited at most once.  [op] stamps every flood message with the
+    originating operation's trace id. *)
 val flood :
   World.t ->
+  ?op:int ->
   from:Peer.t ->
   ttl:int ->
   visit:(Peer.t -> depth:int -> bool) ->
+  unit ->
   unit
 
 (** [check_tree root] verifies structural invariants of [root]'s s-network:

@@ -21,7 +21,7 @@ let closest_preceding_finger current target =
 (* Walk the ring from [current] until [p_id] falls in (current, succ];
    each forward is a message.  [use_fingers] switches between the
    O(log N) finger walk and the plain successor walk. *)
-let find_position w ~current ~p_id ~hops ~use_fingers ~on_found =
+let find_position w ?op ~current ~p_id ~hops ~use_fingers ~on_found () =
   if use_fingers then World.ensure_fingers w;
   let max_hops = (4 * Id_space.bits) + (2 * World.peer_count w) + 8 in
   let rec step current hops =
@@ -34,6 +34,7 @@ let find_position w ~current ~p_id ~hops ~use_fingers ~on_found =
       (* Crashes left the pointers inconsistent with the membership; let
          stabilization catch up, then answer from the repaired ring. *)
       World.stabilize_ring w;
+      World.bump w ~subsystem:"t_network" ~name:"stabilizations";
       match World.oracle_owner w p_id with
       | Some owner ->
         let pre = Option.value owner.Peer.pred ~default:owner in
@@ -48,7 +49,7 @@ let find_position w ~current ~p_id ~hops ~use_fingers ~on_found =
           | None -> succ
         else succ
       in
-      World.send w ~src:current ~dst:next (fun () -> step next (hops + 1))
+      World.send w ?op ~src:current ~dst:next (fun () -> step next (hops + 1))
     end
   in
   step current hops
@@ -75,24 +76,27 @@ let load_transfer_on_join w ~joiner ~succ ~pre_id =
 let rec process_queue w pre =
   match pre.Peer.join_queue with
   | [] -> ()
-  | { Peer.candidate; announce; hops_so_far } :: rest ->
+  | { Peer.candidate; announce; hops_so_far; op } :: rest ->
     pre.Peer.join_queue <- rest;
-    begin_insert w ~pre ~joiner:candidate ~hops:hops_so_far ~announce
-      ~on_fail:(fun () -> ())
+    begin_insert w ?op ~pre ~joiner:candidate ~hops:hops_so_far ~announce
+      ~on_fail:(fun () -> ()) ()
 
-and begin_insert w ~pre ~joiner ~hops ~announce ~on_fail =
+and begin_insert w ?op ~pre ~joiner ~hops ~announce ~on_fail () =
   let succ = successor_or_self pre in
   if not pre.Peer.alive then
     (* The located predecessor died meanwhile; restart from the oracle. *)
     (match World.random_t_peer w with
      | Some other ->
-       find_position w ~current:other ~p_id:joiner.Peer.p_id ~hops
+       find_position w ?op ~current:other ~p_id:joiner.Peer.p_id ~hops
          ~use_fingers:w.World.config.Config.use_fingers_for_join
-         ~on_found:(fun ~pre ~hops -> begin_insert w ~pre ~joiner ~hops ~announce ~on_fail)
+         ~on_found:(fun ~pre ~hops ->
+           begin_insert w ?op ~pre ~joiner ~hops ~announce ~on_fail ())
+         ()
      | None -> on_fail ())
   else if pre.Peer.joining || pre.Peer.leaving then
     pre.Peer.join_queue <-
-      pre.Peer.join_queue @ [ { Peer.candidate = joiner; announce; hops_so_far = hops } ]
+      pre.Peer.join_queue
+      @ [ { Peer.candidate = joiner; announce; hops_so_far = hops; op } ]
   else if
     succ != pre
     && not
@@ -101,9 +105,11 @@ and begin_insert w ~pre ~joiner ~hops ~announce ~on_fail =
   then begin
     (* The segment shrank while this request was queued; re-route the
        candidate and keep draining this peer's queue. *)
-    find_position w ~current:pre ~p_id:joiner.Peer.p_id ~hops
+    find_position w ?op ~current:pre ~p_id:joiner.Peer.p_id ~hops
       ~use_fingers:w.World.config.Config.use_fingers_for_join
-      ~on_found:(fun ~pre ~hops -> begin_insert w ~pre ~joiner ~hops ~announce ~on_fail);
+      ~on_found:(fun ~pre ~hops ->
+        begin_insert w ?op ~pre ~joiner ~hops ~announce ~on_fail ())
+      ();
     process_queue w pre
   end
   else begin
@@ -128,31 +134,33 @@ and begin_insert w ~pre ~joiner ~hops ~announce ~on_fail =
       pre.Peer.joining <- true;
       let pre_id = pre.Peer.p_id in
       (* Join triangle (Fig. 2, left): pre -> new -> suc -> pre. *)
-      World.send w ~src:pre ~dst:joiner (fun () ->
+      World.send w ?op ~src:pre ~dst:joiner (fun () ->
           joiner.Peer.succ <- Some succ;
           joiner.Peer.pred <- Some pre;
-          World.send w ~src:joiner ~dst:succ (fun () ->
+          World.send w ?op ~src:joiner ~dst:succ (fun () ->
               succ.Peer.pred <- Some joiner;
-              World.send w ~src:succ ~dst:pre (fun () ->
+              World.send w ?op ~src:succ ~dst:pre (fun () ->
                   pre.Peer.succ <- Some joiner;
                   joiner.Peer.t_home <- Some joiner;
                   World.register w joiner;
                   World.refresh_fingers_of w joiner;
                   load_transfer_on_join w ~joiner ~succ ~pre_id;
                   pre.Peer.joining <- false;
+                  World.bump w ~subsystem:"t_network" ~name:"joins_completed";
                   announce ~hops:(hops + 3);
                   process_queue w pre)))
     end
   end
 
-let join w ~joiner ~introducer ?(on_fail = fun () -> ()) ~on_done () =
+let join w ?op ~joiner ~introducer ?(on_fail = fun () -> ()) ~on_done () =
   if not (Peer.is_t_peer joiner) then invalid_arg "T_network.join: joiner must be a t-peer";
   (* The join request first travels to the introducer. *)
-  World.send w ~src:joiner ~dst:introducer (fun () ->
-      find_position w ~current:introducer ~p_id:joiner.Peer.p_id ~hops:1
+  World.send w ?op ~src:joiner ~dst:introducer (fun () ->
+      find_position w ?op ~current:introducer ~p_id:joiner.Peer.p_id ~hops:1
         ~use_fingers:w.World.config.Config.use_fingers_for_join
         ~on_found:(fun ~pre ~hops ->
-          begin_insert w ~pre ~joiner ~hops ~announce:on_done ~on_fail))
+          begin_insert w ?op ~pre ~joiner ~hops ~announce:on_done ~on_fail ())
+        ())
 
 let bootstrap w peer =
   if not (Peer.is_t_peer peer) then invalid_arg "T_network.bootstrap: t-peer required";
@@ -162,7 +170,8 @@ let bootstrap w peer =
   World.register w peer;
   World.refresh_fingers_of w peer
 
-let promote_replacement w ~old_peer ~replacement ~transfer_data =
+let promote_replacement w ?op ~old_peer ~replacement ~transfer_data () =
+  World.bump w ~subsystem:"t_network" ~name:"promotions";
   let previous_size = World.snet_size w old_peer in
   (* Detach the replacement from its tree position; its subtree follows. *)
   (match replacement.Peer.cp with
@@ -230,13 +239,13 @@ let promote_replacement w ~old_peer ~replacement ~transfer_data =
   List.iter
     (fun child ->
       child.Peer.cp <- None;
-      World.send w ~src:child ~dst:replacement (fun () ->
-          S_network.rejoin_subtree w ~child ~root:replacement
-            ~on_done:(fun ~hops:_ -> ())))
+      World.send w ?op ~src:child ~dst:replacement (fun () ->
+          S_network.rejoin_subtree w ?op ~child ~root:replacement
+            ~on_done:(fun ~hops:_ -> ()) ()))
     orphans
 
 (* Leave triangle (Fig. 2, right): leaving -> pre -> suc -> leaving. *)
-let leave_triangle w peer ~on_done =
+let leave_triangle w ?op peer ~on_done =
   peer.Peer.leaving <- true;
   let succ = successor_or_self peer in
   if succ == peer then begin
@@ -254,43 +263,44 @@ let leave_triangle w peer ~on_done =
         if w.World.config.Config.s_style = Config.Bittorrent_tracker then
           Hashtbl.replace succ.Peer.tracker_index key succ)
       (Data_store.take_all peer.Peer.store);
-    World.send w ~src:peer ~dst:pred (fun () ->
+    World.send w ?op ~src:peer ~dst:pred (fun () ->
         pred.Peer.succ <- Some succ;
-        World.send w ~src:pred ~dst:succ (fun () ->
+        World.send w ?op ~src:pred ~dst:succ (fun () ->
             (* suc checks the leaving peer is who its predecessor pointer
                points to before rewiring (Section 3.3). *)
             (match succ.Peer.pred with
              | Some p when p == peer -> succ.Peer.pred <- Some pred
              | Some _ | None -> ());
-            World.send w ~src:succ ~dst:peer (fun () ->
+            World.send w ?op ~src:succ ~dst:peer (fun () ->
                 peer.Peer.alive <- false;
                 World.unregister w peer;
                 World.substitute_in_fingers w ~old_peer:peer ~replacement:succ;
                 on_done ())))
   end
 
-let rec leave w peer ~on_done =
+let rec leave w ?op peer ~on_done =
   if not peer.Peer.alive then invalid_arg "T_network.leave: dead peer";
   if not (Peer.is_t_peer peer) then invalid_arg "T_network.leave: not a t-peer";
   if peer.Peer.joining || peer.Peer.join_queue <> [] || peer.Peer.leaving then
     (* Pending joins must complete first; retry shortly. *)
     ignore
-      (Engine.schedule w.World.engine ~delay:1.0 (fun () ->
-           if peer.Peer.alive then leave w peer ~on_done)
+      (Engine.schedule w.World.engine ~label:"timer" ~delay:1.0 (fun () ->
+           if peer.Peer.alive then leave w ?op peer ~on_done)
         : Engine.handle)
   else begin
+    World.bump w ~subsystem:"t_network" ~name:"leaves";
     let members =
       List.filter (fun m -> m != peer && m.Peer.alive) (Peer.tree_members peer)
     in
     match members with
-    | [] -> leave_triangle w peer ~on_done
+    | [] -> leave_triangle w ?op peer ~on_done
     | _ ->
       let replacement = Rng.pick_list w.World.rng members in
-      promote_replacement w ~old_peer:peer ~replacement ~transfer_data:true;
+      promote_replacement w ?op ~old_peer:peer ~replacement ~transfer_data:true ();
       on_done ()
   end
 
-let route_to_owner w ~from ~d_id ~visit ~on_arrive =
+let route_to_owner w ?op ~from ~d_id ~visit ~on_arrive () =
   if not (Peer.is_t_peer from) then invalid_arg "T_network.route_to_owner: from";
   let use_fingers = w.World.config.Config.use_fingers_for_data in
   if use_fingers then World.ensure_fingers w;
@@ -300,6 +310,7 @@ let route_to_owner w ~from ~d_id ~visit ~on_arrive =
     if Peer.covers current d_id then on_arrive ~owner:current ~hops
     else if hops > max_hops then begin
       World.stabilize_ring w;
+      World.bump w ~subsystem:"t_network" ~name:"stabilizations";
       match World.oracle_owner w d_id with
       | Some owner when owner != current -> on_arrive ~owner ~hops
       | Some _ | None -> on_arrive ~owner:current ~hops
@@ -314,7 +325,7 @@ let route_to_owner w ~from ~d_id ~visit ~on_arrive =
         else succ
       in
       if next == current then on_arrive ~owner:current ~hops
-      else World.send w ~src:current ~dst:next (fun () -> step next (hops + 1))
+      else World.send w ?op ~src:current ~dst:next (fun () -> step next (hops + 1))
     end
   in
   step from 0

@@ -26,9 +26,12 @@ open P2p_hashspace
     locked, runs the join triangle, pulls the joiner's data segment out of
     the successor's s-network, registers the peer and finally calls
     [on_done ~hops].  On an unresolvable ID conflict (full segment) the
-    join is abandoned and [on_fail] fires. *)
+    join is abandoned and [on_fail] fires.  [op] stamps every message the
+    join causes — including messages of queued, re-routed and restarted
+    attempts — with the operation id in the trace. *)
 val join :
   World.t ->
+  ?op:int ->
   joiner:Peer.t ->
   introducer:Peer.t ->
   ?on_fail:(unit -> unit) ->
@@ -44,8 +47,8 @@ val bootstrap : World.t -> Peer.t -> unit
     empty one the leave triangle runs and the data load dumps to the
     successor.  If the peer's segment is busy the leave retries shortly
     (the paper's "will not accept any leave request ... process the join
-    request first"). *)
-val leave : World.t -> Peer.t -> on_done:(unit -> unit) -> unit
+    request first").  [op] is the trace operation id of the leave. *)
+val leave : World.t -> ?op:int -> Peer.t -> on_done:(unit -> unit) -> unit
 
 (** [promote_replacement w ~old_peer ~replacement ~transfer_data] executes
     the role transfer shared by graceful leave ([transfer_data = true])
@@ -53,21 +56,31 @@ val leave : World.t -> Peer.t -> on_done:(unit -> unit) -> unit
     [replacement] becomes a t-peer with [old_peer]'s p_id and ring
     pointers, its subtree follows it, [old_peer]'s remaining children
     rejoin under it, and every finger table substitutes [old_peer] with
-    [replacement]. *)
+    [replacement].  [op] attributes the orphan-rejoin messages in the
+    trace. *)
 val promote_replacement :
-  World.t -> old_peer:Peer.t -> replacement:Peer.t -> transfer_data:bool -> unit
+  World.t ->
+  ?op:int ->
+  old_peer:Peer.t ->
+  replacement:Peer.t ->
+  transfer_data:bool ->
+  unit ->
+  unit
 
 (** [route_to_owner w ~from ~d_id ~visit ~on_arrive] forwards a data
     operation along the ring from the t-peer [from] to the t-peer owning
     [d_id].  [visit] runs at every t-peer the request reaches (including
     [from] and the owner) at message-arrival time; [on_arrive] fires at the
-    owner with the accumulated hop count. *)
+    owner with the accumulated hop count.  [op] stamps every forwarding
+    hop with the operation id in the trace. *)
 val route_to_owner :
   World.t ->
+  ?op:int ->
   from:Peer.t ->
   d_id:Id_space.id ->
   visit:(Peer.t -> unit) ->
   on_arrive:(owner:Peer.t -> hops:int -> unit) ->
+  unit ->
   unit
 
 (** [check_ring w] validates the ring: t-peers sorted by p_id with

@@ -48,8 +48,12 @@ let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network
 
 let now t = Engine.now t.engine
 
-let send t ~src ~dst f =
-  Underlay.send t.underlay ~src:src.Peer.host ~dst:dst.Peer.host f
+let trace t = Underlay.trace t.underlay
+
+let send t ?op ~src ~dst f =
+  Underlay.send t.underlay ?op ~src:src.Peer.host ~dst:dst.Peer.host f
+
+let bump t ~subsystem ~name = Metrics.bump t.metrics ~subsystem ~name
 
 let touch_ring t =
   t.t_dirty <- true;

@@ -54,8 +54,17 @@ val create :
 
 val now : t -> float
 
-(** [send t ~src ~dst f] delivers [f] over the underlay. *)
-val send : t -> src:Peer.t -> dst:Peer.t -> (unit -> unit) -> unit
+(** The underlay's trace — where operation ids are minted and every
+    message event lands. *)
+val trace : t -> P2p_sim.Trace.t
+
+(** [send t ?op ~src ~dst f] delivers [f] over the underlay, attributing
+    the message to operation [op] in the trace. *)
+val send : t -> ?op:int -> src:Peer.t -> dst:Peer.t -> (unit -> unit) -> unit
+
+(** [bump t ~subsystem ~name] increments a counter in the metrics
+    registry — the per-subsystem attribution channel. *)
+val bump : t -> subsystem:string -> name:string -> unit
 
 (** {1 Membership directory} *)
 

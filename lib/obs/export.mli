@@ -1,0 +1,41 @@
+(** Serialization of traces and metric registries.
+
+    Traces export as JSONL — one compact JSON object per line, schema
+    [{"t": <ms>, "tag": "...", "op"?: <id>, "src"?: <host>,
+    "dst"?: <host>, "detail": "..."}] — so any line-oriented tool (jq,
+    grep, a spreadsheet import) can slice a run by tag or operation id.
+    Registries export as a single JSON object ({!Registry.to_json}
+    schema) or CSV. *)
+
+(** [event_to_json e] — the JSONL object for one event.  Optional fields
+    ([op], [src], [dst]) are omitted when unset, never [null]. *)
+val event_to_json : P2p_sim.Trace.event -> Json.t
+
+(** [event_of_json j] inverts {!event_to_json}.  A missing [detail]
+    defaults to [""]; missing [t]/[tag] is an error. *)
+val event_of_json : Json.t -> (P2p_sim.Trace.event, string) result
+
+(** [trace_to_string trace] — retained events, oldest first, one JSON
+    object per line. *)
+val trace_to_string : P2p_sim.Trace.t -> string
+
+(** [events_of_jsonl text] parses a JSONL trace dump back into events
+    (blank lines skipped).  The error names the offending line. *)
+val events_of_jsonl : string -> (P2p_sim.Trace.event list, string) result
+
+(** [metrics_to_string registry] — the registry snapshot as one JSON
+    document. *)
+val metrics_to_string : Registry.t -> string
+
+(** {1 Files} *)
+
+(** [write_file ~path contents] writes (truncating) and closes. *)
+val write_file : path:string -> string -> unit
+
+(** [read_file path] reads a whole file.  @raise Sys_error on IO
+    failure. *)
+val read_file : string -> string
+
+val write_trace : path:string -> P2p_sim.Trace.t -> unit
+val write_metrics : path:string -> Registry.t -> unit
+val write_metrics_csv : path:string -> Registry.t -> unit

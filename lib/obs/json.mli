@@ -1,0 +1,42 @@
+(** Minimal JSON values, printing, and parsing.
+
+    The observability layer exports traces (JSONL) and metrics snapshots
+    (JSON) and reads them back for [p2psim report] and round-trip tests.
+    The toolchain has no JSON dependency baked in, so this module provides
+    the small self-contained subset the layer needs: exact printing of the
+    values it emits, and a strict recursive-descent parser.
+
+    Limitations (fine for our own emitted data, documented for honesty):
+    [\u] escapes outside ASCII parse to ['?'], and non-finite floats print
+    as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] prints compact single-line JSON (no insignificant
+    whitespace), suitable for JSONL. *)
+val to_string : t -> string
+
+(** [parse text] parses one complete JSON value; trailing garbage is an
+    error.  Numbers without [.]/[e] parse as [Int], others as [Float]. *)
+val parse : string -> (t, string) result
+
+(** {1 Accessors} — each returns [None] on a shape mismatch. *)
+
+(** [member key v] looks up an object field. *)
+val member : string -> t -> t option
+
+(** [to_int v] accepts [Int] and integral [Float]. *)
+val to_int : t -> int option
+
+(** [to_float v] accepts [Float] and [Int]. *)
+val to_float : t -> float option
+
+val to_str : t -> string option
+val to_list : t -> t list option

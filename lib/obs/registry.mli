@@ -1,0 +1,90 @@
+(** Subsystem-scoped metrics registry.
+
+    One registry per simulated system collects every measured quantity
+    under a [(subsystem, name)] key — ["t_network"/"joins_completed"],
+    ["underlay"/"messages"], ["data_ops"/"lookup_latency_ms"], ... — so a
+    run report can attribute cost per tier (t-network vs s-network vs
+    underlay), which a single flat record cannot.
+
+    Three metric shapes:
+    - {e counters} — monotone event counts;
+    - {e gauges} — last-written (or high-water) values;
+    - {e histograms} — value distributions, backed by
+      {!P2p_stats.Summary} so means, percentiles, and confidence
+      intervals come for free.
+
+    Handles are get-or-create: [counter t ~subsystem ~name] returns the
+    existing counter on every subsequent call, so call sites need no
+    registration phase.  Registration order is preserved in every export,
+    keeping output deterministic run to run. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Handles} — get-or-create; [Invalid_argument] if the name already
+    holds a metric of a different shape. *)
+
+val counter : t -> subsystem:string -> name:string -> counter
+val gauge : t -> subsystem:string -> name:string -> gauge
+val histogram : t -> subsystem:string -> name:string -> histogram
+
+(** {1 Recording} *)
+
+(** [incr ?by c] adds [by] (default [1]). *)
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+(** [set g v] overwrites the gauge. *)
+val set : gauge -> float -> unit
+
+(** [set_max g v] keeps the maximum ever written — high-water marks. *)
+val set_max : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** [observe h v] adds one sample. *)
+val observe : histogram -> float -> unit
+
+(** The backing summary (shared, not a copy): read-side access to count,
+    mean, percentiles, and raw samples. *)
+val summary : histogram -> P2p_stats.Summary.t
+
+(** {1 Iteration} *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type binding = { subsystem : string; name : string; metric : metric }
+
+(** All registered metrics in registration order. *)
+val bindings : t -> binding list
+
+(** Distinct subsystems in first-registration order. *)
+val subsystems : t -> string list
+
+(** [histogram_bins ?bins s] buckets a summary's samples into [bins]
+    (default [12]) fixed-width [(lo, count)] buckets over [[min, max]] —
+    the shape data a report's ASCII histogram needs.  Empty summary gives
+    [[]]; a constant summary gives one bucket. *)
+val histogram_bins : ?bins:int -> P2p_stats.Summary.t -> (float * int) list
+
+(** {1 Export} *)
+
+(** [to_json t] — one object per subsystem, one field per metric:
+    [{"kind":"counter","value":n}], [{"kind":"gauge","value":x}], or
+    [{"kind":"histogram","count":n,"mean":...,"bins":[...]}]. *)
+val to_json : t -> Json.t
+
+(** [to_csv t] — one row per metric with a fixed
+    [subsystem,name,kind,count,value,mean,min,max] header. *)
+val to_csv : t -> string
+
+val pp : Format.formatter -> t -> unit

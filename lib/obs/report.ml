@@ -1,0 +1,132 @@
+module Ascii_plot = P2p_stats.Ascii_plot
+
+type hist = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_v : float;
+  bins : (float * int) list;
+}
+
+type metric = Counter of int | Gauge of float | Histogram of hist
+
+type t = (string * (string * metric) list) list
+
+let float_field json name =
+  Option.value ~default:0.0 (Option.bind (Json.member name json) Json.to_float)
+
+let hist_of_json json =
+  let bins =
+    match Option.bind (Json.member "bins" json) Json.to_list with
+    | None -> []
+    | Some items ->
+      List.filter_map
+        (fun item ->
+          match
+            ( Option.bind (Json.member "lo" item) Json.to_float,
+              Option.bind (Json.member "count" item) Json.to_int )
+          with
+          | Some lo, Some count -> Some (lo, count)
+          | _ -> None)
+        items
+  in
+  {
+    count = Option.value ~default:0 (Option.bind (Json.member "count" json) Json.to_int);
+    mean = float_field json "mean";
+    stddev = float_field json "stddev";
+    min_v = float_field json "min";
+    p50 = float_field json "p50";
+    p90 = float_field json "p90";
+    p99 = float_field json "p99";
+    max_v = float_field json "max";
+    bins;
+  }
+
+let metric_of_json json =
+  match Option.bind (Json.member "kind" json) Json.to_str with
+  | Some "counter" -> (
+    match Option.bind (Json.member "value" json) Json.to_int with
+    | Some v -> Ok (Counter v)
+    | None -> Error "counter without integer \"value\"")
+  | Some "gauge" -> (
+    match Option.bind (Json.member "value" json) Json.to_float with
+    | Some v -> Ok (Gauge v)
+    | None -> Error "gauge without numeric \"value\"")
+  | Some "histogram" -> Ok (Histogram (hist_of_json json))
+  | Some kind -> Error (Printf.sprintf "unknown metric kind %S" kind)
+  | None -> Error "metric without \"kind\""
+
+let of_json json =
+  match json with
+  | Json.Obj subsystems ->
+    let rec subsystem_list acc = function
+      | [] -> Ok (List.rev acc)
+      | (subsystem, Json.Obj fields) :: rest ->
+        let rec metric_list macc = function
+          | [] -> Ok (List.rev macc)
+          | (name, mjson) :: mrest -> (
+            match metric_of_json mjson with
+            | Ok m -> metric_list ((name, m) :: macc) mrest
+            | Error e -> Error (Printf.sprintf "%s/%s: %s" subsystem name e))
+        in
+        (match metric_list [] fields with
+         | Ok metrics -> subsystem_list ((subsystem, metrics) :: acc) rest
+         | Error _ as e -> e)
+      | (subsystem, _) :: _ ->
+        Error (Printf.sprintf "subsystem %S is not an object" subsystem)
+    in
+    subsystem_list [] subsystems
+  | _ -> Error "metrics document must be a JSON object"
+
+let of_string text =
+  match Json.parse text with
+  | Error msg -> Error ("JSON parse error: " ^ msg)
+  | Ok json -> of_json json
+
+let of_registry registry =
+  match of_json (Registry.to_json registry) with
+  | Ok report -> report
+  | Error msg ->
+    (* to_json always produces the schema of_json reads *)
+    invalid_arg ("Report.of_registry: " ^ msg)
+
+let render_histogram buf name h =
+  Buffer.add_string buf
+    (Printf.sprintf "  %-28s n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+       name h.count h.mean h.stddev h.min_v h.p50 h.p90 h.p99 h.max_v);
+  if h.bins <> [] && h.count > 1 then begin
+    let bars =
+      List.map (fun (lo, count) -> (Printf.sprintf "%10.2f" lo, float_of_int count)) h.bins
+    in
+    let chart = Ascii_plot.histogram ~bars () in
+    String.split_on_char '\n' chart
+    |> List.iter (fun line ->
+           if line <> "" then Buffer.add_string buf ("    " ^ line ^ "\n"))
+  end
+
+let render report =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (subsystem, metrics) ->
+      Buffer.add_string buf (Printf.sprintf "== %s ==\n" subsystem);
+      (* counters and gauges first, aligned; histograms after with charts *)
+      List.iter
+        (fun (name, metric) ->
+          match metric with
+          | Counter v -> Buffer.add_string buf (Printf.sprintf "  %-28s %d\n" name v)
+          | Gauge v -> Buffer.add_string buf (Printf.sprintf "  %-28s %g\n" name v)
+          | Histogram _ -> ())
+        metrics;
+      List.iter
+        (fun (name, metric) ->
+          match metric with
+          | Histogram h -> render_histogram buf name h
+          | Counter _ | Gauge _ -> ())
+        metrics;
+      Buffer.add_char buf '\n')
+    report;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Run reports: parse an exported metrics snapshot and pretty-print it.
+
+    [p2psim report m.json] reads a file written by {!Export.write_metrics}
+    and renders per-subsystem counter tables and ASCII latency histograms
+    (via {!P2p_stats.Ascii_plot}), so a run's cost profile is readable in
+    a terminal without any external tooling. *)
+
+(** A parsed histogram snapshot: summary statistics plus fixed-width
+    [(lo, count)] buckets for chart rendering. *)
+type hist = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_v : float;
+  bins : (float * int) list;
+}
+
+type metric = Counter of int | Gauge of float | Histogram of hist
+
+(** Subsystems in file order, each with its metrics in file order. *)
+type t = (string * (string * metric) list) list
+
+(** [of_string text] parses a metrics JSON document ({!Registry.to_json}
+    schema). *)
+val of_string : string -> (t, string) result
+
+(** [of_registry registry] snapshots a live registry without a
+    serialization detour. *)
+val of_registry : Registry.t -> t
+
+(** [render report] — the full human-readable report: one [== subsystem ==]
+    section each, counters/gauges aligned, histograms with summary lines
+    and bar charts. *)
+val render : t -> string

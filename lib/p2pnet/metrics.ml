@@ -1,73 +1,90 @@
 module Summary = P2p_stats.Summary
+module Registry = P2p_obs.Registry
 
+(* The legacy flat record is now a set of handles into a Registry: every
+   recording lands in the registry (where per-subsystem exports read it),
+   and every legacy accessor reads back out of it, so the two views cannot
+   diverge. *)
 type t = {
-  mutable messages : int;
-  mutable physical_hops : int;
-  mutable lookups_issued : int;
-  mutable lookups_succeeded : int;
-  mutable lookups_failed : int;
-  mutable connum : int;
-  lookup_latency : Summary.t;
-  lookup_hops : Summary.t;
-  join_latency : Summary.t;
-  join_hops : Summary.t;
+  registry : Registry.t;
+  messages : Registry.counter;
+  physical_hops : Registry.counter;
+  lookups_issued : Registry.counter;
+  lookups_succeeded : Registry.counter;
+  lookups_failed : Registry.counter;
+  connum : Registry.counter;
+  lookup_latency : Registry.histogram;
+  lookup_hops : Registry.histogram;
+  join_latency : Registry.histogram;
+  join_hops : Registry.histogram;
 }
 
-let create () =
+let create ?registry () =
+  let registry = match registry with Some r -> r | None -> Registry.create () in
   {
-    messages = 0;
-    physical_hops = 0;
-    lookups_issued = 0;
-    lookups_succeeded = 0;
-    lookups_failed = 0;
-    connum = 0;
-    lookup_latency = Summary.create ();
-    lookup_hops = Summary.create ();
-    join_latency = Summary.create ();
-    join_hops = Summary.create ();
+    registry;
+    messages = Registry.counter registry ~subsystem:"underlay" ~name:"messages";
+    physical_hops = Registry.counter registry ~subsystem:"underlay" ~name:"physical_hops";
+    lookups_issued = Registry.counter registry ~subsystem:"data_ops" ~name:"lookups_issued";
+    lookups_succeeded =
+      Registry.counter registry ~subsystem:"data_ops" ~name:"lookups_succeeded";
+    lookups_failed = Registry.counter registry ~subsystem:"data_ops" ~name:"lookups_failed";
+    connum = Registry.counter registry ~subsystem:"data_ops" ~name:"connum";
+    lookup_latency =
+      Registry.histogram registry ~subsystem:"data_ops" ~name:"lookup_latency_ms";
+    lookup_hops = Registry.histogram registry ~subsystem:"data_ops" ~name:"lookup_hops";
+    join_latency =
+      Registry.histogram registry ~subsystem:"membership" ~name:"join_latency_ms";
+    join_hops = Registry.histogram registry ~subsystem:"membership" ~name:"join_hops";
   }
 
-let record_message t ~physical_hops =
-  t.messages <- t.messages + 1;
-  t.physical_hops <- t.physical_hops + physical_hops
+let registry t = t.registry
 
-let record_lookup_issued t = t.lookups_issued <- t.lookups_issued + 1
+let counter t ~subsystem ~name = Registry.counter t.registry ~subsystem ~name
+
+let bump t ~subsystem ~name = Registry.incr (counter t ~subsystem ~name)
+
+let record_message t ~physical_hops =
+  Registry.incr t.messages;
+  Registry.incr ~by:physical_hops t.physical_hops
+
+let record_lookup_issued t = Registry.incr t.lookups_issued
 
 let record_lookup_success t ~latency ~hops =
-  t.lookups_succeeded <- t.lookups_succeeded + 1;
-  Summary.add t.lookup_latency latency;
-  Summary.add t.lookup_hops (float_of_int hops)
+  Registry.incr t.lookups_succeeded;
+  Registry.observe t.lookup_latency latency;
+  Registry.observe t.lookup_hops (float_of_int hops)
 
-let record_lookup_failure t = t.lookups_failed <- t.lookups_failed + 1
+let record_lookup_failure t = Registry.incr t.lookups_failed
 
-let record_contact t = t.connum <- t.connum + 1
+let record_contact t = Registry.incr t.connum
 
-let record_contacts t n = t.connum <- t.connum + n
+let record_contacts t n = Registry.incr ~by:n t.connum
 
 let record_join t ~latency ~hops =
-  Summary.add t.join_latency latency;
-  Summary.add t.join_hops (float_of_int hops)
+  Registry.observe t.join_latency latency;
+  Registry.observe t.join_hops (float_of_int hops)
 
-let messages t = t.messages
-let physical_hops t = t.physical_hops
-let lookups_issued t = t.lookups_issued
-let lookups_succeeded t = t.lookups_succeeded
-let lookups_failed t = t.lookups_failed
+let messages t = Registry.counter_value t.messages
+let physical_hops t = Registry.counter_value t.physical_hops
+let lookups_issued t = Registry.counter_value t.lookups_issued
+let lookups_succeeded t = Registry.counter_value t.lookups_succeeded
+let lookups_failed t = Registry.counter_value t.lookups_failed
 
 let failure_ratio t =
-  if t.lookups_issued = 0 then 0.0
-  else float_of_int t.lookups_failed /. float_of_int t.lookups_issued
+  if lookups_issued t = 0 then 0.0
+  else float_of_int (lookups_failed t) /. float_of_int (lookups_issued t)
 
-let connum t = t.connum
+let connum t = Registry.counter_value t.connum
 
-let lookup_latency t = t.lookup_latency
-let lookup_hops t = t.lookup_hops
-let join_latency t = t.join_latency
-let join_hops t = t.join_hops
+let lookup_latency t = Registry.summary t.lookup_latency
+let lookup_hops t = Registry.summary t.lookup_hops
+let join_latency t = Registry.summary t.join_latency
+let join_hops t = Registry.summary t.join_hops
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>messages: %d (physical hops %d)@,lookups: %d issued, %d ok, %d failed (ratio %.4f)@,connum: %d@,lookup latency: %a@,join latency: %a@]"
-    t.messages t.physical_hops t.lookups_issued t.lookups_succeeded
-    t.lookups_failed (failure_ratio t) t.connum Summary.pp t.lookup_latency
-    Summary.pp t.join_latency
+    (messages t) (physical_hops t) (lookups_issued t) (lookups_succeeded t)
+    (lookups_failed t) (failure_ratio t) (connum t) Summary.pp (lookup_latency t)
+    Summary.pp (join_latency t)

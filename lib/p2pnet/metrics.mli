@@ -8,11 +8,31 @@
     - lookup failure ratio (Fig. 5a/5b);
     - [connum] (Table 2) — the number of peers all lookups contacted;
     - join latency (Fig. 3a validation) — hops and milliseconds;
-    - raw message and physical-hop counts (bandwidth proxies). *)
+    - raw message and physical-hop counts (bandwidth proxies).
+
+    Since the observability layer landed, this record is a {e view} over a
+    {!P2p_obs.Registry}: every recorder writes a registry metric (under
+    the ["underlay"], ["data_ops"], and ["membership"] subsystems) and
+    every accessor reads it back, so the legacy API and the exported
+    registry snapshot always agree.  Subsystems reach the registry itself
+    through {!registry} (or the {!counter} convenience) to record their own
+    per-tier quantities next to these. *)
 
 type t
 
-val create : unit -> t
+(** [create ?registry ()] — a metrics view over [registry] (a fresh
+    registry when omitted). *)
+val create : ?registry:P2p_obs.Registry.t -> unit -> t
+
+(** The backing registry, for per-subsystem recording and export. *)
+val registry : t -> P2p_obs.Registry.t
+
+(** [counter t ~subsystem ~name] — get-or-create a registry counter;
+    shorthand for going through {!registry}. *)
+val counter : t -> subsystem:string -> name:string -> P2p_obs.Registry.counter
+
+(** [bump t ~subsystem ~name] increments a registry counter by one. *)
+val bump : t -> subsystem:string -> name:string -> unit
 
 (** {1 Recording} *)
 

@@ -35,7 +35,7 @@ let delay t ~src ~dst =
   if src = dst then t.processing_delay
   else Routing.distance t.routing src dst +. t.processing_delay +. transmission
 
-let send t ~src ~dst f =
+let send t ?op ~src ~dst f =
   let path_hops =
     if src = dst then 0
     else begin
@@ -47,9 +47,9 @@ let send t ~src ~dst f =
   in
   Metrics.record_message t.metrics ~physical_hops:path_hops;
   let message_delay = delay t ~src ~dst in
-  Trace.record_f t.trace ~time:(Engine.now t.engine) ~tag:"message"
-    "#%d -> #%d (%.2f ms, %d links)" src dst message_delay path_hops;
-  ignore (Engine.schedule t.engine ~delay:message_delay f : Engine.handle)
+  Trace.record_f t.trace ~time:(Engine.now t.engine) ~tag:"message" ?op ~src ~dst
+    "%.2f ms, %d links" message_delay path_hops;
+  ignore (Engine.schedule ~label:"message" t.engine ~delay:message_delay f : Engine.handle)
 
 let engine t = t.engine
 let trace t = t.trace

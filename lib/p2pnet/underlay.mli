@@ -29,9 +29,12 @@ val create :
 (** The trace this underlay records into. *)
 val trace : t -> P2p_sim.Trace.t
 
-(** [send t ~src ~dst f] delivers [f] at [now + delay src dst].  Sending to
-    self delivers after just the processing delay. *)
-val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+(** [send t ?op ~src ~dst f] delivers [f] at [now + delay src dst].
+    Sending to self delivers after just the processing delay.  [op] stamps
+    the traced ["message"] event with the operation id of the insert /
+    lookup / join that caused it (see {!P2p_sim.Trace.begin_op}), making
+    the operation's hop sequence replayable. *)
+val send : t -> ?op:int -> src:int -> dst:int -> (unit -> unit) -> unit
 
 (** [set_transmission_delay t f] installs an additional per-message delay
     [f ~src ~dst] (ms) — used to model heterogeneous access-link

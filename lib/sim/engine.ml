@@ -1,36 +1,78 @@
 type handle = Event_queue.handle
 
+type labeled = { label : string option; thunk : unit -> unit }
+
+type label_stats = { mutable fires : int; mutable cpu_s : float }
+
 type t = {
-  queue : (unit -> unit) Event_queue.t;
+  queue : labeled Event_queue.t;
   mutable clock : float;
   mutable executed : int;
   root_rng : Rng.t;
+  mutable queue_hwm : int;
+  mutable profiling : bool;
+  label_table : (string, label_stats) Hashtbl.t;
 }
 
 let create ~seed () =
-  { queue = Event_queue.create (); clock = 0.0; executed = 0; root_rng = Rng.create seed }
+  {
+    queue = Event_queue.create ();
+    clock = 0.0;
+    executed = 0;
+    root_rng = Rng.create seed;
+    queue_hwm = 0;
+    profiling = false;
+    label_table = Hashtbl.create 16;
+  }
 
 let rng t = t.root_rng
 
 let now t = t.clock
 
-let schedule t ~delay f =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Event_queue.add t.queue ~time:(t.clock +. delay) f
+let enable_profiling t = t.profiling <- true
 
-let schedule_at t ~time f =
+let profiling t = t.profiling
+
+let add t ~time ~label f =
+  let h = Event_queue.add t.queue ~time { label; thunk = f } in
+  let depth = Event_queue.length t.queue in
+  if depth > t.queue_hwm then t.queue_hwm <- depth;
+  h
+
+let schedule ?label t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  add t ~time:(t.clock +. delay) ~label f
+
+let schedule_at ?label t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.add t.queue ~time f
+  add t ~time ~label f
 
 let cancel = Event_queue.cancel
+
+let account t label cpu_s =
+  let stats =
+    match Hashtbl.find_opt t.label_table label with
+    | Some s -> s
+    | None ->
+      let s = { fires = 0; cpu_s = 0.0 } in
+      Hashtbl.add t.label_table label s;
+      s
+  in
+  stats.fires <- stats.fires + 1;
+  stats.cpu_s <- stats.cpu_s +. cpu_s
 
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
-  | Some (time, f) ->
+  | Some (time, { label; thunk }) ->
     t.clock <- time;
     t.executed <- t.executed + 1;
-    f ();
+    (match label with
+     | Some label when t.profiling ->
+       let started = Sys.time () in
+       thunk ();
+       account t label (Sys.time () -. started)
+     | Some _ | None -> thunk ());
     true
 
 let rec run t = if step t then run t
@@ -49,3 +91,11 @@ let run_until t ~time =
 let events_executed t = t.executed
 
 let pending t = Event_queue.live_length t.queue
+
+let queue_high_water t = t.queue_hwm
+
+let profile t =
+  Hashtbl.fold
+    (fun label s acc -> (label, s.fires, s.cpu_s) :: acc)
+    t.label_table []
+  |> List.sort compare

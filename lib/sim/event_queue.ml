@@ -91,6 +91,8 @@ let is_empty t =
   drop_dead t;
   t.size = 0
 
+let length t = t.size
+
 let live_length t =
   let n = ref 0 in
   for i = 0 to t.size - 1 do

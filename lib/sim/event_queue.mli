@@ -37,3 +37,8 @@ val is_empty : 'a t -> bool
 
 (** [live_length t] counts live events (O(n)). *)
 val live_length : 'a t -> int
+
+(** [length t] is the physical heap size — live plus not-yet-collected
+    cancelled events (O(1)).  An upper bound on {!live_length}, cheap
+    enough for per-event queue-depth profiling. *)
+val length : 'a t -> int

@@ -12,11 +12,12 @@ let arm t =
   let rec fire () =
     t.handle <- None;
     (match t.kind with
-     | Periodic -> t.handle <- Some (Engine.schedule t.engine ~delay:t.delay fire)
+     | Periodic ->
+       t.handle <- Some (Engine.schedule ~label:"timer" t.engine ~delay:t.delay fire)
      | One_shot -> ());
     t.action ()
   in
-  t.handle <- Some (Engine.schedule t.engine ~delay:t.delay fire)
+  t.handle <- Some (Engine.schedule ~label:"timer" t.engine ~delay:t.delay fire)
 
 let one_shot engine ~delay action =
   let t = { engine; delay; kind = One_shot; action; handle = None } in

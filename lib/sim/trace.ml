@@ -1,4 +1,41 @@
-type event = { time : float; tag : string; detail : string }
+type op_kind =
+  | Insert
+  | Lookup
+  | T_join
+  | S_join
+  | Leave
+  | Repair
+  | Keyword
+  | Custom of string
+
+let op_kind_to_string = function
+  | Insert -> "insert"
+  | Lookup -> "lookup"
+  | T_join -> "t-join"
+  | S_join -> "s-join"
+  | Leave -> "leave"
+  | Repair -> "repair"
+  | Keyword -> "keyword"
+  | Custom s -> s
+
+let op_kind_of_string = function
+  | "insert" -> Insert
+  | "lookup" -> Lookup
+  | "t-join" -> T_join
+  | "s-join" -> S_join
+  | "leave" -> Leave
+  | "repair" -> Repair
+  | "keyword" -> Keyword
+  | s -> Custom s
+
+type event = {
+  time : float;
+  tag : string;
+  op : int option;
+  src : int option;
+  dst : int option;
+  detail : string;
+}
 
 type t = {
   capacity : int;
@@ -6,6 +43,7 @@ type t = {
   mutable next : int; (* slot for the next write *)
   mutable retained : int;
   mutable total : int;
+  mutable next_op : int;
   active : bool;
 }
 
@@ -17,25 +55,44 @@ let create ~capacity () =
     next = 0;
     retained = 0;
     total = 0;
+    next_op = 0;
     active = true;
   }
 
 let disabled =
-  { capacity = 1; buffer = [| None |]; next = 0; retained = 0; total = 0; active = false }
+  {
+    capacity = 1;
+    buffer = [| None |];
+    next = 0;
+    retained = 0;
+    total = 0;
+    next_op = 0;
+    active = false;
+  }
 
 let enabled t = t.active
 
-let record t ~time ~tag detail =
+let record t ~time ~tag ?op ?src ?dst detail =
   if t.active then begin
-    t.buffer.(t.next) <- Some { time; tag; detail };
+    t.buffer.(t.next) <- Some { time; tag; op; src; dst; detail };
     t.next <- (t.next + 1) mod t.capacity;
     if t.retained < t.capacity then t.retained <- t.retained + 1;
     t.total <- t.total + 1
   end
 
-let record_f t ~time ~tag fmt =
-  if t.active then Printf.ksprintf (record t ~time ~tag) fmt
+let record_f t ~time ~tag ?op ?src ?dst fmt =
+  if t.active then Printf.ksprintf (record t ~time ~tag ?op ?src ?dst) fmt
   else Printf.ikfprintf (fun () -> ()) () fmt
+
+let begin_op t ~time ~kind detail =
+  let id = t.next_op in
+  t.next_op <- t.next_op + 1;
+  record t ~time ~tag:(op_kind_to_string kind ^ "-start") ~op:id detail;
+  id
+
+let end_op t ~time ~op detail = record t ~time ~tag:"op-end" ~op detail
+
+let ops_started t = t.next_op
 
 let length t = t.retained
 
@@ -51,11 +108,23 @@ let events t =
 
 let find t ~tag = List.filter (fun e -> e.tag = tag) (events t)
 
+let events_of_op t op = List.filter (fun e -> e.op = Some op) (events t)
+
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.retained <- 0
 
+let pp_event ppf e =
+  let pp_id ppf = function
+    | Some i -> Format.fprintf ppf "#%d" i
+    | None -> Format.pp_print_char ppf '-'
+  in
+  Format.fprintf ppf "%.3f [%s]" e.time e.tag;
+  (match e.op with Some op -> Format.fprintf ppf " op=%d" op | None -> ());
+  (match (e.src, e.dst) with
+   | None, None -> ()
+   | src, dst -> Format.fprintf ppf " %a->%a" pp_id src pp_id dst);
+  Format.fprintf ppf " %s" e.detail
+
 let pp ppf t =
-  List.iter
-    (fun e -> Format.fprintf ppf "%.3f [%s] %s@." e.time e.tag e.detail)
-    (events t)
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,4 +1,4 @@
-(** Bounded in-memory event tracing.
+(** Bounded in-memory event tracing with operation-scoped correlation.
 
     A trace is a ring buffer of timestamped, tagged events.  Subsystems
     record what they do ([message], [join], [lookup], ...); tests and
@@ -6,14 +6,41 @@
     buffer bounded makes tracing safe to leave enabled in long experiments
     — old events fall off the back.
 
+    Every top-level operation (an insert, a lookup, a join, ...) can mint
+    an {e operation id} with {!begin_op}; each message, timer, and handler
+    the operation causes records events carrying that id, so a single
+    lookup can be replayed afterwards as an ordered per-hop event list
+    ({!events_of_op}).
+
     Recording through a disabled trace is a no-op costing one branch, so
     library code can trace unconditionally. *)
 
 type t
 
+(** The operation classes the hybrid system distinguishes.  [Custom]
+    covers ad-hoc experiment-defined operations. *)
+type op_kind =
+  | Insert
+  | Lookup
+  | T_join
+  | S_join
+  | Leave
+  | Repair
+  | Keyword
+  | Custom of string
+
+(** Stable wire name of an operation kind (["insert"], ["t-join"], ...). *)
+val op_kind_to_string : op_kind -> string
+
+(** Inverse of {!op_kind_to_string}; unknown names map to [Custom]. *)
+val op_kind_of_string : string -> op_kind
+
 type event = {
   time : float;  (** simulated ms *)
   tag : string;  (** category, e.g. ["message"], ["join"], ["crash"] *)
+  op : int option;  (** operation id the event belongs to, if any *)
+  src : int option;  (** sending host for message events *)
+  dst : int option;  (** receiving host for message events *)
   detail : string;
 }
 
@@ -27,13 +54,36 @@ val disabled : t
 (** [enabled t] — does recording do anything? *)
 val enabled : t -> bool
 
-(** [record t ~time ~tag detail] appends an event (dropping the oldest if
-    full). *)
-val record : t -> time:float -> tag:string -> string -> unit
+(** [record t ~time ~tag ?op ?src ?dst detail] appends an event (dropping
+    the oldest if full).  [op] attributes the event to an operation minted
+    with {!begin_op}; [src]/[dst] identify the hosts of a message event. *)
+val record :
+  t -> time:float -> tag:string -> ?op:int -> ?src:int -> ?dst:int -> string -> unit
 
 (** [record_f t ~time ~tag fmt ...] — like {!record} with a format string;
     the message is not built when the trace is disabled. *)
-val record_f : t -> time:float -> tag:string -> ('a, unit, string, unit) format4 -> 'a
+val record_f :
+  t ->
+  time:float ->
+  tag:string ->
+  ?op:int ->
+  ?src:int ->
+  ?dst:int ->
+  ('a, unit, string, unit) format4 ->
+  'a
+
+(** [begin_op t ~time ~kind detail] mints a fresh operation id and records
+    a ["<kind>-start"] event carrying it.  Ids are consecutive from [0] in
+    minting order, so a fixed seed yields identical ids run to run.  The id
+    is minted (and unique) even when the trace is disabled. *)
+val begin_op : t -> time:float -> kind:op_kind -> string -> int
+
+(** [end_op t ~time ~op detail] records the terminal ["op-end"] event of
+    operation [op] ([detail] conventionally carries the outcome). *)
+val end_op : t -> time:float -> op:int -> string -> unit
+
+(** Number of operation ids minted so far. *)
+val ops_started : t -> int
 
 (** Number of events currently retained. *)
 val length : t -> int
@@ -47,8 +97,16 @@ val events : t -> event list
 (** [find t ~tag] retains only events with the given tag, oldest first. *)
 val find : t -> tag:string -> event list
 
+(** [events_of_op t op] — the retained events of one operation, oldest
+    first: the operation's replayable hop-by-hop record. *)
+val events_of_op : t -> int -> event list
+
 (** [clear t] empties the buffer (the total count survives). *)
 val clear : t -> unit
 
-(** [pp ppf t] prints one event per line: ["%.3f [tag] detail"]. *)
+(** [pp_event ppf e] prints one event:
+    ["%.3f [tag] op=N #src->#dst detail"] (op and hosts only when set). *)
+val pp_event : Format.formatter -> event -> unit
+
+(** [pp ppf t] prints one event per line with {!pp_event}. *)
 val pp : Format.formatter -> t -> unit

@@ -18,6 +18,7 @@ let () =
       ("hybrid.data+failure", Test_data_failure.suite);
       ("hybrid.system", Test_hybrid.suite);
       ("hybrid.extensions", Test_extensions.suite);
+      ("observability", Test_obs.suite);
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("analysis", Test_analysis.suite);

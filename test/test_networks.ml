@@ -44,7 +44,7 @@ let test_flood_reaches_within_ttl () =
   let visited = ref [] in
   S_network.flood w ~from:root ~ttl:2 ~visit:(fun p ~depth ->
       visited := (p.Peer.host, depth) :: !visited;
-      true);
+      true) ();
   H.run h;
   (* every visited peer is within depth 2 and depths are correct *)
   List.iter
@@ -66,7 +66,7 @@ let test_flood_visits_once () =
   S_network.flood (H.world h) ~from:root ~ttl:20 ~visit:(fun p ~depth:_ ->
       Hashtbl.replace counts p.Peer.host
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.Peer.host));
-      true);
+      true) ();
   H.run h;
   Hashtbl.iter
     (fun host n -> checki (Printf.sprintf "peer #%d visited once" host) 1 n)
@@ -80,7 +80,7 @@ let test_flood_stops_at_finder () =
   let visited = ref 0 in
   S_network.flood (H.world h) ~from:root ~ttl:20 ~visit:(fun _ ~depth ->
       incr visited;
-      depth < 1);
+      depth < 1) ();
   H.run h;
   let expected =
     List.length (List.filter (fun p -> Peer.depth p <= 2) (Peer.tree_members root))
@@ -207,7 +207,8 @@ let test_route_to_owner_visits_ring () =
   let arrived = ref None in
   T_network.route_to_owner w ~from ~d_id:123_456
     ~visit:(fun p -> visited := p :: !visited)
-    ~on_arrive:(fun ~owner ~hops -> arrived := Some (owner, hops));
+    ~on_arrive:(fun ~owner ~hops -> arrived := Some (owner, hops))
+    ();
   H.run h;
   match !arrived with
   | None -> Alcotest.fail "never arrived"
@@ -228,7 +229,8 @@ let test_route_with_fingers_is_shorter () =
       let got = ref 0 in
       T_network.route_to_owner w ~from ~d_id
         ~visit:(fun _ -> ())
-        ~on_arrive:(fun ~owner:_ ~hops -> got := hops);
+        ~on_arrive:(fun ~owner:_ ~hops -> got := hops)
+        ();
       H.run h;
       total := !total + !got
     done;

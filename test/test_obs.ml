@@ -1,0 +1,309 @@
+(* Observability layer: operation-scoped traces, JSONL round-trips,
+   the metrics registry, the legacy-Metrics-as-view guarantee, engine
+   profiling, and report rendering. *)
+
+open Helpers
+module Trace = P2p_sim.Trace
+module Engine = P2p_sim.Engine
+module Metrics = P2p_net.Metrics
+module Registry = P2p_obs.Registry
+module Export = P2p_obs.Export
+module Report = P2p_obs.Report
+module Summary = P2p_stats.Summary
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let event : Trace.event Alcotest.testable = Alcotest.testable Trace.pp_event ( = )
+
+(* A traced star system grown to [n] peers. *)
+let traced_system ?(seed = 11) ?(n = 40) ?(ps = 0.5) () =
+  let trace = Trace.create ~capacity:100_000 () in
+  let h = H.create_star ~seed ~peers:200 ~trace () in
+  let members = H.grow h ~count:n ~s_fraction:ps in
+  (h, trace, members)
+
+(* --- trace buffer semantics --- *)
+
+let test_ring_buffer () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) ~tag:"tick" (string_of_int i)
+  done;
+  checki "retained" 4 (Trace.length t);
+  checki "total" 10 (Trace.total_recorded t);
+  checks "oldest retained" "7"
+    (match Trace.events t with e :: _ -> e.Trace.detail | [] -> "");
+  Trace.clear t;
+  checki "cleared" 0 (Trace.length t);
+  checki "total survives clear" 10 (Trace.total_recorded t)
+
+let test_op_kind_names () =
+  List.iter
+    (fun kind ->
+      checkb
+        (Trace.op_kind_to_string kind)
+        true
+        (Trace.op_kind_of_string (Trace.op_kind_to_string kind) = kind))
+    [
+      Trace.Insert; Trace.Lookup; Trace.T_join; Trace.S_join; Trace.Leave;
+      Trace.Repair; Trace.Keyword; Trace.Custom "resync";
+    ]
+
+let test_begin_end_op () =
+  let t = Trace.create ~capacity:64 () in
+  let a = Trace.begin_op t ~time:1.0 ~kind:Trace.Lookup "key-a" in
+  let b = Trace.begin_op t ~time:2.0 ~kind:Trace.Insert "key-b" in
+  checki "consecutive ids" (a + 1) b;
+  Trace.record t ~time:3.0 ~tag:"message" ~op:a ~src:1 ~dst:2 "hop";
+  Trace.end_op t ~time:4.0 ~op:a "done";
+  checki "ops minted" 2 (Trace.ops_started t);
+  let of_a = Trace.events_of_op t a in
+  checki "three events for op a" 3 (List.length of_a);
+  checks "starts with kind-start" "lookup-start"
+    (match of_a with e :: _ -> e.Trace.tag | [] -> "");
+  checks "ends with op-end" "op-end"
+    (match List.rev of_a with e :: _ -> e.Trace.tag | [] -> "");
+  (* ids are minted even when the trace is disabled *)
+  let d = Trace.begin_op Trace.disabled ~time:0.0 ~kind:Trace.Lookup "x" in
+  checkb "disabled still mints" true (d >= 0)
+
+(* --- JSONL export round-trip --- *)
+
+let test_jsonl_roundtrip () =
+  let t = Trace.create ~capacity:64 () in
+  let op = Trace.begin_op t ~time:0.25 ~kind:Trace.Lookup "file \"quoted\"\n" in
+  Trace.record t ~time:1.5 ~tag:"message" ~op ~src:3 ~dst:9 "12.50 ms, 4 links";
+  Trace.record t ~time:2.0 ~tag:"crash" ~src:7 "t-peer";
+  Trace.end_op t ~time:3.75 ~op "found at #9";
+  let text = Export.trace_to_string t in
+  match Export.events_of_jsonl text with
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+  | Ok events ->
+    Alcotest.check (Alcotest.list event) "round-trip" (Trace.events t) events
+
+let test_jsonl_bad_input () =
+  checkb "not json" true
+    (Result.is_error (Export.events_of_jsonl "not json at all"));
+  checkb "missing tag" true
+    (Result.is_error (Export.events_of_jsonl {|{"t":1.0,"detail":"x"}|}));
+  checkb "blank lines ok" true
+    (match Export.events_of_jsonl "\n\n" with Ok [] -> true | _ -> false)
+
+let test_system_trace_jsonl () =
+  let h, trace, _ = traced_system () in
+  let keys = insert_items h ~count:20 in
+  let r = lookup_sync h ~from:(H.random_peer h) ~key:(List.hd keys) () in
+  checkb "lookup found" true (found r);
+  match Export.events_of_jsonl (Export.trace_to_string trace) with
+  | Error e -> Alcotest.fail ("system trace does not re-parse: " ^ e)
+  | Ok events ->
+    checki "re-parses in full" (Trace.length trace) (List.length events);
+    (* the lookup's events all share its op id and end with op-end *)
+    let start =
+      List.find (fun e -> e.Trace.tag = "lookup-start") (List.rev events)
+    in
+    let op = match start.Trace.op with Some op -> op | None -> -1 in
+    let of_op = List.filter (fun e -> e.Trace.op = Some op) events in
+    checkb "lookup spans several events" true (List.length of_op >= 2);
+    checkb "terminal op-end" true
+      (List.exists (fun e -> e.Trace.tag = "op-end") of_op)
+
+let test_trace_determinism () =
+  let run () =
+    let h, trace, _ = traced_system ~seed:23 ~n:30 ~ps:0.6 () in
+    let keys = insert_items h ~count:25 in
+    List.iter
+      (fun key -> ignore (lookup_sync h ~from:(H.random_peer h) ~key () : _))
+      keys;
+    H.repair h;
+    H.run h;
+    (Export.trace_to_string trace, Export.metrics_to_string (Metrics.registry (H.metrics h)))
+  in
+  let trace1, metrics1 = run () in
+  let trace2, metrics2 = run () in
+  checks "identical trace" trace1 trace2;
+  checks "identical metrics" metrics1 metrics2
+
+(* --- registry --- *)
+
+let test_registry_basics () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~subsystem:"sub" ~name:"count" in
+  Registry.incr c;
+  Registry.incr ~by:4 c;
+  checki "counter" 5 (Registry.counter_value c);
+  checkb "get-or-create" true (Registry.counter r ~subsystem:"sub" ~name:"count" == c);
+  let g = Registry.gauge r ~subsystem:"sub" ~name:"depth" in
+  Registry.set_max g 7.0;
+  Registry.set_max g 3.0;
+  checkb "high-water" true (Registry.gauge_value g = 7.0);
+  let hist = Registry.histogram r ~subsystem:"sub" ~name:"lat" in
+  List.iter (Registry.observe hist) [ 1.0; 2.0; 3.0 ];
+  checki "samples" 3 (Summary.count (Registry.summary hist));
+  Alcotest.check_raises "shape clash"
+    (Invalid_argument "Registry.gauge: sub/count is not a gauge") (fun () ->
+      ignore (Registry.gauge r ~subsystem:"sub" ~name:"count" : Registry.gauge));
+  checki "subsystems" 1 (List.length (Registry.subsystems r));
+  checki "bindings" 3 (List.length (Registry.bindings r))
+
+let test_histogram_bins () =
+  let s = Summary.create () in
+  checki "empty" 0 (List.length (Registry.histogram_bins s));
+  Summary.add s 5.0;
+  Summary.add s 5.0;
+  checki "constant collapses to one bucket" 1
+    (List.length (Registry.histogram_bins s));
+  List.iter (Summary.add s) [ 0.0; 10.0 ];
+  let bins = Registry.histogram_bins ~bins:4 s in
+  checki "requested bins" 4 (List.length bins);
+  checki "samples conserved" 4 (List.fold_left (fun a (_, c) -> a + c) 0 bins)
+
+let test_scripted_counters () =
+  let h, _, _ = traced_system ~seed:31 ~n:20 () in
+  let reg = Metrics.registry (H.metrics h) in
+  let read name =
+    Registry.counter_value (Registry.counter reg ~subsystem:"data_ops" ~name)
+  in
+  checki "fresh inserts" 0 (read "inserts");
+  H.insert h ~from:(H.random_peer h) ~key:"the-item" ~value:"v" ();
+  H.run h;
+  checki "one insert" 1 (read "inserts");
+  let r = lookup_sync h ~from:(H.random_peer h) ~key:"the-item" () in
+  checkb "found" true (found r);
+  checki "one lookup issued" 1 (read "lookups_issued");
+  checki "one lookup succeeded" 1 (read "lookups_succeeded");
+  checki "no failures" 0 (read "lookups_failed");
+  checkb "messages flowed" true
+    (Registry.counter_value
+       (Registry.counter reg ~subsystem:"underlay" ~name:"messages")
+    > 0)
+
+let test_legacy_metrics_view () =
+  let h, _, _ = traced_system ~seed:37 ~n:30 () in
+  let keys = insert_items h ~count:15 in
+  List.iter
+    (fun key -> ignore (lookup_sync h ~from:(H.random_peer h) ~key () : _))
+    keys;
+  let m = H.metrics h in
+  let reg = Metrics.registry m in
+  let counter sub name =
+    Registry.counter_value (Registry.counter reg ~subsystem:sub ~name)
+  in
+  checki "messages" (Metrics.messages m) (counter "underlay" "messages");
+  checki "physical hops" (Metrics.physical_hops m) (counter "underlay" "physical_hops");
+  checki "issued" (Metrics.lookups_issued m) (counter "data_ops" "lookups_issued");
+  checki "succeeded" (Metrics.lookups_succeeded m)
+    (counter "data_ops" "lookups_succeeded");
+  checki "failed" (Metrics.lookups_failed m) (counter "data_ops" "lookups_failed");
+  checki "connum" (Metrics.connum m) (counter "data_ops" "connum");
+  let hist sub name =
+    Registry.summary (Registry.histogram reg ~subsystem:sub ~name)
+  in
+  checkb "lookup latency shared" true
+    (Metrics.lookup_latency m == hist "data_ops" "lookup_latency_ms");
+  checkb "join hops shared" true
+    (Metrics.join_hops m == hist "membership" "join_hops");
+  checki "joins measured" 30 (Summary.count (Metrics.join_latency m))
+
+(* --- engine profiling --- *)
+
+let test_engine_profiling () =
+  let h, _, _ = traced_system ~seed:41 ~n:10 () in
+  let e = H.engine h in
+  checkb "off by default" false (Engine.profiling e);
+  Engine.enable_profiling e;
+  checkb "on" true (Engine.profiling e);
+  let keys = insert_items h ~count:10 in
+  let r = lookup_sync h ~from:(H.random_peer h) ~key:(List.hd keys) () in
+  checkb "found" true (found r);
+  checkb "events executed" true (Engine.events_executed e > 0);
+  checkb "queue high-water" true (Engine.queue_high_water e > 0);
+  checki "drained" 0 (Engine.pending e);
+  match List.assoc_opt "message" (List.map (fun (l, n, t) -> (l, (n, t))) (Engine.profile e)) with
+  | None -> Alcotest.fail "no 'message' row in profile"
+  | Some (fires, cpu) ->
+    checkb "messages fired" true (fires > 0);
+    checkb "cpu time non-negative" true (cpu >= 0.0)
+
+(* --- export + report --- *)
+
+let test_metrics_json_roundtrip () =
+  let h, _, _ = traced_system ~seed:43 ~n:25 () in
+  let keys = insert_items h ~count:10 in
+  ignore (lookup_sync h ~from:(H.random_peer h) ~key:(List.hd keys) () : _);
+  let reg = Metrics.registry (H.metrics h) in
+  match Report.of_string (Export.metrics_to_string reg) with
+  | Error e -> Alcotest.fail ("metrics JSON does not re-parse: " ^ e)
+  | Ok parsed ->
+    let live = Report.of_registry reg in
+    checki "same subsystems" (List.length live) (List.length parsed);
+    List.iter2
+      (fun (sub_l, ms_l) (sub_p, ms_p) ->
+        checks "subsystem order" sub_l sub_p;
+        checki (sub_l ^ " metric count") (List.length ms_l) (List.length ms_p))
+      live parsed;
+    checkb "renders non-trivially" true
+      (String.length (Report.render parsed) > 100)
+
+let test_report_render () =
+  let h, _, _ = traced_system ~seed:47 ~n:25 () in
+  let keys = insert_items h ~count:10 in
+  ignore (lookup_sync h ~from:(H.random_peer h) ~key:(List.hd keys) () : _);
+  let reg = Metrics.registry (H.metrics h) in
+  let rendered = Report.render (Report.of_registry reg) in
+  let contains needle =
+    let n = String.length needle and hs = String.length rendered in
+    let rec scan i =
+      i + n <= hs && (String.sub rendered i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  checkb "underlay section" true (contains "== underlay ==");
+  checkb "data_ops section" true (contains "== data_ops ==");
+  checkb "membership section" true (contains "== membership ==");
+  checkb "counter row" true (contains "lookups_issued");
+  checkb "histogram bars" true (contains "|#")
+
+let test_export_files () =
+  let h, trace, _ = traced_system ~seed:53 ~n:15 () in
+  let keys = insert_items h ~count:5 in
+  ignore (lookup_sync h ~from:(H.random_peer h) ~key:(List.hd keys) () : _);
+  let dir = Filename.temp_file "p2p-obs" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let tpath = Filename.concat dir "t.jsonl"
+  and mpath = Filename.concat dir "m.json"
+  and cpath = Filename.concat dir "m.csv" in
+  Export.write_trace ~path:tpath trace;
+  Export.write_metrics ~path:mpath (Metrics.registry (H.metrics h));
+  Export.write_metrics_csv ~path:cpath (Metrics.registry (H.metrics h));
+  checkb "trace re-reads" true
+    (Result.is_ok (Export.events_of_jsonl (Export.read_file tpath)));
+  checkb "metrics re-read" true
+    (Result.is_ok (Report.of_string (Export.read_file mpath)));
+  let csv = Export.read_file cpath in
+  checkb "csv header" true
+    (String.length csv > 0 && String.sub csv 0 9 = "subsystem");
+  List.iter Sys.remove [ tpath; mpath; cpath ];
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "trace: ring buffer" `Quick test_ring_buffer;
+    Alcotest.test_case "trace: op kind names" `Quick test_op_kind_names;
+    Alcotest.test_case "trace: begin/end op" `Quick test_begin_end_op;
+    Alcotest.test_case "jsonl: synthetic round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl: bad input" `Quick test_jsonl_bad_input;
+    Alcotest.test_case "jsonl: system trace" `Quick test_system_trace_jsonl;
+    Alcotest.test_case "trace: deterministic across runs" `Quick test_trace_determinism;
+    Alcotest.test_case "registry: shapes" `Quick test_registry_basics;
+    Alcotest.test_case "registry: histogram bins" `Quick test_histogram_bins;
+    Alcotest.test_case "registry: scripted counters" `Quick test_scripted_counters;
+    Alcotest.test_case "registry: legacy metrics view" `Quick test_legacy_metrics_view;
+    Alcotest.test_case "engine: profiling" `Quick test_engine_profiling;
+    Alcotest.test_case "report: json round-trip" `Quick test_metrics_json_roundtrip;
+    Alcotest.test_case "report: render" `Quick test_report_render;
+    Alcotest.test_case "export: files" `Quick test_export_files;
+  ]
