@@ -163,6 +163,31 @@ let dump_metrics ?name b =
     P2p_obs.Export.write_metrics ~path (Metrics.registry (H.metrics b.h));
     Printf.printf "  [metrics -> %s]\n%!" path
 
+(* --- invariant sanity pass (--audit) --- *)
+
+(* When set (by main's --audit flag), every measured system also runs the
+   full invariant-check catalogue after its lookup phase; violations are
+   printed and Error-severity ones abort the bench run, so a structural
+   bug cannot silently shape the numbers being reported. *)
+let audit_enabled = ref false
+
+let audit_pass b =
+  if !audit_enabled then begin
+    let snap = P2p_audit.Checks.run_all (H.world b.h) in
+    match P2p_audit.Checks.violations snap with
+    | [] -> ()
+    | vs ->
+      Printf.printf "  [audit: %d violations]\n%!" (List.length vs);
+      List.iter
+        (fun v ->
+          Printf.printf "    %s\n%!" (Format.asprintf "%a" P2p_audit.Checks.pp_violation v))
+        vs;
+      if P2p_audit.Checks.errors vs <> [] then begin
+        Printf.eprintf "bench: aborting on audit errors\n";
+        exit 1
+      end
+  end
+
 (* Insert the whole corpus from random peers and settle. *)
 let insert_corpus b =
   Array.iter
@@ -184,6 +209,7 @@ let run_lookups ?ttl b ~count =
       H.lookup b.h ~from ~key:item.Keys.key ?ttl ~on_result:(fun _ -> ()) ())
     targets;
   H.run b.h;
+  audit_pass b;
   dump_metrics b
 
 (* --- output helpers --- *)

@@ -18,7 +18,7 @@ let usage () =
     "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|fig6a|fig6b|table2|\n\
     \                 ablate-delta|ablate-fingers|ablate-bypass|ablate-bt|\n\
     \                 ablate-cache|stress|bechamel]\n\
-    \                [--paper] [--metrics-dir DIR]"
+    \                [--paper] [--metrics-dir DIR] [--audit]"
 
 (* --- Bechamel micro-benchmarks: one per experiment kernel plus the hot
    core operations. --- *)
@@ -108,6 +108,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
   let scale = if paper then paper_scale else small_scale in
+  audit_enabled := List.mem "--audit" args;
   (* consume "--metrics-dir DIR" before picking the command *)
   let rec extract_metrics_dir = function
     | "--metrics-dir" :: dir :: rest ->
@@ -118,7 +119,8 @@ let () =
     | [] -> []
   in
   let commands =
-    extract_metrics_dir (List.filter (fun a -> a <> "--paper") args)
+    extract_metrics_dir
+      (List.filter (fun a -> a <> "--paper" && a <> "--audit") args)
   in
   let command = match commands with [] -> "all" | c :: _ -> c in
   Printf.printf "scale: %s\n%!" scale.label;

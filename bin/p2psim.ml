@@ -5,13 +5,18 @@
      churn     crash a fraction of the population and report the damage
      compare   hybrid vs pure Chord vs pure Gnutella on one workload
      scenario  run a declarative churn/workload script (see parse_script)
+     audit     run the invariant-check catalogue online over a live system
      analyze   print the Section-4 analytical model for given parameters
      report    pretty-print a metrics JSON file written by run *)
 
 module H = Hybrid_p2p.Hybrid
 module Peer = Hybrid_p2p.Peer
+module World = Hybrid_p2p.World
 module Config = Hybrid_p2p.Config
 module Data_ops = Hybrid_p2p.Data_ops
+module Data_store = Hybrid_p2p.Data_store
+module Auditor = P2p_audit.Auditor
+module Checks = P2p_audit.Checks
 module Rng = P2p_sim.Rng
 module Trace = P2p_sim.Trace
 module Engine = P2p_sim.Engine
@@ -112,6 +117,41 @@ let profile_arg =
           "Enable engine profiling: per-label handler CPU time and the event-queue \
            high-water mark, printed after the run.")
 
+let audit_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "audit-interval" ] ~docv:"MS"
+        ~doc:
+          "Run the online invariant auditor every $(docv) simulated milliseconds; \
+           violations are printed, counted under the audit/* metrics, and make the \
+           command exit non-zero.")
+
+(* Shared epilogue for audited commands: per-check summary, then the exit
+   code carries whether any Error-severity violation was ever seen. *)
+let finish_audit a =
+  Printf.printf "audit: %d ticks, %d violations (%d errors)\n" (Auditor.ticks a)
+    (Auditor.violations_total a) (Auditor.errors_total a);
+  (match Auditor.last_snapshot a with
+   | None -> ()
+   | Some snap ->
+     List.iter
+       (fun (s : Checks.status) ->
+         let verdict =
+           match s.Checks.violations with
+           | [] -> "OK"
+           | vs -> Printf.sprintf "VIOLATED (%d)" (List.length vs)
+         in
+         Printf.printf "  %-16s %s\n" s.Checks.name verdict;
+         List.iteri
+           (fun i v ->
+             if i < 5 then Printf.printf "    %s\n" (Format.asprintf "%a" Checks.pp_violation v))
+           s.Checks.violations;
+         if List.length s.Checks.violations > 5 then
+           Printf.printf "    ... and %d more\n" (List.length s.Checks.violations - 5))
+       snap.Checks.statuses);
+  if Auditor.errors_total a > 0 then Some 1 else None
+
 (* Snapshot engine counters into the registry so exported metrics carry
    them alongside the protocol subsystems. *)
 let snapshot_engine_stats h =
@@ -203,7 +243,7 @@ let print_metrics h =
 
 let run_cmd =
   let run seed ps n items lookups ttl delta placement trace_out trace_cap metrics_out
-      metrics_csv profile =
+      metrics_csv profile audit_interval =
     let config = { Config.default with Config.default_ttl = ttl; delta; placement } in
     if trace_cap <= 0 then begin
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
@@ -216,28 +256,35 @@ let run_cmd =
     in
     Printf.printf "building %d peers (p_s = %.2f) over a transit-stub underlay...\n%!" n ps;
     let h, rng = build_system ?trace ~profile ~seed ~ps ~n ~config () in
+    let auditor =
+      Option.map (fun interval -> Auditor.create ~interval (H.world h)) audit_interval
+    in
+    let drain () =
+      match auditor with None -> H.run h | Some a -> Auditor.settle a
+    in
     Printf.printf "system: %d t-peers, %d s-peers\n%!" (H.t_peer_count h) (H.s_peer_count h);
     let corpus = Keys.generate ~rng ~count:items ~categories:4 in
     Array.iter
       (fun it ->
         H.insert h ~from:(H.random_peer h) ~key:it.Keys.key ~value:it.Keys.value ())
       corpus;
-    H.run h;
+    drain ();
     Printf.printf "inserted %d items\n%!" (H.total_items h);
     let targets = Keys.lookup_sequence ~rng ~items:corpus ~count:lookups in
     Array.iter
       (fun it ->
         H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
       targets;
-    H.run h;
+    drain ();
     print_metrics h;
-    export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile
+    export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile;
+    match Option.bind auditor finish_audit with Some code -> exit code | None -> ()
   in
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
       $ delta_arg $ scheme_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg
-      $ metrics_csv_arg $ profile_arg)
+      $ metrics_csv_arg $ profile_arg $ audit_interval_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Build a hybrid system, insert items, run lookups, print metrics.")
@@ -397,7 +444,7 @@ let parse_script text =
   |> Result.map List.rev
 
 let scenario_cmd =
-  let run seed n script_text =
+  let run seed n script_text audit_interval metrics_out =
     match parse_script script_text with
     | Error token ->
       Printf.printf "cannot parse script token %S\n" token;
@@ -405,8 +452,24 @@ let scenario_cmd =
     | Ok script ->
       let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
       let h = H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) () in
-      let report = Scenario.run h ~seed ~script in
-      Format.printf "%a@." Scenario.pp_report report
+      let report = Scenario.run ?audit_interval h ~seed ~script in
+      Format.printf "%a@." Scenario.pp_report report;
+      (match metrics_out with
+       | Some path ->
+         (try
+            Export.write_metrics ~path (Metrics.registry (H.metrics h));
+            Printf.printf "metrics -> %s\n" path
+          with Sys_error e ->
+            Printf.eprintf "p2psim: cannot write output: %s\n" e;
+            exit 1)
+       | None -> ());
+      (* with auditing on, the exit code carries health: any violation at
+         any tick fails the command (CI gates on this) *)
+      (match report.Scenario.audit with
+       | Some a when a.Scenario.audit_violations > 0 -> exit 1
+       | Some _ | None ->
+         if audit_interval <> None && Result.is_error report.Scenario.invariants then
+           exit 1)
   in
   let script_arg =
     Arg.(
@@ -417,9 +480,140 @@ let scenario_cmd =
             "Whitespace-separated actions: join:N:PS, leave, crash, crash:F, \
              repair, insert:N, lookup:N, settle, advance:MS.")
   in
-  let term = Term.(const run $ seed_arg $ peers_arg $ script_arg) in
+  let term =
+    Term.(
+      const run $ seed_arg $ peers_arg $ script_arg $ audit_interval_arg
+      $ metrics_out_arg)
+  in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a declarative churn/workload script and report.")
+    term
+
+(* --- audit subcommand --- *)
+
+(* Deliberate corruption of a live system, for demonstrating (and testing)
+   that the auditor catches real damage.  Each injection violates exactly
+   one invariant class. *)
+let inject_corruption h ~config = function
+  | "none" -> ()
+  | "degree" ->
+    (* wire unregistered stowaway children onto a root until its tree
+       degree exceeds delta *)
+    let w = H.world h in
+    let arr = World.t_peers w in
+    if Array.length arr = 0 then failwith "no t-peer to corrupt";
+    let root = arr.(0) in
+    let needed = config.Config.delta + 1 - List.length root.Peer.children in
+    for i = 1 to max 1 needed do
+      let child =
+        Peer.make ~host:(-i) ~p_id:root.Peer.p_id ~role:Peer.S_peer
+          ~link_capacity:10.0 ()
+      in
+      Peer.attach_child ~parent:root ~child
+    done
+  | "ring" ->
+    let w = H.world h in
+    let arr = World.t_peers w in
+    if Array.length arr < 2 then failwith "need at least 2 t-peers to break the ring";
+    arr.(0).Peer.succ <- Some arr.(0)
+  | "placement" ->
+    (* plant an item whose route_id falls outside its holder's segment *)
+    let w = H.world h in
+    let arr = World.t_peers w in
+    if Array.length arr < 2 then failwith "need at least 2 t-peers to misplace an item";
+    let victim = arr.(0) in
+    let outside = Peer.segment_left victim in
+    Data_store.insert_routed victim.Peer.store ~route_id:outside
+      ~key:"audit-misplaced" ~value:"x"
+  | other -> failwith (Printf.sprintf "unknown injection %S" other)
+
+let audit_cmd =
+  let run seed ps n items lookups interval inject checks trace_out trace_cap metrics_out
+      metrics_csv =
+    let config = Config.default in
+    if trace_cap <= 0 then begin
+      Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
+      exit 1
+    end;
+    let selected =
+      match checks with
+      | [] -> Checks.all
+      | names -> (
+        match Checks.select names with
+        | Ok cs -> cs
+        | Error unknown ->
+          Printf.eprintf "p2psim audit: unknown check %S (have: %s)\n" unknown
+            (String.concat ", " Checks.names);
+          exit 1)
+    in
+    let trace =
+      match trace_out with
+      | Some _ -> Some (Trace.create ~capacity:trace_cap ())
+      | None -> None
+    in
+    Printf.printf "building %d peers (p_s = %.2f)...\n%!" n ps;
+    let h, rng = build_system ?trace ~seed ~ps ~n ~config () in
+    let a = Auditor.create ~interval ~checks:selected (H.world h) in
+    let corpus = Keys.generate ~rng ~count:items ~categories:4 in
+    Array.iter
+      (fun it ->
+        H.insert h ~from:(H.random_peer h) ~key:it.Keys.key ~value:it.Keys.value ())
+      corpus;
+    Auditor.settle a;
+    let targets = Keys.lookup_sequence ~rng ~items:corpus ~count:lookups in
+    Array.iter
+      (fun it ->
+        H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
+      targets;
+    Auditor.settle a;
+    (try inject_corruption h ~config inject
+     with Failure msg ->
+       Printf.eprintf "p2psim audit: %s\n" msg;
+       exit 2);
+    if inject <> "none" then
+      Printf.printf "injected corruption: %s\n" inject;
+    (* let the armed periodic timer catch whatever state the run ended in *)
+    Auditor.start a;
+    H.run_for h (2.0 *. interval);
+    Auditor.stop a;
+    export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile:false;
+    match finish_audit a with Some code -> exit code | None -> ()
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 250.0
+      & info [ "interval" ] ~docv:"MS" ~doc:"Audit cadence in simulated milliseconds.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "inject" ] ~docv:"KIND"
+          ~doc:
+            "Deliberately corrupt the system before the final audit window: \
+             $(b,degree) (s-peer over the degree cap), $(b,ring) (broken successor \
+             pointer), $(b,placement) (item outside its owner's segment), or \
+             $(b,none).")
+  in
+  let checks_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "check" ] ~docv:"NAME"
+          ~doc:"Run only this catalogue check (repeatable; default: all).")
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ interval_arg
+      $ inject_arg $ checks_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg
+      $ metrics_csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Build a system, run a workload under the online invariant auditor, and exit \
+          non-zero if any Error-severity violation is found.  $(b,--inject) \
+          demonstrates detection by corrupting the system first.")
     term
 
 (* --- analyze subcommand --- *)
@@ -473,4 +667,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; analyze_cmd; report_cmd ]))
+          [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; audit_cmd; analyze_cmd;
+            report_cmd ]))

@@ -1,0 +1,85 @@
+(** Online invariant monitor: the {!Checks} catalogue on a cadence.
+
+    An auditor is bound to one live system and runs its check selection
+    every [interval] simulated milliseconds, reporting through the
+    observability substrate:
+
+    - each tick is a traced operation (kind [Custom "audit"]), and every
+      violation found lands in the trace as a severity-tagged event
+      ([audit-error] / [audit-warning]) under that operation id — so
+      damage is localized in the run's timeline, not just counted;
+    - the registry (under the ["audit"] subsystem) carries a [ticks]
+      counter, a per-check [<name>_violations] counter, a per-check
+      [<name>_last_run_ms] freshness gauge, and every health gauge the
+      checks produce (load-balance spread, peers in transit, ...);
+    - the auditor itself keeps a violations-over-time timeline and the
+      last snapshot for end-of-run summaries.
+
+    Three driving modes, matching how the rest of the repo drives the
+    engine:
+
+    - {!settle} drains the event queue like [Engine.run], ticking
+      whenever the simulated clock crosses a due time — the drop-in
+      replacement for [Hybrid.run] in scenarios;
+    - {!advance} plays the engine forward a fixed duration like
+      [Hybrid.run_for], ticking at every due time in the window;
+    - {!start}/{!stop} arm a self-rearming engine timer for callers that
+      drive the engine themselves.  While started, the event queue never
+      empties — drive with [run_for]/[run_until], not [run]. *)
+
+type t
+
+(** [create ?interval ?checks w] binds an auditor to [w].  [interval]
+    (default [250.] simulated ms) is the audit cadence; [checks] (default
+    {!Checks.all}) selects the catalogue subset.  All registry metrics
+    are pre-registered here so exports show zeroed health rows even
+    before the first tick.  @raise Invalid_argument if [interval <= 0.]. *)
+val create :
+  ?interval:float -> ?checks:Checks.check list -> Hybrid_p2p.World.t -> t
+
+val world : t -> Hybrid_p2p.World.t
+val interval : t -> float
+
+(** [tick t] runs the catalogue right now, unconditionally, and records
+    the results; returns the snapshot.  Resets the cadence: the next
+    periodic tick is due [interval] from now. *)
+val tick : t -> Checks.snapshot
+
+(** [settle t] executes pending events until the queue drains (like
+    [Hybrid.run]), ticking whenever simulated time reaches a due time,
+    plus one final tick at the drained state if anything ran since the
+    last one. *)
+val settle : t -> unit
+
+(** [advance t ~ms] plays the engine forward [ms] simulated milliseconds
+    (like [Hybrid.run_for]), ticking at every due time inside the
+    window. *)
+val advance : t -> ms:float -> unit
+
+(** [start t] arms the periodic engine timer (no-op if armed). *)
+val start : t -> unit
+
+(** [stop t] cancels the periodic timer (no-op if not armed). *)
+val stop : t -> unit
+
+(** {1 Accumulated results} *)
+
+(** Number of audit ticks run so far. *)
+val ticks : t -> int
+
+(** Total violations (both severities) across all ticks. *)
+val violations_total : t -> int
+
+(** Total [Error]-severity violations across all ticks. *)
+val errors_total : t -> int
+
+(** The most recent snapshot, if any tick has run. *)
+val last_snapshot : t -> Checks.snapshot option
+
+(** [(time, violations_found)] per tick, oldest first — the
+    violations-over-time series scenario reports summarize. *)
+val timeline : t -> (float * int) list
+
+(** [result t] — [Ok ()] if no [Error]-severity violation was ever seen,
+    otherwise the first one's description. *)
+val result : t -> (unit, string) result

@@ -1,0 +1,437 @@
+module World = Hybrid_p2p.World
+module Peer = Hybrid_p2p.Peer
+module Config = Hybrid_p2p.Config
+module Data_store = Hybrid_p2p.Data_store
+open P2p_hashspace
+
+type severity = Warning | Error
+
+let severity_to_string = function Warning -> "warning" | Error -> "error"
+
+type violation = {
+  check : string;
+  severity : severity;
+  subject : int option;
+  detail : string;
+}
+
+type status = {
+  name : string;
+  violations : violation list;
+  gauges : (string * float) list;
+}
+
+type snapshot = {
+  time : float;
+  statuses : status list;
+}
+
+type check = {
+  c_name : string;
+  c_describe : string;
+  c_run : string -> World.t -> status;
+      (* the check's own name is threaded in so violations self-attribute *)
+}
+
+let check_name c = c.c_name
+
+let describe c = c.c_describe
+
+(* Collector threaded through a check body. *)
+type collector = {
+  mutable acc : violation list; (* newest first *)
+  mutable extra : (string * float) list;
+  who : string;
+}
+
+let collector who = { acc = []; extra = []; who }
+
+let err col ?subject fmt =
+  Printf.ksprintf
+    (fun detail ->
+      col.acc <- { check = col.who; severity = Error; subject; detail } :: col.acc)
+    fmt
+
+let warn col ?subject fmt =
+  Printf.ksprintf
+    (fun detail ->
+      col.acc <- { check = col.who; severity = Warning; subject; detail } :: col.acc)
+    fmt
+
+let gauge col name value = col.extra <- (name, value) :: col.extra
+
+let finish col =
+  { name = col.who; violations = List.rev col.acc; gauges = List.rev col.extra }
+
+(* --- in-flight state recognition ----------------------------------------
+
+   A tick can land mid-protocol: between two legs of a join/leave
+   triangle, or while an orphaned subtree is walking back to its root.
+   [Peer.quiet] flags the former (engaged mutexes); a live s-peer whose
+   cp chain ends at a live s-peer with no connect point is the latter. *)
+
+(* Where does [peer]'s cp chain end? *)
+type attachment =
+  | Rooted of Peer.t  (* reached a live t-peer *)
+  | In_transit  (* chain ends at a live s-peer awaiting (re)attachment *)
+  | Stranded of Peer.t  (* chain passes through a dead peer *)
+  | Cp_cycle
+
+let resolve_attachment peer =
+  let rec follow p hops =
+    if hops > 100_000 then Cp_cycle
+    else if not p.Peer.alive then Stranded p
+    else if Peer.is_t_peer p then Rooted p
+    else
+      match p.Peer.cp with
+      | None -> In_transit
+      | Some parent -> follow parent (hops + 1)
+  in
+  follow peer 0
+
+(* --- ring symmetry ------------------------------------------------------ *)
+
+let ring_symmetry who w =
+  let col = collector who in
+  let arr = World.t_peers w in
+  let n = Array.length arr in
+  let registered = Hashtbl.create (2 * n) in
+  Array.iter (fun p -> Hashtbl.replace registered p.Peer.host ()) arr;
+  (* A pointer at an alive t-peer that is not yet registered belongs to a
+     join triangle in flight — the joiner becomes visible atomically with
+     the final leg. *)
+  let mid_join q =
+    q.Peer.alive && Peer.is_t_peer q && not (Hashtbl.mem registered q.Peer.host)
+  in
+  let busy = ref 0 in
+  Array.iter (fun p -> if not (Peer.quiet p) then incr busy) arr;
+  gauge col "ring_busy_peers" (float_of_int !busy);
+  for i = 0 to n - 1 do
+    let a = arr.(i) and b = arr.((i + 1) mod n) in
+    (* Only judge a segment whose endpoints are not mid-operation: the
+       join/leave triangles rewire pointers leg by leg under the mutex. *)
+    if Peer.quiet a && Peer.quiet b then begin
+      (match a.Peer.succ with
+       | Some s when s == b || n = 1 -> ()
+       | Some s when mid_join s -> ()
+       | Some s when not s.Peer.alive ->
+         err col ~subject:a.Peer.host "t-peer #%d: successor #%d is dead" a.Peer.host
+           s.Peer.host
+       | Some s ->
+         err col ~subject:a.Peer.host "t-peer #%d: successor #%d, expected #%d"
+           a.Peer.host s.Peer.host b.Peer.host
+       | None -> err col ~subject:a.Peer.host "t-peer #%d: no successor" a.Peer.host);
+      match b.Peer.pred with
+      | Some p when p == a || n = 1 -> ()
+      | Some p when mid_join p -> ()
+      | Some p when not p.Peer.alive ->
+        err col ~subject:b.Peer.host "t-peer #%d: predecessor #%d is dead" b.Peer.host
+          p.Peer.host
+      | Some p ->
+        err col ~subject:b.Peer.host "t-peer #%d: predecessor #%d, expected #%d"
+          b.Peer.host p.Peer.host a.Peer.host
+      | None -> err col ~subject:b.Peer.host "t-peer #%d: no predecessor" b.Peer.host
+    end
+  done;
+  (* p_ids must be unique on the ring — a duplicate makes ownership
+     ambiguous (conflicts resolve by midpoint at join time). *)
+  for i = 0 to n - 2 do
+    if arr.(i).Peer.p_id = arr.(i + 1).Peer.p_id then
+      err col ~subject:arr.(i).Peer.host "t-peers #%d and #%d share p_id %#x"
+        arr.(i).Peer.host
+        arr.(i + 1).Peer.host
+        arr.(i).Peer.p_id
+  done;
+  finish col
+
+(* --- finger tables vs the oracle ---------------------------------------- *)
+
+let finger_tables who w =
+  let col = collector who in
+  if not (World.fingers_fresh w) then begin
+    (* Fingers are refreshed lazily; comparing a stale table against the
+       oracle would misreport pending recomputation as damage. *)
+    gauge col "fingers_fresh" 0.0;
+    finish col
+  end
+  else begin
+    gauge col "fingers_fresh" 1.0;
+    let arr = World.t_peers w in
+    Array.iter
+      (fun p ->
+        let fingers = p.Peer.fingers in
+        if Array.length fingers <> Id_space.bits then
+          err col ~subject:p.Peer.host "t-peer #%d: finger table has %d entries, want %d"
+            p.Peer.host (Array.length fingers) Id_space.bits
+        else
+          Array.iteri
+            (fun k entry ->
+              let start = Id_space.finger_start ~base:p.Peer.p_id k in
+              match (entry, World.oracle_owner w start) with
+              | None, None -> ()
+              | Some f, Some expected when f == expected -> ()
+              | Some f, Some expected ->
+                err col ~subject:p.Peer.host
+                  "t-peer #%d: finger[%d] is #%d, oracle says #%d" p.Peer.host k
+                  f.Peer.host expected.Peer.host
+              | None, Some expected ->
+                err col ~subject:p.Peer.host "t-peer #%d: finger[%d] unset, oracle says #%d"
+                  p.Peer.host k expected.Peer.host
+              | Some f, None ->
+                err col ~subject:p.Peer.host "t-peer #%d: finger[%d] is #%d on an empty ring"
+                  p.Peer.host k f.Peer.host)
+            fingers)
+      arr;
+    finish col
+  end
+
+(* --- s-tree shape and the degree cap ------------------------------------ *)
+
+let tree_structure who w =
+  let col = collector who in
+  let delta = w.World.config.Config.delta in
+  let seen = Hashtbl.create 256 in
+  let rec walk root peer =
+    if Hashtbl.mem seen peer.Peer.host then
+      err col ~subject:peer.Peer.host "cycle at peer #%d in s-network of #%d"
+        peer.Peer.host root.Peer.host
+    else begin
+      Hashtbl.add seen peer.Peer.host ();
+      if Peer.tree_degree peer > delta then
+        err col ~subject:peer.Peer.host "peer #%d: degree %d exceeds cap %d"
+          peer.Peer.host (Peer.tree_degree peer) delta;
+      (match peer.Peer.t_home with
+       | Some home when home == root -> ()
+       | Some home ->
+         err col ~subject:peer.Peer.host "peer #%d: t_home is #%d, expected #%d"
+           peer.Peer.host home.Peer.host root.Peer.host
+       | None -> err col ~subject:peer.Peer.host "peer #%d: no t_home" peer.Peer.host);
+      if peer.Peer.p_id <> root.Peer.p_id then
+        err col ~subject:peer.Peer.host "peer #%d: p_id %#x differs from root #%d"
+          peer.Peer.host peer.Peer.p_id root.Peer.host;
+      List.iter
+        (fun child ->
+          if not child.Peer.alive then
+            err col ~subject:peer.Peer.host "peer #%d: child #%d is dead (undetected crash)"
+              peer.Peer.host child.Peer.host
+          else begin
+            (match child.Peer.cp with
+             | Some cp when cp == peer -> ()
+             | Some cp ->
+               err col ~subject:child.Peer.host "child #%d: cp is #%d, not parent #%d"
+                 child.Peer.host cp.Peer.host peer.Peer.host
+             | None ->
+               err col ~subject:child.Peer.host "child #%d of #%d: cp unset" child.Peer.host
+                 peer.Peer.host);
+            walk root child
+          end)
+        peer.Peer.children
+    end
+  in
+  Array.iter
+    (fun root ->
+      (match root.Peer.cp with
+       | None -> ()
+       | Some cp ->
+         err col ~subject:root.Peer.host "root #%d has a connect point (#%d)" root.Peer.host
+           cp.Peer.host);
+      walk root root)
+    (World.t_peers w);
+  finish col
+
+(* --- membership: every live peer hangs under exactly one live root ------ *)
+
+let membership who w =
+  let col = collector who in
+  let in_transit = ref 0 in
+  let by_root : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      if Peer.is_t_peer p then begin
+        (match p.Peer.t_home with
+         | Some home when home == p -> ()
+         | Some home ->
+           err col ~subject:p.Peer.host "t-peer #%d: t_home is #%d, not itself" p.Peer.host
+             home.Peer.host
+         | None -> err col ~subject:p.Peer.host "t-peer #%d: no t_home" p.Peer.host);
+        match p.Peer.cp with
+        | None -> ()
+        | Some cp ->
+          err col ~subject:p.Peer.host "t-peer #%d has a connect point (#%d)" p.Peer.host
+            cp.Peer.host
+      end
+      else
+        match resolve_attachment p with
+        | Rooted root ->
+          Hashtbl.replace by_root root.Peer.host
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_root root.Peer.host));
+          (match p.Peer.t_home with
+           | Some home when home == root -> ()
+           | Some home ->
+             err col ~subject:p.Peer.host "s-peer #%d: t_home is #%d but attached under #%d"
+               p.Peer.host home.Peer.host root.Peer.host
+           | None -> err col ~subject:p.Peer.host "s-peer #%d: no t_home" p.Peer.host)
+        | In_transit ->
+          (* a detached subtree walking back to its root — legitimate
+             between a graceful leave / promotion and the re-attach *)
+          incr in_transit
+        | Stranded dead ->
+          err col ~subject:p.Peer.host "s-peer #%d: stranded under dead peer #%d"
+            p.Peer.host dead.Peer.host
+        | Cp_cycle ->
+          err col ~subject:p.Peer.host "s-peer #%d: cp chain never reaches a root"
+            p.Peer.host)
+    (World.live_peers w);
+  gauge col "peers_in_transit" (float_of_int !in_transit);
+  (* The server's size table is only comparable when nothing is in
+     flight; stale entries while peers rejoin are expected. *)
+  if !in_transit = 0 then
+    List.iter
+      (fun (host, recorded) ->
+        let actual = Option.value ~default:0 (Hashtbl.find_opt by_root host) in
+        if recorded <> actual then
+          warn col ~subject:host
+            "server size table: s-network of #%d recorded as %d, counted %d" host recorded
+            actual)
+      (World.snet_size_entries w);
+  finish col
+
+(* --- data placement (Schemes A and B) ----------------------------------- *)
+
+let data_placement who w =
+  let col = collector who in
+  let arr = World.t_peers w in
+  if Array.length arr > 0 then begin
+    let misplaced = ref 0 in
+    List.iter
+      (fun p ->
+        if Data_store.size p.Peer.store > 0 then
+          match p.Peer.t_home with
+          | None -> () (* membership already flags this *)
+          | Some home when not home.Peer.alive -> ()
+          | Some home ->
+            (* While the root or its predecessor is mid-triangle the
+               segment boundary is moving (the leave's loaddump lands
+               before the ring is rewired); judge the segment only when
+               both ends are settled. *)
+            let boundary_settled =
+              Peer.quiet home
+              && (match home.Peer.pred with
+                  | Some pre -> Peer.quiet pre
+                  | None -> false)
+            in
+            if boundary_settled then
+              Data_store.iter p.Peer.store (fun ~key ~value:_ ~route_id ->
+                  if not (Peer.covers home route_id) then begin
+                    incr misplaced;
+                    if !misplaced <= 8 then
+                      err col ~subject:p.Peer.host
+                        "item %S (route_id %#x) at #%d outside segment of #%d" key route_id
+                        p.Peer.host home.Peer.host
+                  end))
+      (World.live_peers w);
+    if !misplaced > 8 then
+      err col "...and %d more misplaced items" (!misplaced - 8);
+    gauge col "misplaced_items" (float_of_int !misplaced)
+  end;
+  finish col
+
+(* --- load balance gauges (Fig. 4's quantity, continuously) -------------- *)
+
+let gini sizes =
+  let n = Array.length sizes in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy sizes in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( +. ) 0.0 sorted in
+    if total <= 0.0 then 0.0
+    else begin
+      let weighted = ref 0.0 in
+      Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) sorted;
+      let nf = float_of_int n in
+      ((2.0 *. !weighted) /. (nf *. total)) -. ((nf +. 1.0) /. nf)
+    end
+  end
+
+let load_balance who w =
+  let col = collector who in
+  let live = World.live_peers w in
+  let sizes =
+    Array.of_list (List.map (fun p -> float_of_int (Data_store.size p.Peer.store)) live)
+  in
+  let n = Array.length sizes in
+  let total = Array.fold_left ( +. ) 0.0 sizes in
+  let max_v = Array.fold_left Float.max 0.0 sizes in
+  gauge col "items_total" total;
+  gauge col "items_per_peer_max" max_v;
+  gauge col "items_per_peer_mean" (if n = 0 then 0.0 else total /. float_of_int n);
+  gauge col "items_gini" (gini sizes);
+  finish col
+
+(* --- catalogue ----------------------------------------------------------- *)
+
+let all =
+  [
+    {
+      c_name = "ring_symmetry";
+      c_describe = "t-ring successor/predecessor symmetry and p_id uniqueness";
+      c_run = ring_symmetry;
+    };
+    {
+      c_name = "finger_tables";
+      c_describe = "finger tables agree with the membership oracle (when fresh)";
+      c_run = finger_tables;
+    };
+    {
+      c_name = "tree_structure";
+      c_describe = "s-tree acyclicity, cp symmetry, t_home/p_id, degree cap delta";
+      c_run = tree_structure;
+    };
+    {
+      c_name = "membership";
+      c_describe = "every live peer attached under one live root; server size table";
+      c_run = membership;
+    };
+    {
+      c_name = "data_placement";
+      c_describe = "every stored item inside its holder's ring segment";
+      c_run = data_placement;
+    };
+    {
+      c_name = "load_balance";
+      c_describe = "items-per-peer spread and Gini coefficient (gauges only)";
+      c_run = load_balance;
+    };
+  ]
+
+let names = List.map (fun c -> c.c_name) all
+
+let find name = List.find_opt (fun c -> c.c_name = name) all
+
+let select wanted =
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match find name with
+      | Some c -> resolve (c :: acc) rest
+      | None -> Error name)
+  in
+  resolve [] wanted
+
+let run c w = c.c_run c.c_name w
+
+let run_all ?(checks = all) w =
+  { time = World.now w; statuses = List.map (fun c -> run c w) checks }
+
+let violations snap = List.concat_map (fun s -> s.violations) snap.statuses
+
+let errors vs = List.filter (fun v -> v.severity = Error) vs
+
+let to_result snap =
+  match errors (violations snap) with
+  | [] -> Ok ()
+  | v :: _ -> Result.Error (Printf.sprintf "%s: %s" v.check v.detail)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s: %s" (severity_to_string v.severity) v.check v.detail

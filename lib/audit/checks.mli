@@ -1,0 +1,85 @@
+(** Catalogue of named, individually runnable invariant checks.
+
+    Each check inspects a live {!Hybrid_p2p.World.t} and reports every
+    violation it can find (not just the first), plus health gauges.  The
+    checks mirror the paper's structural invariants — t-ring
+    successor/predecessor symmetry (Section 3.2.1), s-tree shape and the
+    degree cap δ (Section 3.2.2), data placement under Schemes A/B — and
+    add a load-balance view (items-per-peer spread and a Gini
+    coefficient).
+
+    Unlike {!Hybrid_p2p.Hybrid.check_invariants}, which presumes
+    quiescence, these checks are safe to run {e online}, mid-churn:
+    protocol states that are legitimately in flight (an engaged join
+    mutex, a subtree walking back to its root after a graceful leave) are
+    recognized and skipped rather than misreported.  Genuine damage — a
+    dangling ring pointer to a crashed peer, a tree edge over the degree
+    cap, an item outside its owner's segment — is still caught the moment
+    it exists. *)
+
+(** [Error] marks structural damage; [Warning] marks drift that routing
+    survives (e.g. stale server-side accounting). *)
+type severity = Warning | Error
+
+val severity_to_string : severity -> string
+
+type violation = {
+  check : string;  (** name of the check that found it *)
+  severity : severity;
+  subject : int option;  (** host of the offending peer, when one exists *)
+  detail : string;
+}
+
+(** Outcome of one check over one world state. *)
+type status = {
+  name : string;
+  violations : violation list;
+  gauges : (string * float) list;  (** health gauges, e.g. load balance *)
+}
+
+(** One catalogue run: every selected check at one simulated instant. *)
+type snapshot = {
+  time : float;
+  statuses : status list;
+}
+
+type check
+
+val check_name : check -> string
+
+(** One-line description, for [--help]-style listings. *)
+val describe : check -> string
+
+(** The full catalogue, in canonical order: [ring_symmetry],
+    [finger_tables], [tree_structure], [membership], [data_placement],
+    [load_balance]. *)
+val all : check list
+
+val names : string list
+
+val find : string -> check option
+
+(** [select names] resolves a name list against the catalogue.
+    [Error unknown] carries the first unknown name. *)
+val select : string list -> (check list, string) result
+
+(** [run check w] executes one check. *)
+val run : check -> Hybrid_p2p.World.t -> status
+
+(** [run_all ?checks w] executes the catalogue (or [checks]) and stamps
+    the world's current simulated time. *)
+val run_all : ?checks:check list -> Hybrid_p2p.World.t -> snapshot
+
+(** All violations of a snapshot, in catalogue order. *)
+val violations : snapshot -> violation list
+
+(** Only the [Error]-severity subset. *)
+val errors : violation list -> violation list
+
+(** [to_result snap] is [Ok ()] when the snapshot carries no
+    [Error]-severity violation, otherwise [Error reason] with the first
+    one — the drop-in replacement for a final
+    {!Hybrid_p2p.Hybrid.check_invariants}. *)
+val to_result : snapshot -> (unit, string) result
+
+val pp_violation : Format.formatter -> violation -> unit

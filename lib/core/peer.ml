@@ -69,6 +69,9 @@ let segment_left p =
 let covers p d_id =
   Id_space.between_incl_right d_id ~left:(segment_left p) ~right:p.p_id
 
+let quiet p =
+  p.alive && (not p.joining) && (not p.leaving) && p.join_queue = []
+
 let tree_degree p =
   List.length p.children + (match p.cp with Some _ -> 1 | None -> 0)
 

@@ -78,6 +78,12 @@ val segment_left : t -> Id_space.id
 (** [covers tpeer d_id] — does [tpeer]'s s-network serve [d_id]? *)
 val covers : t -> Id_space.id -> bool
 
+(** [quiet peer] — alive with no join/leave mutex engaged and an empty
+    join queue.  Online checks only judge ring segments whose endpoints
+    are quiet: a non-quiet peer's pointers may be mid-rewire inside a
+    join/leave triangle, which is protocol, not damage. *)
+val quiet : t -> bool
+
 (** {1 Tree structure} *)
 
 (** Tree degree: children plus one for the connect point if present.  The

@@ -121,6 +121,11 @@ let snet_size_changed t tpeer ~delta =
 
 let set_snet_size t tpeer n = Hashtbl.replace t.snet_sizes tpeer.Peer.host n
 
+let snet_size_entries t =
+  Hashtbl.fold (fun host n acc -> (host, n) :: acc) t.snet_sizes []
+
+let fingers_fresh t = not t.fingers_dirty
+
 let smallest_s_network t =
   let arr = t_peers t in
   if Array.length arr = 0 then None

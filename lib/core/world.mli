@@ -109,6 +109,17 @@ val snet_size : t -> Peer.t -> int
     transfer. *)
 val set_snet_size : t -> Peer.t -> int -> unit
 
+(** Every (t-peer host, recorded s-peer count) row of the server's size
+    table, in no particular order — the audit layer compares these against
+    live tree walks. *)
+val snet_size_entries : t -> (int * int) list
+
+(** Whether the lazily refreshed finger tables currently reflect the ring
+    membership.  [false] after a membership change until the next
+    [ensure_fingers]; checks comparing fingers to the oracle should skip
+    while stale. *)
+val fingers_fresh : t -> bool
+
 (** {1 Finger tables} *)
 
 (** [ensure_fingers t] recomputes every live t-peer's fingers if stale. *)

@@ -108,25 +108,69 @@ let render_histogram buf name h =
            if line <> "" then Buffer.add_string buf ("    " ^ line ^ "\n"))
   end
 
+let strip_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  if l > ls && String.sub s (l - ls) ls = suffix then Some (String.sub s 0 (l - ls))
+  else None
+
+(* The ["audit"] subsystem renders as a per-check health table instead of
+   a raw metric dump: the auditor writes a [<check>_violations] counter
+   and a [<check>_last_run_ms] freshness gauge per invariant check, which
+   pair up into OK / VIOLATED rows.  Metrics that follow neither naming
+   convention (the health gauges — load balance, peers in transit, ...)
+   print as usual below the table, so nothing in the file is hidden. *)
+let render_health buf metrics =
+  Buffer.add_string buf "== health (audit) ==\n";
+  (match List.assoc_opt "ticks" metrics with
+   | Some (Counter n) -> Buffer.add_string buf (Printf.sprintf "  %-28s %d\n" "audit ticks" n)
+   | _ -> ());
+  List.iter
+    (fun (name, metric) ->
+      match (metric, strip_suffix ~suffix:"_violations" name) with
+      | Counter v, Some check ->
+        let verdict = if v = 0 then "OK" else Printf.sprintf "VIOLATED (%d)" v in
+        let freshness =
+          match List.assoc_opt (check ^ "_last_run_ms") metrics with
+          | Some (Gauge t) -> Printf.sprintf "  last run %g ms" t
+          | _ -> ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  %-20s %-14s%s\n" check verdict freshness)
+      | _ -> ())
+    metrics;
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Gauge v
+        when name <> "ticks"
+             && strip_suffix ~suffix:"_last_run_ms" name = None
+             && strip_suffix ~suffix:"_violations" name = None ->
+        Buffer.add_string buf (Printf.sprintf "  %-28s %g\n" name v)
+      | _ -> ())
+    metrics;
+  Buffer.add_char buf '\n'
+
 let render report =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (subsystem, metrics) ->
-      Buffer.add_string buf (Printf.sprintf "== %s ==\n" subsystem);
-      (* counters and gauges first, aligned; histograms after with charts *)
-      List.iter
-        (fun (name, metric) ->
-          match metric with
-          | Counter v -> Buffer.add_string buf (Printf.sprintf "  %-28s %d\n" name v)
-          | Gauge v -> Buffer.add_string buf (Printf.sprintf "  %-28s %g\n" name v)
-          | Histogram _ -> ())
-        metrics;
-      List.iter
-        (fun (name, metric) ->
-          match metric with
-          | Histogram h -> render_histogram buf name h
-          | Counter _ | Gauge _ -> ())
-        metrics;
-      Buffer.add_char buf '\n')
+      if subsystem = "audit" then render_health buf metrics
+      else begin
+        Buffer.add_string buf (Printf.sprintf "== %s ==\n" subsystem);
+        (* counters and gauges first, aligned; histograms after with charts *)
+        List.iter
+          (fun (name, metric) ->
+            match metric with
+            | Counter v -> Buffer.add_string buf (Printf.sprintf "  %-28s %d\n" name v)
+            | Gauge v -> Buffer.add_string buf (Printf.sprintf "  %-28s %g\n" name v)
+            | Histogram _ -> ())
+          metrics;
+        List.iter
+          (fun (name, metric) ->
+            match metric with
+            | Histogram h -> render_histogram buf name h
+            | Counter _ | Gauge _ -> ())
+          metrics;
+        Buffer.add_char buf '\n'
+      end)
     report;
   Buffer.contents buf

@@ -34,5 +34,9 @@ val of_registry : Registry.t -> t
 
 (** [render report] — the full human-readable report: one [== subsystem ==]
     section each, counters/gauges aligned, histograms with summary lines
-    and bar charts. *)
+    and bar charts.  An ["audit"] subsystem (written by the online
+    invariant auditor) renders as a "health" section instead: one
+    OK / VIOLATED row per check, with last-run freshness, followed by the
+    health gauges.  Reports without audit metrics render exactly as
+    before. *)
 val render : t -> string

@@ -17,6 +17,13 @@ type action =
   | Settle
   | Advance of float
 
+type audit_summary = {
+  audit_ticks : int;
+  audit_violations : int;
+  audit_errors : int;
+  timeline : (float * int) list;
+}
+
 type report = {
   joined : int;
   left : int;
@@ -27,11 +34,13 @@ type report = {
   final_peers : int;
   final_items : int;
   invariants : (unit, string) result;
+  audit : audit_summary option;
 }
 
 type state = {
   h : H.t;
   rng : Rng.t;
+  auditor : P2p_audit.Auditor.t option;
   mutable keys : string list; (* inserted keys, newest first *)
   mutable key_count : int;
   mutable joined : int;
@@ -43,11 +52,18 @@ type state = {
   mutable needs_repair : bool;
 }
 
+(* Drive to quiescence; with auditing on, the drain passes through the
+   auditor so ticks land at their due times inside the drain. *)
+let drain st =
+  match st.auditor with
+  | None -> H.run st.h
+  | Some a -> P2p_audit.Auditor.settle a
+
 let join_one st ~role =
   let host = H.fresh_host st.h in
   let role = if H.peer_count st.h = 0 then Peer.T_peer else role in
   ignore (H.join st.h ~host ~role () : Peer.t);
-  H.run st.h;
+  drain st;
   st.joined <- st.joined + 1
 
 let random_live st =
@@ -66,7 +82,7 @@ let insert_items st count =
       st.inserted <- st.inserted + 1;
       H.insert st.h ~from ~key ~value:("v:" ^ key) ()
   done;
-  H.run st.h
+  drain st
 
 let lookup_items st count =
   let pool = Array.of_list st.keys in
@@ -83,7 +99,7 @@ let lookup_items st count =
             | Data_ops.Timed_out -> st.lookups_failed <- st.lookups_failed + 1)
           ()
   done;
-  H.run st.h
+  drain st
 
 let crash_fraction st fraction =
   let peers = Array.of_list (H.peers st.h) in
@@ -112,7 +128,7 @@ let step st = function
      | None -> ()
      | Some victim ->
        H.leave st.h victim ();
-       H.run st.h;
+       drain st;
        st.left <- st.left + 1)
   | Crash_random ->
     (match random_live st with
@@ -124,18 +140,29 @@ let step st = function
   | Crash_fraction fraction -> crash_fraction st fraction
   | Repair ->
     H.repair st.h;
-    H.run st.h;
+    drain st;
     st.needs_repair <- false
   | Insert_items count -> insert_items st count
   | Lookup_items count -> lookup_items st count
-  | Settle -> H.run st.h
-  | Advance ms -> H.run_for st.h ms
+  | Settle -> drain st
+  | Advance ms ->
+    (match st.auditor with
+     | None -> H.run_for st.h ms
+     | Some a -> P2p_audit.Auditor.advance a ~ms)
 
-let run h ~seed ~script =
+let run ?audit_interval ?audit_checks h ~seed ~script =
+  let auditor =
+    match audit_interval with
+    | None -> None
+    | Some interval ->
+      Some
+        (P2p_audit.Auditor.create ~interval ?checks:audit_checks (H.world h))
+  in
   let st =
     {
       h;
       rng = Rng.create seed;
+      auditor;
       keys = [];
       key_count = 0;
       joined = 0;
@@ -154,6 +181,23 @@ let run h ~seed ~script =
     H.repair st.h;
     H.run st.h
   end;
+  let invariants, audit =
+    match auditor with
+    | None -> (H.check_invariants h, None)
+    | Some a ->
+      (* close with a tick at the final (repaired, drained) state so the
+         reported invariants describe where the run ended *)
+      let final = P2p_audit.Auditor.tick a in
+      let summary =
+        {
+          audit_ticks = P2p_audit.Auditor.ticks a;
+          audit_violations = P2p_audit.Auditor.violations_total a;
+          audit_errors = P2p_audit.Auditor.errors_total a;
+          timeline = P2p_audit.Auditor.timeline a;
+        }
+      in
+      (P2p_audit.Checks.to_result final, Some summary)
+  in
   {
     joined = st.joined;
     left = st.left;
@@ -163,7 +207,8 @@ let run h ~seed ~script =
     lookups_failed = st.lookups_failed;
     final_peers = H.peer_count st.h;
     final_items = H.total_items st.h;
-    invariants = H.check_invariants st.h;
+    invariants;
+    audit;
   }
 
 let pp_report ppf (r : report) =
@@ -171,4 +216,9 @@ let pp_report ppf (r : report) =
     "@[<v>joined %d, left %d, crashed %d@,inserted %d items@,lookups: %d ok, %d failed@,final: %d peers, %d items@,invariants: %s@]"
     r.joined r.left r.crashed r.inserted r.lookups_ok r.lookups_failed r.final_peers
     r.final_items
-    (match r.invariants with Ok () -> "OK" | Error e -> "VIOLATED: " ^ e)
+    (match r.invariants with Ok () -> "OK" | Error e -> "VIOLATED: " ^ e);
+  match r.audit with
+  | None -> ()
+  | Some a ->
+    Format.fprintf ppf "@,audit: %d ticks, %d violations (%d errors)" a.audit_ticks
+      a.audit_violations a.audit_errors

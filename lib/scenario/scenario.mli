@@ -34,6 +34,17 @@ type action =
   | Settle  (** drive the engine to quiescence *)
   | Advance of float  (** advance the clock by that many ms *)
 
+(** What the online auditor saw across the whole run (present only when
+    [run] was given an [audit_interval]). *)
+type audit_summary = {
+  audit_ticks : int;  (** how many times the catalogue ran *)
+  audit_violations : int;  (** all violations, both severities *)
+  audit_errors : int;  (** [Error]-severity subset *)
+  timeline : (float * int) list;
+      (** violations found per tick, oldest first — the
+          violations-over-time series *)
+}
+
 type report = {
   joined : int;
   left : int;
@@ -44,11 +55,27 @@ type report = {
   final_peers : int;
   final_items : int;
   invariants : (unit, string) result;  (** checked after the last action *)
+  audit : audit_summary option;
 }
 
-(** [run h ~seed ~script] executes the script.  Lookups before any insert
-    are counted as failed.  The scenario's randomness is independent of
-    the system's. *)
-val run : Hybrid_p2p.Hybrid.t -> seed:int -> script:action list -> report
+(** [run ?audit_interval ?audit_checks h ~seed ~script] executes the
+    script.  Lookups before any insert are counted as failed.  The
+    scenario's randomness is independent of the system's.
+
+    With [audit_interval] (simulated ms), an online
+    {!P2p_audit.Auditor} audits the system throughout the run: every
+    settle/advance passes through the auditor so invariant checks fire on
+    cadence mid-churn, the report's [audit] field summarizes what they
+    saw, and [invariants] comes from a final audit tick over the drained,
+    repaired end state instead of the single offline
+    [Hybrid.check_invariants].  [audit_checks] narrows the catalogue
+    (default: all checks). *)
+val run :
+  ?audit_interval:float ->
+  ?audit_checks:P2p_audit.Checks.check list ->
+  Hybrid_p2p.Hybrid.t ->
+  seed:int ->
+  script:action list ->
+  report
 
 val pp_report : Format.formatter -> report -> unit

@@ -114,6 +114,12 @@ let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.retained <- 0
 
+let reset t =
+  clear t;
+  t.next <- 0;
+  t.total <- 0;
+  t.next_op <- 0
+
 let pp_event ppf e =
   let pp_id ppf = function
     | Some i -> Format.fprintf ppf "#%d" i

@@ -101,8 +101,18 @@ val find : t -> tag:string -> event list
     first: the operation's replayable hop-by-hop record. *)
 val events_of_op : t -> int -> event list
 
-(** [clear t] empties the buffer (the total count survives). *)
+(** [clear t] empties the buffer.  The lifetime accounting survives:
+    {!total_recorded} and {!ops_started} keep counting from where they
+    were, so a consumer draining the buffer in slices still sees how much
+    was ever recorded.  Use {!reset} to also zero the counters. *)
 val clear : t -> unit
+
+(** [reset t] empties the buffer {e and} zeroes the lifetime counters:
+    after [reset], {!total_recorded} and {!ops_started} are [0] and the
+    next {!begin_op} mints id [0] again — a fresh trace in place.  Only
+    safe when no live operation id minted before the reset will be used
+    afterwards (ids restart and would collide). *)
+val reset : t -> unit
 
 (** [pp_event ppf e] prints one event:
     ["%.3f [tag] op=N #src->#dst detail"] (op and hosts only when set). *)

@@ -19,6 +19,7 @@ let () =
       ("hybrid.system", Test_hybrid.suite);
       ("hybrid.extensions", Test_extensions.suite);
       ("observability", Test_obs.suite);
+      ("audit", Test_audit.suite);
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("analysis", Test_analysis.suite);

@@ -39,6 +39,56 @@ let test_ring_buffer () =
   checki "cleared" 0 (Trace.length t);
   checki "total survives clear" 10 (Trace.total_recorded t)
 
+let test_reset () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record t ~time:(float_of_int i) ~tag:"tick" (string_of_int i)
+  done;
+  let op = Trace.begin_op t ~time:7.0 ~kind:Trace.Lookup "k" in
+  checkb "op id advanced" true (op >= 0);
+  checki "ops before reset" 1 (Trace.ops_started t);
+  Trace.reset t;
+  checki "reset empties" 0 (Trace.length t);
+  checki "reset zeroes total" 0 (Trace.total_recorded t);
+  checki "reset zeroes ops" 0 (Trace.ops_started t);
+  (* a reset trace behaves like a fresh one: ids restart at 0 *)
+  checki "ids restart" 0 (Trace.begin_op t ~time:8.0 ~kind:Trace.Insert "k2");
+  Trace.record t ~time:9.0 ~tag:"tick" "after";
+  checki "records again" 2 (Trace.length t)
+
+(* Wraparound: the semantics of every read operation once more than
+   [capacity] events have been recorded. *)
+let test_wraparound () =
+  let t = Trace.create ~capacity:5 () in
+  let op_a = Trace.begin_op t ~time:0.0 ~kind:Trace.Lookup "a" in
+  let op_b = Trace.begin_op t ~time:0.5 ~kind:Trace.Insert "b" in
+  for i = 1 to 12 do
+    let op = if i mod 2 = 0 then op_a else op_b in
+    Trace.record t ~time:(float_of_int i) ~tag:(if i mod 3 = 0 then "three" else "other")
+      ~op (string_of_int i)
+  done;
+  (* 2 op-start events + 12 records = 14 total, newest 5 retained *)
+  checki "total counts evicted too" 14 (Trace.total_recorded t);
+  checki "retained = capacity" 5 (Trace.length t);
+  let details = List.map (fun e -> e.Trace.detail) (Trace.events t) in
+  Alcotest.check (Alcotest.list Alcotest.string) "oldest-first after wrap"
+    [ "8"; "9"; "10"; "11"; "12" ] details;
+  (* find only sees retained events *)
+  let threes = Trace.find t ~tag:"three" in
+  Alcotest.check (Alcotest.list Alcotest.string) "find after wrap" [ "9"; "12" ]
+    (List.map (fun e -> e.Trace.detail) threes);
+  (* op correlation survives eviction of the op's start event *)
+  let of_a = Trace.events_of_op t op_a in
+  Alcotest.check (Alcotest.list Alcotest.string) "op events after wrap"
+    [ "8"; "10"; "12" ]
+    (List.map (fun e -> e.Trace.detail) of_a);
+  (* minted ids keep counting: eviction never recycles them *)
+  checki "ops minted" 2 (Trace.ops_started t);
+  let op_c = Trace.begin_op t ~time:20.0 ~kind:Trace.Leave "c" in
+  checki "next id past eviction" (op_b + 1) op_c;
+  Trace.end_op t ~time:21.0 ~op:op_c "bye";
+  checkb "new op readable" true (List.length (Trace.events_of_op t op_c) = 2)
+
 let test_op_kind_names () =
   List.iter
     (fun kind ->
@@ -266,6 +316,38 @@ let test_report_render () =
   checkb "counter row" true (contains "lookups_issued");
   checkb "histogram bars" true (contains "|#")
 
+let contains ~haystack needle =
+  let n = String.length needle and hs = String.length haystack in
+  let rec scan i = i + n <= hs && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+(* The audit subsystem renders as a health table; reports without audit
+   metrics must render exactly as before (old JSON stays readable). *)
+let test_report_health_section () =
+  let reg = Registry.create () in
+  Registry.incr ~by:7 (Registry.counter reg ~subsystem:"audit" ~name:"ticks");
+  ignore
+    (Registry.counter reg ~subsystem:"audit" ~name:"ring_symmetry_violations"
+      : Registry.counter);
+  Registry.set (Registry.gauge reg ~subsystem:"audit" ~name:"ring_symmetry_last_run_ms") 125.0;
+  Registry.incr ~by:2
+    (Registry.counter reg ~subsystem:"audit" ~name:"tree_structure_violations");
+  Registry.set (Registry.gauge reg ~subsystem:"audit" ~name:"items_gini") 0.31;
+  Registry.incr (Registry.counter reg ~subsystem:"other" ~name:"n");
+  let rendered = Report.render (Report.of_registry reg) in
+  checkb "health heading" true (contains ~haystack:rendered "== health (audit) ==");
+  checkb "tick row" true (contains ~haystack:rendered "audit ticks");
+  checkb "clean check is OK" true (contains ~haystack:rendered "ring_symmetry        OK");
+  checkb "freshness shown" true (contains ~haystack:rendered "last run 125 ms");
+  checkb "violated check" true (contains ~haystack:rendered "VIOLATED (2)");
+  checkb "health gauges still shown" true (contains ~haystack:rendered "items_gini");
+  checkb "other subsystems untouched" true (contains ~haystack:rendered "== other ==");
+  (* no audit subsystem -> no health section, graceful degradation *)
+  let plain = Registry.create () in
+  Registry.incr (Registry.counter plain ~subsystem:"underlay" ~name:"messages");
+  let rendered = Report.render (Report.of_registry plain) in
+  checkb "no spurious health section" false (contains ~haystack:rendered "health")
+
 let test_export_files () =
   let h, trace, _ = traced_system ~seed:53 ~n:15 () in
   let keys = insert_items h ~count:5 in
@@ -292,6 +374,8 @@ let test_export_files () =
 let suite =
   [
     Alcotest.test_case "trace: ring buffer" `Quick test_ring_buffer;
+    Alcotest.test_case "trace: reset" `Quick test_reset;
+    Alcotest.test_case "trace: wraparound" `Quick test_wraparound;
     Alcotest.test_case "trace: op kind names" `Quick test_op_kind_names;
     Alcotest.test_case "trace: begin/end op" `Quick test_begin_end_op;
     Alcotest.test_case "jsonl: synthetic round-trip" `Quick test_jsonl_roundtrip;
@@ -305,5 +389,6 @@ let suite =
     Alcotest.test_case "engine: profiling" `Quick test_engine_profiling;
     Alcotest.test_case "report: json round-trip" `Quick test_metrics_json_roundtrip;
     Alcotest.test_case "report: render" `Quick test_report_render;
+    Alcotest.test_case "report: health section" `Quick test_report_health_section;
     Alcotest.test_case "export: files" `Quick test_export_files;
   ]
