@@ -7,17 +7,17 @@
      dune exec bench/main.exe -- bechamel         # Bechamel micro-benchmarks
      dune exec bench/main.exe -- fig4 --metrics-dir out/   # dump registries as JSON
 
-   Experiments: fig3a fig3b fig3-sim fig4 fig5a fig5b fig6a fig6b table2
-                ablate-delta ablate-fingers ablate-bypass ablate-bt
+   Experiments: fig3a fig3b fig3-sim fig4 fig5a fig5b durability fig6a fig6b
+                table2 ablate-delta ablate-fingers ablate-bypass ablate-bt
                 ablate-cache stress churn-live *)
 
 open Experiments
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|fig6a|fig6b|table2|\n\
-    \                 ablate-delta|ablate-fingers|ablate-bypass|ablate-bt|\n\
-    \                 ablate-cache|stress|bechamel]\n\
+    "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|durability|fig6a|\n\
+    \                 fig6b|table2|ablate-delta|ablate-fingers|ablate-bypass|\n\
+    \                 ablate-bt|ablate-cache|stress|bechamel]\n\
     \                [--paper] [--metrics-dir DIR] [--audit]"
 
 (* --- Bechamel micro-benchmarks: one per experiment kernel plus the hot
@@ -131,6 +131,7 @@ let () =
     Fig4.run ~scale ();
     Fig5.fig5a ~scale ();
     Fig5.fig5b ~scale ();
+    Fig5.durability ~scale ();
     Fig6.fig6a ~scale ();
     Fig6.fig6b ~scale ();
     Table2.run ~scale ();
@@ -151,6 +152,7 @@ let () =
   | "fig4" -> Fig4.run ~scale ()
   | "fig5a" -> Fig5.fig5a ~scale ()
   | "fig5b" -> Fig5.fig5b ~scale ()
+  | "durability" -> Fig5.durability ~scale ()
   | "fig6a" -> Fig6.fig6a ~scale ()
   | "fig6b" -> Fig6.fig6b ~scale ()
   | "table2" -> Table2.run ~scale ()

@@ -30,6 +30,7 @@ module Summary = P2p_stats.Summary
 module Keys = P2p_workload.Keys
 module Churn = P2p_workload.Churn
 module Chord = P2p_chord.Ring
+module Replication = P2p_replication.Manager
 module Scenario = P2p_scenario.Scenario
 module Mesh = P2p_gnutella.Mesh
 module F = P2p_analysis.Formulas
@@ -79,6 +80,23 @@ let scheme_arg =
     value
     & opt (conv (parse, print)) Config.Spread_to_neighbors
     & info [ "placement" ] ~docv:"SCHEME" ~doc:"Data placement: tpeer or spread.")
+
+let replication_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "r"; "replication" ] ~docv:"R"
+        ~doc:
+          "Replication factor: keep $(docv) redundant copies of every item beyond \
+           the primary (0 disables the durability layer).")
+
+let anti_entropy_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "anti-entropy" ] ~docv:"MS"
+        ~doc:
+          "After the workload, run with the periodic anti-entropy timer armed for \
+           $(docv) simulated milliseconds (requires $(b,--replication) > 0).")
 
 (* --- observability argument definitions --- *)
 
@@ -242,9 +260,17 @@ let print_metrics h =
 (* --- run subcommand --- *)
 
 let run_cmd =
-  let run seed ps n items lookups ttl delta placement trace_out trace_cap metrics_out
-      metrics_csv profile audit_interval =
-    let config = { Config.default with Config.default_ttl = ttl; delta; placement } in
+  let run seed ps n items lookups ttl delta placement replication anti_entropy trace_out
+      trace_cap metrics_out metrics_csv profile audit_interval =
+    let config =
+      {
+        Config.default with
+        Config.default_ttl = ttl;
+        delta;
+        placement;
+        replication_factor = replication;
+      }
+    in
     if trace_cap <= 0 then begin
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
       exit 1
@@ -256,6 +282,9 @@ let run_cmd =
     in
     Printf.printf "building %d peers (p_s = %.2f) over a transit-stub underlay...\n%!" n ps;
     let h, rng = build_system ?trace ~profile ~seed ~ps ~n ~config () in
+    let manager =
+      if replication > 0 then Some (Replication.install (H.world h)) else None
+    in
     let auditor =
       Option.map (fun interval -> Auditor.create ~interval (H.world h)) audit_interval
     in
@@ -276,6 +305,20 @@ let run_cmd =
         H.lookup h ~from:(H.random_peer h) ~key:it.Keys.key ~on_result:(fun _ -> ()) ())
       targets;
     drain ();
+    (match (manager, anti_entropy) with
+     | Some m, Some ms ->
+       (* the periodic timer keeps the queue non-empty: bracket it *)
+       Printf.printf "anti-entropy window: %.0f ms\n%!" ms;
+       Replication.start m;
+       (match auditor with
+        | None -> H.run_for h ms
+        | Some a -> Auditor.advance a ~ms);
+       Replication.stop m;
+       drain ()
+     | None, Some _ ->
+       Printf.eprintf "p2psim: --anti-entropy requires --replication > 0\n";
+       exit 1
+     | _, None -> ());
     print_metrics h;
     export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile;
     match Option.bind auditor finish_audit with Some code -> exit code | None -> ()
@@ -283,8 +326,9 @@ let run_cmd =
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
-      $ delta_arg $ scheme_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg
-      $ metrics_csv_arg $ profile_arg $ audit_interval_arg)
+      $ delta_arg $ scheme_arg $ replication_arg $ anti_entropy_arg $ trace_out_arg
+      $ trace_cap_arg $ metrics_out_arg $ metrics_csv_arg $ profile_arg
+      $ audit_interval_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Build a hybrid system, insert items, run lookups, print metrics.")
@@ -293,9 +337,15 @@ let run_cmd =
 (* --- churn subcommand --- *)
 
 let churn_cmd =
-  let run seed ps n crash_fraction =
-    let config = Config.default in
+  let run seed ps n crash_fraction replication =
+    let config = { Config.default with Config.replication_factor = replication } in
     let h, rng = build_system ~seed ~ps ~n ~config () in
+    let manager =
+      if replication > 0 then Some (Replication.install (H.world h)) else None
+    in
+    Option.iter
+      (fun m -> Printf.printf "replication: factor %d\n" (Replication.factor m))
+      manager;
     let corpus = Keys.generate ~rng ~count:1000 ~categories:4 in
     Array.iter
       (fun it ->
@@ -324,7 +374,9 @@ let churn_cmd =
       value & opt float 0.2
       & info [ "crash" ] ~docv:"F" ~doc:"Fraction of peers to crash.")
   in
-  let term = Term.(const run $ seed_arg $ ps_arg $ peers_arg $ fraction_arg) in
+  let term =
+    Term.(const run $ seed_arg $ ps_arg $ peers_arg $ fraction_arg $ replication_arg)
+  in
   Cmd.v (Cmd.info "churn" ~doc:"Crash a fraction of peers and measure the damage.") term
 
 (* --- compare subcommand: hybrid vs pure baselines --- *)
@@ -353,8 +405,11 @@ let compare_cmd =
       "hybrid (ps=0.7)" (Metrics.failure_ratio hm)
       (Summary.mean (Metrics.lookup_hops hm))
       (float_of_int (Metrics.connum hm) /. float_of_int lookups);
-    (* pure Chord *)
-    let ring = Chord.create () in
+    (* pure Chord, with the same successor-list budget the hybrid ring uses *)
+    let ring =
+      Chord.create
+        ~successor_list_length:Config.default.Config.successor_list_length ()
+    in
     let crng = Rng.create (seed + 10) in
     let nodes = ref [] in
     let used = Hashtbl.create n in
@@ -415,7 +470,7 @@ let compare_cmd =
 
 (* Compact script syntax, whitespace-separated tokens:
      join:N:PS  leave  crash  crash:F  repair  insert:N  lookup:N
-     settle     advance:MS
+     settle     advance:MS  anti-entropy:MS
    e.g. "join:80:0.7 insert:200 crash:0.2 repair lookup:200" *)
 let parse_script text =
   let parse_token token =
@@ -430,6 +485,7 @@ let parse_script text =
     | [ "lookup"; n ] -> Ok (Scenario.Lookup_items (int_of_string n))
     | [ "settle" ] -> Ok Scenario.Settle
     | [ "advance"; ms ] -> Ok (Scenario.Advance (float_of_string ms))
+    | [ "anti-entropy"; ms ] -> Ok (Scenario.Anti_entropy (float_of_string ms))
     | _ -> Error token
   in
   String.split_on_char ' ' text
@@ -444,14 +500,17 @@ let parse_script text =
   |> Result.map List.rev
 
 let scenario_cmd =
-  let run seed n script_text audit_interval metrics_out =
+  let run seed n script_text replication assert_no_loss audit_interval metrics_out =
     match parse_script script_text with
     | Error token ->
       Printf.printf "cannot parse script token %S\n" token;
       exit 1
     | Ok script ->
+      let config = { Config.default with Config.replication_factor = replication } in
       let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
-      let h = H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) () in
+      let h =
+        H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) ~config ()
+      in
       let report = Scenario.run ?audit_interval h ~seed ~script in
       Format.printf "%a@." Scenario.pp_report report;
       (match metrics_out with
@@ -463,6 +522,15 @@ let scenario_cmd =
             Printf.eprintf "p2psim: cannot write output: %s\n" e;
             exit 1)
        | None -> ());
+      if
+        assert_no_loss
+        && report.Scenario.final_items < report.Scenario.inserted
+      then begin
+        Printf.printf "DATA LOST: %d of %d inserted items missing at the end\n"
+          (report.Scenario.inserted - report.Scenario.final_items)
+          report.Scenario.inserted;
+        exit 1
+      end;
       (* with auditing on, the exit code carries health: any violation at
          any tick fails the command (CI gates on this) *)
       (match report.Scenario.audit with
@@ -478,12 +546,21 @@ let scenario_cmd =
       & info [ "script" ] ~docv:"SCRIPT"
           ~doc:
             "Whitespace-separated actions: join:N:PS, leave, crash, crash:F, \
-             repair, insert:N, lookup:N, settle, advance:MS.")
+             repair, insert:N, lookup:N, settle, advance:MS, anti-entropy:MS.")
+  in
+  let assert_no_loss_arg =
+    Arg.(
+      value & flag
+      & info [ "assert-no-loss" ]
+          ~doc:
+            "Exit non-zero if any inserted item is missing from the primary stores \
+             when the script ends (the durability gate CI runs under \
+             $(b,--replication)).")
   in
   let term =
     Term.(
-      const run $ seed_arg $ peers_arg $ script_arg $ audit_interval_arg
-      $ metrics_out_arg)
+      const run $ seed_arg $ peers_arg $ script_arg $ replication_arg
+      $ assert_no_loss_arg $ audit_interval_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a declarative churn/workload script and report.")
@@ -525,12 +602,31 @@ let inject_corruption h ~config = function
     let outside = Peer.segment_left victim in
     Data_store.insert_routed victim.Peer.store ~route_id:outside
       ~key:"audit-misplaced" ~value:"x"
+  | "replication" ->
+    (* silently drop one replica copy: the replication_factor check must
+       flag the under-replicated item, and a heal pass must restore it *)
+    if config.Config.replication_factor = 0 then
+      failwith "--inject replication requires --replication > 0";
+    let w = H.world h in
+    let holder =
+      List.find_opt
+        (fun p -> Data_store.size p.Peer.replicas > 0)
+        (World.live_peers w)
+    in
+    (match holder with
+     | None -> failwith "no replica copies exist to corrupt"
+     | Some p ->
+       (match Data_store.keys p.Peer.replicas with
+        | [] -> assert false
+        | key :: _ ->
+          Data_store.remove p.Peer.replicas ~key;
+          Printf.printf "dropped replica copy of %S at host %d\n" key p.Peer.host))
   | other -> failwith (Printf.sprintf "unknown injection %S" other)
 
 let audit_cmd =
-  let run seed ps n items lookups interval inject checks trace_out trace_cap metrics_out
-      metrics_csv =
-    let config = Config.default in
+  let run seed ps n items lookups interval inject replication checks trace_out trace_cap
+      metrics_out metrics_csv =
+    let config = { Config.default with Config.replication_factor = replication } in
     if trace_cap <= 0 then begin
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
       exit 1
@@ -553,6 +649,9 @@ let audit_cmd =
     in
     Printf.printf "building %d peers (p_s = %.2f)...\n%!" n ps;
     let h, rng = build_system ?trace ~seed ~ps ~n ~config () in
+    let manager =
+      if replication > 0 then Some (Replication.install (H.world h)) else None
+    in
     let a = Auditor.create ~interval ~checks:selected (H.world h) in
     let corpus = Keys.generate ~rng ~count:items ~categories:4 in
     Array.iter
@@ -576,6 +675,22 @@ let audit_cmd =
     Auditor.start a;
     H.run_for h (2.0 *. interval);
     Auditor.stop a;
+    (* for the replication demo, close the loop: a heal pass restores the
+       dropped copy and a final tick shows the check going quiet again *)
+    (match (manager, inject) with
+     | Some m, "replication" ->
+       Replication.heal m;
+       H.run h;
+       let snap = Auditor.tick a in
+       let healed =
+         List.for_all
+           (fun (s : Checks.status) ->
+             s.Checks.name <> "replication_factor" || s.Checks.violations = [])
+           snap.Checks.statuses
+       in
+       Printf.printf "heal pass: replication_factor %s\n"
+         (if healed then "restored (check clean)" else "STILL VIOLATED")
+     | _ -> ());
     export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile:false;
     match finish_audit a with Some code -> exit code | None -> ()
   in
@@ -592,8 +707,10 @@ let audit_cmd =
           ~doc:
             "Deliberately corrupt the system before the final audit window: \
              $(b,degree) (s-peer over the degree cap), $(b,ring) (broken successor \
-             pointer), $(b,placement) (item outside its owner's segment), or \
-             $(b,none).")
+             pointer), $(b,placement) (item outside its owner's segment), \
+             $(b,replication) (silently dropped replica copy; needs \
+             $(b,--replication) > 0, and a heal pass restores it after the audit \
+             window), or $(b,none).")
   in
   let checks_arg =
     Arg.(
@@ -605,8 +722,8 @@ let audit_cmd =
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ interval_arg
-      $ inject_arg $ checks_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg
-      $ metrics_csv_arg)
+      $ inject_arg $ replication_arg $ checks_arg $ trace_out_arg $ trace_cap_arg
+      $ metrics_out_arg $ metrics_csv_arg)
   in
   Cmd.v
     (Cmd.info "audit"

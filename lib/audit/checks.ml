@@ -336,6 +336,60 @@ let data_placement who w =
   end;
   finish col
 
+(* --- replication factor (durability invariant) -------------------------- *)
+
+let replication_factor who w =
+  let col = collector who in
+  let r = w.World.config.Config.replication_factor in
+  if r > 0 then begin
+    let pending = w.World.replication_pending in
+    gauge col "replication_pending" (float_of_int pending);
+    (* Copies are in flight during fan-out/heal windows, and policy
+       targets are moving while a join/leave triangle is mid-rewire —
+       only a settled system owes the full factor. *)
+    let settled =
+      pending = 0 && Array.for_all Peer.quiet (World.t_peers w)
+    in
+    let live = World.live_peers w in
+    let copies_of : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    List.iter
+      (fun p ->
+        Data_store.iter p.Peer.replicas (fun ~key ~value:_ ~route_id:_ ->
+            Hashtbl.replace copies_of key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt copies_of key))))
+      live;
+    let checked = Hashtbl.create 1024 in
+    let items = ref 0 and copies = ref 0 and under = ref 0 in
+    List.iter
+      (fun p ->
+        Data_store.iter p.Peer.store (fun ~key ~value:_ ~route_id:_ ->
+            if not (Hashtbl.mem checked key) then begin
+              Hashtbl.add checked key ();
+              incr items;
+              let have = Option.value ~default:0 (Hashtbl.find_opt copies_of key) in
+              copies := !copies + have;
+              let expected =
+                min r (P2p_replication.Policy.expected_copies w ~primary:p)
+              in
+              if have < expected then begin
+                incr under;
+                if settled && !under <= 8 then
+                  err col ~subject:p.Peer.host
+                    "item %S at #%d has %d replica copies, expected %d" key
+                    p.Peer.host have expected
+              end
+            end))
+      live;
+    if settled && !under > 8 then
+      err col "...and %d more under-replicated items" (!under - 8);
+    gauge col "replicated_items" (float_of_int !items);
+    gauge col "replica_copies" (float_of_int !copies);
+    gauge col "under_replicated" (float_of_int !under);
+    gauge col "live_replica_factor"
+      (if !items = 0 then 0.0 else float_of_int !copies /. float_of_int !items)
+  end;
+  finish col
+
 (* --- load balance gauges (Fig. 4's quantity, continuously) -------------- *)
 
 let gini sizes =
@@ -397,6 +451,11 @@ let all =
       c_name = "data_placement";
       c_describe = "every stored item inside its holder's ring segment";
       c_run = data_placement;
+    };
+    {
+      c_name = "replication_factor";
+      c_describe = "every primary item keeps its configured replica count (when r > 0)";
+      c_run = replication_factor;
     };
     {
       c_name = "load_balance";

@@ -52,7 +52,11 @@ val describe : check -> string
 
 (** The full catalogue, in canonical order: [ring_symmetry],
     [finger_tables], [tree_structure], [membership], [data_placement],
-    [load_balance]. *)
+    [replication_factor], [load_balance].  [replication_factor] holds
+    every primary item to [min r (Policy.expected_copies)] live replica
+    copies; it stays quiet (gauges only) while copies are in flight
+    ([World.replication_pending > 0]) or t-peers are mid-triangle, and
+    is a no-op when replication is off. *)
 val all : check list
 
 val names : string list

@@ -1,7 +1,5 @@
 open P2p_hashspace
 
-let successor_list_length = 8
-
 type node = {
   host : int;
   p_id : int;
@@ -22,15 +20,19 @@ type t = {
       (* set on join/leave; fingers and successor lists refresh lazily,
          modelling the background fix_fingers pass.  Crashes deliberately
          do NOT set it: stale fingers until [stabilize] are the point. *)
+  successor_list_length : int;
 }
 
-let create () =
+let create ?(successor_list_length = 8) () =
+  if successor_list_length < 1 then
+    invalid_arg "Ring.create: successor_list_length must be >= 1";
   {
     by_id = Hashtbl.create 64;
     join_order = [];
     sorted = [||];
     dirty = false;
     fingers_dirty = false;
+    successor_list_length;
   }
 
 let node_count t = Hashtbl.length t.by_id
@@ -76,12 +78,12 @@ let refresh_fingers t node =
     node.fingers.(k) <- oracle_successor t (Id_space.finger_start ~base:node.p_id k)
   done
 
-let refresh_successor_list node =
+let refresh_successor_list t node =
   let rec collect acc current k =
     if k = 0 then List.rev acc
     else collect (current.successor :: acc) current.successor (k - 1)
   in
-  node.successor_list <- collect [] node successor_list_length
+  node.successor_list <- collect [] node t.successor_list_length
 
 (* First live entry of the successor list, falling back to the node itself. *)
 let first_live_successor node =
@@ -96,7 +98,7 @@ let ensure_fingers t =
     t.fingers_dirty <- false;
     let live = nodes t in
     List.iter (refresh_fingers t) live;
-    List.iter refresh_successor_list live
+    List.iter (refresh_successor_list t) live
   end
 
 let closest_preceding_finger node id =
@@ -197,7 +199,7 @@ let join ?introducer t ~host ~p_id =
   t.dirty <- true;
   t.fingers_dirty <- true;
   refresh_fingers t node;
-  refresh_successor_list node;
+  refresh_successor_list t node;
   (node, path)
 
 let remove_from_membership t node =
@@ -269,7 +271,7 @@ let stabilize t =
                            | None -> None)
        | Some _ | None -> ());
       refresh_fingers t n;
-      refresh_successor_list n)
+      refresh_successor_list t n)
     live;
   (* Second predecessor pass now that successors are sane. *)
   List.iter
@@ -338,3 +340,5 @@ let check_invariants t =
     in
     check 0
   end
+
+let successor_list_length t = t.successor_list_length

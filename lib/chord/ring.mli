@@ -21,7 +21,15 @@ type node
 
 (** {1 Construction and membership} *)
 
-val create : unit -> t
+(** [create ()] makes an empty ring.  [successor_list_length] (default 8,
+    >= 1) sizes the per-node successor list used to survive crashed
+    successors until the next {!stabilize}; benches ablate it via
+    [Config.successor_list_length].
+    @raise Invalid_argument when [successor_list_length < 1]. *)
+val create : ?successor_list_length:int -> unit -> t
+
+(** Configured successor-list length of this ring. *)
+val successor_list_length : t -> int
 
 (** Number of live nodes. *)
 val node_count : t -> int

@@ -2,6 +2,8 @@ type placement = Store_at_tpeer | Spread_to_neighbors
 
 type s_style = Flooding_tree | Random_walks of int | Bittorrent_tracker
 
+type replica_placement = Ring_successors | Tree_neighbors
+
 type t = {
   delta : int;
   default_ttl : int;
@@ -23,6 +25,10 @@ type t = {
   reflood_attempts : int;
   cache_capacity : int;
   cache_lifetime : float;
+  replication_factor : int;
+  replica_placement : replica_placement;
+  anti_entropy_interval : float;
+  successor_list_length : int;
 }
 
 let default =
@@ -47,6 +53,10 @@ let default =
     reflood_attempts = 0;
     cache_capacity = 0;
     cache_lifetime = 20_000.0;
+    replication_factor = 0;
+    replica_placement = Ring_successors;
+    anti_entropy_interval = 5_000.0;
+    successor_list_length = 8;
   }
 
 let validate t =
@@ -65,6 +75,11 @@ let validate t =
   else if t.reflood_attempts < 0 then Error "reflood_attempts must be >= 0"
   else if t.cache_capacity < 0 then Error "cache_capacity must be >= 0"
   else if t.cache_lifetime <= 0.0 then Error "cache_lifetime must be positive"
+  else if t.replication_factor < 0 then Error "replication_factor must be >= 0"
+  else if t.anti_entropy_interval <= 0.0 then
+    Error "anti_entropy_interval must be positive"
+  else if t.successor_list_length < 1 then
+    Error "successor_list_length must be >= 1"
   else
     match t.s_style with
     | Random_walks walkers when walkers <= 0 ->

@@ -24,6 +24,18 @@ type s_style =
       (** the t-peer indexes every item in its s-network and answers
           lookups directly; no flooding *)
 
+(** Where the durability layer ({!module:P2p_replication}) places the
+    [replication_factor] redundant copies of each item. *)
+type replica_placement =
+  | Ring_successors
+      (** one copy with each of the next [r] live t-peers clockwise from
+          the owner's segment — survives whole-s-network loss, the
+          Chord-style successor-list discipline *)
+  | Tree_neighbors
+      (** copies on the primary holder's s-tree parent and children —
+          cheapest placement (one underlay hop in the tree), but a
+          crashed subtree can take every copy with it *)
+
 type t = {
   delta : int;  (** degree constraint [δ] on s-network trees (>= 2) *)
   default_ttl : int;  (** flood TTL for s-network lookups *)
@@ -68,6 +80,22 @@ type t = {
       (** per-peer soft cache of popular items (the paper's Section-7
           future work); [0] (default) disables caching *)
   cache_lifetime : float;  (** ms a cached copy stays valid *)
+  replication_factor : int;
+      (** number of redundant copies of each item kept beyond the
+          primary ([r]); [0] (default) reproduces the paper's
+          no-durability behaviour where a crashed peer's items are lost.
+          Takes effect once {!P2p_replication.Manager.install} hooks the
+          subsystem into the world (the scenario runner and [p2psim] do
+          this automatically when [r > 0]). *)
+  replica_placement : replica_placement;
+  anti_entropy_interval : float;
+      (** ms between anti-entropy digest exchanges while the periodic
+          timer is running (see {!P2p_replication.Manager.start}) *)
+  successor_list_length : int;
+      (** length of the successor list each t-peer maintains for ring
+          repair (also the Chord baseline's list length; >= 1).
+          Replication across [Ring_successors] is capped independently
+          by [replication_factor]. *)
 }
 
 (** Paper-faithful defaults: [δ = 3] (the simulations' setting),

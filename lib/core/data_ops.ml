@@ -49,7 +49,12 @@ let tracker_report w ?op ~holder ~key () =
 
 let store_here w ?op peer ~route_id ~key ~value =
   Data_store.insert_routed peer.Peer.store ~route_id ~key ~value;
-  tracker_report w ?op ~holder:peer ~key ()
+  (* a replica copy at the primary holder itself would be redundant *)
+  Data_store.remove peer.Peer.replicas ~key;
+  tracker_report w ?op ~holder:peer ~key ();
+  match w.World.on_stored with
+  | Some fan_out -> fan_out ~op ~holder:peer ~route_id ~key ~value
+  | None -> ()
 
 (* Placement scheme B: the random spreading walk from the owning t-peer
    down its tree.  Choosing the peer itself ends the walk. *)
@@ -151,10 +156,17 @@ let check_peer ctx peer ~hops =
   let found =
     match Data_store.find peer.Peer.store ~key:ctx.key with
     | Some _ as hit -> hit
-    | None ->
-      if ctx.w.World.config.Config.cache_capacity > 0 then
-        Cache.find peer.Peer.cache ~now:(World.now ctx.w) ~key:ctx.key
-      else None
+    | None -> (
+      (* replica fallback: a redundant copy serves the read when the
+         primary is gone (empty unless replication is on) *)
+      match Data_store.find peer.Peer.replicas ~key:ctx.key with
+      | Some _ as hit ->
+        World.bump ctx.w ~subsystem:"replication" ~name:"replica_hits";
+        hit
+      | None ->
+        if ctx.w.World.config.Config.cache_capacity > 0 then
+          Cache.find peer.Peer.cache ~now:(World.now ctx.w) ~key:ctx.key
+        else None)
   in
   match found with
   | Some value when not ctx.replied ->
@@ -213,7 +225,37 @@ let random_walk_snetwork ctx ~entry ~base_hops ~ttl ~walkers ~skip_entry_check =
       step entry 0
     done
 
+(* Read-path fallback probe: in [Ring_successors] mode the redundant
+   copies live with the next [r] t-peers clockwise from the owner, which
+   neither the tree flood nor the ring route (it approaches the owner
+   from the predecessor side) ever visits.  Walk the successor chain in
+   parallel with the in-network resolution; the [ctx.replied] guard
+   makes duplicate hits harmless.  [Tree_neighbors] copies sit inside
+   the flooded tree, so the normal visit already reaches them. *)
+let probe_ring_replicas ctx ~entry ~base_hops =
+  let config = ctx.w.World.config in
+  if
+    config.Config.replication_factor > 0
+    && config.Config.replica_placement = Config.Ring_successors
+  then
+    match entry.Peer.t_home with
+    | None -> ()
+    | Some home ->
+      let rec hop prev k hops =
+        if k < config.Config.replication_factor then
+          match prev.Peer.succ with
+          | Some next when next != home && next.Peer.alive ->
+            World.send ctx.w ~op:ctx.op ~src:prev ~dst:next (fun () ->
+                if next.Peer.alive then begin
+                  ignore (check_peer ctx next ~hops : bool);
+                  hop next (k + 1) (hops + 1)
+                end)
+          | Some _ | None -> ()
+      in
+      hop home 0 (base_hops + 1)
+
 let resolve_in_snetwork ctx ~entry ~base_hops ~ttl ~skip_entry_check =
+  probe_ring_replicas ctx ~entry ~base_hops;
   match ctx.w.World.config.Config.s_style with
   | Config.Flooding_tree -> flood_snetwork ctx ~entry ~base_hops ~ttl ~skip_entry_check
   | Config.Random_walks walkers ->

@@ -20,17 +20,30 @@ let remove t ~key = Hashtbl.remove t.items key
 
 let mem t ~key = Hashtbl.mem t.items key
 
+let segment_items t ~left ~right =
+  Hashtbl.fold
+    (fun key e acc ->
+      if Id_space.between_incl_right e.route_id ~left ~right then
+        (key, e.value, e.route_id) :: acc
+      else acc)
+    t.items []
+
 let take_segment t ~left ~right =
-  let selected =
-    Hashtbl.fold
-      (fun key e acc ->
-        if Id_space.between_incl_right e.route_id ~left ~right then
-          (key, e.value, e.route_id) :: acc
-        else acc)
-      t.items []
-  in
+  let selected = segment_items t ~left ~right in
   List.iter (fun (key, _, _) -> Hashtbl.remove t.items key) selected;
   selected
+
+(* Order-independent content digest: XOR of per-item hashes commutes, so
+   two stores holding the same (key, value, route_id) set produce the
+   same digest regardless of insertion order; the count term
+   distinguishes the empty set from self-cancelling pairs. *)
+let digest_items items =
+  List.fold_left
+    (fun acc (key, value, route_id) -> acc lxor Hashtbl.hash (key, value, route_id))
+    (List.length items * 0x9e3779b1)
+    items
+
+let segment_digest t ~left ~right = digest_items (segment_items t ~left ~right)
 
 let take_all t =
   let all = Hashtbl.fold (fun key e acc -> (key, e.value, e.route_id) :: acc) t.items [] in

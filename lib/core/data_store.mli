@@ -39,6 +39,23 @@ val mem : t -> key:string -> bool
 val take_segment :
   t -> left:Id_space.id -> right:Id_space.id -> (string * string * Id_space.id) list
 
+(** [segment_items t ~left ~right] is {!take_segment} without the
+    removal: the items whose routing ID lies in [(left, right]], left in
+    place.  The anti-entropy exchange reads segments non-destructively. *)
+val segment_items :
+  t -> left:Id_space.id -> right:Id_space.id -> (string * string * Id_space.id) list
+
+(** [digest_items items] is an order-independent digest of a
+    [(key, value, route_id)] set: two item lists digest equal iff they
+    hold the same set (up to hash collisions).  Exposed so both sides of
+    an anti-entropy exchange share one definition. *)
+val digest_items : (string * string * Id_space.id) list -> int
+
+(** [segment_digest t ~left ~right] is [digest_items (segment_items t
+    ~left ~right)] — what replica peers compare per ring segment before
+    deciding whether a sync is needed. *)
+val segment_digest : t -> left:Id_space.id -> right:Id_space.id -> int
+
 (** [take_all t] removes and returns everything — the paper's [loaddump]
     when a peer leaves gracefully. *)
 val take_all : t -> (string * string * Id_space.id) list

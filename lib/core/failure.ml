@@ -111,7 +111,13 @@ and on_timeout w peer ~target =
           || (match peer.Peer.pred with Some p -> p == target | None -> false)
         in
         if was_ring_neighbor then ignore (elect w ~dead:target : Peer.t option)
-      end
+      end;
+      (* durability: let the replication manager react to the confirmed
+         crash (fires once per detecting neighbour; the manager
+         debounces) *)
+      match w.World.on_peer_failure with
+      | Some react -> react target
+      | None -> ()
     end
 
 let on_hello w ~receiver ~sender =
@@ -169,6 +175,7 @@ let crash w peer =
     (if Peer.is_t_peer peer then "t-peer" else "s-peer");
   peer.Peer.alive <- false;
   Data_store.clear peer.Peer.store;
+  Data_store.clear peer.Peer.replicas;
   Cache.clear peer.Peer.cache;
   Hashtbl.reset peer.Peer.tracker_index;
   peer.Peer.bypass <- [];
@@ -284,5 +291,11 @@ let repair w =
         | Some _ | None -> ())
       (World.live_peers w);
   Hashtbl.reset w.World.pending_election;
+  (* Pass 7 (when replication is on): the manager promotes surviving
+     replicas of primaries that died with their holder and restores the
+     replication factor onto the post-repair targets. *)
+  (match w.World.on_repaired with
+   | Some heal -> heal ~op:(Some op)
+   | None -> ());
   Trace.end_op (World.trace w) ~time:(World.now w) ~op
     (Printf.sprintf "%d live peers" (List.length (World.live_peers w)))

@@ -16,8 +16,13 @@
 
     {b Offline path} ([repair]): after a crash storm in a batch experiment
     (heartbeats off), a single call restores every structural invariant —
-    the deterministic end state the online protocol converges to.  Crashed
-    peers' data is lost either way; that loss is what Fig. 5b measures. *)
+    the deterministic end state the online protocol converges to.  Without
+    replication, crashed peers' data is lost either way; that loss is what
+    Fig. 5b measures.  With [config.replication_factor > 0] and the
+    {!P2p_replication} manager installed, both paths notify the manager
+    (through {!World.t}'s [on_peer_failure]/[on_repaired] hooks) so items
+    whose primary died are promoted from surviving replicas and the
+    redundancy is re-established. *)
 
 (** [crash w peer] makes [peer] abruptly leave: its data evaporates, no
     pointer is repaired, its timers stop.  Detection is the neighbours'

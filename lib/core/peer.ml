@@ -26,6 +26,7 @@ type t = {
   mutable cp : t option;
   mutable children : t list;
   store : Data_store.t;
+  replicas : Data_store.t;
   cache : Cache.t;
   tracker_index : (string, t) Hashtbl.t;
   mutable bypass : (t * float) list;
@@ -52,6 +53,7 @@ let make ?(cache_capacity = 0) ~host ~p_id ~role ~link_capacity ?interest () =
     cp = None;
     children = [];
     store = Data_store.create ();
+    replicas = Data_store.create ();
     cache = Cache.create ~capacity:cache_capacity;
     tracker_index = Hashtbl.create 8;
     bypass = [];

@@ -45,6 +45,12 @@ type t = {
   mutable children : t list;
   (* data *)
   store : Data_store.t;
+  replicas : Data_store.t;
+      (** redundant copies held on behalf of other peers' segments when
+          replication is on ({!P2p_replication}); kept apart from [store]
+          so primary-placement invariants and item accounting are
+          untouched.  Replica reads are a lookup fallback, never the
+          primary path. *)
   cache : Cache.t;  (** soft cache of popular items (Section-7 future work) *)
   tracker_index : (string, t) Hashtbl.t;
       (** BitTorrent-style mode only: at a t-peer, maps keys stored anywhere

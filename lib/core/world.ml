@@ -24,6 +24,17 @@ type t = {
   snet_policy : snet_policy;
   pending_election : (int, Peer.t option) Hashtbl.t;
   mutable on_query : (receiver:Peer.t -> sender:Peer.t -> unit) option;
+  mutable on_stored :
+    (op:int option ->
+    holder:Peer.t ->
+    route_id:Id_space.id ->
+    key:string ->
+    value:string ->
+    unit)
+      option;
+  mutable on_peer_failure : (Peer.t -> unit) option;
+  mutable on_repaired : (op:int option -> unit) option;
+  mutable replication_pending : int;
 }
 
 let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network) () =
@@ -44,6 +55,10 @@ let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network
     snet_policy;
     pending_election = Hashtbl.create 8;
     on_query = None;
+    on_stored = None;
+    on_peer_failure = None;
+    on_repaired = None;
+    replication_pending = 0;
   }
 
 let now t = Engine.now t.engine

@@ -41,6 +41,32 @@ type t = {
       (** installed by [Failure] when heartbeats are on: lets query traffic
           double as liveness evidence (the acknowledgment timers of
           Section 3.2.2) *)
+  mutable on_stored :
+    (op:int option ->
+    holder:Peer.t ->
+    route_id:Id_space.id ->
+    key:string ->
+    value:string ->
+    unit)
+      option;
+      (** fired after an insert's primary copy lands at its holder.
+          Installed by [P2p_replication.Manager] to fan the copy out to
+          the replica targets; the core stays ignorant of the policy
+          (dependency points outward). *)
+  mutable on_peer_failure : (Peer.t -> unit) option;
+      (** fired when online failure detection concludes a peer genuinely
+          crashed (once per detecting neighbour).  Installed by the
+          replication manager to schedule re-replication. *)
+  mutable on_repaired : (op:int option -> unit) option;
+      (** fired at the end of an offline {!Failure.repair} pass, with the
+          repair's trace op.  Installed by the replication manager to
+          promote surviving replicas of lost primaries and restore the
+          replication factor. *)
+  mutable replication_pending : int;
+      (** replication copies currently in flight (fan-out or heal
+          messages not yet delivered).  Audit checks treat a non-zero
+          value as "mid-operation" and withhold under-replication
+          errors. *)
 }
 
 val create :

@@ -1,6 +1,8 @@
 module H = Hybrid_p2p.Hybrid
 module Peer = Hybrid_p2p.Peer
+module Config = Hybrid_p2p.Config
 module Data_ops = Hybrid_p2p.Data_ops
+module Manager = P2p_replication.Manager
 module Rng = P2p_sim.Rng
 module Churn = P2p_workload.Churn
 
@@ -16,6 +18,7 @@ type action =
   | Lookup_items of int
   | Settle
   | Advance of float
+  | Anti_entropy of float
 
 type audit_summary = {
   audit_ticks : int;
@@ -41,6 +44,7 @@ type state = {
   h : H.t;
   rng : Rng.t;
   auditor : P2p_audit.Auditor.t option;
+  replication : Manager.t option;
   mutable keys : string list; (* inserted keys, newest first *)
   mutable key_count : int;
   mutable joined : int;
@@ -149,6 +153,18 @@ let step st = function
     (match st.auditor with
      | None -> H.run_for st.h ms
      | Some a -> P2p_audit.Auditor.advance a ~ms)
+  | Anti_entropy ms ->
+    (match st.replication with
+     | None -> ()
+     | Some m ->
+       (* the periodic timer keeps the queue non-empty, so bracket it
+          around a bounded advance rather than a drain *)
+       Manager.start m;
+       (match st.auditor with
+        | None -> H.run_for st.h ms
+        | Some a -> P2p_audit.Auditor.advance a ~ms);
+       Manager.stop m;
+       drain st)
 
 let run ?audit_interval ?audit_checks h ~seed ~script =
   let auditor =
@@ -158,11 +174,16 @@ let run ?audit_interval ?audit_checks h ~seed ~script =
       Some
         (P2p_audit.Auditor.create ~interval ?checks:audit_checks (H.world h))
   in
+  let replication =
+    if (H.config h).Config.replication_factor > 0 then Some (Manager.install (H.world h))
+    else None
+  in
   let st =
     {
       h;
       rng = Rng.create seed;
       auditor;
+      replication;
       keys = [];
       key_count = 0;
       joined = 0;

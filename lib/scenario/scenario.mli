@@ -33,6 +33,12 @@ type action =
       (** look up that many uniformly drawn previously inserted items *)
   | Settle  (** drive the engine to quiescence *)
   | Advance of float  (** advance the clock by that many ms *)
+  | Anti_entropy of float
+      (** run with the periodic anti-entropy timer armed for that many
+          ms, then disarm and settle.  No-op unless the system's config
+          enables replication (the runner installs the
+          {!P2p_replication.Manager} automatically when
+          [replication_factor > 0]). *)
 
 (** What the online auditor saw across the whole run (present only when
     [run] was given an [audit_interval]). *)
@@ -69,7 +75,12 @@ type report = {
     saw, and [invariants] comes from a final audit tick over the drained,
     repaired end state instead of the single offline
     [Hybrid.check_invariants].  [audit_checks] narrows the catalogue
-    (default: all checks). *)
+    (default: all checks).
+
+    When the system's config has [replication_factor > 0] the runner
+    installs the replication manager before the first action, so inserts
+    fan out, crashes re-replicate, and the [replication_factor] audit
+    check is live. *)
 val run :
   ?audit_interval:float ->
   ?audit_checks:P2p_audit.Checks.check list ->

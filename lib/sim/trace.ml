@@ -6,6 +6,8 @@ type op_kind =
   | Leave
   | Repair
   | Keyword
+  | Replicate
+  | Anti_entropy
   | Custom of string
 
 let op_kind_to_string = function
@@ -16,6 +18,8 @@ let op_kind_to_string = function
   | Leave -> "leave"
   | Repair -> "repair"
   | Keyword -> "keyword"
+  | Replicate -> "replicate"
+  | Anti_entropy -> "anti-entropy"
   | Custom s -> s
 
 let op_kind_of_string = function
@@ -26,6 +30,8 @@ let op_kind_of_string = function
   | "leave" -> Leave
   | "repair" -> Repair
   | "keyword" -> Keyword
+  | "replicate" -> Replicate
+  | "anti-entropy" -> Anti_entropy
   | s -> Custom s
 
 type event = {

@@ -27,6 +27,8 @@ type op_kind =
   | Leave
   | Repair
   | Keyword
+  | Replicate  (** replica fan-out / re-replication heal *)
+  | Anti_entropy  (** periodic digest exchange between replica peers *)
   | Custom of string
 
 (** Stable wire name of an operation kind (["insert"], ["t-join"], ...). *)

@@ -40,6 +40,41 @@ let test_store_take_segment () =
         (Id_space.between_incl_right route_id ~left:0 ~right:mid))
     first
 
+let test_store_take_segment_wraparound () =
+  (* a segment with left > right wraps through zero: (size-100, 50] *)
+  let s = Data_store.create () in
+  let left = Id_space.size - 100 and right = 50 in
+  Data_store.insert_routed s ~route_id:(Id_space.size - 50) ~key:"hi-side" ~value:"v";
+  Data_store.insert_routed s ~route_id:20 ~key:"lo-side" ~value:"v";
+  Data_store.insert_routed s ~route_id:right ~key:"right-edge" ~value:"v";
+  Data_store.insert_routed s ~route_id:left ~key:"left-edge" ~value:"v";
+  Data_store.insert_routed s ~route_id:500 ~key:"outside" ~value:"v";
+  let taken = Data_store.take_segment s ~left ~right in
+  let keys = List.sort compare (List.map (fun (k, _, _) -> k) taken) in
+  (* half-open (left, right]: the left edge stays, the right edge moves *)
+  Alcotest.check (Alcotest.list Alcotest.string) "wrapped segment"
+    [ "hi-side"; "lo-side"; "right-edge" ] keys;
+  checki "others untouched" 2 (Data_store.size s);
+  checkb "left edge stays" true (Data_store.mem s ~key:"left-edge");
+  checkb "outside stays" true (Data_store.mem s ~key:"outside")
+
+let test_store_segment_items_wraparound () =
+  (* the non-destructive view agrees with take_segment across the wrap,
+     and the digest tracks segment content *)
+  let s = Data_store.create () in
+  let left = Id_space.size - 10 and right = 10 in
+  Data_store.insert_routed s ~route_id:(Id_space.size - 3) ~key:"a" ~value:"1";
+  Data_store.insert_routed s ~route_id:7 ~key:"b" ~value:"2";
+  Data_store.insert_routed s ~route_id:9999 ~key:"c" ~value:"3";
+  let viewed = Data_store.segment_items s ~left ~right in
+  checki "view is non-destructive" 3 (Data_store.size s);
+  let d_before = Data_store.segment_digest s ~left ~right in
+  checki "digest matches viewed items" d_before (Data_store.digest_items viewed);
+  let taken = Data_store.take_segment s ~left ~right in
+  checki "view agrees with take" (List.length viewed) (List.length taken);
+  checkb "digest changes when segment drained" true
+    (Data_store.segment_digest s ~left ~right <> d_before)
+
 let test_store_take_all () =
   let s = Data_store.create () in
   Data_store.insert s ~key:"x" ~value:"1";
@@ -270,6 +305,10 @@ let suite =
   [
     Alcotest.test_case "data_store: basics" `Quick test_store_basic;
     Alcotest.test_case "data_store: take_segment partitions" `Quick test_store_take_segment;
+    Alcotest.test_case "data_store: take_segment wraps through zero" `Quick
+      test_store_take_segment_wraparound;
+    Alcotest.test_case "data_store: segment view/digest across wrap" `Quick
+      test_store_segment_items_wraparound;
     Alcotest.test_case "data_store: take_all" `Quick test_store_take_all;
     Alcotest.test_case "insert: local stays home" `Quick test_insert_local_stays_home;
     Alcotest.test_case "insert: remote lands in owner segment" `Quick

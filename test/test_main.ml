@@ -16,6 +16,7 @@ let () =
       ("hybrid.world", Test_world.suite);
       ("hybrid.networks", Test_networks.suite);
       ("hybrid.data+failure", Test_data_failure.suite);
+      ("replication", Test_replication.suite);
       ("hybrid.system", Test_hybrid.suite);
       ("hybrid.extensions", Test_extensions.suite);
       ("observability", Test_obs.suite);

@@ -1,0 +1,296 @@
+(* Tests for the replication & anti-entropy durability layer
+   (lib/replication): placement policy, write-path fan-out, read-path
+   fallback, crash survival through heal, the replication_factor audit
+   check, and digest-based anti-entropy convergence. *)
+
+open Helpers
+module Data_store = Hybrid_p2p.Data_store
+module Policy = P2p_replication.Policy
+module Manager = P2p_replication.Manager
+module Registry = P2p_obs.Registry
+module Metrics = P2p_net.Metrics
+module Checks = P2p_audit.Checks
+module Chord = P2p_chord.Ring
+module Scenario = P2p_scenario.Scenario
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let r_config ?(placement = Config.Ring_successors) r =
+  { default_config with Config.replication_factor = r; replica_placement = placement }
+
+(* A settled replicated system: star underlay, manager installed before
+   any data exists so every insert fans out. *)
+let replicated_system ?placement ?(seed = 60) ~n ~ps ~r () =
+  let h, members = star_system ~config:(r_config ?placement r) ~seed ~n ~ps () in
+  let m = Manager.install (H.world h) in
+  (h, members, m)
+
+let replication_counter h name =
+  let reg = Metrics.registry (H.metrics h) in
+  Registry.counter_value (Registry.counter reg ~subsystem:"replication" ~name)
+
+let run_replication_check h =
+  match Checks.find "replication_factor" with
+  | None -> Alcotest.fail "replication_factor check missing from catalogue"
+  | Some c -> Checks.run c (H.world h)
+
+let check_clean h =
+  match (run_replication_check h).Checks.violations with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.fail
+      (Format.asprintf "replication_factor violated: %a" Checks.pp_violation v)
+
+let replica_copy_count h key =
+  List.length (List.filter (fun p -> Data_store.mem p.Peer.replicas ~key) (H.peers h))
+
+let primary_holder h key =
+  List.find (fun p -> Data_store.mem p.Peer.store ~key) (H.peers h)
+
+(* --- config ------------------------------------------------------------ *)
+
+let test_config_validation () =
+  checkb "default valid" true (Result.is_ok (Config.validate Config.default));
+  checkb "r = 2 valid" true (Result.is_ok (Config.validate (r_config 2)));
+  checkb "negative factor rejected" true
+    (Result.is_error
+       (Config.validate { default_config with Config.replication_factor = -1 }));
+  checkb "zero anti-entropy interval rejected" true
+    (Result.is_error
+       (Config.validate { default_config with Config.anti_entropy_interval = 0.0 }));
+  checkb "zero successor list rejected" true
+    (Result.is_error
+       (Config.validate { default_config with Config.successor_list_length = 0 }))
+
+(* --- placement policy -------------------------------------------------- *)
+
+let test_ring_policy_targets () =
+  let h, _, _ = replicated_system ~seed:61 ~n:60 ~ps:0.7 ~r:2 () in
+  let w = H.world h in
+  let t_count = Array.length (World.t_peers w) in
+  List.iter
+    (fun p ->
+      let targets = Policy.targets w ~primary:p in
+      checki "ring targets" (min 2 (t_count - 1)) (List.length targets);
+      checkb "never the primary" false (List.memq p targets);
+      List.iter
+        (fun tg ->
+          checkb "target is a live t-peer" true (Peer.is_t_peer tg && tg.Peer.alive))
+        targets;
+      checki "targets distinct" (List.length targets)
+        (List.length (List.sort_uniq compare (List.map (fun t -> t.Peer.host) targets))))
+    (H.peers h)
+
+let test_tree_policy_targets () =
+  let h, _, _ =
+    replicated_system ~placement:Config.Tree_neighbors ~seed:62 ~n:60 ~ps:0.8 ~r:2 ()
+  in
+  let w = H.world h in
+  List.iter
+    (fun p ->
+      let targets = Policy.targets w ~primary:p in
+      checkb "at most r targets" true (List.length targets <= 2);
+      checkb "never the primary" false (List.memq p targets);
+      let neighbors = Peer.tree_neighbors p in
+      List.iter
+        (fun tg ->
+          checkb "target is a live tree neighbor" true
+            (tg.Peer.alive && List.memq tg neighbors))
+        targets)
+    (H.peers h)
+
+(* --- write-path fan-out ------------------------------------------------ *)
+
+let test_fanout_on_insert () =
+  let h, _, _ = replicated_system ~seed:63 ~n:60 ~ps:0.7 ~r:2 () in
+  let keys = insert_items h ~count:100 in
+  let w = H.world h in
+  List.iter
+    (fun key ->
+      let primary = primary_holder h key in
+      let expected = min 2 (Policy.expected_copies w ~primary) in
+      checki (Printf.sprintf "copies of %s" key) expected (replica_copy_count h key))
+    keys;
+  checkb "copies_written counted" true (replication_counter h "copies_written" > 0);
+  check_clean h
+
+let test_fanout_tree_placement () =
+  let h, _, _ =
+    replicated_system ~placement:Config.Tree_neighbors ~seed:64 ~n:60 ~ps:0.8 ~r:2 ()
+  in
+  ignore (insert_items h ~count:100 : string list);
+  checkb "copies_written counted" true (replication_counter h "copies_written" > 0);
+  check_clean h
+
+(* --- read-path fallback ------------------------------------------------ *)
+
+let test_read_falls_back_to_replica () =
+  let h, _, _ = replicated_system ~seed:65 ~n:60 ~ps:0.7 ~r:2 () in
+  ignore (insert_items h ~count:50 : string list);
+  let key = "item-00007" in
+  let holder = primary_holder h key in
+  Data_store.remove holder.Peer.store ~key;
+  (* query from a different s-network, from a peer not holding a copy *)
+  let from =
+    List.find
+      (fun p ->
+        Option.get p.Peer.t_home != Option.get holder.Peer.t_home
+        && not (Data_store.mem p.Peer.replicas ~key))
+      (H.peers h)
+  in
+  let r = lookup_sync h ~from ~key () in
+  checkb "found via replica" true (found r);
+  checkb "replica_hits counted" true (replication_counter h "replica_hits" > 0)
+
+(* --- crash survival ---------------------------------------------------- *)
+
+let test_crash_waves_lose_nothing () =
+  let h, _, _ = replicated_system ~seed:66 ~n:100 ~ps:0.7 ~r:2 () in
+  ignore (insert_items h ~count:400 : string list);
+  let before = H.total_items h in
+  checki "all inserted" 400 before;
+  (* two 10% waves with a repair (and its heal) between *)
+  for _ = 1 to 2 do
+    let victims = List.filteri (fun i _ -> i mod 10 = 0) (H.peers h) in
+    List.iter (H.crash h) victims;
+    H.repair h;
+    H.run h
+  done;
+  checki "no items lost" before (H.total_items h);
+  ok_invariants h;
+  check_clean h;
+  checkb "promotions or re-replications happened" true
+    (replication_counter h "promoted" + replication_counter h "re_replicated" > 0)
+
+let test_baseline_r0_loses_data () =
+  (* the same storm without replication loses items — the layer, not the
+     storm, is what the previous test measures *)
+  let h, _, _ = replicated_system ~seed:66 ~n:100 ~ps:0.7 ~r:0 () in
+  ignore (insert_items h ~count:400 : string list);
+  let before = H.total_items h in
+  let victims = List.filteri (fun i _ -> i mod 10 = 0) (H.peers h) in
+  List.iter (H.crash h) victims;
+  H.repair h;
+  H.run h;
+  checkb "r = 0 loses items" true (H.total_items h < before)
+
+(* --- audit check & heal ------------------------------------------------ *)
+
+let test_dropped_replica_flagged_then_healed () =
+  let h, _, m = replicated_system ~seed:67 ~n:60 ~ps:0.7 ~r:2 () in
+  ignore (insert_items h ~count:100 : string list);
+  check_clean h;
+  let key = "item-00042" in
+  let holder = List.find (fun p -> Data_store.mem p.Peer.replicas ~key) (H.peers h) in
+  Data_store.remove holder.Peer.replicas ~key;
+  let status = run_replication_check h in
+  checkb "dropped copy flagged" true (status.Checks.violations <> []);
+  Manager.heal m;
+  H.run h;
+  check_clean h;
+  let w = H.world h in
+  let expected = min 2 (Policy.expected_copies w ~primary:(primary_holder h key)) in
+  checki "factor restored" expected (replica_copy_count h key)
+
+(* --- anti-entropy ------------------------------------------------------ *)
+
+let test_anti_entropy_converges () =
+  let h, _, m = replicated_system ~seed:68 ~n:60 ~ps:0.7 ~r:2 () in
+  ignore (insert_items h ~count:100 : string list);
+  (* corrupt one replica store: drop a real copy, plant a stale one in
+     the same ring segment *)
+  let holder, (key, _, route_id) =
+    List.filter_map
+      (fun p ->
+        let triple = ref None in
+        Data_store.iter p.Peer.replicas (fun ~key ~value ~route_id ->
+            if !triple = None then triple := Some (key, value, route_id));
+        Option.map (fun t -> (p, t)) !triple)
+      (H.peers h)
+    |> List.hd
+  in
+  Data_store.remove holder.Peer.replicas ~key;
+  Data_store.insert_routed holder.Peer.replicas ~route_id ~key:"bogus-stale-copy"
+    ~value:"x";
+  Manager.anti_entropy_round m;
+  H.run h;
+  checkb "missing copy restored" true (Data_store.mem holder.Peer.replicas ~key);
+  checkb "stale copy pruned" false
+    (Data_store.mem holder.Peer.replicas ~key:"bogus-stale-copy");
+  checkb "mismatch counted" true (replication_counter h "digest_mismatches" > 0);
+  checkb "prune counted" true (replication_counter h "stale_pruned" > 0);
+  check_clean h
+
+let test_anti_entropy_round_quiet_when_synced () =
+  let h, _, m = replicated_system ~seed:69 ~n:40 ~ps:0.6 ~r:1 () in
+  ignore (insert_items h ~count:50 : string list);
+  Manager.anti_entropy_round m;
+  H.run h;
+  checki "no mismatches on a synced system" 0
+    (replication_counter h "digest_mismatches");
+  check_clean h
+
+(* --- digests ----------------------------------------------------------- *)
+
+let test_digest_order_independent () =
+  let a = ("k1", "v1", 100) and b = ("k2", "v2", 200) in
+  checki "order independent" (Data_store.digest_items [ a; b ])
+    (Data_store.digest_items [ b; a ]);
+  checkb "value change detected" true
+    (Data_store.digest_items [ a ] <> Data_store.digest_items [ ("k1", "v9", 100) ]);
+  checkb "count term distinguishes empty" true
+    (Data_store.digest_items [] <> Data_store.digest_items [ a ])
+
+(* --- scenario integration (timer bracket + no-loss) -------------------- *)
+
+let test_scenario_anti_entropy_action () =
+  let h = H.create_star ~seed:70 ~peers:400 ~config:(r_config 2) () in
+  let report =
+    Scenario.run h ~seed:70
+      ~script:
+        [ Scenario.Join_many (40, 0.7); Scenario.Insert_items 150; Scenario.Settle;
+          Scenario.Crash_fraction 0.1; Scenario.Repair;
+          Scenario.Anti_entropy 2_000.0; Scenario.Lookup_items 100; Scenario.Settle ]
+  in
+  checkb "invariants hold" true (Result.is_ok report.Scenario.invariants);
+  checki "no items lost" report.Scenario.inserted report.Scenario.final_items;
+  checki "all lookups succeed" 100 report.Scenario.lookups_ok
+
+(* --- successor list length (chord baseline) ---------------------------- *)
+
+let test_successor_list_length () =
+  let ring = Chord.create ~successor_list_length:5 () in
+  checki "explicit length" 5 (Chord.successor_list_length ring);
+  checki "default length" 8 (Chord.successor_list_length (Chord.create ()));
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Ring.create: successor_list_length must be >= 1") (fun () ->
+      ignore (Chord.create ~successor_list_length:0 () : Chord.t))
+
+let suite =
+  [
+    Alcotest.test_case "config: durability fields validated" `Quick
+      test_config_validation;
+    Alcotest.test_case "policy: ring successors" `Quick test_ring_policy_targets;
+    Alcotest.test_case "policy: tree neighbors" `Quick test_tree_policy_targets;
+    Alcotest.test_case "fan-out: every insert replicated" `Quick test_fanout_on_insert;
+    Alcotest.test_case "fan-out: tree placement" `Quick test_fanout_tree_placement;
+    Alcotest.test_case "read: replica fallback serves lost primary" `Quick
+      test_read_falls_back_to_replica;
+    Alcotest.test_case "crash: waves + heal lose nothing (r=2)" `Quick
+      test_crash_waves_lose_nothing;
+    Alcotest.test_case "crash: r=0 baseline loses data" `Quick
+      test_baseline_r0_loses_data;
+    Alcotest.test_case "audit: dropped copy flagged then healed" `Quick
+      test_dropped_replica_flagged_then_healed;
+    Alcotest.test_case "anti-entropy: restores and prunes" `Quick
+      test_anti_entropy_converges;
+    Alcotest.test_case "anti-entropy: quiet when synced" `Quick
+      test_anti_entropy_round_quiet_when_synced;
+    Alcotest.test_case "digest: order-independent set hash" `Quick
+      test_digest_order_independent;
+    Alcotest.test_case "scenario: anti-entropy action, no loss" `Quick
+      test_scenario_anti_entropy_action;
+    Alcotest.test_case "chord: successor list length configurable" `Quick
+      test_successor_list_length;
+  ]
