@@ -1,0 +1,240 @@
+(* Lookup-cost bench: Bloom-guided flood pruning and Zipf-aware result
+   caching against the unguided baseline, in one process on identical
+   topologies and workloads.
+
+   For each (zipf exponent, p_s) point we build four systems from the
+   same seed — baseline, Bloom summaries only, result cache only, and
+   both — replay the exact same lookup stream (same RNG draw order, so
+   targets and requesters match peer-for-peer), and report per-lookup
+   flood visits, underlay messages, contacted peers (the paper's
+   connum), recall and wall-clock.  Lookups are spaced in simulated time
+   so cache entries filled by early replies can serve later requests, as
+   they would in a live deployment.
+
+   Results land in BENCH_lookup.json.  The run fails (non-zero exit)
+   when an accelerated configuration loses recall against the baseline —
+   the summaries' contract is "false positives only", so any lost answer
+   is a bug, not a tuning problem. *)
+
+open Experiments
+module Registry = P2p_obs.Registry
+module Json = P2p_obs.Json
+module Engine = P2p_sim.Engine
+
+(* The gate point from the roadmap: Zipf s = 1.0, p_s = 0.8, delta = 4. *)
+let gate_zipf = 1.0
+
+let gate_ps = 0.8
+
+(* Gap between lookup issues, ms of simulated time.  Small enough that a
+   10k-lookup run still fits well inside the default cache lifetime. *)
+let issue_gap = 3.0
+
+type sample = {
+  zipf : float;
+  ps : float;
+  variant : string;
+  lookups : int;
+  visits_per_lookup : float;
+  pruned_per_lookup : float;
+  messages_per_lookup : float;
+  connum_per_lookup : float;
+  cache_hit_rate : float;
+  recall : float;
+  wall_s : float;
+}
+
+(* The four configurations under test.  Baseline keeps both features
+   off; the accelerated variants switch them on one at a time, then
+   together.  Everything else (delta, TTL, reflood) is shared. *)
+let variants =
+  [
+    ("baseline", (0, 0));
+    ("bloom", (8, 0));
+    ("cache", (0, 64));
+    ("bloom+cache", (8, 64));
+  ]
+
+let base_config =
+  { Config.default with Config.delta = 4; default_ttl = 8; reflood_attempts = 2 }
+
+let counter_value b ~subsystem ~name =
+  Registry.counter_value
+    (Registry.counter (Metrics.registry (H.metrics b.h)) ~subsystem ~name)
+
+let measure ~scale ~lookups ~ps ~exponent (variant, (bloom_bits, cache_cap)) =
+  let config =
+    {
+      base_config with
+      Config.bloom_bits_per_key = bloom_bits;
+      cache_capacity = cache_cap;
+    }
+  in
+  let b = build ~config ~seed:11 ~ps ~scale () in
+  insert_corpus b;
+  let live = Array.of_list (H.peers b.h) in
+  (* Draw targets and requesters up front: the workload RNG has consumed
+     exactly the same stream in every variant, so these arrays are
+     identical across the four systems of a point. *)
+  let targets =
+    Keys.zipf_lookup_sequence ~rng:b.rng ~items:b.items ~count:lookups ~exponent
+  in
+  let froms = Array.map (fun _ -> Rng.pick b.rng live) targets in
+  let visits0 = counter_value b ~subsystem:"s_network" ~name:"flood_visits" in
+  let pruned0 = counter_value b ~subsystem:"s_network" ~name:"flood_pruned" in
+  let hits0 = counter_value b ~subsystem:"cache" ~name:"hits" in
+  let misses0 = counter_value b ~subsystem:"cache" ~name:"misses" in
+  let messages0 = Metrics.messages (H.metrics b.h) in
+  let connum0 = Metrics.connum (H.metrics b.h) in
+  let found = ref 0 in
+  let t0 = Sys.time () in
+  let eng = H.engine b.h in
+  Array.iteri
+    (fun i item ->
+      ignore
+        (Engine.schedule eng ~label:"bench-lookup"
+           ~delay:(float_of_int i *. issue_gap)
+           (fun () ->
+             H.lookup b.h ~from:froms.(i) ~key:item.Keys.key
+               ~on_result:(function
+                 | Data_ops.Found _ -> incr found
+                 | Data_ops.Timed_out -> ())
+               ())
+          : Engine.handle))
+    targets;
+  H.run b.h;
+  let wall = Sys.time () -. t0 in
+  audit_pass b;
+  dump_metrics b;
+  let per c0 c1 = float_of_int (c1 - c0) /. float_of_int lookups in
+  let hits = counter_value b ~subsystem:"cache" ~name:"hits" - hits0 in
+  let misses = counter_value b ~subsystem:"cache" ~name:"misses" - misses0 in
+  let probes = hits + misses in
+  {
+    zipf = exponent;
+    ps;
+    variant;
+    lookups;
+    visits_per_lookup =
+      per visits0 (counter_value b ~subsystem:"s_network" ~name:"flood_visits");
+    pruned_per_lookup =
+      per pruned0 (counter_value b ~subsystem:"s_network" ~name:"flood_pruned");
+    messages_per_lookup = per messages0 (Metrics.messages (H.metrics b.h));
+    connum_per_lookup = per connum0 (Metrics.connum (H.metrics b.h));
+    cache_hit_rate =
+      (if probes = 0 then 0.0 else float_of_int hits /. float_of_int probes);
+    recall = float_of_int !found /. float_of_int lookups;
+    wall_s = wall;
+  }
+
+let sample_json s =
+  Json.Obj
+    [
+      ("zipf", Json.Float s.zipf);
+      ("ps", Json.Float s.ps);
+      ("config", Json.String s.variant);
+      ("lookups", Json.Int s.lookups);
+      ("flood_visits_per_lookup", Json.Float s.visits_per_lookup);
+      ("flood_pruned_per_lookup", Json.Float s.pruned_per_lookup);
+      ("messages_per_lookup", Json.Float s.messages_per_lookup);
+      ("connum_per_lookup", Json.Float s.connum_per_lookup);
+      ("cache_hit_rate", Json.Float s.cache_hit_rate);
+      ("recall", Json.Float s.recall);
+      ("wallclock_s", Json.Float s.wall_s);
+    ]
+
+let output_path = "BENCH_lookup.json"
+
+let run ?(smoke = false) ~scale () =
+  header
+    (Printf.sprintf "Lookup perf — Bloom-guided floods + Zipf caching%s"
+       (if smoke then " (smoke)" else ""));
+  let exponents = if smoke then [ gate_zipf ] else [ 0.0; 0.5; gate_zipf ] in
+  let ps_list = if smoke then [ gate_ps ] else [ 0.5; gate_ps ] in
+  (* The roadmap's gate point is measured over 10k lookups, regardless of
+     which topology scale carries them. *)
+  let lookups = if smoke then 600 else max scale.n_lookups 10_000 in
+  row "%6s %5s  %-12s %10s %10s %10s %8s %8s %8s\n" "zipf" "ps" "config"
+    "visits/lk" "msgs/lk" "connum/lk" "hit%" "recall" "wall s";
+  let samples = ref [] in
+  let recall_failures = ref [] in
+  List.iter
+    (fun exponent ->
+      List.iter
+        (fun ps ->
+          let point =
+            List.map (measure ~scale ~lookups ~ps ~exponent) variants
+          in
+          let baseline = List.hd point in
+          List.iter
+            (fun s ->
+              row "%6.2f %5.2f  %-12s %10.2f %10.2f %10.2f %7.1f%% %8.3f %8.2f\n"
+                s.zipf s.ps s.variant s.visits_per_lookup s.messages_per_lookup
+                s.connum_per_lookup (100.0 *. s.cache_hit_rate) s.recall s.wall_s;
+              if s.recall < baseline.recall then
+                recall_failures :=
+                  Printf.sprintf
+                    "zipf=%.2f ps=%.2f %s: recall %.4f < baseline %.4f"
+                    s.zipf s.ps s.variant s.recall baseline.recall
+                  :: !recall_failures)
+            point;
+          samples := !samples @ point)
+        ps_list)
+    exponents;
+  (* Reduction gate at the roadmap point: bloom+cache vs baseline. *)
+  let at variant =
+    List.find_opt
+      (fun s -> s.variant = variant && s.zipf = gate_zipf && s.ps = gate_ps)
+      !samples
+  in
+  let gate_json, reduction_ok =
+    match (at "baseline", at "bloom+cache") with
+    | Some base, Some accel ->
+      let reduction = 1.0 -. (accel.visits_per_lookup /. base.visits_per_lookup) in
+      row
+        "\ngate (zipf=%.1f, ps=%.1f): flood visits/lookup %.2f -> %.2f \
+         (%.1f%% reduction), recall %.3f -> %.3f\n"
+        gate_zipf gate_ps base.visits_per_lookup accel.visits_per_lookup
+        (100.0 *. reduction) base.recall accel.recall;
+      ( Json.Obj
+          [
+            ("zipf", Json.Float gate_zipf);
+            ("ps", Json.Float gate_ps);
+            ("baseline_visits_per_lookup", Json.Float base.visits_per_lookup);
+            ("accelerated_visits_per_lookup", Json.Float accel.visits_per_lookup);
+            ("reduction", Json.Float reduction);
+            ("baseline_recall", Json.Float base.recall);
+            ("accelerated_recall", Json.Float accel.recall);
+          ],
+        reduction >= 0.4 )
+    | _ -> (Json.Null, true)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.String "lookup_perf");
+        ("scale", Json.String scale.label);
+        ("smoke", Json.Bool smoke);
+        ("delta", Json.Int base_config.Config.delta);
+        ("ttl", Json.Int base_config.Config.default_ttl);
+        ("lookups_per_point", Json.Int lookups);
+        ("points", Json.List (List.map sample_json !samples));
+        ("gate", gate_json);
+      ]
+  in
+  let oc = open_out output_path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  row "results -> %s\n" output_path;
+  (match !recall_failures with
+   | [] -> ()
+   | fs ->
+     List.iter (fun f -> Printf.eprintf "lookup_perf: RECALL REGRESSION %s\n" f) fs;
+     exit 1);
+  (* The 40%-fewer-visits target is enforced only on full runs: smoke
+     workloads are too small to hold the bench to a perf promise. *)
+  if (not smoke) && not reduction_ok then begin
+    Printf.eprintf "lookup_perf: flood-visit reduction below the 40%% target\n";
+    exit 1
+  end

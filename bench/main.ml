@@ -9,7 +9,7 @@
 
    Experiments: fig3a fig3b fig3-sim fig4 fig5a fig5b durability fig6a fig6b
                 table2 ablate-delta ablate-fingers ablate-bypass ablate-bt
-                ablate-cache stress churn-live *)
+                ablate-cache stress churn-live lookup-perf *)
 
 open Experiments
 
@@ -17,8 +17,8 @@ let usage () =
   print_endline
     "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|durability|fig6a|\n\
     \                 fig6b|table2|ablate-delta|ablate-fingers|ablate-bypass|\n\
-    \                 ablate-bt|ablate-cache|stress|bechamel]\n\
-    \                [--paper] [--metrics-dir DIR] [--audit]"
+    \                 ablate-bt|ablate-cache|stress|lookup-perf|bechamel]\n\
+    \                [--paper] [--metrics-dir DIR] [--audit] [--smoke]"
 
 (* --- Bechamel micro-benchmarks: one per experiment kernel plus the hot
    core operations. --- *)
@@ -107,6 +107,7 @@ let run_bechamel () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
+  let smoke = List.mem "--smoke" args in
   let scale = if paper then paper_scale else small_scale in
   audit_enabled := List.mem "--audit" args;
   (* consume "--metrics-dir DIR" before picking the command *)
@@ -120,7 +121,7 @@ let () =
   in
   let commands =
     extract_metrics_dir
-      (List.filter (fun a -> a <> "--paper" && a <> "--audit") args)
+      (List.filter (fun a -> a <> "--paper" && a <> "--audit" && a <> "--smoke") args)
   in
   let command = match commands with [] -> "all" | c :: _ -> c in
   Printf.printf "scale: %s\n%!" scale.label;
@@ -142,6 +143,7 @@ let () =
     Ablations.ablate_cache ~scale ();
     Ablations.link_stress ~scale ();
     Ablations.churn_live ();
+    Lookup_perf.run ~smoke ~scale ();
     run_bechamel ()
   in
   match command with
@@ -163,6 +165,7 @@ let () =
   | "ablate-cache" -> Ablations.ablate_cache ~scale ()
   | "stress" -> Ablations.link_stress ~scale ()
   | "churn-live" -> Ablations.churn_live ()
+  | "lookup-perf" | "lookup_perf" -> Lookup_perf.run ~smoke ~scale ()
   | "bechamel" -> run_bechamel ()
   | "help" | "--help" | "-h" -> usage ()
   | unknown ->

@@ -81,6 +81,38 @@ let scheme_arg =
     & opt (conv (parse, print)) Config.Spread_to_neighbors
     & info [ "placement" ] ~docv:"SCHEME" ~doc:"Data placement: tpeer or spread.")
 
+let bloom_bits_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "bloom-bits" ] ~docv:"B"
+        ~doc:
+          "Bits per key of the attenuated Bloom summaries on s-tree edges; keyed \
+           floods prune child branches whose summary misses the key (0 disables \
+           pruning).")
+
+let bloom_depth_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "bloom-depth" ] ~docv:"D"
+        ~doc:
+          "Attenuation depth of the edge summaries: levels beyond $(docv) hops \
+           collapse into the last filter.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache" ] ~docv:"CAP"
+        ~doc:
+          "Per-peer result-cache capacity: successful lookups leave a copy at the \
+           requester, serving repeat (Zipf-popular) requests locally (0 disables \
+           caching).")
+
+let cache_ttl_arg =
+  Arg.(
+    value & opt float Config.default.Config.cache_lifetime
+    & info [ "cache-ttl" ] ~docv:"MS"
+        ~doc:"Lifetime of cached lookup results, in simulated milliseconds.")
+
 let replication_arg =
   Arg.(
     value & opt int 0
@@ -260,17 +292,27 @@ let print_metrics h =
 (* --- run subcommand --- *)
 
 let run_cmd =
-  let run seed ps n items lookups ttl delta placement replication anti_entropy trace_out
-      trace_cap metrics_out metrics_csv profile audit_interval =
+  let run seed ps n items lookups ttl delta placement bloom_bits bloom_depth
+      cache_capacity cache_ttl replication anti_entropy trace_out trace_cap metrics_out
+      metrics_csv profile audit_interval =
     let config =
       {
         Config.default with
         Config.default_ttl = ttl;
         delta;
         placement;
+        bloom_bits_per_key = bloom_bits;
+        bloom_depth;
+        cache_capacity;
+        cache_lifetime = cache_ttl;
         replication_factor = replication;
       }
     in
+    (match Config.validate config with
+     | Ok () -> ()
+     | Error e ->
+       Printf.eprintf "p2psim: %s\n" e;
+       exit 1);
     if trace_cap <= 0 then begin
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
       exit 1
@@ -326,7 +368,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
-      $ delta_arg $ scheme_arg $ replication_arg $ anti_entropy_arg $ trace_out_arg
+      $ delta_arg $ scheme_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg
+      $ cache_ttl_arg $ replication_arg $ anti_entropy_arg $ trace_out_arg
       $ trace_cap_arg $ metrics_out_arg $ metrics_csv_arg $ profile_arg
       $ audit_interval_arg)
   in
@@ -624,9 +667,22 @@ let inject_corruption h ~config = function
   | other -> failwith (Printf.sprintf "unknown injection %S" other)
 
 let audit_cmd =
-  let run seed ps n items lookups interval inject replication checks trace_out trace_cap
-      metrics_out metrics_csv =
-    let config = { Config.default with Config.replication_factor = replication } in
+  let run seed ps n items lookups interval inject bloom_bits bloom_depth cache_capacity
+      replication checks trace_out trace_cap metrics_out metrics_csv =
+    let config =
+      {
+        Config.default with
+        Config.bloom_bits_per_key = bloom_bits;
+        bloom_depth;
+        cache_capacity;
+        replication_factor = replication;
+      }
+    in
+    (match Config.validate config with
+     | Ok () -> ()
+     | Error e ->
+       Printf.eprintf "p2psim: %s\n" e;
+       exit 1);
     if trace_cap <= 0 then begin
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
       exit 1
@@ -722,8 +778,8 @@ let audit_cmd =
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ interval_arg
-      $ inject_arg $ replication_arg $ checks_arg $ trace_out_arg $ trace_cap_arg
-      $ metrics_out_arg $ metrics_csv_arg)
+      $ inject_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg $ replication_arg
+      $ checks_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg $ metrics_csv_arg)
   in
   Cmd.v
     (Cmd.info "audit"

@@ -423,6 +423,75 @@ let load_balance who w =
   gauge col "items_gini" (gini sizes);
   finish col
 
+(* --- bloom_coverage ------------------------------------------------------
+
+   The edge-summary contract ({!Hybrid_p2p.Summaries}): a fresh attenuated
+   Bloom summary may only over-approximate — every key actually stored
+   (primary or replica) at any member must pass the on-path filter of
+   every ancestor edge at a level the flood's budget reaches, or a pruned
+   flood could miss data a full flood would find.  The check first forces
+   a rebuild of stale trees (pure derived state: no messages, no RNG, so
+   simulated results are unchanged), then verifies the contract against
+   the live placement.  No-op while summaries are disabled. *)
+
+let bloom_coverage who w =
+  let col = collector who in
+  if w.World.config.Config.bloom_bits_per_key <= 0 then finish col
+  else begin
+    let module Summaries = Hybrid_p2p.Summaries in
+    let module Bloom = Hybrid_p2p.Bloom in
+    let roots = World.t_peers w in
+    let stale_at_tick = ref 0 and keys_checked = ref 0 in
+    Array.iter
+      (fun root ->
+        if not (Summaries.fresh w root) then incr stale_at_tick;
+        Summaries.ensure_fresh w root;
+        (* verify every ancestor edge on the key's root path: a key [dist]
+           hops below an edge must sit in a filter level a flood with
+           exactly [dist] remaining forwards would consult *)
+        let rec check_path child parent ~dist ~key ~holder =
+          (match Hashtbl.find_opt parent.Peer.summaries child.Peer.host with
+           | None -> () (* unsummarized edge: floods never prune it *)
+           | Some filters ->
+             let levels = min dist (Array.length filters) in
+             let rec probe i =
+               i < levels && (Bloom.mem filters.(i) key || probe (i + 1))
+             in
+             if not (probe 0) then
+               err col ~subject:holder.Peer.host
+                 "key %S held at #%d is invisible to the summary of edge #%d->#%d \
+                  (false negative: a flood reaching #%d with %d forwards left \
+                  would prune the branch)"
+                 key holder.Peer.host parent.Peer.host child.Peer.host
+                 parent.Peer.host dist);
+          match parent.Peer.cp with
+          | Some grand -> check_path parent grand ~dist:(dist + 1) ~key ~holder
+          | None -> ()
+        in
+        let rec walk peer =
+          let local =
+            List.rev_append
+              (Data_store.keys peer.Peer.store)
+              (Data_store.keys peer.Peer.replicas)
+          in
+          (match peer.Peer.cp with
+           | Some parent ->
+             List.iter
+               (fun key ->
+                 incr keys_checked;
+                 check_path peer parent ~dist:1 ~key ~holder:peer)
+               local
+           | None -> keys_checked := !keys_checked + List.length local);
+          List.iter (fun c -> if c.Peer.alive then walk c) peer.Peer.children
+        in
+        walk root)
+      roots;
+    gauge col "trees" (float_of_int (Array.length roots));
+    gauge col "trees_stale_at_tick" (float_of_int !stale_at_tick);
+    gauge col "keys_checked" (float_of_int !keys_checked);
+    finish col
+  end
+
 (* --- catalogue ----------------------------------------------------------- *)
 
 let all =
@@ -456,6 +525,12 @@ let all =
       c_name = "replication_factor";
       c_describe = "every primary item keeps its configured replica count (when r > 0)";
       c_run = replication_factor;
+    };
+    {
+      c_name = "bloom_coverage";
+      c_describe =
+        "s-tree edge summaries never hide stored data (no false negatives)";
+      c_run = bloom_coverage;
     };
     {
       c_name = "load_balance";

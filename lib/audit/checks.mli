@@ -52,7 +52,13 @@ val describe : check -> string
 
 (** The full catalogue, in canonical order: [ring_symmetry],
     [finger_tables], [tree_structure], [membership], [data_placement],
-    [replication_factor], [load_balance].  [replication_factor] holds
+    [replication_factor], [bloom_coverage], [load_balance].
+    [bloom_coverage] verifies the edge-summary contract of
+    {!Hybrid_p2p.Summaries} — no stored key is invisible to an ancestor
+    edge's attenuated Bloom filter (pruned floods can only over-visit,
+    never miss); it rebuilds stale summaries first (derived state only)
+    and is a no-op while [bloom_bits_per_key = 0].
+    [replication_factor] holds
     every primary item to [min r (Policy.expected_copies)] live replica
     copies; it stays quiet (gauges only) while copies are in flight
     ([World.replication_pending > 0]) or t-peers are mid-triangle, and

@@ -1,0 +1,61 @@
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  hashes : int;
+  mutable count : int;
+}
+
+(* k ≈ (m/n) ln 2; with m/n = bits_per_key that is 0.69·bits_per_key. *)
+let hash_count ~bits_per_key = max 1 ((bits_per_key * 7) / 10)
+
+let create ~expected ~bits_per_key =
+  if bits_per_key <= 0 then invalid_arg "Bloom.create: bits_per_key";
+  let nbits = max 64 (max 1 expected * bits_per_key) in
+  {
+    bits = Bytes.make ((nbits + 7) / 8) '\000';
+    nbits;
+    hashes = hash_count ~bits_per_key;
+    count = 0;
+  }
+
+(* Double hashing (Kirsch–Mitzenmacher): two independent hashes generate
+   the whole index family.  [h2] is forced odd so it is invertible mod any
+   power of two and never degenerates to a single probe. *)
+let index t h1 h2 i = (h1 + (i * h2)) mod t.nbits
+
+let hash_pair key =
+  let h1 = Hashtbl.seeded_hash 0x2545f491 key in
+  let h2 = (Hashtbl.seeded_hash 0x27d4eb2f key * 2) + 1 in
+  (h1, h2)
+
+let set_bit t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl bit)))
+
+let get_bit t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.get t.bits byte) land (1 lsl bit) <> 0
+
+let add t key =
+  let h1, h2 = hash_pair key in
+  for i = 0 to t.hashes - 1 do
+    set_bit t (index t h1 h2 i)
+  done;
+  t.count <- t.count + 1
+
+let mem t key =
+  let h1, h2 = hash_pair key in
+  let rec probe i = i >= t.hashes || (get_bit t (index t h1 h2 i) && probe (i + 1)) in
+  probe 0
+
+let count t = t.count
+
+let nbits t = t.nbits
+
+let fill_ratio t =
+  let set = ref 0 in
+  for i = 0 to t.nbits - 1 do
+    if get_bit t i then incr set
+  done;
+  float_of_int !set /. float_of_int t.nbits

@@ -1,0 +1,35 @@
+(** Space-efficient approximate key sets for s-tree edge summaries.
+
+    A plain bit-array Bloom filter: [mem] answers "possibly present" or
+    "definitely absent" — it can return false positives but never false
+    negatives for keys that were [add]ed.  That one-sidedness is exactly
+    what flood pruning needs: a branch whose filter misses the key can be
+    skipped without ever hiding data, while a false positive merely costs
+    the messages the unpruned flood would have sent anyway.
+
+    Geometry is fixed at creation from the expected key count and a
+    bits-per-key budget; the hash family is derived from two seeded hashes
+    by double hashing, so no per-probe hashing cost. *)
+
+type t
+
+(** [create ~expected ~bits_per_key] sizes the filter for [expected] keys
+    at [bits_per_key] bits each (minimum 64 bits total) and picks the
+    matching hash count (≈ 0.7·bits_per_key).
+    @raise Invalid_argument when [bits_per_key <= 0]. *)
+val create : expected:int -> bits_per_key:int -> t
+
+val add : t -> string -> unit
+
+(** [mem t key] — [false] means [key] was definitely never added; [true]
+    means it probably was (false-positive rate ≈ 0.6^bits_per_key when
+    loaded at the design point). *)
+val mem : t -> string -> bool
+
+(** Number of [add] calls (duplicates counted). *)
+val count : t -> int
+
+val nbits : t -> int
+
+(** Fraction of set bits — a load gauge; ≈ 0.5 at the design point. *)
+val fill_ratio : t -> float

@@ -5,7 +5,11 @@
     the hosting peer is overwhelmed; spreading copies across requesters
     and forwarders diffuses that load.  Entries expire after a lifetime
     and the cache evicts the entry closest to expiry when full — cheap,
-    and popular items keep getting refreshed anyway. *)
+    and popular items keep getting refreshed anyway.
+
+    Eviction order is maintained by a min-expiry binary heap with lazy
+    deletion, so [put] is O(log capacity) rather than a full-table scan
+    per eviction. *)
 
 type t
 

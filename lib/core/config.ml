@@ -25,6 +25,8 @@ type t = {
   reflood_attempts : int;
   cache_capacity : int;
   cache_lifetime : float;
+  bloom_bits_per_key : int;
+  bloom_depth : int;
   replication_factor : int;
   replica_placement : replica_placement;
   anti_entropy_interval : float;
@@ -53,6 +55,8 @@ let default =
     reflood_attempts = 0;
     cache_capacity = 0;
     cache_lifetime = 20_000.0;
+    bloom_bits_per_key = 0;
+    bloom_depth = 4;
     replication_factor = 0;
     replica_placement = Ring_successors;
     anti_entropy_interval = 5_000.0;
@@ -75,6 +79,8 @@ let validate t =
   else if t.reflood_attempts < 0 then Error "reflood_attempts must be >= 0"
   else if t.cache_capacity < 0 then Error "cache_capacity must be >= 0"
   else if t.cache_lifetime <= 0.0 then Error "cache_lifetime must be positive"
+  else if t.bloom_bits_per_key < 0 then Error "bloom_bits_per_key must be >= 0"
+  else if t.bloom_depth < 1 then Error "bloom_depth must be >= 1"
   else if t.replication_factor < 0 then Error "replication_factor must be >= 0"
   else if t.anti_entropy_interval <= 0.0 then
     Error "anti_entropy_interval must be positive"

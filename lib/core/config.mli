@@ -80,6 +80,16 @@ type t = {
       (** per-peer soft cache of popular items (the paper's Section-7
           future work); [0] (default) disables caching *)
   cache_lifetime : float;  (** ms a cached copy stays valid *)
+  bloom_bits_per_key : int;
+      (** size budget of the attenuated Bloom summaries kept per s-tree
+          edge, in filter bits per summarized key.  When positive,
+          {!S_network.flood} prunes branches whose edge summary misses the
+          looked-up key ({!Summaries}); [0] (default) disables the
+          summaries and every flood visits the whole in-range tree. *)
+  bloom_depth : int;
+      (** number of attenuation levels per edge summary (>= 1): level [i]
+          holds keys exactly [i+1] tree hops below the edge, and the last
+          level absorbs everything deeper *)
   replication_factor : int;
       (** number of redundant copies of each item kept beyond the
           primary ([r]); [0] (default) reproduces the paper's

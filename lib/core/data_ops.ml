@@ -51,6 +51,7 @@ let store_here w ?op peer ~route_id ~key ~value =
   Data_store.insert_routed peer.Peer.store ~route_id ~key ~value;
   (* a replica copy at the primary holder itself would be redundant *)
   Data_store.remove peer.Peer.replicas ~key;
+  Summaries.note_stored w ~holder:peer ~key;
   tracker_report w ?op ~holder:peer ~key ();
   match w.World.on_stored with
   | Some fan_out -> fan_out ~op ~holder:peer ~route_id ~key ~value
@@ -143,9 +144,11 @@ let finish_success ctx ~holder ~value ~hops =
     (* the Section-7 caching scheme: the requester keeps a soft copy, so
        the next popular request is served locally *)
     let config = ctx.w.World.config in
-    if config.Config.cache_capacity > 0 then
+    if config.Config.cache_capacity > 0 then begin
       Cache.put ctx.requester.Peer.cache ~now:(World.now ctx.w)
         ~lifetime:config.Config.cache_lifetime ~key:ctx.key ~value;
+      World.bump ctx.w ~subsystem:"cache" ~name:"fills"
+    end;
     ctx.on_result (Found { holder; latency; hops })
   end
 
@@ -164,8 +167,12 @@ let check_peer ctx peer ~hops =
         World.bump ctx.w ~subsystem:"replication" ~name:"replica_hits";
         hit
       | None ->
-        if ctx.w.World.config.Config.cache_capacity > 0 then
-          Cache.find peer.Peer.cache ~now:(World.now ctx.w) ~key:ctx.key
+        if ctx.w.World.config.Config.cache_capacity > 0 then begin
+          let cached = Cache.find peer.Peer.cache ~now:(World.now ctx.w) ~key:ctx.key in
+          World.bump ctx.w ~subsystem:"cache"
+            ~name:(match cached with Some _ -> "hits" | None -> "misses");
+          cached
+        end
         else None)
   in
   match found with
@@ -178,7 +185,7 @@ let check_peer ctx peer ~hops =
   | None -> true
 
 let flood_snetwork ctx ~entry ~base_hops ~ttl ~skip_entry_check =
-  S_network.flood ctx.w ~op:ctx.op ~from:entry ~ttl
+  S_network.flood ctx.w ~op:ctx.op ~prune_key:ctx.key ~from:entry ~ttl
     ~visit:(fun peer ~depth ->
       if depth = 0 && skip_entry_check then true
       else check_peer ctx peer ~hops:(base_hops + depth))

@@ -28,6 +28,8 @@ type t = {
   store : Data_store.t;
   replicas : Data_store.t;
   cache : Cache.t;
+  summaries : (int, Bloom.t array) Hashtbl.t;
+  mutable summaries_epoch : int;
   tracker_index : (string, t) Hashtbl.t;
   mutable bypass : (t * float) list;
   mutable watchdogs : (int, P2p_sim.Timer.t) Hashtbl.t;
@@ -55,6 +57,8 @@ let make ?(cache_capacity = 0) ~host ~p_id ~role ~link_capacity ?interest () =
     store = Data_store.create ();
     replicas = Data_store.create ();
     cache = Cache.create ~capacity:cache_capacity;
+    summaries = Hashtbl.create 4;
+    summaries_epoch = -1;
     tracker_index = Hashtbl.create 8;
     bypass = [];
     watchdogs = Hashtbl.create 8;

@@ -52,6 +52,13 @@ type t = {
           untouched.  Replica reads are a lookup fallback, never the
           primary path. *)
   cache : Cache.t;  (** soft cache of popular items (Section-7 future work) *)
+  summaries : (int, Bloom.t array) Hashtbl.t;
+      (** child host -> attenuated Bloom summary of the keys in that
+          child's subtree, one filter per depth level.  Maintained by
+          {!Summaries}; empty while edge summaries are disabled. *)
+  mutable summaries_epoch : int;
+      (** at tree roots: the {!World.t} summary epoch this tree's
+          summaries were last rebuilt against; [-1] = never / stale *)
   tracker_index : (string, t) Hashtbl.t;
       (** BitTorrent-style mode only: at a t-peer, maps keys stored anywhere
           in its s-network to the holding peer *)

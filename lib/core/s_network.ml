@@ -51,6 +51,9 @@ let rejoin_subtree w ?op ~child ~root ~on_done () =
     Peer.attach_child ~parent:cp ~child;
     (* attach_child only rewires the child itself; carry the subtree. *)
     set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child;
+    (* the rejoining subtree carries data the receiving tree's edge
+       summaries know nothing about *)
+    Summaries.invalidate_tree cp;
     on_done ~hops
   in
   walk w ?op ~at:root ~hops:0 ~attach ()
@@ -64,13 +67,17 @@ let rejoin_subtree_sync w ~child ~root =
   in
   let cp = walk root in
   Peer.attach_child ~parent:cp ~child;
-  set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child
+  set_subtree_home_peer ~home:(Option.get cp.Peer.t_home) child;
+  Summaries.invalidate_tree cp
 
 let leave w ?op peer =
   if Peer.is_t_peer peer then invalid_arg "S_network.leave: t-peer";
   if not peer.Peer.alive then invalid_arg "S_network.leave: dead peer";
   World.bump w ~subsystem:"s_network" ~name:"leaves";
   let home = Option.get peer.Peer.t_home in
+  (* the departing peer's load moves one hop up: ancestor summaries now
+     misplace those keys by one level, so stop pruning until a rebuild *)
+  Summaries.invalidate_tree home;
   (* Transfer the data load to the connect point. *)
   (match peer.Peer.cp with
    | Some cp ->
@@ -95,8 +102,12 @@ let leave w ?op peer =
           rejoin_subtree w ?op ~child ~root:home ~on_done:(fun ~hops:_ -> ()) ()))
     orphans
 
-let flood w ?op ~from ~ttl ~visit () =
+let flood w ?op ?prune_key ~from ~ttl ~visit () =
   World.bump w ~subsystem:"s_network" ~name:"floods";
+  (* A keyed flood rebuilds the tree's edge summaries if they went stale —
+     synchronous, like the other oracle-style maintenance: we model the
+     outcome of background summary propagation, not its timing. *)
+  (match prune_key with Some _ -> Summaries.ensure_fresh w from | None -> ());
   let rec deliver peer ~depth ~sender =
     World.bump w ~subsystem:"s_network" ~name:"flood_visits";
     (match (sender, w.World.on_query) with
@@ -104,10 +115,38 @@ let flood w ?op ~from ~ttl ~visit () =
      | (None, _ | _, None) -> ());
     let keep_forwarding = visit peer ~depth in
     if depth < ttl && keep_forwarding then begin
+      (* Freshness is re-checked at every hop: if churn invalidated the
+         summaries while this flood was in flight, pruning stops and the
+         flood degrades to the full tree visit. *)
+      let prune =
+        match prune_key with
+        | Some _ ->
+          Summaries.enabled w && Summaries.fresh w (Summaries.tree_root peer)
+        | None -> false
+      in
       let next_hops =
         List.filter
           (fun q -> q.Peer.alive && (match sender with Some s -> q != s | None -> true))
           (Peer.tree_neighbors peer)
+      in
+      let next_hops =
+        if not prune then next_hops
+        else
+          List.filter
+            (fun q ->
+              (* only child edges carry summaries; the upward (cp) edge is
+                 never pruned *)
+              let is_child =
+                match peer.Peer.cp with Some c -> c != q | None -> true
+              in
+              (not is_child)
+              ||
+              let key = Option.get prune_key in
+              let may = Summaries.child_may_hold peer q ~budget:(ttl - depth) ~key in
+              if not may then
+                World.bump w ~subsystem:"s_network" ~name:"flood_pruned";
+              may)
+            next_hops
       in
       List.iter
         (fun q ->

@@ -58,10 +58,20 @@ val set_subtree_home : World.t -> root:Peer.t -> home:Peer.t -> unit
     forwarding — a peer that finds the item locally stops flooding
     (Section 3.4) while other branches continue.  The tree guarantees each
     peer is visited at most once.  [op] stamps every flood message with the
-    originating operation's trace id. *)
+    originating operation's trace id.
+
+    [prune_key] turns on summary-guided pruning: when the edge summaries
+    ({!Summaries}) are enabled and the tree's are fresh, branches whose
+    summary rules out [prune_key] within the remaining TTL budget are not
+    forwarded to (counted under [s_network/flood_pruned]).  A keyed flood
+    first rebuilds stale summaries ({!Summaries.ensure_fresh}); freshness
+    is re-checked at every hop so mid-flight invalidation degrades the
+    flood back to the full tree visit.  Only exact-key searches may pass
+    [prune_key] — keyword scans must flood unguided. *)
 val flood :
   World.t ->
   ?op:int ->
+  ?prune_key:string ->
   from:Peer.t ->
   ttl:int ->
   visit:(Peer.t -> depth:int -> bool) ->

@@ -1,0 +1,56 @@
+(** Attenuated Bloom summaries of s-tree branches — the flood pruner.
+
+    Every peer keeps, per tree child, an array of {!Bloom} filters
+    summarizing the keys stored in that child's subtree bucketed by depth:
+    level [i] holds the keys exactly [i+1] hops below the peer, and the
+    last level absorbs everything deeper (the classic attenuated Bloom
+    filter).  {!S_network.flood} consults these summaries to skip branches
+    that cannot hold the looked-up key, turning the paper's whole-tree
+    flood into a near-directed walk.
+
+    Correctness contract: a {e fresh} summary may err only toward false
+    positives (extra messages), never false negatives (missed data).
+    Inserts extend fresh summaries in place ({!note_stored}); structural
+    changes that move data in ways cheap in-place updates cannot track
+    (leaves, subtree rejoins, ring membership changes, replication heals)
+    mark the tree — or every tree, via {!World.t}'s [summary_epoch] —
+    stale, floods stop pruning, and the next keyed flood rebuilds the
+    tree's summaries in one walk ({!ensure_fresh}).  The [bloom_coverage]
+    audit check verifies the contract against oracle placement. *)
+
+(** Summaries are on iff [bloom_bits_per_key > 0] in the configuration. *)
+val enabled : World.t -> bool
+
+(** The root of the s-tree [peer] belongs to ([peer] itself when it has no
+    [t_home]). *)
+val tree_root : Peer.t -> Peer.t
+
+(** [fresh w root] — were [root]'s tree summaries rebuilt against the
+    current summary epoch (and not invalidated since)? *)
+val fresh : World.t -> Peer.t -> bool
+
+(** Mark the summaries of [peer]'s tree stale; floods through it stop
+    pruning until the next rebuild. *)
+val invalidate_tree : Peer.t -> unit
+
+(** Mark every tree's summaries stale (bumps the world's summary epoch). *)
+val invalidate_all : World.t -> unit
+
+(** [rebuild w root] recomputes every edge summary of [root]'s tree in one
+    postorder walk and stamps the tree fresh. *)
+val rebuild : World.t -> Peer.t -> unit
+
+(** [ensure_fresh w peer] rebuilds [peer]'s tree summaries iff summaries
+    are enabled and the tree is stale — the lazy entry point floods use. *)
+val ensure_fresh : World.t -> Peer.t -> unit
+
+(** [note_stored w ~holder ~key] extends the fresh summaries on [holder]'s
+    root path after [key] landed at [holder] (primary or replica copy).
+    No-op on stale trees — the pending rebuild sees the key anyway. *)
+val note_stored : World.t -> holder:Peer.t -> key:string -> unit
+
+(** [child_may_hold peer child ~budget ~key] — may a flood with [budget]
+    remaining forwards find [key] somewhere in [child]'s subtree?  [true]
+    when no summary exists for the edge (never prune blind).  Only
+    meaningful while the tree is fresh. *)
+val child_may_hold : Peer.t -> Peer.t -> budget:int -> key:string -> bool

@@ -20,6 +20,7 @@ type t = {
   mutable t_sorted : Peer.t array;
   mutable t_dirty : bool;
   mutable fingers_dirty : bool;
+  mutable summary_epoch : int;
   snet_sizes : (int, int) Hashtbl.t;
   snet_policy : snet_policy;
   pending_election : (int, Peer.t option) Hashtbl.t;
@@ -51,6 +52,7 @@ let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network
     t_sorted = [||];
     t_dirty = false;
     fingers_dirty = false;
+    summary_epoch = 0;
     snet_sizes = Hashtbl.create 64;
     snet_policy;
     pending_election = Hashtbl.create 8;
@@ -72,7 +74,10 @@ let bump t ~subsystem ~name = Metrics.bump t.metrics ~subsystem ~name
 
 let touch_ring t =
   t.t_dirty <- true;
-  t.fingers_dirty <- true
+  t.fingers_dirty <- true;
+  (* ring membership changes move segment ownership and restructure trees,
+     so every edge summary built before this instant is suspect *)
+  t.summary_epoch <- t.summary_epoch + 1
 
 let register t peer =
   Hashtbl.replace t.peers peer.Peer.host peer;

@@ -32,6 +32,12 @@ type t = {
   mutable t_sorted : Peer.t array;  (** live t-peers by p_id (lazy) *)
   mutable t_dirty : bool;
   mutable fingers_dirty : bool;
+  mutable summary_epoch : int;
+      (** generation counter for the s-tree edge summaries ({!Summaries}):
+          bumped whenever a structural change may have invalidated every
+          tree's summaries at once (any t-ring membership change, a
+          replication heal).  A tree whose root carries an older epoch
+          rebuilds lazily before its next pruned flood. *)
   snet_sizes : (int, int) Hashtbl.t;  (** t-peer host -> s-peer count *)
   snet_policy : snet_policy;
   pending_election : (int, Peer.t option) Hashtbl.t;

@@ -2,6 +2,7 @@ module World = Hybrid_p2p.World
 module Peer = Hybrid_p2p.Peer
 module Config = Hybrid_p2p.Config
 module Data_store = Hybrid_p2p.Data_store
+module Summaries = Hybrid_p2p.Summaries
 module Timer = P2p_sim.Timer
 module Trace = P2p_sim.Trace
 module Registry = P2p_obs.Registry
@@ -41,6 +42,10 @@ let fan_out t ~op ~holder ~route_id ~key ~value =
           w.World.replication_pending <- w.World.replication_pending - 1;
           if target.Peer.alive && not (Data_store.mem target.Peer.store ~key) then begin
             Data_store.insert_routed target.Peer.replicas ~route_id ~key ~value;
+            (* replica copies count as flood-servable keys: the edge
+               summaries must learn them or a pruned flood could miss the
+               copy once the primary dies *)
+            Summaries.note_stored w ~holder:target ~key;
             Registry.incr t.copies_written
           end))
     (Policy.targets w ~primary:holder)
@@ -158,6 +163,9 @@ let heal ?op t =
           (Policy.targets w ~primary))
     tbl;
   update_live_factor t tbl;
+  (* the heal rewrote stores and replica shadows across arbitrary trees;
+     cheaper to declare every edge summary stale than to track each move *)
+  Summaries.invalidate_all w;
   if own_op then
     Trace.end_op (World.trace w) ~time:(World.now w) ~op
       (Printf.sprintf "promoted %d, re-replicated %d" !promoted !restored)
@@ -239,6 +247,7 @@ let anti_entropy_round t =
                               if not (Data_store.mem target.Peer.store ~key) then begin
                                 Data_store.insert_routed target.Peer.replicas ~route_id
                                   ~key ~value;
+                                Summaries.note_stored w ~holder:target ~key;
                                 Registry.incr t.copies_written;
                                 Registry.incr t.bytes_re_replicated
                                   ~by:(String.length key + String.length value)

@@ -1,4 +1,8 @@
-type handle = { mutable dead : bool }
+type handle = {
+  mutable dead : bool;
+  mutable queued : bool;  (* still physically present in some heap slot *)
+  dead_count : int ref;  (* shared with the owning queue *)
+}
 
 type 'a entry = { time : float; seq : int; value : 'a; handle : handle }
 
@@ -8,9 +12,10 @@ type 'a t = {
      the array type; [dummy] fills freed slots. *)
   mutable size : int;
   mutable next_seq : int;
+  dead_in_heap : int ref;  (* cancelled entries still occupying slots *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; dead_in_heap = ref 0 }
 
 let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -46,21 +51,52 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* Squeeze every cancelled entry out in one pass and re-heapify.  Lazy
+   cancellation only frees dead events when they surface at the root, so
+   timer-heavy churn (watchdog resets, anti-entropy rearming) would
+   otherwise keep arbitrarily many dead slots alive in the middle of the
+   heap. *)
+let compact t =
+  let live = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.heap.(i) in
+    if e.handle.dead then e.handle.queued <- false
+    else begin
+      t.heap.(!live) <- e;
+      incr live
+    end
+  done;
+  t.size <- !live;
+  t.dead_in_heap := 0;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let maybe_compact t = if t.size >= 16 && 2 * !(t.dead_in_heap) > t.size then compact t
+
 let add t ~time value =
-  let handle = { dead = false } in
+  let handle = { dead = false; queued = true; dead_count = t.dead_in_heap } in
   let entry = { time; seq = t.next_seq; value; handle } in
   t.next_seq <- t.next_seq + 1;
+  maybe_compact t;
   grow t entry;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   handle
 
-let cancel h = h.dead <- true
+let cancel h =
+  if not h.dead then begin
+    h.dead <- true;
+    if h.queued then incr h.dead_count
+  end
 
 let cancelled h = h.dead
 
 let remove_top t =
+  let h = t.heap.(0).handle in
+  h.queued <- false;
+  if h.dead then decr t.dead_in_heap;
   t.size <- t.size - 1;
   if t.size > 0 then begin
     t.heap.(0) <- t.heap.(t.size);
@@ -93,9 +129,4 @@ let is_empty t =
 
 let length t = t.size
 
-let live_length t =
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).handle.dead then incr n
-  done;
-  !n
+let live_length t = t.size - !(t.dead_in_heap)

@@ -4,7 +4,10 @@
     a monotonically increasing tie-breaker so that two events scheduled for
     the same instant fire in scheduling order — this keeps simulations
     deterministic.  Cancellation is lazy: a cancelled event stays in the heap
-    until it reaches the top and is then discarded. *)
+    until it reaches the top and is then discarded — but when cancelled
+    entries outnumber live ones the whole heap is compacted in one pass
+    (amortized O(1) per cancellation), so timer-heavy churn cannot leak
+    heap slots indefinitely. *)
 
 type 'a t
 
@@ -35,10 +38,13 @@ val peek_time : 'a t -> float option
     front are discarded as a side effect. *)
 val is_empty : 'a t -> bool
 
-(** [live_length t] counts live events (O(n)). *)
+(** [live_length t] counts live events (O(1): the queue tracks its
+    cancelled-but-present population). *)
 val live_length : 'a t -> int
 
 (** [length t] is the physical heap size — live plus not-yet-collected
-    cancelled events (O(1)).  An upper bound on {!live_length}, cheap
-    enough for per-event queue-depth profiling. *)
+    cancelled events (O(1)).  An upper bound on {!live_length}; as long
+    as scheduling continues, insertion-time compaction keeps it within
+    ~2× the live population plus a constant.  Cheap enough for per-event
+    queue-depth profiling. *)
 val length : 'a t -> int

@@ -3,9 +3,23 @@ type source_result = { dist : float array; prev : int array }
 type t = {
   graph : Graph.t;
   cache : source_result option array;
+  max_cached : int;
+  last_used : int array;  (* LRU stamps, meaningful where cache is Some *)
+  mutable clock : int;
+  mutable cached : int;
 }
 
-let create graph = { graph; cache = Array.make (Graph.node_count graph) None }
+let create ?(max_cached_sources = max_int) graph =
+  if max_cached_sources < 1 then invalid_arg "Routing.create: max_cached_sources";
+  let n = Graph.node_count graph in
+  {
+    graph;
+    cache = Array.make n None;
+    max_cached = max_cached_sources;
+    last_used = Array.make n 0;
+    clock = 0;
+    cached = 0;
+  }
 
 (* Dijkstra with a simple binary heap of (distance, node). *)
 module Heap = struct
@@ -85,12 +99,30 @@ let dijkstra graph src =
   loop ();
   { dist; prev }
 
+(* Evict the least-recently-used cached source.  The linear scan is noise
+   next to the Dijkstra run that triggered it. *)
+let evict_lru t =
+  let victim = ref (-1) in
+  Array.iteri
+    (fun i r ->
+      if r <> None && (!victim < 0 || t.last_used.(i) < t.last_used.(!victim)) then
+        victim := i)
+    t.cache;
+  if !victim >= 0 then begin
+    t.cache.(!victim) <- None;
+    t.cached <- t.cached - 1
+  end
+
 let source_result t src =
+  t.clock <- t.clock + 1;
+  t.last_used.(src) <- t.clock;
   match t.cache.(src) with
   | Some r -> r
   | None ->
+    if t.cached >= t.max_cached then evict_lru t;
     let r = dijkstra t.graph src in
     t.cache.(src) <- Some r;
+    t.cached <- t.cached + 1;
     r
 
 let distance t u v = (source_result t u).dist.(v)

@@ -4,12 +4,17 @@
     [u -> v] traverses the latency-shortest physical path from [u] to [v].
     This module computes those paths with Dijkstra's algorithm, caching the
     full single-source result per source on first use (a 1,000-node topology
-    fits comfortably). *)
+    fits comfortably; [max_cached_sources] bounds the cache for larger
+    ones). *)
 
 type t
 
-(** [create graph] prepares a router; no paths are computed yet. *)
-val create : Graph.t -> t
+(** [create graph] prepares a router; no paths are computed yet.
+    [max_cached_sources] caps how many single-source results stay cached
+    (LRU eviction beyond it); the default is unlimited — O(n²) memory once
+    every node has sent, which is the right trade below a few thousand
+    nodes.  @raise Invalid_argument when [max_cached_sources < 1]. *)
+val create : ?max_cached_sources:int -> Graph.t -> t
 
 (** [distance t u v] is the latency of the shortest path.  [infinity] when
     unreachable. *)

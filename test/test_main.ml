@@ -19,6 +19,7 @@ let () =
       ("replication", Test_replication.suite);
       ("hybrid.system", Test_hybrid.suite);
       ("hybrid.extensions", Test_extensions.suite);
+      ("hybrid.accel", Test_accel.suite);
       ("observability", Test_obs.suite);
       ("audit", Test_audit.suite);
       ("tools", Test_tools.suite);

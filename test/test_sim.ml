@@ -64,6 +64,25 @@ let test_queue_live_length () =
   Event_queue.cancel h;
   checki "one live" 1 (Event_queue.live_length q)
 
+let test_queue_compaction_bounded () =
+  (* 10k schedule/cancel pairs (the shape of timer churn: resets cancel
+     the old entry and schedule a new one) must not accumulate dead heap
+     slots — compaction at insertion keeps the physical size within a
+     small constant of the live population. *)
+  let q = Event_queue.create () in
+  let keep = ref [] in
+  for i = 1 to 10_000 do
+    let h = Event_queue.add q ~time:(float_of_int i) i in
+    if i mod 1000 = 0 then keep := (i, h) :: !keep else Event_queue.cancel h
+  done;
+  checki "live survivors" 10 (Event_queue.live_length q);
+  checkb "physical heap bounded" true (Event_queue.length q <= 64);
+  (* survivors still pop, in time order *)
+  List.iter
+    (fun i -> checki "survivor pops in order" (i * 1000) (snd (Option.get (Event_queue.pop q))))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  checkb "then empty" true (Event_queue.pop q = None)
+
 let test_queue_interleaved () =
   (* Random adds/pops stay sorted. *)
   let q = Event_queue.create () in
@@ -227,6 +246,7 @@ let suite =
     Alcotest.test_case "queue: cancel all" `Quick test_queue_cancel_all;
     Alcotest.test_case "queue: peek_time" `Quick test_queue_peek;
     Alcotest.test_case "queue: live_length" `Quick test_queue_live_length;
+    Alcotest.test_case "queue: 10k cancels stay compact" `Quick test_queue_compaction_bounded;
     Alcotest.test_case "queue: interleaved ops stay sorted" `Quick test_queue_interleaved;
     Alcotest.test_case "engine: clock and ordering" `Quick test_engine_clock;
     Alcotest.test_case "engine: negative delay rejected" `Quick test_engine_negative_delay;

@@ -186,6 +186,29 @@ let test_routing_triangle_inequality () =
       (Routing.distance r a c <= Routing.distance r a b +. Routing.distance r b c +. 1e-9)
   done
 
+let test_routing_lru_bound () =
+  (* A router capped at 2 cached sources must evict (LRU) yet keep
+     answering exactly like an unbounded one. *)
+  let rng = Rng.create 6 in
+  let t = Transit_stub.generate ~rng small_params in
+  let unbounded = Routing.create t.Transit_stub.graph in
+  let capped = Routing.create ~max_cached_sources:2 t.Transit_stub.graph in
+  (* cycle through more sources than the cap, twice, so every source is
+     computed, evicted and recomputed at least once *)
+  for round = 1 to 2 do
+    ignore round;
+    for u = 0 to 9 do
+      for v = 0 to 53 do
+        checkf "capped = unbounded"
+          (Routing.distance unbounded u v)
+          (Routing.distance capped u v)
+      done
+    done
+  done;
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Routing.create: max_cached_sources") (fun () ->
+      ignore (Routing.create ~max_cached_sources:0 t.Transit_stub.graph : Routing.t))
+
 let test_routing_eccentricity () =
   let r = Routing.create (line_graph 5) in
   checkf "end node" 4.0 (Routing.eccentricity r 0);
@@ -287,6 +310,7 @@ let suite =
     Alcotest.test_case "routing: symmetric" `Quick test_routing_symmetric;
     Alcotest.test_case "routing: triangle inequality" `Quick test_routing_triangle_inequality;
     Alcotest.test_case "routing: eccentricity" `Quick test_routing_eccentricity;
+    Alcotest.test_case "routing: LRU-bounded cache" `Quick test_routing_lru_bound;
     Alcotest.test_case "stress: accounting" `Quick test_stress_basic;
     Alcotest.test_case "stress: trivial paths" `Quick test_stress_trivial_paths;
     Alcotest.test_case "stress: clear" `Quick test_stress_clear;

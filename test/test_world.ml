@@ -46,6 +46,39 @@ let test_t_peers_sorted () =
   Alcotest.check (Alcotest.list Alcotest.int) "sorted by p_id" [ 100; 300; 500 ]
     (Array.to_list (Array.map (fun p -> p.Peer.p_id) arr))
 
+let test_t_peers_cache_matches_oracle () =
+  (* The sorted t-peer array is cached behind a dirty bit; after every
+     kind of membership churn it must equal a from-scratch recompute. *)
+  let h, _ = star_system ~n:48 ~ps:0.6 () in
+  let w = H.world h in
+  let recompute () =
+    World.live_peers w
+    |> List.filter Peer.is_t_peer
+    |> List.map (fun p -> p.Peer.p_id)
+    |> List.sort compare
+  in
+  let cached () =
+    World.t_peers w |> Array.to_list |> List.map (fun p -> p.Peer.p_id)
+  in
+  let agree label =
+    Alcotest.check (Alcotest.list Alcotest.int) label (recompute ()) (cached ())
+  in
+  agree "after build";
+  let victim =
+    List.find Peer.is_t_peer (World.live_peers w)
+  in
+  H.crash h victim;
+  H.run h;
+  agree "after t-peer crash";
+  ignore (H.grow h ~count:6 ~s_fraction:0.0 : Peer.t array);
+  agree "after t-joins";
+  (match List.find_opt (fun p -> Peer.is_t_peer p && p.Peer.alive) (World.live_peers w) with
+   | Some p ->
+     H.leave h p ();
+     H.run h;
+     agree "after graceful t-leave"
+   | None -> Alcotest.fail "no live t-peer left")
+
 let test_oracle_owner () =
   let h, peers = world_with_ring [ 100; 200; 300 ] in
   let w = H.world h in
@@ -175,6 +208,8 @@ let suite =
   [
     Alcotest.test_case "membership directory" `Quick test_membership_directory;
     Alcotest.test_case "t-peers sorted" `Quick test_t_peers_sorted;
+    Alcotest.test_case "t-peers cache = oracle under churn" `Quick
+      test_t_peers_cache_matches_oracle;
     Alcotest.test_case "oracle owner" `Quick test_oracle_owner;
     Alcotest.test_case "policy: smallest s-network" `Quick test_smallest_s_network_policy;
     Alcotest.test_case "policy: by interest" `Quick test_by_interest_policy_uses_route_id;
