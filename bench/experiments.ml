@@ -163,6 +163,14 @@ let dump_metrics ?name b =
     P2p_obs.Export.write_metrics ~path (Metrics.registry (H.metrics b.h));
     Printf.printf "  [metrics -> %s]\n%!" path
 
+(* --- latency SLO gates (--slo) --- *)
+
+(* When non-empty (filled by main's repeatable --slo flag), benches that
+   measure latency check each spec ("lookup:p99<=40") against every
+   measured system's registry and fail the run on violation, turning the
+   bench into a latency regression gate for CI. *)
+let slo_specs : string list ref = ref []
+
 (* --- invariant sanity pass (--audit) --- *)
 
 (* When set (by main's --audit flag), every measured system also runs the

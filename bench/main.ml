@@ -18,7 +18,8 @@ let usage () =
     "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|durability|fig6a|\n\
     \                 fig6b|table2|ablate-delta|ablate-fingers|ablate-bypass|\n\
     \                 ablate-bt|ablate-cache|stress|lookup-perf|bechamel]\n\
-    \                [--paper] [--metrics-dir DIR] [--audit] [--smoke]"
+    \                [--paper] [--metrics-dir DIR] [--audit] [--smoke]\n\
+    \                [--slo 'lookup:p99<=40']..."
 
 (* --- Bechamel micro-benchmarks: one per experiment kernel plus the hot
    core operations. --- *)
@@ -110,17 +111,21 @@ let () =
   let smoke = List.mem "--smoke" args in
   let scale = if paper then paper_scale else small_scale in
   audit_enabled := List.mem "--audit" args;
-  (* consume "--metrics-dir DIR" before picking the command *)
-  let rec extract_metrics_dir = function
+  (* consume "--metrics-dir DIR" and "--slo SPEC" (repeatable) before
+     picking the command *)
+  let rec extract_options = function
     | "--metrics-dir" :: dir :: rest ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       metrics_dir := Some dir;
-      rest
-    | a :: rest -> a :: extract_metrics_dir rest
+      extract_options rest
+    | "--slo" :: spec :: rest ->
+      slo_specs := !slo_specs @ [ spec ];
+      extract_options rest
+    | a :: rest -> a :: extract_options rest
     | [] -> []
   in
   let commands =
-    extract_metrics_dir
+    extract_options
       (List.filter (fun a -> a <> "--paper" && a <> "--audit" && a <> "--smoke") args)
   in
   let command = match commands with [] -> "all" | c :: _ -> c in

@@ -23,6 +23,9 @@ module Engine = P2p_sim.Engine
 module Registry = P2p_obs.Registry
 module Export = P2p_obs.Export
 module Report = P2p_obs.Report
+module Spans = P2p_obs.Spans
+module Sampler = P2p_obs.Sampler
+module Slo = P2p_obs.Slo
 module Transit_stub = P2p_topology.Transit_stub
 module Routing = P2p_topology.Routing
 module Metrics = P2p_net.Metrics
@@ -145,6 +148,43 @@ let trace_cap_arg =
     & info [ "trace-cap" ] ~docv:"N"
         ~doc:"Trace ring-buffer capacity: the newest $(docv) events are kept.")
 
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Format of $(b,--trace-out): $(b,jsonl) (one event object per line) or \
+           $(b,chrome) (Chrome trace-event JSON of the causal spans, loadable in \
+           Perfetto / chrome://tracing).")
+
+let timeline_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-out" ] ~docv:"FILE"
+        ~doc:
+          "Sample every counter and gauge on a simulated-time cadence and write \
+           the series as JSON Lines to $(docv) (rendered by \
+           $(b,report --timeline)).")
+
+let timeline_interval_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "timeline-interval" ] ~docv:"MS"
+        ~doc:"Sampling cadence of $(b,--timeline-out), simulated milliseconds.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Latency objective gate, repeatable: $(i,target):p$(i,N)<=$(i,MS), e.g. \
+           $(b,lookup:p99<=40) or $(b,latency/phase_flood_ms:p95<=10).  Checked \
+           after the run; any violated or unresolvable spec makes the command \
+           exit non-zero.")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -215,16 +255,28 @@ let snapshot_engine_stats h =
     (float_of_int (Engine.queue_high_water engine));
   reg
 
-let export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile =
+let export_observability h ?(trace_format = `Jsonl) ~trace_out ~metrics_out
+    ~metrics_csv ~profile () =
   let reg = snapshot_engine_stats h in
+  (* fold the span analysis into the registry first, so the exported
+     metrics carry the latency/* percentiles and tier attribution *)
+  if Trace.enabled (H.trace h) then Spans.record reg (H.trace h);
   try
   (match trace_out with
    | Some path ->
-     Export.write_trace ~path (H.trace h);
-     Printf.printf "trace: %d events (%d ops) -> %s\n"
-       (Trace.length (H.trace h))
-       (Trace.ops_started (H.trace h))
-       path
+     (match trace_format with
+      | `Jsonl ->
+        Export.write_trace ~path (H.trace h);
+        Printf.printf "trace: %d events (%d ops) -> %s\n"
+          (Trace.length (H.trace h))
+          (Trace.ops_started (H.trace h))
+          path
+      | `Chrome ->
+        Export.write_chrome_trace ~path (H.trace h);
+        Printf.printf "trace: %d spans (%d ops) -> %s (chrome trace-event)\n"
+          (Trace.spans_started (H.trace h))
+          (Trace.ops_started (H.trace h))
+          path)
    | None -> ());
   (match metrics_out with
    | Some path ->
@@ -293,7 +345,8 @@ let print_metrics h =
 
 let run_cmd =
   let run seed ps n items lookups ttl delta placement bloom_bits bloom_depth
-      cache_capacity cache_ttl replication anti_entropy trace_out trace_cap metrics_out
+      cache_capacity cache_ttl replication anti_entropy trace_out trace_cap
+      trace_format timeline_out timeline_interval slos metrics_out
       metrics_csv profile audit_interval =
     let config =
       {
@@ -317,10 +370,18 @@ let run_cmd =
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
       exit 1
     end;
+    if timeline_interval <= 0.0 then begin
+      Printf.eprintf "p2psim: --timeline-interval must be positive (got %g)\n"
+        timeline_interval;
+      exit 1
+    end;
     let trace =
-      match trace_out with
-      | Some _ -> Some (Trace.create ~capacity:trace_cap ())
-      | None -> None
+      (* SLO specs over latency/* percentiles need spans, so a gate also
+         turns tracing on (without a --trace-out file nothing is written;
+         the gate falls back to coarse data_ops summaries otherwise) *)
+      match (trace_out, slos) with
+      | Some _, _ | None, _ :: _ -> Some (Trace.create ~capacity:trace_cap ())
+      | None, [] -> None
     in
     Printf.printf "building %d peers (p_s = %.2f) over a transit-stub underlay...\n%!" n ps;
     let h, rng = build_system ?trace ~profile ~seed ~ps ~n ~config () in
@@ -330,8 +391,32 @@ let run_cmd =
     let auditor =
       Option.map (fun interval -> Auditor.create ~interval (H.world h)) audit_interval
     in
+    let sampler =
+      Option.map
+        (fun _ ->
+          Sampler.create ~interval:timeline_interval (Metrics.registry (H.metrics h)))
+        timeline_out
+    in
     let drain () =
-      match auditor with None -> H.run h | Some a -> Auditor.settle a
+      match sampler with
+      | None -> (
+        match auditor with None -> H.run h | Some a -> Auditor.settle a)
+      | Some s ->
+        (* custom step loop: interleave metric sampling (and due audit
+           ticks) with event execution, then close the window *)
+        let engine = H.engine h in
+        let continue = ref true in
+        while !continue do
+          Sampler.poll s ~now:(Engine.now engine);
+          (match auditor with
+           | Some a when Auditor.due a -> ignore (Auditor.tick a : Checks.snapshot)
+           | Some _ | None -> ());
+          if not (Engine.step engine) then continue := false
+        done;
+        Sampler.poll s ~now:(Engine.now engine);
+        (match auditor with
+         | Some a -> ignore (Auditor.tick a : Checks.snapshot)
+         | None -> ())
     in
     Printf.printf "system: %d t-peers, %d s-peers\n%!" (H.t_peer_count h) (H.s_peer_count h);
     let corpus = Keys.generate ~rng ~count:items ~categories:4 in
@@ -352,9 +437,24 @@ let run_cmd =
        (* the periodic timer keeps the queue non-empty: bracket it *)
        Printf.printf "anti-entropy window: %.0f ms\n%!" ms;
        Replication.start m;
-       (match auditor with
-        | None -> H.run_for h ms
-        | Some a -> Auditor.advance a ~ms);
+       (match sampler with
+        | None -> (
+          match auditor with
+          | None -> H.run_for h ms
+          | Some a -> Auditor.advance a ~ms)
+        | Some s ->
+          (* advance in sampling-cadence slices so the timeline keeps
+             ticking through the otherwise opaque window *)
+          let engine = H.engine h in
+          let target = Engine.now engine +. ms in
+          while Engine.now engine < target do
+            let next = Float.min target (Engine.now engine +. timeline_interval) in
+            Engine.run_until engine ~time:next;
+            Sampler.poll s ~now:(Engine.now engine);
+            match auditor with
+            | Some a when Auditor.due a -> ignore (Auditor.tick a : Checks.snapshot)
+            | Some _ | None -> ()
+          done);
        Replication.stop m;
        drain ()
      | None, Some _ ->
@@ -362,15 +462,34 @@ let run_cmd =
        exit 1
      | _, None -> ());
     print_metrics h;
-    export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile;
-    match Option.bind auditor finish_audit with Some code -> exit code | None -> ()
+    export_observability h ~trace_format ~trace_out ~metrics_out ~metrics_csv
+      ~profile ();
+    (match (sampler, timeline_out) with
+     | Some s, Some path ->
+       (try
+          Export.write_file ~path (Sampler.to_string s);
+          Printf.printf "timeline: %d samples -> %s\n" (Sampler.count s) path
+        with Sys_error e ->
+          Printf.eprintf "p2psim: cannot write output: %s\n" e;
+          exit 1)
+     | _ -> ());
+    let slo_ok =
+      slos = []
+      || Slo.enforce (Metrics.registry (H.metrics h)) ~specs:slos
+           ~print:print_endline
+    in
+    (match Option.bind auditor finish_audit with
+     | Some code -> exit code
+     | None -> ());
+    if not slo_ok then exit 1
   in
   let term =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
       $ delta_arg $ scheme_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg
       $ cache_ttl_arg $ replication_arg $ anti_entropy_arg $ trace_out_arg
-      $ trace_cap_arg $ metrics_out_arg $ metrics_csv_arg $ profile_arg
+      $ trace_cap_arg $ trace_format_arg $ timeline_out_arg $ timeline_interval_arg
+      $ slo_arg $ metrics_out_arg $ metrics_csv_arg $ profile_arg
       $ audit_interval_arg)
   in
   Cmd.v
@@ -543,28 +662,57 @@ let parse_script text =
   |> Result.map List.rev
 
 let scenario_cmd =
-  let run seed n script_text replication assert_no_loss audit_interval metrics_out =
+  let run seed n script_text replication assert_no_loss audit_interval trace_out
+      trace_cap trace_format metrics_out =
     match parse_script script_text with
     | Error token ->
       Printf.printf "cannot parse script token %S\n" token;
       exit 1
     | Ok script ->
+      if trace_cap <= 0 then begin
+        Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
+        exit 1
+      end;
+      let trace =
+        match trace_out with
+        | Some _ -> Some (Trace.create ~capacity:trace_cap ())
+        | None -> None
+      in
       let config = { Config.default with Config.replication_factor = replication } in
       let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
       let h =
-        H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) ~config ()
+        H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) ~config
+          ?trace ()
       in
       let report = Scenario.run ?audit_interval h ~seed ~script in
       Format.printf "%a@." Scenario.pp_report report;
-      (match metrics_out with
-       | Some path ->
-         (try
-            Export.write_metrics ~path (Metrics.registry (H.metrics h));
-            Printf.printf "metrics -> %s\n" path
-          with Sys_error e ->
-            Printf.eprintf "p2psim: cannot write output: %s\n" e;
-            exit 1)
-       | None -> ());
+      let reg = Metrics.registry (H.metrics h) in
+      if Trace.enabled (H.trace h) then Spans.record reg (H.trace h);
+      (try
+         (match trace_out with
+          | Some path ->
+            (match trace_format with
+             | `Jsonl ->
+               Export.write_trace ~path (H.trace h);
+               Printf.printf "trace: %d events (%d ops) -> %s\n"
+                 (Trace.length (H.trace h))
+                 (Trace.ops_started (H.trace h))
+                 path
+             | `Chrome ->
+               Export.write_chrome_trace ~path (H.trace h);
+               Printf.printf "trace: %d spans (%d ops) -> %s (chrome trace-event)\n"
+                 (Trace.spans_started (H.trace h))
+                 (Trace.ops_started (H.trace h))
+                 path)
+          | None -> ());
+         match metrics_out with
+         | Some path ->
+           Export.write_metrics ~path reg;
+           Printf.printf "metrics -> %s\n" path
+         | None -> ()
+       with Sys_error e ->
+         Printf.eprintf "p2psim: cannot write output: %s\n" e;
+         exit 1);
       if
         assert_no_loss
         && report.Scenario.final_items < report.Scenario.inserted
@@ -603,7 +751,8 @@ let scenario_cmd =
   let term =
     Term.(
       const run $ seed_arg $ peers_arg $ script_arg $ replication_arg
-      $ assert_no_loss_arg $ audit_interval_arg $ metrics_out_arg)
+      $ assert_no_loss_arg $ audit_interval_arg $ trace_out_arg $ trace_cap_arg
+      $ trace_format_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a declarative churn/workload script and report.")
@@ -668,7 +817,7 @@ let inject_corruption h ~config = function
 
 let audit_cmd =
   let run seed ps n items lookups interval inject bloom_bits bloom_depth cache_capacity
-      replication checks trace_out trace_cap metrics_out metrics_csv =
+      replication checks trace_out trace_cap trace_format metrics_out metrics_csv =
     let config =
       {
         Config.default with
@@ -747,7 +896,8 @@ let audit_cmd =
        Printf.printf "heal pass: replication_factor %s\n"
          (if healed then "restored (check clean)" else "STILL VIOLATED")
      | _ -> ());
-    export_observability h ~trace_out ~metrics_out ~metrics_csv ~profile:false;
+    export_observability h ~trace_format ~trace_out ~metrics_out ~metrics_csv
+      ~profile:false ();
     match finish_audit a with Some code -> exit code | None -> ()
   in
   let interval_arg =
@@ -779,7 +929,8 @@ let audit_cmd =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ interval_arg
       $ inject_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg $ replication_arg
-      $ checks_arg $ trace_out_arg $ trace_cap_arg $ metrics_out_arg $ metrics_csv_arg)
+      $ checks_arg $ trace_out_arg $ trace_cap_arg $ trace_format_arg
+      $ metrics_out_arg $ metrics_csv_arg)
   in
   Cmd.v
     (Cmd.info "audit"
@@ -812,26 +963,53 @@ let analyze_cmd =
 (* --- report subcommand --- *)
 
 let report_cmd =
-  let run path =
-    match Report.of_string (Export.read_file path) with
-    | Ok report -> print_string (Report.render report)
-    | Error msg ->
-      Printf.eprintf "p2psim report: cannot parse %s: %s\n" path msg;
+  let run path timeline =
+    if path = None && timeline = None then begin
+      Printf.eprintf
+        "p2psim report: nothing to render (give METRICS.json and/or --timeline)\n";
       exit 1
+    end;
+    (match path with
+     | Some path -> (
+       match Report.of_string (Export.read_file path) with
+       | Ok report -> print_string (Report.render report)
+       | Error msg ->
+         Printf.eprintf "p2psim report: cannot parse %s: %s\n" path msg;
+         exit 1)
+     | None -> ());
+    match timeline with
+    | Some tpath -> (
+      match Report.render_timeline (Export.read_file tpath) with
+      | Ok text -> print_string text
+      | Error msg ->
+        Printf.eprintf "p2psim report: cannot parse timeline %s: %s\n" tpath msg;
+        exit 1)
+    | None -> ()
   in
   let path_arg =
     Arg.(
-      required
+      value
       & pos 0 (some file) None
       & info [] ~docv:"METRICS.json"
           ~doc:"Metrics JSON file written by $(b,run --metrics-out).")
   in
-  let term = Term.(const run $ path_arg) in
+  let timeline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Also render a sampler timeline (JSONL written by \
+             $(b,run --timeline-out)) as ASCII sparklines, one row per active \
+             series.")
+  in
+  let term = Term.(const run $ path_arg $ timeline_arg) in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Pretty-print a metrics JSON dump: per-subsystem counters, gauges and \
-          latency histograms with ASCII charts.")
+         "Pretty-print a metrics JSON dump: per-subsystem counters, gauges, \
+          latency percentile tables with critical-path attribution, and ASCII \
+          charts; $(b,--timeline) adds sparkline time series.")
     term
 
 let () =

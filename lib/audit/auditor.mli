@@ -45,6 +45,11 @@ val interval : t -> float
     periodic tick is due [interval] from now. *)
 val tick : t -> Checks.snapshot
 
+(** Whether the next periodic tick's due time has been reached — for
+    callers driving the engine with their own step loop (e.g. one that
+    interleaves metric sampling) instead of {!settle}/{!advance}. *)
+val due : t -> bool
+
 (** [settle t] executes pending events until the queue drains (like
     [Hybrid.run]), ticking whenever simulated time reaches a due time,
     plus one final tick at the drained state if anything ran since the

@@ -492,6 +492,61 @@ let bloom_coverage who w =
     finish col
   end
 
+(* --- latency_sanity ------------------------------------------------------
+
+   The span-tree contract ({!P2p_sim.Trace} causal spans + the
+   {!P2p_obs.Spans} analyzer): a completed child span's interval lies
+   inside its parent's ([begin_span] suppresses children born after the
+   parent closed, [end_span] clamps overruns — so an escape means the
+   bookkeeping itself broke), and an op's critical-path attribution never
+   exceeds its end-to-end latency.  No-op while tracing is off. *)
+
+let latency_sanity who w =
+  let module Trace = P2p_sim.Trace in
+  let module Spans = P2p_obs.Spans in
+  let col = collector who in
+  let tr = World.trace w in
+  if not (Trace.enabled tr) then finish col
+  else begin
+    let spans = Trace.spans tr in
+    let by_id = Hashtbl.create 256 in
+    List.iter (fun (s : Trace.span) -> Hashtbl.replace by_id s.Trace.span_id s) spans;
+    let checked = ref 0 and escapes = ref 0 in
+    List.iter
+      (fun (s : Trace.span) ->
+        match (s.Trace.span_stop, Hashtbl.find_opt by_id s.Trace.parent) with
+        | Some stop, Some (parent : Trace.span) ->
+          incr checked;
+          let pstop =
+            (* an open parent bounds its children only from below *)
+            Option.value parent.Trace.span_stop ~default:Float.infinity
+          in
+          if s.Trace.span_start < parent.Trace.span_start -. 1e-9 || stop > pstop +. 1e-9
+          then begin
+            incr escapes;
+            if !escapes <= 8 then
+              err col ?subject:s.Trace.span_src
+                "span %d (%s/%s) [%g, %g] escapes parent %d [%g, %g]"
+                s.Trace.span_id s.Trace.tier s.Trace.phase s.Trace.span_start stop
+                parent.Trace.span_id parent.Trace.span_start pstop
+          end
+        | (None, _ | _, None) -> ())
+      spans;
+    if !escapes > 8 then err col "...and %d more escaped spans" (!escapes - 8);
+    let ops = Spans.completed tr in
+    List.iter
+      (fun (o : Spans.op) ->
+        if o.Spans.critical_ms > o.Spans.total_ms +. 1e-6 then
+          err col "op %d (%s): critical path %.3f ms exceeds total latency %.3f ms"
+            o.Spans.op_id o.Spans.kind o.Spans.critical_ms o.Spans.total_ms)
+      ops;
+    gauge col "spans_checked" (float_of_int !checked);
+    gauge col "ops_checked" (float_of_int (List.length ops));
+    gauge col "span_mismatches" (float_of_int (Trace.span_mismatches tr));
+    gauge col "spans_clamped" (float_of_int (Trace.spans_clamped tr));
+    finish col
+  end
+
 (* --- catalogue ----------------------------------------------------------- *)
 
 let all =
@@ -536,6 +591,12 @@ let all =
       c_name = "load_balance";
       c_describe = "items-per-peer spread and Gini coefficient (gauges only)";
       c_run = load_balance;
+    };
+    {
+      c_name = "latency_sanity";
+      c_describe =
+        "causal spans nest inside their parents; critical path <= op latency";
+      c_run = latency_sanity;
     };
   ]
 

@@ -62,7 +62,12 @@ val describe : check -> string
     every primary item to [min r (Policy.expected_copies)] live replica
     copies; it stays quiet (gauges only) while copies are in flight
     ([World.replication_pending > 0]) or t-peers are mid-triangle, and
-    is a no-op when replication is off. *)
+    is a no-op when replication is off.
+    [latency_sanity] verifies the causal-span contract of
+    {!P2p_sim.Trace} — every completed child span's interval nests
+    inside its parent's, and no op's critical-path attribution
+    ({!P2p_obs.Spans}) exceeds its end-to-end latency; it is a no-op
+    while tracing is off. *)
 val all : check list
 
 val names : string list

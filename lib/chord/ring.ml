@@ -1,4 +1,5 @@
 open P2p_hashspace
+module Trace = P2p_sim.Trace
 
 type node = {
   host : int;
@@ -21,9 +22,13 @@ type t = {
          modelling the background fix_fingers pass.  Crashes deliberately
          do NOT set it: stale fingers until [stabilize] are the point. *)
   successor_list_length : int;
+  trace : Trace.t option;
+  mutable clock : float;
+      (* logical time for span attribution: the overlay itself is
+         synchronous, so hops tick an internal clock at 1 ms each *)
 }
 
-let create ?(successor_list_length = 8) () =
+let create ?trace ?(successor_list_length = 8) () =
   if successor_list_length < 1 then
     invalid_arg "Ring.create: successor_list_length must be >= 1";
   {
@@ -33,7 +38,35 @@ let create ?(successor_list_length = 8) () =
     dirty = false;
     fingers_dirty = false;
     successor_list_length;
+    trace;
+    clock = 0.0;
   }
+
+(* Replay a routing path into the trace as one [Custom] op: a "ring_hop"
+   span per edge, 1 logical ms each, so the baseline's routing shows up
+   in the same span tooling as the hybrid system's. *)
+let trace_path t ~kind ~label path =
+  match t.trace with
+  | Some tr when Trace.enabled tr ->
+    let start = t.clock in
+    let op = Trace.begin_op tr ~time:start ~kind:(Trace.Custom kind) label in
+    let time = ref start in
+    let rec hops = function
+      | a :: (b :: _ as rest) ->
+        let s =
+          Trace.begin_span tr ~time:!time ~op ~tier:"chord" ~phase:"ring_hop"
+            ~src:a.host ~dst:b.host "ring_hop"
+        in
+        time := !time +. 1.0;
+        Trace.end_span tr ~time:!time s;
+        hops rest
+      | [] | [ _ ] -> ()
+    in
+    hops path;
+    Trace.end_op tr ~time:!time ~op
+      (Printf.sprintf "%d hops" (Stdlib.max 0 (List.length path - 1)));
+    t.clock <- !time +. 1.0
+  | Some _ | None -> ()
 
 let node_count t = Hashtbl.length t.by_id
 
@@ -200,6 +233,7 @@ let join ?introducer t ~host ~p_id =
   t.fingers_dirty <- true;
   refresh_fingers t node;
   refresh_successor_list t node;
+  trace_path t ~kind:"chord-join" ~label:(Printf.sprintf "#%d" host) path;
   (node, path)
 
 let remove_from_membership t node =
@@ -235,11 +269,13 @@ let store t ~from ~key ~value =
   let d_id = Key_hash.of_string key in
   let owner, path = find_successor t ~from d_id in
   Hashtbl.replace owner.store key value;
+  trace_path t ~kind:"chord-store" ~label:key path;
   path
 
 let lookup t ~from ~key =
   let d_id = Key_hash.of_string key in
   let owner, path = find_successor t ~from d_id in
+  trace_path t ~kind:"chord-lookup" ~label:key path;
   (Hashtbl.find_opt owner.store key, path)
 
 let stabilize t =

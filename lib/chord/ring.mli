@@ -24,9 +24,13 @@ type node
 (** [create ()] makes an empty ring.  [successor_list_length] (default 8,
     >= 1) sizes the per-node successor list used to survive crashed
     successors until the next {!stabilize}; benches ablate it via
-    [Config.successor_list_length].
+    [Config.successor_list_length].  When [trace] is given, every routed
+    operation ({!join}, {!store}, {!lookup}) is replayed into it as a
+    [Custom] op with one "ring_hop" span per path edge, timed on an
+    internal logical clock (1 ms per hop) — the overlay itself stays
+    synchronous.
     @raise Invalid_argument when [successor_list_length < 1]. *)
-val create : ?successor_list_length:int -> unit -> t
+val create : ?trace:P2p_sim.Trace.t -> ?successor_list_length:int -> unit -> t
 
 (** Configured successor-list length of this ring. *)
 val successor_list_length : t -> int

@@ -42,7 +42,8 @@ let tracker_report w ?op ~holder ~key () =
   if w.World.config.Config.s_style = Config.Bittorrent_tracker then
     match holder.Peer.t_home with
     | Some home when home != holder ->
-      World.send w ?op ~src:holder ~dst:home (fun () ->
+      World.send_span w ?op ~tier:"s_network" ~phase:"tracker" ~src:holder
+        ~dst:home (fun () ->
           if home.Peer.alive then Hashtbl.replace home.Peer.tracker_index key holder)
     | Some home -> Hashtbl.replace home.Peer.tracker_index key holder
     | None -> ()
@@ -67,7 +68,8 @@ let rec spread_walk w ?op current ~route_id ~key ~value ~hops ~on_done =
     on_done ~holder:current ~hops
   end
   else
-    World.send w ?op ~src:current ~dst:chosen (fun () ->
+    World.send_span w ?op ~tier:"s_network" ~phase:"spread_walk" ~src:current
+      ~dst:chosen (fun () ->
         spread_walk w ?op chosen ~route_id ~key ~value ~hops:(hops + 1) ~on_done)
 
 (* The item has arrived in the s-network that serves it; place it there. *)
@@ -101,7 +103,8 @@ let insert w ~from ~key ~value ?route_id () ~on_done =
     match bypass_towards w from d_id with
     | Some target ->
       refresh_bypass w from target;
-      World.send w ~op ~src:from ~dst:target (fun () ->
+      World.send_span w ~op ~tier:"t_network" ~phase:"bypass_hop" ~src:from
+        ~dst:target (fun () ->
           place_in_snetwork w ~op target ~route_id:d_id ~key ~value ~hops:1 ~on_done)
     | None ->
       (match from.Peer.t_home with
@@ -116,7 +119,9 @@ let insert w ~from ~key ~value ?route_id () ~on_done =
              ()
          in
          if home == from then forward_from_home ()
-         else World.send w ~op ~src:from ~dst:home forward_from_home)
+         else
+           World.send_span w ~op ~tier:"t_network" ~phase:"home_hop" ~src:from
+             ~dst:home forward_from_home)
 
 (* --- Lookup --- *)
 
@@ -165,12 +170,17 @@ let check_peer ctx peer ~hops =
       match Data_store.find peer.Peer.replicas ~key:ctx.key with
       | Some _ as hit ->
         World.bump ctx.w ~subsystem:"replication" ~name:"replica_hits";
+        World.mark_span ctx.w ~op:ctx.op ~tier:"replication" ~phase:"replica_hit"
+          ~src:peer ctx.key;
         hit
       | None ->
         if ctx.w.World.config.Config.cache_capacity > 0 then begin
           let cached = Cache.find peer.Peer.cache ~now:(World.now ctx.w) ~key:ctx.key in
           World.bump ctx.w ~subsystem:"cache"
             ~name:(match cached with Some _ -> "hits" | None -> "misses");
+          World.mark_span ctx.w ~op:ctx.op ~tier:"cache"
+            ~phase:(match cached with Some _ -> "hit" | None -> "miss")
+            ~src:peer ctx.key;
           cached
         end
         else None)
@@ -178,7 +188,8 @@ let check_peer ctx peer ~hops =
   match found with
   | Some value when not ctx.replied ->
     ctx.replied <- true;
-    World.send ctx.w ~op:ctx.op ~src:peer ~dst:ctx.requester (fun () ->
+    World.send_span ctx.w ~op:ctx.op ~tier:"s_network" ~phase:"reply" ~src:peer
+      ~dst:ctx.requester (fun () ->
         finish_success ctx ~holder:peer ~value ~hops:(hops + 1));
     false
   | Some _ -> false
@@ -196,7 +207,8 @@ let tracker_resolve ctx ~tracker ~base_hops =
   Metrics.record_contact ctx.w.World.metrics;
   match Hashtbl.find_opt tracker.Peer.tracker_index ctx.key with
   | Some holder when holder.Peer.alive ->
-    World.send ctx.w ~op:ctx.op ~src:tracker ~dst:holder (fun () ->
+    World.send_span ctx.w ~op:ctx.op ~tier:"s_network" ~phase:"tracker"
+      ~src:tracker ~dst:holder (fun () ->
         if holder.Peer.alive then
           ignore (check_peer ctx holder ~hops:(base_hops + 1) : bool)
         else Hashtbl.remove tracker.Peer.tracker_index ctx.key)
@@ -223,7 +235,8 @@ let random_walk_snetwork ctx ~entry ~base_hops ~ttl ~walkers ~skip_entry_check =
           | [] -> ()
           | _ ->
             let next = Rng.pick_list ctx.w.World.rng candidates in
-            World.send ctx.w ~op:ctx.op ~src:current ~dst:next (fun () ->
+            World.send_span ctx.w ~op:ctx.op ~tier:"s_network" ~phase:"walk"
+              ~src:current ~dst:next (fun () ->
                 if next.Peer.alive then
                   if check_peer ctx next ~hops:(base_hops + depth + 1) then
                     step next (depth + 1))
@@ -252,7 +265,8 @@ let probe_ring_replicas ctx ~entry ~base_hops =
         if k < config.Config.replication_factor then
           match prev.Peer.succ with
           | Some next when next != home && next.Peer.alive ->
-            World.send ctx.w ~op:ctx.op ~src:prev ~dst:next (fun () ->
+            World.send_span ctx.w ~op:ctx.op ~tier:"replication"
+              ~phase:"replica_probe" ~src:prev ~dst:next (fun () ->
                 if next.Peer.alive then begin
                   ignore (check_peer ctx next ~hops : bool);
                   hop next (k + 1) (hops + 1)
@@ -271,7 +285,8 @@ let resolve_in_snetwork ctx ~entry ~base_hops ~ttl ~skip_entry_check =
     let tracker = Option.value entry.Peer.t_home ~default:entry in
     if tracker == entry then tracker_resolve ctx ~tracker ~base_hops
     else
-      World.send ctx.w ~op:ctx.op ~src:entry ~dst:tracker (fun () ->
+      World.send_span ctx.w ~op:ctx.op ~tier:"s_network" ~phase:"tracker"
+        ~src:entry ~dst:tracker (fun () ->
           if tracker.Peer.alive then tracker_resolve ctx ~tracker ~base_hops:(base_hops + 1))
 
 let lookup w ~from ~key ?ttl ?route_id () ~on_result =
@@ -309,7 +324,8 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
       match bypass_towards w from d_id with
       | Some target ->
         refresh_bypass w from target;
-        World.send w ~op ~src:from ~dst:target (fun () ->
+        World.send_span w ~op ~tier:"t_network" ~phase:"bypass_hop" ~src:from
+          ~dst:target (fun () ->
             if target.Peer.alive then
               resolve_in_snetwork ctx ~entry:target ~base_hops:1 ~ttl
                 ~skip_entry_check:false)
@@ -330,7 +346,8 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
            in
            if home == from then route_from_home ~base_hops:0
            else
-             World.send w ~op ~src:from ~dst:home (fun () ->
+             World.send_span w ~op ~tier:"t_network" ~phase:"home_hop" ~src:from
+               ~dst:home (fun () ->
                  if home.Peer.alive then route_from_home ~base_hops:1))
   and attempt ~ttl ~attempts_left =
     expire_hook :=
@@ -389,7 +406,8 @@ let keyword_lookup w ~from ~substring ~route_id ?ttl ~window () ~on_result =
     Metrics.record_contact w.World.metrics;
     Data_store.iter peer.Peer.store (fun ~key ~value:_ ~route_id:_ ->
         if contains_substring ~needle:substring key then
-          World.send w ~op ~src:peer ~dst:from (fun () ->
+          World.send_span w ~op ~tier:"s_network" ~phase:"reply" ~src:peer
+            ~dst:from (fun () ->
               if not !closed then
                 matches := { match_key = key; match_holder = peer } :: !matches));
     true (* partial search keeps flooding: it wants every match *)
@@ -404,7 +422,8 @@ let keyword_lookup w ~from ~substring ~route_id ?ttl ~window () ~on_result =
     match from.Peer.t_home with
     | None -> invalid_arg "Data_ops.keyword_lookup: peer outside any s-network"
     | Some home ->
-      World.send w ~op ~src:from ~dst:home (fun () ->
+      World.send_span w ~op ~tier:"t_network" ~phase:"home_hop" ~src:from
+        ~dst:home (fun () ->
           if home.Peer.alive then
             T_network.route_to_owner w ~op ~from:home ~d_id:route_id
               ~visit:(fun _ -> ())

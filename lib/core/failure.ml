@@ -195,6 +195,7 @@ let repair w =
   List.iter
     (fun p -> p.Peer.children <- List.filter (fun c -> c.Peer.alive) p.Peer.children)
     live;
+  World.mark_span w ~op ~tier:"failure" ~phase:"heal_step" "drop dead children";
   (* Pass 2: elect replacements for every crashed t-peer that stranded
      live s-peers (smallest surviving address wins). *)
   let replacements : (int, Peer.t) Hashtbl.t = Hashtbl.create 8 in
@@ -220,6 +221,7 @@ let repair w =
         end
       | Some _ | None -> ())
     live;
+  World.mark_span w ~op ~tier:"failure" ~phase:"heal_step" "elect replacements";
   (* Pass 3: reattach every stranded live s-peer (its cp died or its whole
      branch did), carrying its subtree. *)
   List.iter
@@ -244,6 +246,7 @@ let repair w =
         end
       end)
     live;
+  World.mark_span w ~op ~tier:"failure" ~phase:"heal_step" "reattach stranded";
   (* Pass 4: rebuild the ring, clear stuck mutexes, refresh fingers. *)
   World.touch_ring w;
   let arr = World.t_peers w in
@@ -257,11 +260,13 @@ let repair w =
     p.Peer.join_queue <- []
   done;
   World.ensure_fingers w;
+  World.mark_span w ~op ~tier:"failure" ~phase:"heal_step" "rebuild ring";
   (* Pass 5: recount s-network sizes. *)
   Array.iter
     (fun tpeer ->
       World.set_snet_size w tpeer (List.length (Peer.tree_members tpeer) - 1))
     arr;
+  World.mark_span w ~op ~tier:"failure" ~phase:"heal_step" "recount s-networks";
   (* Pass 6: re-home misplaced data.  Items written while the overlay was
      partitioned (e.g. into an orphaned s-peer whose t-peer had crashed)
      may now sit outside the segment their holder's s-network serves;
@@ -291,6 +296,7 @@ let repair w =
         | Some _ | None -> ())
       (World.live_peers w);
   Hashtbl.reset w.World.pending_election;
+  World.mark_span w ~op ~tier:"failure" ~phase:"heal_step" "re-home misplaced data";
   (* Pass 7 (when replication is on): the manager promotes surviving
      replicas of primaries that died with their holder and restores the
      replication factor onto the post-repair targets. *)

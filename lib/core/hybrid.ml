@@ -142,7 +142,8 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
       | None -> assert false (* no_t_peers handled above *)
     in
     (* The join request first travels to the assigned t-peer. *)
-    World.send t.w ~op ~src:peer ~dst:root (fun () ->
+    World.send_span t.w ~op ~tier:"s_network" ~phase:"join_request" ~src:peer
+      ~dst:root (fun () ->
         S_network.join t.w ~op ~joiner:peer ~root
           ~on_done:(fun ~hops ~cp:_ ->
             finish_join t peer started ~op ?on_done ~hops:(hops + 1) ())

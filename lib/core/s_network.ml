@@ -9,8 +9,8 @@ let rec walk w ?op ~at ~hops ~attach () =
   if not at.Peer.alive then begin
     match World.oracle_owner w at.Peer.p_id with
     | Some root when root.Peer.alive ->
-      World.send w ?op ~src:at ~dst:root (fun () ->
-          walk w ?op ~at:root ~hops:(hops + 1) ~attach ())
+      World.send_span w ?op ~tier:"s_network" ~phase:"tree_walk" ~src:at
+        ~dst:root (fun () -> walk w ?op ~at:root ~hops:(hops + 1) ~attach ())
     | Some _ | None -> () (* no live t-peer left: the join is abandoned *)
   end
   else if Peer.has_free_slot w.World.config at || at.Peer.children = [] then
@@ -21,8 +21,8 @@ let rec walk w ?op ~at ~hops ~attach () =
     | [] -> attach ~cp:at ~hops
     | _ ->
       let next = Rng.pick_list w.World.rng live_children in
-      World.send w ?op ~src:at ~dst:next (fun () ->
-          walk w ?op ~at:next ~hops:(hops + 1) ~attach ())
+      World.send_span w ?op ~tier:"s_network" ~phase:"tree_walk" ~src:at
+        ~dst:next (fun () -> walk w ?op ~at:next ~hops:(hops + 1) ~attach ())
   end
 
 let join w ?op ~joiner ~root ~on_done () =
@@ -34,7 +34,8 @@ let join w ?op ~joiner ~root ~on_done () =
      | None -> ());
     World.bump w ~subsystem:"s_network" ~name:"joins_completed";
     (* Completion notice travels back to the joiner. *)
-    World.send w ?op ~src:cp ~dst:joiner (fun () -> on_done ~hops:(hops + 1) ~cp)
+    World.send_span w ?op ~tier:"s_network" ~phase:"join_reply" ~src:cp
+      ~dst:joiner (fun () -> on_done ~hops:(hops + 1) ~cp)
   in
   walk w ?op ~at:root ~hops:0 ~attach ()
 
@@ -98,7 +99,8 @@ let leave w ?op peer =
   List.iter
     (fun child ->
       child.Peer.cp <- None;
-      World.send w ?op ~src:child ~dst:home (fun () ->
+      World.send_span w ?op ~tier:"s_network" ~phase:"rejoin" ~src:child
+        ~dst:home (fun () ->
           rejoin_subtree w ?op ~child ~root:home ~on_done:(fun ~hops:_ -> ()) ()))
     orphans
 
@@ -150,8 +152,8 @@ let flood w ?op ?prune_key ~from ~ttl ~visit () =
       in
       List.iter
         (fun q ->
-          World.send w ?op ~src:peer ~dst:q (fun () ->
-              deliver q ~depth:(depth + 1) ~sender:(Some peer)))
+          World.send_span w ?op ~tier:"s_network" ~phase:"flood" ~src:peer
+            ~dst:q (fun () -> deliver q ~depth:(depth + 1) ~sender:(Some peer)))
         next_hops
     end
   in

@@ -49,7 +49,8 @@ let find_position w ?op ~current ~p_id ~hops ~use_fingers ~on_found () =
           | None -> succ
         else succ
       in
-      World.send w ?op ~src:current ~dst:next (fun () -> step next (hops + 1))
+      World.send_span w ?op ~tier:"t_network" ~phase:"ring_hop" ~src:current
+        ~dst:next (fun () -> step next (hops + 1))
     end
   in
   step current hops
@@ -134,12 +135,15 @@ and begin_insert w ?op ~pre ~joiner ~hops ~announce ~on_fail () =
       pre.Peer.joining <- true;
       let pre_id = pre.Peer.p_id in
       (* Join triangle (Fig. 2, left): pre -> new -> suc -> pre. *)
-      World.send w ?op ~src:pre ~dst:joiner (fun () ->
+      World.send_span w ?op ~tier:"t_network" ~phase:"join_leg" ~src:pre
+        ~dst:joiner (fun () ->
           joiner.Peer.succ <- Some succ;
           joiner.Peer.pred <- Some pre;
-          World.send w ?op ~src:joiner ~dst:succ (fun () ->
+          World.send_span w ?op ~tier:"t_network" ~phase:"join_leg" ~src:joiner
+            ~dst:succ (fun () ->
               succ.Peer.pred <- Some joiner;
-              World.send w ?op ~src:succ ~dst:pre (fun () ->
+              World.send_span w ?op ~tier:"t_network" ~phase:"join_leg"
+                ~src:succ ~dst:pre (fun () ->
                   pre.Peer.succ <- Some joiner;
                   joiner.Peer.t_home <- Some joiner;
                   World.register w joiner;
@@ -155,7 +159,8 @@ and begin_insert w ?op ~pre ~joiner ~hops ~announce ~on_fail () =
 let join w ?op ~joiner ~introducer ?(on_fail = fun () -> ()) ~on_done () =
   if not (Peer.is_t_peer joiner) then invalid_arg "T_network.join: joiner must be a t-peer";
   (* The join request first travels to the introducer. *)
-  World.send w ?op ~src:joiner ~dst:introducer (fun () ->
+  World.send_span w ?op ~tier:"t_network" ~phase:"join_request" ~src:joiner
+    ~dst:introducer (fun () ->
       find_position w ?op ~current:introducer ~p_id:joiner.Peer.p_id ~hops:1
         ~use_fingers:w.World.config.Config.use_fingers_for_join
         ~on_found:(fun ~pre ~hops ->
@@ -239,7 +244,8 @@ let promote_replacement w ?op ~old_peer ~replacement ~transfer_data () =
   List.iter
     (fun child ->
       child.Peer.cp <- None;
-      World.send w ?op ~src:child ~dst:replacement (fun () ->
+      World.send_span w ?op ~tier:"s_network" ~phase:"rejoin" ~src:child
+        ~dst:replacement (fun () ->
           S_network.rejoin_subtree w ?op ~child ~root:replacement
             ~on_done:(fun ~hops:_ -> ()) ()))
     orphans
@@ -263,15 +269,18 @@ let leave_triangle w ?op peer ~on_done =
         if w.World.config.Config.s_style = Config.Bittorrent_tracker then
           Hashtbl.replace succ.Peer.tracker_index key succ)
       (Data_store.take_all peer.Peer.store);
-    World.send w ?op ~src:peer ~dst:pred (fun () ->
+    World.send_span w ?op ~tier:"t_network" ~phase:"leave_leg" ~src:peer
+      ~dst:pred (fun () ->
         pred.Peer.succ <- Some succ;
-        World.send w ?op ~src:pred ~dst:succ (fun () ->
+        World.send_span w ?op ~tier:"t_network" ~phase:"leave_leg" ~src:pred
+          ~dst:succ (fun () ->
             (* suc checks the leaving peer is who its predecessor pointer
                points to before rewiring (Section 3.3). *)
             (match succ.Peer.pred with
              | Some p when p == peer -> succ.Peer.pred <- Some pred
              | Some _ | None -> ());
-            World.send w ?op ~src:succ ~dst:peer (fun () ->
+            World.send_span w ?op ~tier:"t_network" ~phase:"leave_leg"
+              ~src:succ ~dst:peer (fun () ->
                 peer.Peer.alive <- false;
                 World.unregister w peer;
                 World.substitute_in_fingers w ~old_peer:peer ~replacement:succ;
@@ -325,7 +334,9 @@ let route_to_owner w ?op ~from ~d_id ~visit ~on_arrive () =
         else succ
       in
       if next == current then on_arrive ~owner:current ~hops
-      else World.send w ?op ~src:current ~dst:next (fun () -> step next (hops + 1))
+      else
+        World.send_span w ?op ~tier:"t_network" ~phase:"ring_hop" ~src:current
+          ~dst:next (fun () -> step next (hops + 1))
     end
   in
   step from 0

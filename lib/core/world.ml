@@ -1,6 +1,7 @@
 open P2p_hashspace
 module Engine = P2p_sim.Engine
 module Rng = P2p_sim.Rng
+module Trace = P2p_sim.Trace
 module Underlay = P2p_net.Underlay
 module Metrics = P2p_net.Metrics
 module Landmark = P2p_topology.Landmark
@@ -69,6 +70,36 @@ let trace t = Underlay.trace t.underlay
 
 let send t ?op ~src ~dst f =
   Underlay.send t.underlay ?op ~src:src.Peer.host ~dst:dst.Peer.host f
+
+(* Like [send], but the delivery is also a causal span of [op]: opened
+   when the message is posted, closed (under the op's root span — no
+   parent threading at call sites) when the handler finishes, so the
+   span covers propagation delay plus handler work. *)
+let send_span t ?op ~tier ~phase ~src ~dst f =
+  let tr = trace t in
+  match op with
+  | Some op_id when Trace.enabled tr ->
+    let span =
+      Trace.begin_span tr ~time:(now t) ~op:op_id ~tier ~phase
+        ~src:src.Peer.host ~dst:dst.Peer.host phase
+    in
+    Underlay.send t.underlay ~op:op_id ~src:src.Peer.host ~dst:dst.Peer.host
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Trace.end_span tr ~time:(now t) span)
+          f)
+  | _ -> send t ?op ~src ~dst f
+
+(* A zero-duration span: an instant of attributable work (a cache probe,
+   a heal step) that costs no simulated time. *)
+let mark_span t ?op ~tier ~phase ?src ?dst label =
+  match op with
+  | Some op_id ->
+    Trace.mark_span (trace t) ~time:(now t) ~op:op_id ~tier ~phase
+      ?src:(Option.map (fun p -> p.Peer.host) src)
+      ?dst:(Option.map (fun p -> p.Peer.host) dst)
+      label
+  | None -> ()
 
 let bump t ~subsystem ~name = Metrics.bump t.metrics ~subsystem ~name
 

@@ -94,6 +94,33 @@ val trace : t -> P2p_sim.Trace.t
     the message to operation [op] in the trace. *)
 val send : t -> ?op:int -> src:Peer.t -> dst:Peer.t -> (unit -> unit) -> unit
 
+(** [send_span t ?op ~tier ~phase ~src ~dst f] — {!send}, plus a causal
+    span of [op] (parented on the op's root span) covering the message's
+    propagation delay and handler execution.  Falls back to a plain
+    {!send} when [op] is absent or the trace is disabled. *)
+val send_span :
+  t ->
+  ?op:int ->
+  tier:string ->
+  phase:string ->
+  src:Peer.t ->
+  dst:Peer.t ->
+  (unit -> unit) ->
+  unit
+
+(** [mark_span t ?op ~tier ~phase label] records a zero-duration span of
+    [op] at the current time: an instant of attributable work (a cache
+    probe, a heal step).  No-op when [op] is absent. *)
+val mark_span :
+  t ->
+  ?op:int ->
+  tier:string ->
+  phase:string ->
+  ?src:Peer.t ->
+  ?dst:Peer.t ->
+  string ->
+  unit
+
 (** [bump t ~subsystem ~name] increments a counter in the metrics
     registry — the per-subsystem attribution channel. *)
 val bump : t -> subsystem:string -> name:string -> unit

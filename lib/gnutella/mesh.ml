@@ -1,4 +1,5 @@
 module Rng = P2p_sim.Rng
+module Trace = P2p_sim.Trace
 
 type peer = {
   host : int;
@@ -21,11 +22,42 @@ type t = {
   mutable members : peer list;
   mutable count : int;
   mutable epoch : int;
+  trace : Trace.t option;
+  mutable clock : float;
+      (* logical time for span attribution: the mesh is synchronous, so
+         each flood level / walk step ticks an internal 1 ms clock *)
 }
 
-let create ~rng ~links_per_join () =
+let create ?trace ~rng ~links_per_join () =
   if links_per_join <= 0 then invalid_arg "Mesh.create: links_per_join";
-  { rng; links_per_join; members = []; count = 0; epoch = 0 }
+  { rng; links_per_join; members = []; count = 0; epoch = 0; trace; clock = 0.0 }
+
+(* Span plumbing for the synchronous lookups: one [Custom] op per lookup,
+   one 1-ms span per transmission, parented on the op's root. *)
+let trace_begin t ~kind label =
+  match t.trace with
+  | Some tr when Trace.enabled tr ->
+    Some (tr, Trace.begin_op tr ~time:t.clock ~kind:(Trace.Custom kind) label)
+  | Some _ | None -> None
+
+let trace_hop t tr_op ~phase ~src ~dst ~depth =
+  match tr_op with
+  | Some (tr, op) ->
+    let time = t.clock +. float_of_int depth in
+    let s =
+      Trace.begin_span tr ~time ~op ~tier:"gnutella" ~phase ~src:src.host
+        ~dst:dst.host phase
+    in
+    Trace.end_span tr ~time:(time +. 1.0) s
+  | None -> ()
+
+let trace_finish t tr_op ~depth label =
+  match tr_op with
+  | Some (tr, op) ->
+    let stop = t.clock +. float_of_int depth +. 1.0 in
+    Trace.end_op tr ~time:stop ~op label;
+    t.clock <- stop +. 1.0
+  | None -> ()
 
 let peer_count t = t.count
 let peers t = t.members
@@ -86,6 +118,7 @@ let store _t peer ~key ~value = Hashtbl.replace peer.store key value
 let flood_lookup t ~from ~key ~ttl =
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
+  let tr_op = trace_begin t ~kind:"mesh-flood" key in
   let contacted = ref 0 and messages = ref 0 in
   let value = ref None and hops_to_hit = ref None in
   let visit depth peer =
@@ -115,6 +148,8 @@ let flood_lookup t ~from ~key ~ttl =
           (fun neighbor ->
             if neighbor.alive then begin
               incr messages;
+              trace_hop t tr_op ~phase:"flood" ~src:peer ~dst:neighbor
+                ~depth:(!depth - 1);
               if neighbor.mark <> epoch then begin
                 visit !depth neighbor;
                 next := neighbor :: !next
@@ -124,12 +159,16 @@ let flood_lookup t ~from ~key ~ttl =
       !frontier;
     frontier := !next
   done;
+  trace_finish t tr_op ~depth:!depth
+    (Printf.sprintf "%d messages, %d contacted" !messages !contacted);
   { value = !value; contacted = !contacted; messages = !messages; hops_to_hit = !hops_to_hit }
 
 let random_walk_lookup t ~from ~key ~walkers ~ttl =
   if walkers <= 0 || ttl < 0 then invalid_arg "Mesh.random_walk_lookup";
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
+  let tr_op = trace_begin t ~kind:"mesh-walk" key in
+  let max_depth = ref 0 in
   let contacted = ref 0 and messages = ref 0 in
   let value = ref None and hops_to_hit = ref None in
   let check depth peer =
@@ -155,11 +194,15 @@ let random_walk_lookup t ~from ~key ~walkers ~ttl =
       | _ ->
         let next = Rng.pick_list t.rng live in
         incr messages;
+        trace_hop t tr_op ~phase:"walk" ~src:!current ~dst:next ~depth:!depth;
         incr depth;
+        if !depth > !max_depth then max_depth := !depth;
         check !depth next;
         current := next
     done
   done;
+  trace_finish t tr_op ~depth:!max_depth
+    (Printf.sprintf "%d messages, %d contacted" !messages !contacted);
   { value = !value; contacted = !contacted; messages = !messages; hops_to_hit = !hops_to_hit }
 
 let is_connected t =

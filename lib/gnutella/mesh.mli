@@ -22,8 +22,12 @@ type lookup_result = {
 
 (** [create ~rng ~links_per_join ()] prepares an empty mesh; each joining
     peer connects to up to [links_per_join] distinct random existing peers.
+    When [trace] is given, every lookup is replayed into it as a [Custom]
+    op with one span per transmission, timed on an internal logical clock
+    (1 ms per flood level / walk step) — the mesh itself stays synchronous.
     @raise Invalid_argument if [links_per_join <= 0]. *)
-val create : rng:P2p_sim.Rng.t -> links_per_join:int -> unit -> t
+val create :
+  ?trace:P2p_sim.Trace.t -> rng:P2p_sim.Rng.t -> links_per_join:int -> unit -> t
 
 val peer_count : t -> int
 val peers : t -> peer list

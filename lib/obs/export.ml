@@ -62,6 +62,78 @@ let events_of_jsonl text =
 
 let metrics_to_string registry = Json.to_string (Registry.to_json registry)
 
+(* --- Chrome trace-event / Perfetto export ---
+
+   One complete event (ph "X") per finished span: pid is the peer the
+   work ran on (the destination host of message-backed spans; pid 0 is
+   the synthetic "ops" process holding root spans), tid is the
+   operation id, timestamps are simulated ms scaled to the format's
+   microseconds.  Open spans are skipped — the trace clamps children
+   into their parents, so every emitted event nests properly in
+   ui.perfetto.dev.  Process-name metadata (ph "M") labels each lane. *)
+
+let span_pid (s : Trace.span) =
+  match (s.Trace.span_dst, s.Trace.span_src) with
+  | Some d, _ -> d
+  | None, Some src -> src
+  | None, None -> 0
+
+let chrome_events trace =
+  let spans = Trace.spans trace in
+  let pids = Hashtbl.create 16 in
+  let events =
+    List.filter_map
+      (fun (s : Trace.span) ->
+        match s.Trace.span_stop with
+        | None -> None
+        | Some stop ->
+          let pid = span_pid s in
+          if not (Hashtbl.mem pids pid) then Hashtbl.add pids pid ();
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.String s.Trace.phase);
+                 ("cat", Json.String s.Trace.tier);
+                 ("ph", Json.String "X");
+                 ("ts", Json.Float (s.Trace.span_start *. 1000.0));
+                 ("dur", Json.Float ((stop -. s.Trace.span_start) *. 1000.0));
+                 ("pid", Json.Int pid);
+                 ("tid", Json.Int s.Trace.span_op);
+                 ( "args",
+                   Json.Obj
+                     [
+                       ("op", Json.Int s.Trace.span_op);
+                       ("span", Json.Int s.Trace.span_id);
+                       ("parent", Json.Int s.Trace.parent);
+                       ("label", Json.String s.Trace.span_label);
+                     ] );
+               ]))
+      spans
+  in
+  let metadata =
+    Hashtbl.fold (fun pid () acc -> pid :: acc) pids []
+    |> List.sort compare
+    |> List.map (fun pid ->
+           Json.Obj
+             [
+               ("name", Json.String "process_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int pid);
+               ("tid", Json.Int 0);
+               ( "args",
+                 Json.Obj
+                   [
+                     ( "name",
+                       Json.String
+                         (if pid = 0 then "ops" else Printf.sprintf "peer %d" pid)
+                     );
+                   ] );
+             ])
+  in
+  metadata @ events
+
+let trace_to_chrome trace = Json.to_string (Json.List (chrome_events trace))
+
 let write_file ~path contents =
   let oc = open_out path in
   Fun.protect
@@ -75,6 +147,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let write_trace ~path trace = write_file ~path (trace_to_string trace)
+
+let write_chrome_trace ~path trace = write_file ~path (trace_to_chrome trace)
 
 let write_metrics ~path registry = write_file ~path (metrics_to_string registry)
 

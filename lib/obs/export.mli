@@ -27,6 +27,14 @@ val events_of_jsonl : string -> (P2p_sim.Trace.event list, string) result
     document. *)
 val metrics_to_string : Registry.t -> string
 
+(** [trace_to_chrome trace] — the trace's completed spans in Chrome
+    trace-event format (a JSON array of [ph:"X"] complete events plus
+    [ph:"M"] process-name metadata), loadable by [ui.perfetto.dev] and
+    [chrome://tracing].  One process lane per peer ([pid] 0 holds the
+    operation root spans), one thread per operation id; simulated ms map
+    to the format's microseconds.  Still-open spans are skipped. *)
+val trace_to_chrome : P2p_sim.Trace.t -> string
+
 (** {1 Files} *)
 
 (** [write_file ~path contents] writes (truncating) and closes. *)
@@ -37,5 +45,6 @@ val write_file : path:string -> string -> unit
 val read_file : string -> string
 
 val write_trace : path:string -> P2p_sim.Trace.t -> unit
+val write_chrome_trace : path:string -> P2p_sim.Trace.t -> unit
 val write_metrics : path:string -> Registry.t -> unit
 val write_metrics_csv : path:string -> Registry.t -> unit

@@ -1,0 +1,63 @@
+(** Log-bucketed latency histograms, mergeable across runs.
+
+    Samples are counted into geometric buckets on the fixed grid
+    [b_i = v0 * gamma^i] with [gamma = 2^(1/4)] (four buckets per
+    doubling).  Because every histogram shares the grid, {!merge} is
+    plain elementwise bucket addition — associative, commutative, and
+    safe across processes via {!to_json}/{!of_json}.
+
+    Percentiles are nearest-rank over the cumulative bucket counts and
+    return the upper boundary of the selected bucket (clamped to the
+    observed maximum), so a sample sitting exactly on a bucket boundary
+    is reported back exactly. *)
+
+type t
+
+(** Lowest bucket boundary: values at or below [v0] land in bucket 0. *)
+val v0 : float
+
+(** Geometric bucket growth factor, [2 ** 0.25]. *)
+val gamma : float
+
+(** [boundary i] — the upper edge of bucket [i], [v0 * gamma^i]. *)
+val boundary : int -> float
+
+(** [index x] — the bucket of sample [x]; exact at boundaries:
+    [index (boundary i) = i].  @raise Invalid_argument on NaN/infinite. *)
+val index : float -> int
+
+val create : unit -> t
+
+(** [observe t x] counts sample [x]. *)
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+
+(** Mean of the samples; [0.] when empty. *)
+val mean : t -> float
+
+(** @raise Invalid_argument when empty. *)
+val min_value : t -> float
+
+(** @raise Invalid_argument when empty. *)
+val max_value : t -> float
+
+(** Occupied buckets as [(index, count)], sorted by index. *)
+val buckets : t -> (int * int) list
+
+(** [percentile t p] for [p] in [\[0, 100\]].
+    @raise Invalid_argument when empty or [p] out of range. *)
+val percentile : t -> float -> float
+
+(** [merge a b] — a fresh histogram counting both inputs' samples. *)
+val merge : t -> t -> t
+
+(** [clear t] empties the histogram in place (handles stay valid). *)
+val clear : t -> unit
+
+(** Stable JSON form carrying the grid parameters, count/sum/min/max,
+    precomputed p50/p90/p95/p99/p999 and the sparse bucket list. *)
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result

@@ -10,6 +10,7 @@ type metric =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Log of Log_hist.t
 
 type t = {
   table : (string * string, metric) Hashtbl.t;
@@ -56,6 +57,19 @@ let histogram t ~subsystem ~name =
     add_key t key (Histogram h);
     h
 
+let log_histogram t ~subsystem ~name =
+  let key = (subsystem, name) in
+  match Hashtbl.find_opt t.table key with
+  | Some (Log l) -> l
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Registry.log_histogram: %s/%s is not a log histogram"
+         subsystem name)
+  | None ->
+    let l = Log_hist.create () in
+    add_key t key (Log l);
+    l
+
 let incr ?(by = 1) c = c.count <- c.count + by
 
 let counter_value c = c.count
@@ -69,6 +83,20 @@ let gauge_value g = g.value
 let observe h v = Summary.add h.summary v
 
 let summary h = h.summary
+
+(* Zero every metric in place: handles held by subsystems stay valid
+   (and registration order is kept), but counts, gauge values, and
+   histogram samples start over — the between-configs reset a bench
+   sweep needs. *)
+let reset_values t =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Histogram h -> Summary.clear h.summary
+      | Log l -> Log_hist.clear l)
+    t.table
 
 (* --- iteration / export --- *)
 
@@ -138,6 +166,7 @@ let metric_to_json = function
   | Counter c -> Json.Obj [ ("kind", Json.String "counter"); ("value", Json.Int c.count) ]
   | Gauge g -> Json.Obj [ ("kind", Json.String "gauge"); ("value", Json.Float g.value) ]
   | Histogram h -> summary_to_json h.summary
+  | Log l -> Log_hist.to_json l
 
 let to_json t =
   let by_subsystem =
@@ -155,27 +184,56 @@ let to_json t =
   in
   Json.Obj by_subsystem
 
+(* RFC-4180 field escaping: names containing the delimiter, a quote, or
+   a line break are wrapped in double quotes with inner quotes doubled —
+   otherwise such a name shifts every later column of its row. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let to_csv t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "subsystem,name,kind,count,value,mean,min,max\n";
   List.iter
     (fun b ->
+      let subsystem = csv_field b.subsystem and name = csv_field b.name in
       match b.metric with
       | Counter c ->
         Buffer.add_string buf
-          (Printf.sprintf "%s,%s,counter,%d,%d,,,\n" b.subsystem b.name c.count c.count)
+          (Printf.sprintf "%s,%s,counter,%d,%d,,,\n" subsystem name c.count c.count)
       | Gauge g ->
         Buffer.add_string buf
-          (Printf.sprintf "%s,%s,gauge,,%g,,,\n" b.subsystem b.name g.value)
+          (Printf.sprintf "%s,%s,gauge,,%g,,,\n" subsystem name g.value)
       | Histogram h ->
         let s = h.summary in
         if Summary.count s = 0 then
           Buffer.add_string buf
-            (Printf.sprintf "%s,%s,histogram,0,,,,\n" b.subsystem b.name)
+            (Printf.sprintf "%s,%s,histogram,0,,,,\n" subsystem name)
         else
           Buffer.add_string buf
-            (Printf.sprintf "%s,%s,histogram,%d,,%g,%g,%g\n" b.subsystem b.name
-               (Summary.count s) (Summary.mean s) (Summary.min s) (Summary.max s)))
+            (Printf.sprintf "%s,%s,histogram,%d,,%g,%g,%g\n" subsystem name
+               (Summary.count s) (Summary.mean s) (Summary.min s) (Summary.max s))
+      | Log l ->
+        if Log_hist.count l = 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,log_histogram,0,,,,\n" subsystem name)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,log_histogram,%d,,%g,%g,%g\n" subsystem name
+               (Log_hist.count l) (Log_hist.mean l) (Log_hist.min_value l)
+               (Log_hist.max_value l)))
     (bindings t);
   Buffer.contents buf
 
@@ -190,7 +248,16 @@ let pp ppf t =
             match b.metric with
             | Counter c -> Format.fprintf ppf "  %-28s %d@," b.name c.count
             | Gauge g -> Format.fprintf ppf "  %-28s %g@," b.name g.value
-            | Histogram h -> Format.fprintf ppf "  %-28s %a@," b.name Summary.pp h.summary)
+            | Histogram h -> Format.fprintf ppf "  %-28s %a@," b.name Summary.pp h.summary
+            | Log l ->
+              if Log_hist.count l = 0 then
+                Format.fprintf ppf "  %-28s (empty)@," b.name
+              else
+                Format.fprintf ppf
+                  "  %-28s n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f@,"
+                  b.name (Log_hist.count l) (Log_hist.mean l)
+                  (Log_hist.percentile l 50.0) (Log_hist.percentile l 95.0)
+                  (Log_hist.percentile l 99.0) (Log_hist.max_value l))
         (bindings t))
     (subsystems t);
   Format.fprintf ppf "@]"

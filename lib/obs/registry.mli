@@ -6,12 +6,14 @@
     run report can attribute cost per tier (t-network vs s-network vs
     underlay), which a single flat record cannot.
 
-    Three metric shapes:
+    Four metric shapes:
     - {e counters} — monotone event counts;
     - {e gauges} — last-written (or high-water) values;
     - {e histograms} — value distributions, backed by
       {!P2p_stats.Summary} so means, percentiles, and confidence
-      intervals come for free.
+      intervals come for free;
+    - {e log histograms} — {!Log_hist} latency distributions on a fixed
+      geometric grid, mergeable across runs.
 
     Handles are get-or-create: [counter t ~subsystem ~name] returns the
     existing counter on every subsequent call, so call sites need no
@@ -32,6 +34,10 @@ val create : unit -> t
 val counter : t -> subsystem:string -> name:string -> counter
 val gauge : t -> subsystem:string -> name:string -> gauge
 val histogram : t -> subsystem:string -> name:string -> histogram
+
+(** The handle is the {!Log_hist.t} itself; record with
+    {!Log_hist.observe}. *)
+val log_histogram : t -> subsystem:string -> name:string -> Log_hist.t
 
 (** {1 Recording} *)
 
@@ -55,12 +61,20 @@ val observe : histogram -> float -> unit
     mean, percentiles, and raw samples. *)
 val summary : histogram -> P2p_stats.Summary.t
 
+(** [reset_values t] zeroes every metric in place — counters to [0],
+    gauges to [0.], histogram samples discarded — while keeping every
+    handle valid and the registration order intact.  Lets a bench sweep
+    reuse one wired-up system across configurations without metrics
+    accumulating across configs. *)
+val reset_values : t -> unit
+
 (** {1 Iteration} *)
 
 type metric =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Log of Log_hist.t
 
 type binding = { subsystem : string; name : string; metric : metric }
 
@@ -83,8 +97,14 @@ val histogram_bins : ?bins:int -> P2p_stats.Summary.t -> (float * int) list
     [{"kind":"histogram","count":n,"mean":...,"bins":[...]}]. *)
 val to_json : t -> Json.t
 
+(** [csv_field s] — RFC-4180 escaping of one CSV field: quoted (with
+    inner quotes doubled) when [s] contains a comma, quote, or line
+    break; returned verbatim otherwise. *)
+val csv_field : string -> string
+
 (** [to_csv t] — one row per metric with a fixed
-    [subsystem,name,kind,count,value,mean,min,max] header. *)
+    [subsystem,name,kind,count,value,mean,min,max] header; subsystem and
+    metric names pass through {!csv_field}. *)
 val to_csv : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -12,7 +12,19 @@ type hist = {
   bins : (float * int) list;
 }
 
-type metric = Counter of int | Gauge of float | Histogram of hist
+type loghist = {
+  l_count : int;
+  l_sum : float;
+  l_min : float;
+  l_max : float;
+  l_p50 : float;
+  l_p90 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_p999 : float;
+}
+
+type metric = Counter of int | Gauge of float | Histogram of hist | LogHist of loghist
 
 type t = (string * (string * metric) list) list
 
@@ -46,6 +58,19 @@ let hist_of_json json =
     bins;
   }
 
+let loghist_of_json json =
+  {
+    l_count = Option.value ~default:0 (Option.bind (Json.member "count" json) Json.to_int);
+    l_sum = float_field json "sum";
+    l_min = float_field json "min";
+    l_max = float_field json "max";
+    l_p50 = float_field json "p50";
+    l_p90 = float_field json "p90";
+    l_p95 = float_field json "p95";
+    l_p99 = float_field json "p99";
+    l_p999 = float_field json "p999";
+  }
+
 let metric_of_json json =
   match Option.bind (Json.member "kind" json) Json.to_str with
   | Some "counter" -> (
@@ -57,6 +82,7 @@ let metric_of_json json =
     | Some v -> Ok (Gauge v)
     | None -> Error "gauge without numeric \"value\"")
   | Some "histogram" -> Ok (Histogram (hist_of_json json))
+  | Some "log_histogram" -> Ok (LogHist (loghist_of_json json))
   | Some kind -> Error (Printf.sprintf "unknown metric kind %S" kind)
   | None -> Error "metric without \"kind\""
 
@@ -149,11 +175,102 @@ let render_health buf metrics =
     metrics;
   Buffer.add_char buf '\n'
 
+let render_loghist_line buf name l =
+  if l.l_count = 0 then
+    Buffer.add_string buf (Printf.sprintf "  %-28s (empty)\n" name)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "  %-28s %8d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n" name
+         l.l_count l.l_p50 l.l_p90 l.l_p95 l.l_p99 l.l_p999 l.l_max)
+
+(* "<kind>_tier_<tier>_ms" -> (kind, tier) *)
+let split_tier_gauge name =
+  match strip_suffix ~suffix:"_ms" name with
+  | None -> None
+  | Some stem ->
+    let marker = "_tier_" in
+    let ml = String.length marker and n = String.length stem in
+    let rec scan i =
+      if i + ml > n then None
+      else if String.sub stem i ml = marker then
+        Some (String.sub stem 0 i, String.sub stem (i + ml) (n - i - ml))
+      else scan (i + 1)
+    in
+    scan 0
+
+(* The ["latency"] subsystem (written by the span analyzer) renders as a
+   percentile table over the log-bucketed histograms plus a per-tier
+   critical-path attribution line per op kind.  Attribution percentages
+   are relative to the summed total latency of that kind, so the listed
+   tiers visibly account for <= 100% of where the time went. *)
+let render_latency buf metrics =
+  Buffer.add_string buf "== latency ==\n";
+  (match List.assoc_opt "ops_analyzed" metrics with
+   | Some (Counter n) ->
+     Buffer.add_string buf (Printf.sprintf "  %-28s %d\n" "ops analyzed" n)
+   | _ -> ());
+  let rows =
+    List.filter_map
+      (fun (name, metric) ->
+        match metric with
+        | LogHist l when l.l_count > 0 -> Some (name, l)
+        | _ -> None)
+      metrics
+  in
+  if rows <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %-28s %8s %9s %9s %9s %9s %9s %9s\n" "metric" "n" "p50"
+         "p90" "p95" "p99" "p99.9" "max");
+    List.iter (fun (name, l) -> render_loghist_line buf name l) rows
+  end;
+  let tiers =
+    List.filter_map
+      (fun (name, metric) ->
+        match metric with
+        | Gauge v -> (
+          match split_tier_gauge name with
+          | Some (kind, tier) -> Some (kind, (tier, v))
+          | None -> None)
+        | _ -> None)
+      metrics
+  in
+  let kinds =
+    List.fold_left
+      (fun acc (kind, _) -> if List.mem kind acc then acc else acc @ [ kind ])
+      [] tiers
+  in
+  List.iter
+    (fun kind ->
+      let parts = List.filter_map
+          (fun (k, tv) -> if k = kind then Some tv else None)
+          tiers
+      in
+      let total_ms =
+        match List.assoc_opt (kind ^ "_total_ms") metrics with
+        | Some (LogHist l) when l.l_sum > 0.0 -> Some l.l_sum
+        | _ -> None
+      in
+      let part_str (tier, ms) =
+        match total_ms with
+        | Some total ->
+          Printf.sprintf "%s %.1f ms (%.1f%%)" tier ms (100.0 *. ms /. total)
+        | None -> Printf.sprintf "%s %.1f ms" tier ms
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  critical path (%s): %s%s\n" kind
+           (String.concat ", " (List.map part_str parts))
+           (match total_ms with
+            | Some total -> Printf.sprintf " of %.1f ms total" total
+            | None -> "")))
+    kinds;
+  Buffer.add_char buf '\n'
+
 let render report =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (subsystem, metrics) ->
       if subsystem = "audit" then render_health buf metrics
+      else if subsystem = "latency" then render_latency buf metrics
       else begin
         Buffer.add_string buf (Printf.sprintf "== %s ==\n" subsystem);
         (* counters and gauges first, aligned; histograms after with charts *)
@@ -162,15 +279,135 @@ let render report =
             match metric with
             | Counter v -> Buffer.add_string buf (Printf.sprintf "  %-28s %d\n" name v)
             | Gauge v -> Buffer.add_string buf (Printf.sprintf "  %-28s %g\n" name v)
-            | Histogram _ -> ())
+            | Histogram _ | LogHist _ -> ())
           metrics;
         List.iter
           (fun (name, metric) ->
             match metric with
             | Histogram h -> render_histogram buf name h
+            | LogHist l ->
+              if l.l_count > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  %-28s n=%d p50=%.3f p95=%.3f p99=%.3f max=%.3f\n" name
+                     l.l_count l.l_p50 l.l_p95 l.l_p99 l.l_max)
             | Counter _ | Gauge _ -> ())
           metrics;
         Buffer.add_char buf '\n'
       end)
     report;
   Buffer.contents buf
+
+(* --- timeline sparklines --- *)
+
+let spark_glyphs = [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}"; "\u{2585}"; "\u{2586}"; "\u{2587}"; "\u{2588}" |]
+
+let spark values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let mx = List.fold_left Float.max 0.0 values in
+    let glyph v =
+      if mx <= 0.0 then spark_glyphs.(0)
+      else
+        spark_glyphs.(Stdlib.min 7 (Stdlib.max 0 (int_of_float (v /. mx *. 8.0))))
+    in
+    String.concat "" (List.map glyph values)
+
+(* Average runs of samples down to [width] columns so a long run's
+   timeline still fits a terminal row. *)
+let downsample ~width values =
+  let n = List.length values in
+  if n <= width then values
+  else begin
+    let arr = Array.of_list values in
+    List.init width (fun c ->
+        let lo = c * n / width and hi = Stdlib.max 1 ((c + 1) * n / width) in
+        let hi = Stdlib.max hi (lo + 1) in
+        let sum = ref 0.0 in
+        for i = lo to hi - 1 do
+          sum := !sum +. arr.(i)
+        done;
+        !sum /. float_of_int (hi - lo))
+  end
+
+(* Render a sampler timeline (JSONL of {"t","counters","gauges"}) as one
+   sparkline per active series: counters plot per-interval increments
+   (activity rate), gauges plot raw values; flat series are skipped. *)
+let render_timeline text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse_line line =
+    Result.bind (Json.parse line) (fun json ->
+        match Option.bind (Json.member "t" json) Json.to_float with
+        | Some t -> Ok (t, json)
+        | None -> Error "timeline line without numeric \"t\"")
+  in
+  let rec parse acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok sample -> parse (sample :: acc) (lineno + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  match parse [] 1 lines with
+  | Error _ as e -> e
+  | Ok [] -> Ok "== timeline ==\n  (no samples)\n"
+  | Ok samples ->
+    let series_of section =
+      (* key -> values in sample order, missing samples as 0 *)
+      let keys = ref [] in
+      List.iter
+        (fun (_, json) ->
+          match Json.member section json with
+          | Some (Json.Obj fields) ->
+            List.iter
+              (fun (k, _) -> if not (List.mem k !keys) then keys := !keys @ [ k ])
+              fields
+          | _ -> ())
+        samples;
+      List.map
+        (fun key ->
+          ( key,
+            List.map
+              (fun (_, json) ->
+                match Option.bind (Json.member section json) (Json.member key) with
+                | Some v -> Option.value ~default:0.0 (Json.to_float v)
+                | None -> 0.0)
+              samples ))
+        !keys
+    in
+    let deltas values =
+      match values with
+      | [] -> []
+      | first :: _ ->
+        let prev = ref first in
+        List.map
+          (fun v ->
+            let d = Float.max 0.0 (v -. !prev) in
+            prev := v;
+            d)
+          values
+    in
+    let buf = Buffer.create 1024 in
+    let times = List.map fst samples in
+    let t0 = List.fold_left Float.min infinity times
+    and t1 = List.fold_left Float.max neg_infinity times in
+    Buffer.add_string buf
+      (Printf.sprintf "== timeline (%d samples, %.0f..%.0f ms) ==\n"
+         (List.length samples) t0 t1);
+    let emit label values =
+      let mx = List.fold_left Float.max 0.0 values
+      and mn = List.fold_left Float.min infinity values in
+      if mx > mn || mx > 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %s  max %g\n" label
+             (spark (downsample ~width:60 values))
+             mx)
+    in
+    List.iter
+      (fun (key, values) -> emit (key ^ " (rate)") (deltas values))
+      (series_of "counters");
+    List.iter (fun (key, values) -> emit key values) (series_of "gauges");
+    Ok (Buffer.contents buf)

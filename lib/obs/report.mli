@@ -19,7 +19,21 @@ type hist = {
   bins : (float * int) list;
 }
 
-type metric = Counter of int | Gauge of float | Histogram of hist
+(** A parsed log-bucketed histogram snapshot ({!Log_hist} JSON schema):
+    the precomputed tail percentiles, no buckets. *)
+type loghist = {
+  l_count : int;
+  l_sum : float;
+  l_min : float;
+  l_max : float;
+  l_p50 : float;
+  l_p90 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_p999 : float;
+}
+
+type metric = Counter of int | Gauge of float | Histogram of hist | LogHist of loghist
 
 (** Subsystems in file order, each with its metrics in file order. *)
 type t = (string * (string * metric) list) list
@@ -37,6 +51,14 @@ val of_registry : Registry.t -> t
     and bar charts.  An ["audit"] subsystem (written by the online
     invariant auditor) renders as a "health" section instead: one
     OK / VIOLATED row per check, with last-run freshness, followed by the
-    health gauges.  Reports without audit metrics render exactly as
-    before. *)
+    health gauges.  A ["latency"] subsystem (written by the span
+    analyzer, {!Spans.record}) renders as a percentile table
+    (p50/p90/p95/p99/p99.9/max per op kind and phase) plus per-tier
+    critical-path attribution lines.  Reports without audit or latency
+    metrics render exactly as before. *)
 val render : t -> string
+
+(** [render_timeline text] renders a sampler timeline (JSONL written by
+    {!Sampler.to_string}) as ASCII sparklines: one row per active series,
+    counters as per-interval increments, gauges as raw values. *)
+val render_timeline : string -> (string, string) result

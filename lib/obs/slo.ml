@@ -1,0 +1,125 @@
+(* Latency SLO gates: parse "<target>:p<N><=<limit>" specs and check
+   them against a metrics registry, so a bench run (or CI) can fail on a
+   tail-latency regression instead of eyeballing a report.
+
+   The target is either an explicit "<subsystem>/<name>" metric path, or
+   an op-kind shorthand like "lookup" that resolves to the span-derived
+   log histogram latency/<kind>_total_ms when the run recorded spans,
+   falling back to the always-populated data_ops/<kind>_latency_ms
+   summary otherwise (bench systems run without a trace). *)
+
+module Summary = P2p_stats.Summary
+
+type spec = { raw : string; target : string; quantile : float; limit : float }
+
+type verdict = {
+  spec : spec;
+  metric : string; (* "<subsystem>/<name>" actually consulted *)
+  measured : float;
+  ok : bool;
+}
+
+let parse raw =
+  match String.index_opt raw ':' with
+  | None -> Error (Printf.sprintf "SLO %S: expected <target>:p<N><=<limit>" raw)
+  | Some i -> (
+    let target = String.sub raw 0 i in
+    let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
+    let split_on_le s =
+      let n = String.length s in
+      let rec scan j =
+        if j + 1 >= n then None
+        else if s.[j] = '<' && s.[j + 1] = '=' then
+          Some (String.sub s 0 j, String.sub s (j + 2) (n - j - 2))
+        else scan (j + 1)
+      in
+      scan 0
+    in
+    match split_on_le rest with
+    | None -> Error (Printf.sprintf "SLO %S: missing \"<=\"" raw)
+    | Some (q, lim) -> (
+      if target = "" then Error (Printf.sprintf "SLO %S: empty target" raw)
+      else if String.length q < 2 || q.[0] <> 'p' then
+        Error (Printf.sprintf "SLO %S: quantile must look like p99" raw)
+      else
+        match
+          ( float_of_string_opt (String.sub q 1 (String.length q - 1)),
+            float_of_string_opt lim )
+        with
+        | Some quantile, Some limit when quantile >= 0.0 && quantile <= 100.0 ->
+          Ok { raw; target; quantile; limit }
+        | Some _, Some _ ->
+          Error (Printf.sprintf "SLO %S: quantile out of [0,100]" raw)
+        | _ -> Error (Printf.sprintf "SLO %S: bad number" raw)))
+
+let find_binding reg ~subsystem ~name =
+  List.find_opt
+    (fun (b : Registry.binding) ->
+      b.Registry.subsystem = subsystem && b.Registry.name = name)
+    (Registry.bindings reg)
+
+let quantile_of_binding (b : Registry.binding) q =
+  match b.Registry.metric with
+  | Registry.Log l when Log_hist.count l > 0 -> Some (Log_hist.percentile l q)
+  | Registry.Histogram h when Summary.count (Registry.summary h) > 0 ->
+    Some (Summary.percentile (Registry.summary h) q)
+  | _ -> None
+
+let candidates target =
+  match String.index_opt target '/' with
+  | Some i ->
+    [
+      ( String.sub target 0 i,
+        String.sub target (i + 1) (String.length target - i - 1) );
+    ]
+  | None ->
+    [ ("latency", target ^ "_total_ms"); ("data_ops", target ^ "_latency_ms") ]
+
+let check reg spec =
+  let rec try_candidates = function
+    | [] ->
+      Error
+        (Printf.sprintf "SLO %S: no populated metric for target %S (tried %s)"
+           spec.raw spec.target
+           (String.concat ", "
+              (List.map
+                 (fun (s, n) -> s ^ "/" ^ n)
+                 (candidates spec.target))))
+    | (subsystem, name) :: rest -> (
+      match find_binding reg ~subsystem ~name with
+      | Some b -> (
+        match quantile_of_binding b spec.quantile with
+        | Some measured ->
+          Ok
+            {
+              spec;
+              metric = subsystem ^ "/" ^ name;
+              measured;
+              ok = measured <= spec.limit;
+            }
+        | None -> try_candidates rest)
+      | None -> try_candidates rest)
+  in
+  try_candidates (candidates spec.target)
+
+let describe v =
+  Printf.sprintf "SLO %s: %s p%g = %.3f ms %s %g (%s)" v.spec.raw v.metric
+    v.spec.quantile v.measured
+    (if v.ok then "<=" else ">")
+    v.spec.limit
+    (if v.ok then "PASS" else "FAIL")
+
+(* Parse every spec, check each against the registry, print one line per
+   verdict, and say whether the whole gate holds.  Parse and resolution
+   errors fail the gate (a typo must not pass CI silently). *)
+let enforce reg ~specs ~print =
+  List.fold_left
+    (fun all_ok raw ->
+      match Result.bind (parse raw) (check reg) with
+      | Ok v ->
+        print (describe v);
+        all_ok && v.ok
+      | Error msg ->
+        print msg;
+        false)
+    true specs

@@ -1,0 +1,31 @@
+(** Latency SLO gates over a metrics registry.
+
+    A spec reads ["<target>:p<N><=<limit>"] — e.g.
+    ["lookup:p99<=40"] or ["latency/lookup_total_ms:p95<=25"].  The
+    target is an explicit ["subsystem/name"] metric path, or an op-kind
+    shorthand that resolves to [latency/<kind>_total_ms] (span-derived
+    log histogram) and falls back to [data_ops/<kind>_latency_ms]
+    (always-populated summary) when the run recorded no spans. *)
+
+type spec = { raw : string; target : string; quantile : float; limit : float }
+
+type verdict = {
+  spec : spec;
+  metric : string;  (** the ["subsystem/name"] actually consulted *)
+  measured : float;
+  ok : bool;
+}
+
+val parse : string -> (spec, string) result
+
+(** [check reg spec] measures the spec's quantile.  [Error] when no
+    candidate metric exists or has samples. *)
+val check : Registry.t -> spec -> (verdict, string) result
+
+(** One human-readable PASS/FAIL line. *)
+val describe : verdict -> string
+
+(** [enforce reg ~specs ~print] parses and checks every spec, printing
+    one line each via [print]; returns [false] if any spec fails, cannot
+    be parsed, or cannot be resolved. *)
+val enforce : Registry.t -> specs:string list -> print:(string -> unit) -> bool

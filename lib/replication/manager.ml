@@ -38,7 +38,8 @@ let fan_out t ~op ~holder ~route_id ~key ~value =
   List.iter
     (fun target ->
       w.World.replication_pending <- w.World.replication_pending + 1;
-      World.send w ?op ~src:holder ~dst:target (fun () ->
+      World.send_span w ?op ~tier:"replication" ~phase:"replicate_copy"
+        ~src:holder ~dst:target (fun () ->
           w.World.replication_pending <- w.World.replication_pending - 1;
           if target.Peer.alive && not (Data_store.mem target.Peer.store ~key) then begin
             Data_store.insert_routed target.Peer.replicas ~route_id ~key ~value;
@@ -162,6 +163,8 @@ let heal ?op t =
             end)
           (Policy.targets w ~primary))
     tbl;
+  World.mark_span w ~op ~tier:"replication" ~phase:"heal_step"
+    (Printf.sprintf "promoted %d, re-replicated %d" !promoted !restored);
   update_live_factor t tbl;
   (* the heal rewrote stores and replica shadows across arbitrary trees;
      cheaper to declare every edge summary stale than to track each move *)
@@ -223,7 +226,8 @@ let anti_entropy_round t =
           (fun target ->
             incr segments;
             w.World.replication_pending <- w.World.replication_pending + 1;
-            World.send w ~op ~src:home ~dst:target (fun () ->
+            World.send_span w ~op ~tier:"replication" ~phase:"digest_push"
+              ~src:home ~dst:target (fun () ->
                 w.World.replication_pending <- w.World.replication_pending - 1;
                 if
                   target.Peer.alive
@@ -234,7 +238,8 @@ let anti_entropy_round t =
                   Registry.incr t.digest_mismatches;
                   (* pull: the target asks for the list and converges *)
                   w.World.replication_pending <- w.World.replication_pending + 1;
-                  World.send w ~op ~src:target ~dst:home (fun () ->
+                  World.send_span w ~op ~tier:"replication" ~phase:"digest_pull"
+                    ~src:target ~dst:home (fun () ->
                       w.World.replication_pending <- w.World.replication_pending - 1;
                       if target.Peer.alive then begin
                         let wanted = Hashtbl.create (List.length items) in

@@ -43,6 +43,19 @@ type event = {
   detail : string;
 }
 
+type span = {
+  span_id : int;
+  parent : int;
+  span_op : int;
+  tier : string;
+  phase : string;
+  span_src : int option;
+  span_dst : int option;
+  span_start : float;
+  mutable span_stop : float option;
+  span_label : string;
+}
+
 type t = {
   capacity : int;
   buffer : event option array;
@@ -51,6 +64,17 @@ type t = {
   mutable total : int;
   mutable next_op : int;
   active : bool;
+  (* causal span trees: span id [k] lives at slot [k mod capacity], so
+     ending a span is O(1) and eviction is detected by an id mismatch *)
+  spans : span option array;
+  mutable span_next : int;
+  mutable span_retained : int;
+  mutable span_orphans : int; (* still-open spans evicted by wraparound *)
+  mutable orphan_ends : int; (* end_span on an already-evicted id *)
+  mutable span_mismatches : int; (* double end, or time running backwards *)
+  mutable spans_suppressed : int; (* begin after the parent had closed *)
+  mutable spans_clamped : int; (* stop clamped to the parent's stop *)
+  op_roots : (int, int) Hashtbl.t; (* open op id -> its root span id *)
 }
 
 let create ~capacity () =
@@ -63,6 +87,15 @@ let create ~capacity () =
     total = 0;
     next_op = 0;
     active = true;
+    spans = Array.make capacity None;
+    span_next = 0;
+    span_retained = 0;
+    span_orphans = 0;
+    orphan_ends = 0;
+    span_mismatches = 0;
+    spans_suppressed = 0;
+    spans_clamped = 0;
+    op_roots = Hashtbl.create 64;
   }
 
 let disabled =
@@ -74,6 +107,15 @@ let disabled =
     total = 0;
     next_op = 0;
     active = false;
+    spans = [| None |];
+    span_next = 0;
+    span_retained = 0;
+    span_orphans = 0;
+    orphan_ends = 0;
+    span_mismatches = 0;
+    spans_suppressed = 0;
+    spans_clamped = 0;
+    op_roots = Hashtbl.create 1;
   }
 
 let enabled t = t.active
@@ -90,13 +132,126 @@ let record_f t ~time ~tag ?op ?src ?dst fmt =
   if t.active then Printf.ksprintf (record t ~time ~tag ?op ?src ?dst) fmt
   else Printf.ikfprintf (fun () -> ()) () fmt
 
+(* --- causal spans --- *)
+
+let find_span t id =
+  if id < 0 then None
+  else
+    match t.spans.(id mod t.capacity) with
+    | Some s when s.span_id = id -> Some s
+    | _ -> None
+
+let mint_span t ~time ~op ~tier ~phase ~parent ?src ?dst label =
+  let id = t.span_next in
+  let slot = id mod t.capacity in
+  (match t.spans.(slot) with
+   | Some old when old.span_stop = None -> t.span_orphans <- t.span_orphans + 1
+   | _ -> ());
+  t.spans.(slot) <-
+    Some
+      {
+        span_id = id;
+        parent;
+        span_op = op;
+        tier;
+        phase;
+        span_src = src;
+        span_dst = dst;
+        span_start = time;
+        span_stop = None;
+        span_label = label;
+      };
+  t.span_next <- id + 1;
+  if t.span_retained < t.capacity then t.span_retained <- t.span_retained + 1;
+  id
+
+let begin_span t ~time ~op ~tier ~phase ?parent ?src ?dst label =
+  if not t.active then -1
+  else
+    let chosen =
+      match parent with Some p -> Some p | None -> Hashtbl.find_opt t.op_roots op
+    in
+    match chosen with
+    | None ->
+      (* the op has already completed (or never opened a root): its causal
+         tree is closed, so late work — flood tails, stale timers — is
+         suppressed rather than recorded outside the parent interval *)
+      t.spans_suppressed <- t.spans_suppressed + 1;
+      -1
+    | Some p -> (
+      match find_span t p with
+      | Some ps when ps.span_stop <> None ->
+        t.spans_suppressed <- t.spans_suppressed + 1;
+        -1
+      | _ -> mint_span t ~time ~op ~tier ~phase ~parent:p ?src ?dst label)
+
+let end_span t ~time id =
+  if t.active && id >= 0 then
+    match find_span t id with
+    | None -> t.orphan_ends <- t.orphan_ends + 1
+    | Some s -> (
+      match s.span_stop with
+      | Some _ -> t.span_mismatches <- t.span_mismatches + 1
+      | None ->
+        let limit =
+          match find_span t s.parent with Some p -> p.span_stop | None -> None
+        in
+        let stop =
+          match limit with
+          | Some ps when ps < time ->
+            t.spans_clamped <- t.spans_clamped + 1;
+            ps
+          | _ -> time
+        in
+        if time < s.span_start then t.span_mismatches <- t.span_mismatches + 1;
+        s.span_stop <- Some (Float.max stop s.span_start))
+
+let mark_span t ~time ~op ~tier ~phase ?parent ?src ?dst label =
+  let id = begin_span t ~time ~op ~tier ~phase ?parent ?src ?dst label in
+  end_span t ~time id
+
 let begin_op t ~time ~kind detail =
   let id = t.next_op in
   t.next_op <- t.next_op + 1;
   record t ~time ~tag:(op_kind_to_string kind ^ "-start") ~op:id detail;
+  if t.active then begin
+    let root =
+      mint_span t ~time ~op:id ~tier:"op" ~phase:(op_kind_to_string kind)
+        ~parent:(-1) detail
+    in
+    Hashtbl.replace t.op_roots id root
+  end;
   id
 
-let end_op t ~time ~op detail = record t ~time ~tag:"op-end" ~op detail
+let end_op t ~time ~op detail =
+  record t ~time ~tag:"op-end" ~op detail;
+  if t.active then
+    match Hashtbl.find_opt t.op_roots op with
+    | None -> ()
+    | Some root ->
+      Hashtbl.remove t.op_roots op;
+      end_span t ~time root
+
+let op_root_span t op = Hashtbl.find_opt t.op_roots op
+
+let spans t =
+  let start = t.span_next - t.span_retained in
+  List.init t.span_retained (fun i ->
+      match find_span t (start + i) with Some s -> s | None -> assert false)
+
+let spans_of_op t op = List.filter (fun s -> s.span_op = op) (spans t)
+
+let spans_started t = t.span_next
+
+let span_orphans t = t.span_orphans
+
+let orphan_ends t = t.orphan_ends
+
+let span_mismatches t = t.span_mismatches
+
+let spans_suppressed t = t.spans_suppressed
+
+let spans_clamped t = t.spans_clamped
 
 let ops_started t = t.next_op
 
@@ -118,13 +273,22 @@ let events_of_op t op = List.filter (fun e -> e.op = Some op) (events t)
 
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
-  t.retained <- 0
+  t.retained <- 0;
+  Array.fill t.spans 0 t.capacity None;
+  t.span_retained <- 0;
+  Hashtbl.reset t.op_roots
 
 let reset t =
   clear t;
   t.next <- 0;
   t.total <- 0;
-  t.next_op <- 0
+  t.next_op <- 0;
+  t.span_next <- 0;
+  t.span_orphans <- 0;
+  t.orphan_ends <- 0;
+  t.span_mismatches <- 0;
+  t.spans_suppressed <- 0;
+  t.spans_clamped <- 0
 
 let pp_event ppf e =
   let pp_id ppf = function

@@ -46,6 +46,24 @@ type event = {
   detail : string;
 }
 
+(** One node of an operation's causal span tree: a timed unit of work —
+    a ring hop, a flood branch, a replica probe — attributed to a tier
+    and phase.  Spans live in their own ring buffer sized like the event
+    buffer; span id [k] occupies slot [k mod capacity], so a still-open
+    span can be evicted by wraparound (counted by {!span_orphans}). *)
+type span = {
+  span_id : int;
+  parent : int;  (** parent span id; [-1] marks an operation root *)
+  span_op : int;  (** operation id the span belongs to *)
+  tier : string;  (** e.g. ["t_network"], ["s_network"], ["replication"] *)
+  phase : string;  (** e.g. ["ring_hop"], ["flood"], ["replica_probe"] *)
+  span_src : int option;  (** sending host, for message-backed spans *)
+  span_dst : int option;  (** receiving host, for message-backed spans *)
+  span_start : float;  (** simulated ms *)
+  mutable span_stop : float option;  (** [None] while still open *)
+  span_label : string;
+}
+
 (** [create ~capacity ()] makes a trace keeping the last [capacity]
     events.  @raise Invalid_argument if [capacity <= 0]. *)
 val create : capacity:int -> unit -> t
@@ -77,12 +95,85 @@ val record_f :
 (** [begin_op t ~time ~kind detail] mints a fresh operation id and records
     a ["<kind>-start"] event carrying it.  Ids are consecutive from [0] in
     minting order, so a fixed seed yields identical ids run to run.  The id
-    is minted (and unique) even when the trace is disabled. *)
+    is minted (and unique) even when the trace is disabled.  On an enabled
+    trace it also opens the operation's {e root span} (tier ["op"], phase
+    the kind's wire name); {!end_op} closes it. *)
 val begin_op : t -> time:float -> kind:op_kind -> string -> int
 
 (** [end_op t ~time ~op detail] records the terminal ["op-end"] event of
-    operation [op] ([detail] conventionally carries the outcome). *)
+    operation [op] ([detail] conventionally carries the outcome) and closes
+    the operation's root span.  Spans begun for [op] afterwards are
+    suppressed (see {!begin_span}). *)
 val end_op : t -> time:float -> op:int -> string -> unit
+
+(** [begin_span t ~time ~op ~tier ~phase label] opens a span under
+    operation [op] and returns its id.  [parent] defaults to the op's root
+    span, so protocol code needs no parent threading.  Containment is kept
+    by construction: if the chosen parent has already closed the span is
+    {e suppressed} — nothing is recorded, [-1] is returned (safe to pass to
+    {!end_span}), and {!spans_suppressed} counts it.  Always [-1] on a
+    disabled trace. *)
+val begin_span :
+  t ->
+  time:float ->
+  op:int ->
+  tier:string ->
+  phase:string ->
+  ?parent:int ->
+  ?src:int ->
+  ?dst:int ->
+  string ->
+  int
+
+(** [end_span t ~time id] closes span [id].  The stop is clamped to the
+    parent's stop when the parent closed first ({!spans_clamped}), so a
+    child interval always lies inside its parent's.  Ending an evicted id
+    counts under {!orphan_ends}; a double end, or [time] before the span's
+    start, under {!span_mismatches}.  [id = -1] is a no-op. *)
+val end_span : t -> time:float -> int -> unit
+
+(** [mark_span t ~time ~op ~tier ~phase label] records a zero-duration
+    span (an instant: a cache hit, a heal step). *)
+val mark_span :
+  t ->
+  time:float ->
+  op:int ->
+  tier:string ->
+  phase:string ->
+  ?parent:int ->
+  ?src:int ->
+  ?dst:int ->
+  string ->
+  unit
+
+(** [op_root_span t op] — the root span id of operation [op] while the
+    operation is still open ([None] once {!end_op} ran or after {!clear}). *)
+val op_root_span : t -> int -> int option
+
+(** Retained spans, oldest first. *)
+val spans : t -> span list
+
+(** [spans_of_op t op] — the retained spans of one operation, oldest
+    first (the root span included). *)
+val spans_of_op : t -> int -> span list
+
+(** Span ids minted so far (monotonic; survives {!clear}). *)
+val spans_started : t -> int
+
+(** Still-open spans evicted by ring-buffer wraparound. *)
+val span_orphans : t -> int
+
+(** {!end_span} calls whose span had already been evicted. *)
+val orphan_ends : t -> int
+
+(** Double ends and backwards-time ends. *)
+val span_mismatches : t -> int
+
+(** Spans refused because their parent had already closed. *)
+val spans_suppressed : t -> int
+
+(** Span stops clamped to a closed parent's stop. *)
+val spans_clamped : t -> int
 
 (** Number of operation ids minted so far. *)
 val ops_started : t -> int
@@ -103,7 +194,9 @@ val find : t -> tag:string -> event list
     first: the operation's replayable hop-by-hop record. *)
 val events_of_op : t -> int -> event list
 
-(** [clear t] empties the buffer.  The lifetime accounting survives:
+(** [clear t] empties the buffer (events and spans; still-open operations
+    lose their root, so their later spans are suppressed).  The lifetime
+    accounting survives:
     {!total_recorded} and {!ops_started} keep counting from where they
     were, so a consumer draining the buffer in slices still sees how much
     was ever recorded.  Use {!reset} to also zero the counters. *)

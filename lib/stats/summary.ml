@@ -47,6 +47,16 @@ let add t x =
 
 let add_all t xs = List.iter (add t) xs
 
+let clear t =
+  t.count <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.total <- 0.0;
+  t.len <- 0;
+  t.sorted <- None
+
 let count t = t.count
 
 let mean t = if t.count = 0 then 0.0 else t.mean

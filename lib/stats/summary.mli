@@ -15,6 +15,11 @@ val add : t -> float -> unit
 (** [add_all t xs] adds every element of [xs]. *)
 val add_all : t -> float list -> unit
 
+(** [clear t] discards every sample in place: the summary is empty again
+    but keeps its identity (and its sample buffer), so handles held by
+    metric registries stay valid across a reset. *)
+val clear : t -> unit
+
 val count : t -> int
 
 (** Mean of the samples; [0.] when empty. *)

@@ -32,7 +32,7 @@ let test_clean_system () =
   ok_invariants h
 
 let test_catalogue_names () =
-  checki "eight checks" 8 (List.length Checks.all);
+  checki "nine checks" 9 (List.length Checks.all);
   List.iter
     (fun name ->
       match Checks.find name with

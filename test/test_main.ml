@@ -21,6 +21,7 @@ let () =
       ("hybrid.extensions", Test_extensions.suite);
       ("hybrid.accel", Test_accel.suite);
       ("observability", Test_obs.suite);
+      ("observability.spans", Test_spans.suite);
       ("audit", Test_audit.suite);
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
