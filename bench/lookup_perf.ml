@@ -64,6 +64,7 @@ type sample = {
   messages_per_lookup : float;
   connum_per_lookup : float;
   cache_hit_rate : float;
+  expected_hit_rate : float;
   recall : float;
   wall_s : float;
 }
@@ -155,6 +156,27 @@ let measure ~scale ~lookups ~ps ~exponent (variant, (bloom_bits, cache_cap)) =
     connum_per_lookup = per connum0 (Metrics.connum (H.metrics b.h));
     cache_hit_rate =
       (if probes = 0 then 0.0 else float_of_int hits /. float_of_int probes);
+    expected_hit_rate =
+      (* Analytic floor (EXPERIMENTS.md): the requester keeps the soft
+         copy, so a hit needs the same requester — drawn uniformly from
+         the live peers — to re-draw a key it already fetched.  Over L
+         Zipf(s) draws that's ≈ (L-1)/2 · Σₖ pₖ² / N_requesters, the
+         birthday-style pair count.  At the smoke point (600 lookups,
+         384 peers, Zipf 1.0 over 3000 items) this is ~1.7%, which is
+         why the measured single-digit hit rate is expected, not a TTL
+         bug: the workload simply re-asks per-requester too rarely. *)
+      (let n = Array.length b.items in
+       let norm = ref 0.0 in
+       for k = 1 to n do
+         norm := !norm +. (1.0 /. (float_of_int k ** exponent))
+       done;
+       let sum_sq = ref 0.0 in
+       for k = 1 to n do
+         let p = 1.0 /. (float_of_int k ** exponent) /. !norm in
+         sum_sq := !sum_sq +. (p *. p)
+       done;
+       float_of_int (lookups - 1) /. 2.0 *. !sum_sq
+       /. float_of_int (Array.length live));
     recall = float_of_int !found /. float_of_int lookups;
     wall_s = wall;
   }
@@ -171,6 +193,7 @@ let sample_json s =
       ("messages_per_lookup", Json.Float s.messages_per_lookup);
       ("connum_per_lookup", Json.Float s.connum_per_lookup);
       ("cache_hit_rate", Json.Float s.cache_hit_rate);
+      ("expected_hit_rate", Json.Float s.expected_hit_rate);
       ("recall", Json.Float s.recall);
       ("wallclock_s", Json.Float s.wall_s);
     ]
@@ -203,6 +226,12 @@ let run ?(smoke = false) ~scale () =
               row "%6.2f %5.2f  %-12s %10.2f %10.2f %10.2f %7.1f%% %8.3f %8.2f\n"
                 s.zipf s.ps s.variant s.visits_per_lookup s.messages_per_lookup
                 s.connum_per_lookup (100.0 *. s.cache_hit_rate) s.recall s.wall_s;
+              if s.cache_hit_rate > 0.0 then
+                row
+                  "              %-12s analytic per-requester floor %.1f%% \
+                   (see EXPERIMENTS.md: hit rate vs lookup volume)\n"
+                  s.variant
+                  (100.0 *. s.expected_hit_rate);
               if s.recall < baseline.recall then
                 recall_failures :=
                   Printf.sprintf

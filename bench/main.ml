@@ -17,7 +17,7 @@ let usage () =
   print_endline
     "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|durability|fig6a|\n\
     \                 fig6b|table2|ablate-delta|ablate-fingers|ablate-bypass|\n\
-    \                 ablate-bt|ablate-cache|stress|lookup-perf|bechamel]\n\
+    \                 ablate-bt|ablate-cache|stress|lookup-perf|scale|bechamel]\n\
     \                [--paper] [--metrics-dir DIR] [--audit] [--smoke]\n\
     \                [--slo 'lookup:p99<=40']..."
 
@@ -171,6 +171,7 @@ let () =
   | "stress" -> Ablations.link_stress ~scale ()
   | "churn-live" -> Ablations.churn_live ()
   | "lookup-perf" | "lookup_perf" -> Lookup_perf.run ~smoke ~scale ()
+  | "scale" -> Scale.run ~smoke ()
   | "bechamel" -> run_bechamel ()
   | "help" | "--help" | "-h" -> usage ()
   | unknown ->

@@ -1,0 +1,387 @@
+(* Million-peer scale sweep (SCALING.md).
+
+   Measures raw engine throughput (events/sec), memory footprint
+   (live heap + process high-water RSS) and lookup latency percentiles
+   over populations of 10k / 100k / 1M peers.
+
+   Populations are built directly through the membership oracle — the
+   paper's centralized server — rather than through protocol joins:
+   every t-join invalidates all finger tables (an O(t) lazy rebuild)
+   and every s-join scans the size table, so protocol-driven
+   construction is O(n^2) and infeasible at these scales.  We register
+   peers, wire the ring once with [World.stabilize_ring], and attach
+   s-peers breadth-first under the degree constraint δ, exactly the
+   end state the join protocol converges to.  The measured workload
+   (inserts and lookups) then runs through the genuine protocol
+   message paths.
+
+   Output: BENCH_scale.json.  [run ~smoke:true] does the 10k point
+   only, adds a lanes-determinism cross-check (1 vs 4 lanes must agree
+   on event count and stored-item set size) and gates on an events/sec
+   floor — the CI configuration. *)
+
+module H = Hybrid_p2p.Hybrid
+module World = Hybrid_p2p.World
+module Peer = Hybrid_p2p.Peer
+module Config = Hybrid_p2p.Config
+module Data_ops = Hybrid_p2p.Data_ops
+module Id_space = P2p_hashspace.Id_space
+module Routing = P2p_topology.Routing
+module Engine = P2p_sim.Engine
+module Trace = P2p_sim.Trace
+module Rng = P2p_sim.Rng
+module Metrics = P2p_net.Metrics
+module Registry = P2p_obs.Registry
+module Spans = P2p_obs.Spans
+module Log_hist = P2p_obs.Log_hist
+module Json = P2p_obs.Json
+
+let underlay_latency_ms = 5.0
+let s_fraction = 0.8
+
+(* CI floor: an order-of-magnitude regression guard, not a race.  The
+   seed machine drains well over 100k events/sec at the 10k point. *)
+let smoke_min_events_per_s = 10_000.0
+
+type point = {
+  n : int;
+  lanes : int;
+  lookahead : float;
+  t_count : int;
+  items : int;
+  lookups : int;
+  found : int;
+  events : int;
+  build_s : float;
+  wall_s : float;
+  events_per_s : float;
+  live_bytes : int;
+  bytes_per_peer : float;
+  vm_rss_kb : int option;
+  vm_hwm_kb : int option;
+  p50_ms : float option;
+  p99_ms : float option;
+  hops_mean : float;
+  hops_max : float;
+  stored_total : int;
+  invariant_error : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Process memory                                                      *)
+
+let proc_status_kb field =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let prefix = field ^ ":" in
+      let plen = String.length prefix in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            None
+        | line ->
+            if String.length line > plen && String.sub line 0 plen = prefix
+            then begin
+              close_in ic;
+              let rest = String.sub line plen (String.length line - plen) in
+              try Scanf.sscanf rest " %d" (fun kb -> Some kb)
+              with Scanf.Scan_failure _ | Failure _ -> None
+            end
+            else scan ()
+      in
+      scan ()
+
+(* ------------------------------------------------------------------ *)
+(* Oracle construction                                                 *)
+
+(* Attach points for one s-network tree: a FIFO of (node, free slots).
+   Popping the front and re-queueing both parent (if slots remain) and
+   child grows the tree level-by-level, so depth stays O(log_δ size). *)
+let populate h ~rng ~n =
+  let w = H.world h in
+  let interner = World.interner w in
+  let cfg = H.config h in
+  let delta = cfg.Config.delta in
+  let t_count = max 1 (n - int_of_float (s_fraction *. float_of_int n)) in
+  let used = Hashtbl.create (2 * t_count) in
+  let rec fresh_p_id () =
+    let id = Rng.int rng Id_space.size in
+    if Hashtbl.mem used id then fresh_p_id ()
+    else begin
+      Hashtbl.add used id ();
+      id
+    end
+  in
+  let make_t host =
+    let p =
+      Peer.make ~interner ~host ~p_id:(fresh_p_id ()) ~role:Peer.T_peer
+        ~link_capacity:1.0 ()
+    in
+    p.Peer.t_home <- Some p;
+    World.register w p;
+    p
+  in
+  let peers = Array.make n (make_t 0) in
+  for host = 1 to t_count - 1 do
+    peers.(host) <- make_t host
+  done;
+  World.stabilize_ring w;
+  let roots = Array.sub peers 0 t_count in
+  let slots =
+    Array.map
+      (fun r ->
+        let q = Queue.create () in
+        Queue.push (r, delta) q;
+        q)
+      roots
+  in
+  let sizes = Array.make t_count 0 in
+  for host = t_count to n - 1 do
+    let ri = (host - t_count) mod t_count in
+    let q = slots.(ri) in
+    let parent, free = Queue.pop q in
+    let child =
+      Peer.make ~interner ~host ~p_id:0 ~role:Peer.S_peer ~link_capacity:1.0
+        ()
+    in
+    Peer.attach_child ~parent ~child;
+    World.register w child;
+    if free > 1 then Queue.push (parent, free - 1) q;
+    (* an s-peer's cp edge uses one of its δ slots *)
+    Queue.push (child, delta - 1) q;
+    sizes.(ri) <- sizes.(ri) + 1;
+    peers.(host) <- child
+  done;
+  Array.iteri (fun ri r -> World.set_snet_size w r sizes.(ri)) roots;
+  (peers, t_count)
+
+(* ------------------------------------------------------------------ *)
+(* One sweep point                                                     *)
+
+let sized n =
+  (* items / lookups scale sub-linearly: the workload exercises the
+     protocol paths; population size is what is under test *)
+  let items = min 20_000 (max 2_000 (n / 50)) in
+  let lookups = min 10_000 (max 2_000 (n / 100)) in
+  (items, lookups)
+
+let measure_point ~seed ~n ~lanes ~lookahead =
+  let items, lookups = sized n in
+  let routing = Routing.synthetic ~nodes:n ~latency:underlay_latency_ms in
+  let config =
+    (* successor-walk data routing is O(t) per operation — fine at the
+       paper's 384 peers, hopeless at 10k+; the sweep measures the
+       finger-routed configuration *)
+    { Config.default with Config.engine_lanes = lanes;
+      engine_lookahead = lookahead; use_fingers_for_data = true }
+  in
+  (* Ring buffer sized so the lookup phase stays fully traced. *)
+  let trace = Trace.create ~capacity:(max 100_000 (60 * lookups)) () in
+  let h = H.create ~seed ~routing ~config ~trace () in
+  let rng = Rng.create (seed + 17) in
+  let t0 = Sys.time () in
+  let peers, t_count = populate h ~rng ~n in
+  let build_s = Sys.time () -. t0 in
+  let key i = Printf.sprintf "item-%06d" i in
+  let e = H.engine h in
+  let ev0 = Engine.events_executed e in
+  let w0 = Sys.time () in
+  for i = 0 to items - 1 do
+    let from = peers.(Rng.int rng n) in
+    H.insert h ~from ~key:(key i) ~value:(Printf.sprintf "v%d" i) ();
+    H.run h
+  done;
+  let found = ref 0 in
+  for _ = 1 to lookups do
+    let from = peers.(Rng.int rng n) in
+    let i = Rng.int rng items in
+    H.lookup h ~from ~key:(key i)
+      ~on_result:(function
+        | Data_ops.Found _ -> incr found
+        | Data_ops.Timed_out -> ())
+      ();
+    H.run h
+  done;
+  let wall_s = Sys.time () -. w0 in
+  let events = Engine.events_executed e - ev0 in
+  let events_per_s =
+    if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
+  in
+  (* Lookup latency percentiles from the span histograms (PR-5). *)
+  let reg = Metrics.registry (H.metrics h) in
+  Spans.record reg (H.trace h);
+  let hist =
+    Registry.log_histogram reg ~subsystem:"latency" ~name:"lookup_total_ms"
+  in
+  let p50_ms, p99_ms =
+    if Log_hist.count hist > 0 then
+      (Some (Log_hist.percentile hist 50.0), Some (Log_hist.percentile hist 99.0))
+    else (None, None)
+  in
+  let hops = Metrics.lookup_hops (H.metrics h) in
+  let stored_total = H.total_items h in
+  let invariant_error =
+    match H.check_invariants h with Ok () -> None | Error m -> Some m
+  in
+  Gc.compact ();
+  let live_bytes = (Gc.stat ()).Gc.live_words * (Sys.word_size / 8) in
+  let point =
+    {
+      n;
+      lanes;
+      lookahead;
+      t_count;
+      items;
+      lookups;
+      found = !found;
+      events;
+      build_s;
+      wall_s;
+      events_per_s;
+      live_bytes;
+      bytes_per_peer = float_of_int live_bytes /. float_of_int n;
+      vm_rss_kb = proc_status_kb "VmRSS";
+      vm_hwm_kb = proc_status_kb "VmHWM";
+      p50_ms;
+      p99_ms;
+      hops_mean = P2p_stats.Summary.mean hops;
+      hops_max = P2p_stats.Summary.max hops;
+      stored_total;
+      invariant_error;
+    }
+  in
+  point
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let opt_float = function Some f -> Json.Float f | None -> Json.Null
+let opt_kb = function Some kb -> Json.Int kb | None -> Json.Null
+
+let point_json p =
+  Json.Obj
+    [
+      ("peers", Json.Int p.n);
+      ("t_peers", Json.Int p.t_count);
+      ("lanes", Json.Int p.lanes);
+      ("lookahead_ms", Json.Float p.lookahead);
+      ("items", Json.Int p.items);
+      ("lookups", Json.Int p.lookups);
+      ("found", Json.Int p.found);
+      ("stored_total", Json.Int p.stored_total);
+      ("build_cpu_s", Json.Float p.build_s);
+      ("workload_cpu_s", Json.Float p.wall_s);
+      ("events", Json.Int p.events);
+      ("events_per_s", Json.Float p.events_per_s);
+      ("live_heap_bytes", Json.Int p.live_bytes);
+      ("bytes_per_peer", Json.Float p.bytes_per_peer);
+      ("vm_rss_kb", opt_kb p.vm_rss_kb);
+      ("vm_hwm_kb", opt_kb p.vm_hwm_kb);
+      ("lookup_p50_ms", opt_float p.p50_ms);
+      ("lookup_p99_ms", opt_float p.p99_ms);
+      ("lookup_hops_mean", Json.Float p.hops_mean);
+      ("lookup_hops_max", Json.Float p.hops_max);
+      ( "invariants",
+        match p.invariant_error with
+        | None -> Json.String "ok"
+        | Some m -> Json.String m );
+    ]
+
+let print_point p =
+  Printf.printf
+    "  %7d peers (%d t)  %8.0f ev/s  %6.1f MB live (%5.0f B/peer)  found %d/%d  p50 %s p99 %s\n%!"
+    p.n p.t_count p.events_per_s
+    (float_of_int p.live_bytes /. 1048576.0)
+    p.bytes_per_peer p.found p.lookups
+    (match p.p50_ms with Some f -> Printf.sprintf "%.1fms" f | None -> "-")
+    (match p.p99_ms with Some f -> Printf.sprintf "%.1fms" f | None -> "-")
+
+let write_json ~path doc =
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let run ~smoke () =
+  let seed = 42 in
+  Printf.printf "== scale sweep%s ==\n%!" (if smoke then " (smoke)" else "");
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 10k point, single lane: the reference measurement. *)
+  let p10k = measure_point ~seed ~n:10_000 ~lanes:1 ~lookahead:0.0 in
+  print_point p10k;
+  (* Lanes determinism: 4 lanes with zero lookahead must replay the
+     exact single-lane schedule — same event count, same outcome. *)
+  let p10k_l4 = measure_point ~seed ~n:10_000 ~lanes:4 ~lookahead:0.0 in
+  print_point p10k_l4;
+  if p10k_l4.events <> p10k.events then
+    fail "lanes=4 executed %d events, lanes=1 executed %d (determinism broken)"
+      p10k_l4.events p10k.events;
+  if p10k_l4.stored_total <> p10k.stored_total then
+    fail "lanes=4 stored %d items, lanes=1 stored %d (determinism broken)"
+      p10k_l4.stored_total p10k.stored_total;
+  if p10k_l4.found <> p10k.found then
+    fail "lanes=4 found %d lookups, lanes=1 found %d (determinism broken)"
+      p10k_l4.found p10k.found;
+  (* Bounded-skew mode: results may legitimately differ in event order;
+     reported as its own sample, not gated for equality. *)
+  let p10k_la = measure_point ~seed ~n:10_000 ~lanes:4 ~lookahead:2.0 in
+  print_point p10k_la;
+  if p10k.events_per_s < smoke_min_events_per_s then
+    fail "events/sec %.0f below floor %.0f" p10k.events_per_s
+      smoke_min_events_per_s;
+  (match p10k.invariant_error with
+  | None -> ()
+  | Some msg -> fail "invariants violated at 10k: %s" msg);
+  let points = ref [ p10k; p10k_l4; p10k_la ] in
+  let attempted_1m = ref "not attempted (smoke mode)" in
+  if not smoke then begin
+    let p100k = measure_point ~seed ~n:100_000 ~lanes:1 ~lookahead:0.0 in
+    print_point p100k;
+    points := !points @ [ p100k ];
+    (match measure_point ~seed ~n:1_000_000 ~lanes:1 ~lookahead:0.0 with
+    | p1m ->
+        print_point p1m;
+        points := !points @ [ p1m ];
+        attempted_1m := "completed"
+    | exception Out_of_memory ->
+        attempted_1m := "out of memory";
+        Printf.printf "  1M point: out of memory\n%!")
+  end;
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.String "scale");
+        ("smoke", Json.Bool smoke);
+        ("seed", Json.Int seed);
+        ("s_fraction", Json.Float s_fraction);
+        ("underlay_latency_ms", Json.Float underlay_latency_ms);
+        ("one_million_point", Json.String !attempted_1m);
+        ( "lanes_deterministic",
+          Json.Bool
+            (p10k_l4.events = p10k.events
+            && p10k_l4.stored_total = p10k.stored_total
+            && p10k_l4.found = p10k.found) );
+        ("points", Json.List (List.map point_json !points));
+        ( "gate",
+          Json.Obj
+            [
+              ("min_events_per_s", Json.Float smoke_min_events_per_s);
+              ("failures", Json.List
+                 (List.rev_map (fun s -> Json.String s) !failures));
+            ] );
+      ]
+  in
+  write_json ~path:"BENCH_scale.json" doc;
+  match !failures with
+  | [] -> Printf.printf "scale gate: PASS\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "scale gate FAIL: %s\n%!" f)
+        (List.rev fs);
+      exit 1

@@ -116,6 +116,25 @@ let cache_ttl_arg =
     & info [ "cache-ttl" ] ~docv:"MS"
         ~doc:"Lifetime of cached lookup results, in simulated milliseconds.")
 
+let lanes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "lanes" ] ~docv:"N"
+        ~doc:
+          "Number of engine event lanes (ring-segment partitions of the event \
+           queue).  With the default zero lookahead the executed event order is \
+           identical for every lane count.")
+
+let lookahead_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "lookahead" ] ~docv:"MS"
+        ~doc:
+          "Conservative-lookahead window in simulated milliseconds: lets one \
+           lane run batched up to $(docv) past the other lanes' heads.  Safe \
+           while at most the minimum cross-lane message latency; 0 keeps the \
+           exact single-queue order.")
+
 let replication_arg =
   Arg.(
     value & opt int 0
@@ -345,9 +364,9 @@ let print_metrics h =
 
 let run_cmd =
   let run seed ps n items lookups ttl delta placement bloom_bits bloom_depth
-      cache_capacity cache_ttl replication anti_entropy trace_out trace_cap
-      trace_format timeline_out timeline_interval slos metrics_out
-      metrics_csv profile audit_interval =
+      cache_capacity cache_ttl lanes lookahead replication anti_entropy
+      trace_out trace_cap trace_format timeline_out timeline_interval slos
+      metrics_out metrics_csv profile audit_interval =
     let config =
       {
         Config.default with
@@ -358,6 +377,8 @@ let run_cmd =
         bloom_depth;
         cache_capacity;
         cache_lifetime = cache_ttl;
+        engine_lanes = lanes;
+        engine_lookahead = lookahead;
         replication_factor = replication;
       }
     in
@@ -487,7 +508,8 @@ let run_cmd =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ ttl_arg
       $ delta_arg $ scheme_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg
-      $ cache_ttl_arg $ replication_arg $ anti_entropy_arg $ trace_out_arg
+      $ cache_ttl_arg $ lanes_arg $ lookahead_arg $ replication_arg
+      $ anti_entropy_arg $ trace_out_arg
       $ trace_cap_arg $ trace_format_arg $ timeline_out_arg $ timeline_interval_arg
       $ slo_arg $ metrics_out_arg $ metrics_csv_arg $ profile_arg
       $ audit_interval_arg)
@@ -662,8 +684,8 @@ let parse_script text =
   |> Result.map List.rev
 
 let scenario_cmd =
-  let run seed n script_text replication assert_no_loss audit_interval trace_out
-      trace_cap trace_format metrics_out =
+  let run seed n script_text lanes lookahead replication assert_no_loss
+      audit_interval trace_out trace_cap trace_format metrics_out =
     match parse_script script_text with
     | Error token ->
       Printf.printf "cannot parse script token %S\n" token;
@@ -678,7 +700,19 @@ let scenario_cmd =
         | Some _ -> Some (Trace.create ~capacity:trace_cap ())
         | None -> None
       in
-      let config = { Config.default with Config.replication_factor = replication } in
+      let config =
+        {
+          Config.default with
+          Config.replication_factor = replication;
+          engine_lanes = lanes;
+          engine_lookahead = lookahead;
+        }
+      in
+      (match Config.validate config with
+       | Ok () -> ()
+       | Error e ->
+         Printf.eprintf "p2psim: %s\n" e;
+         exit 1);
       let topo = Transit_stub.generate ~rng:(Rng.create (seed + 1)) (topology_for n) in
       let h =
         H.create ~seed ~routing:(Routing.create topo.Transit_stub.graph) ~config
@@ -750,9 +784,9 @@ let scenario_cmd =
   in
   let term =
     Term.(
-      const run $ seed_arg $ peers_arg $ script_arg $ replication_arg
-      $ assert_no_loss_arg $ audit_interval_arg $ trace_out_arg $ trace_cap_arg
-      $ trace_format_arg $ metrics_out_arg)
+      const run $ seed_arg $ peers_arg $ script_arg $ lanes_arg $ lookahead_arg
+      $ replication_arg $ assert_no_loss_arg $ audit_interval_arg $ trace_out_arg
+      $ trace_cap_arg $ trace_format_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a declarative churn/workload script and report.")

@@ -245,7 +245,7 @@ let membership who w =
   let col = collector who in
   let in_transit = ref 0 in
   let by_root : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
+  World.iter_peers w
     (fun p ->
       if Peer.is_t_peer p then begin
         (match p.Peer.t_home with
@@ -280,8 +280,7 @@ let membership who w =
             p.Peer.host dead.Peer.host
         | Cp_cycle ->
           err col ~subject:p.Peer.host "s-peer #%d: cp chain never reaches a root"
-            p.Peer.host)
-    (World.live_peers w);
+            p.Peer.host);
   gauge col "peers_in_transit" (float_of_int !in_transit);
   (* The server's size table is only comparable when nothing is in
      flight; stale entries while peers rejoin are expected. *)
@@ -303,7 +302,7 @@ let data_placement who w =
   let arr = World.t_peers w in
   if Array.length arr > 0 then begin
     let misplaced = ref 0 in
-    List.iter
+    World.iter_peers w
       (fun p ->
         if Data_store.size p.Peer.store > 0 then
           match p.Peer.t_home with
@@ -328,8 +327,7 @@ let data_placement who w =
                       err col ~subject:p.Peer.host
                         "item %S (route_id %#x) at #%d outside segment of #%d" key route_id
                         p.Peer.host home.Peer.host
-                  end))
-      (World.live_peers w);
+                  end));
     if !misplaced > 8 then
       err col "...and %d more misplaced items" (!misplaced - 8);
     gauge col "misplaced_items" (float_of_int !misplaced)
@@ -350,17 +348,15 @@ let replication_factor who w =
     let settled =
       pending = 0 && Array.for_all Peer.quiet (World.t_peers w)
     in
-    let live = World.live_peers w in
     let copies_of : (string, int) Hashtbl.t = Hashtbl.create 1024 in
-    List.iter
+    World.iter_peers w
       (fun p ->
         Data_store.iter p.Peer.replicas (fun ~key ~value:_ ~route_id:_ ->
             Hashtbl.replace copies_of key
-              (1 + Option.value ~default:0 (Hashtbl.find_opt copies_of key))))
-      live;
+              (1 + Option.value ~default:0 (Hashtbl.find_opt copies_of key))));
     let checked = Hashtbl.create 1024 in
     let items = ref 0 and copies = ref 0 and under = ref 0 in
-    List.iter
+    World.iter_peers w
       (fun p ->
         Data_store.iter p.Peer.store (fun ~key ~value:_ ~route_id:_ ->
             if not (Hashtbl.mem checked key) then begin
@@ -378,8 +374,7 @@ let replication_factor who w =
                     "item %S at #%d has %d replica copies, expected %d" key
                     p.Peer.host have expected
               end
-            end))
-      live;
+            end));
     if settled && !under > 8 then
       err col "...and %d more under-replicated items" (!under - 8);
     gauge col "replicated_items" (float_of_int !items);
@@ -410,10 +405,11 @@ let gini sizes =
 
 let load_balance who w =
   let col = collector who in
-  let live = World.live_peers w in
-  let sizes =
-    Array.of_list (List.map (fun p -> float_of_int (Data_store.size p.Peer.store)) live)
-  in
+  let sizes = Array.make (World.peer_count w) 0.0 in
+  let i = ref 0 in
+  World.iter_peers w (fun p ->
+      sizes.(!i) <- float_of_int (Data_store.size p.Peer.store);
+      incr i);
   let n = Array.length sizes in
   let total = Array.fold_left ( +. ) 0.0 sizes in
   let max_v = Array.fold_left Float.max 0.0 sizes in

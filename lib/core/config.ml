@@ -31,6 +31,8 @@ type t = {
   replica_placement : replica_placement;
   anti_entropy_interval : float;
   successor_list_length : int;
+  engine_lanes : int;
+  engine_lookahead : float;
 }
 
 let default =
@@ -61,6 +63,8 @@ let default =
     replica_placement = Ring_successors;
     anti_entropy_interval = 5_000.0;
     successor_list_length = 8;
+    engine_lanes = 1;
+    engine_lookahead = 0.0;
   }
 
 let validate t =
@@ -86,6 +90,8 @@ let validate t =
     Error "anti_entropy_interval must be positive"
   else if t.successor_list_length < 1 then
     Error "successor_list_length must be >= 1"
+  else if t.engine_lanes < 1 then Error "engine_lanes must be >= 1"
+  else if t.engine_lookahead < 0.0 then Error "engine_lookahead must be >= 0"
   else
     match t.s_style with
     | Random_walks walkers when walkers <= 0 ->

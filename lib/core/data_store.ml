@@ -1,37 +1,168 @@
 open P2p_hashspace
 
-type entry = { value : string; route_id : Id_space.id }
+(* Flat open-addressed layout: three parallel int arrays (interned key id,
+   interned value id, route_id) with linear probing.  A store holds no
+   per-item heap blocks at all — one item costs three words here plus the
+   (world-shared) interned strings — where the previous string-keyed
+   Hashtbl paid a bucket, an entry record and a per-copy key pointer for
+   every item on every peer.  Empty stores hold empty arrays: at million-
+   peer scale most peers store a handful of items and the fixed per-peer
+   footprint is what dominates RSS. *)
 
-type t = { items : (string, entry) Hashtbl.t }
+let empty_slot = -1
 
-let create () = { items = Hashtbl.create 16 }
+let tombstone = -2
 
-let size t = Hashtbl.length t.items
+type t = {
+  interner : Intern.t;
+  mutable keys : int array;  (* key id, or [empty_slot] / [tombstone] *)
+  mutable vals : int array;
+  mutable routes : int array;
+  mutable live : int;
+  mutable used : int;  (* live + tombstones: occupied probe slots *)
+}
+
+let create ?interner () =
+  let interner = match interner with Some i -> i | None -> Intern.create () in
+  { interner; keys = [||]; vals = [||]; routes = [||]; live = 0; used = 0 }
+
+let interner t = t.interner
+
+let size t = t.live
+
+(* Multiplicative mixing spreads the dense interned ids over the table;
+   capacity is always a power of two so the mask is the modulus. *)
+let mix kid cap = kid * 0x9e3779b1 land (cap - 1)
+
+let rehash t cap =
+  let keys = Array.make cap empty_slot in
+  let vals = Array.make cap 0 in
+  let routes = Array.make cap 0 in
+  let old_keys = t.keys and old_vals = t.vals and old_routes = t.routes in
+  for i = 0 to Array.length old_keys - 1 do
+    let kid = old_keys.(i) in
+    if kid >= 0 then begin
+      let j = ref (mix kid cap) in
+      while keys.(!j) <> empty_slot do
+        j := (!j + 1) land (cap - 1)
+      done;
+      keys.(!j) <- kid;
+      vals.(!j) <- old_vals.(i);
+      routes.(!j) <- old_routes.(i)
+    end
+  done;
+  t.keys <- keys;
+  t.vals <- vals;
+  t.routes <- routes;
+  t.used <- t.live
+
+let ensure_room t =
+  let cap = Array.length t.keys in
+  if cap = 0 then rehash t 8
+  else if 4 * (t.used + 1) > 3 * cap then
+    (* grow only when live entries justify it; otherwise the rehash just
+       squeezes out tombstones at the same capacity *)
+    rehash t (if 2 * t.live >= cap then 2 * cap else cap)
 
 let insert_routed t ~route_id ~key ~value =
-  Hashtbl.replace t.items key { value; route_id }
+  ensure_room t;
+  let kid = Intern.intern t.interner key in
+  let cap = Array.length t.keys in
+  let first_free = ref (-1) in
+  let i = ref (mix kid cap) in
+  let result = ref (-1) in
+  (* probe until the key or a hard empty slot; remember the first
+     reusable slot (tombstone or empty) for the insertion case *)
+  while !result < 0 do
+    let k = t.keys.(!i) in
+    if k = kid then result := !i
+    else if k = empty_slot then begin
+      if !first_free < 0 then first_free := !i;
+      result := !first_free;
+      t.keys.(!result) <- kid;
+      t.live <- t.live + 1;
+      if !result = !i then t.used <- t.used + 1
+    end
+    else begin
+      if k = tombstone && !first_free < 0 then first_free := !i;
+      i := (!i + 1) land (cap - 1)
+    end
+  done;
+  t.vals.(!result) <- Intern.intern t.interner value;
+  t.routes.(!result) <- route_id
 
 let insert t ~key ~value =
   insert_routed t ~route_id:(Key_hash.of_string key) ~key ~value
 
-let find t ~key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.items key)
+(* Probe for [key]'s slot, or [-1] when absent (including: never interned,
+   or interned only by other stores sharing the interner). *)
+let slot_of t ~key =
+  if t.live = 0 then -1
+  else
+    match Intern.find t.interner key with
+    | None -> -1
+    | Some kid ->
+      let cap = Array.length t.keys in
+      let rec probe i =
+        let k = t.keys.(i) in
+        if k = kid then i
+        else if k = empty_slot then -1
+        else probe ((i + 1) land (cap - 1))
+      in
+      probe (mix kid cap)
 
-let remove t ~key = Hashtbl.remove t.items key
+let find t ~key =
+  match slot_of t ~key with
+  | -1 -> None
+  | i -> Some (Intern.name t.interner t.vals.(i))
 
-let mem t ~key = Hashtbl.mem t.items key
+let mem t ~key = slot_of t ~key >= 0
+
+let remove t ~key =
+  match slot_of t ~key with
+  | -1 -> ()
+  | i ->
+    t.keys.(i) <- tombstone;
+    t.live <- t.live - 1
+
+let iter t f =
+  Array.iteri
+    (fun i kid ->
+      if kid >= 0 then
+        f
+          ~key:(Intern.name t.interner kid)
+          ~value:(Intern.name t.interner t.vals.(i))
+          ~route_id:t.routes.(i))
+    t.keys
 
 let segment_items t ~left ~right =
-  Hashtbl.fold
-    (fun key e acc ->
-      if Id_space.between_incl_right e.route_id ~left ~right then
-        (key, e.value, e.route_id) :: acc
-      else acc)
-    t.items []
+  let acc = ref [] in
+  Array.iteri
+    (fun i kid ->
+      if kid >= 0 && Id_space.between_incl_right t.routes.(i) ~left ~right then
+        acc :=
+          ( Intern.name t.interner kid,
+            Intern.name t.interner t.vals.(i),
+            t.routes.(i) )
+          :: !acc)
+    t.keys;
+  !acc
 
 let take_segment t ~left ~right =
-  let selected = segment_items t ~left ~right in
-  List.iter (fun (key, _, _) -> Hashtbl.remove t.items key) selected;
-  selected
+  let acc = ref [] in
+  Array.iteri
+    (fun i kid ->
+      if kid >= 0 && Id_space.between_incl_right t.routes.(i) ~left ~right then begin
+        acc :=
+          ( Intern.name t.interner kid,
+            Intern.name t.interner t.vals.(i),
+            t.routes.(i) )
+          :: !acc;
+        t.keys.(i) <- tombstone;
+        t.live <- t.live - 1
+      end)
+    t.keys;
+  !acc
 
 (* Order-independent content digest: XOR of per-item hashes commutes, so
    two stores holding the same (key, value, route_id) set produce the
@@ -45,14 +176,28 @@ let digest_items items =
 
 let segment_digest t ~left ~right = digest_items (segment_items t ~left ~right)
 
+let clear t =
+  t.keys <- [||];
+  t.vals <- [||];
+  t.routes <- [||];
+  t.live <- 0;
+  t.used <- 0
+
 let take_all t =
-  let all = Hashtbl.fold (fun key e acc -> (key, e.value, e.route_id) :: acc) t.items [] in
-  Hashtbl.reset t.items;
-  all
+  let acc = ref [] in
+  Array.iteri
+    (fun i kid ->
+      if kid >= 0 then
+        acc :=
+          ( Intern.name t.interner kid,
+            Intern.name t.interner t.vals.(i),
+            t.routes.(i) )
+          :: !acc)
+    t.keys;
+  clear t;
+  !acc
 
-let iter t f =
-  Hashtbl.iter (fun key e -> f ~key ~value:e.value ~route_id:e.route_id) t.items
-
-let keys t = Hashtbl.fold (fun key _ acc -> key :: acc) t.items []
-
-let clear t = Hashtbl.reset t.items
+let keys t =
+  let acc = ref [] in
+  Array.iter (fun kid -> if kid >= 0 then acc := Intern.name t.interner kid :: !acc) t.keys;
+  !acc

@@ -2,13 +2,26 @@
 
     Every peer keeps the items it is responsible for in a local database.
     The store caches each key's hashed [d_id] because load transfer
-    (Section 3.2.1) repeatedly partitions the database by ID segment. *)
+    (Section 3.2.1) repeatedly partitions the database by ID segment.
+
+    Internally the store is flat: interned key/value ids and routing ids
+    live in parallel int arrays with open addressing, and an empty store
+    holds no arrays at all.  Strings appear only at the API boundary.
+    Stores created with a shared {!Intern.t} (the world's interner) keep
+    exactly one heap copy of each distinct key and value across every
+    peer, which is what makes million-peer populations fit in memory. *)
 
 open P2p_hashspace
 
 type t
 
-val create : unit -> t
+(** [create ?interner ()] — an empty store.  [interner] (default: a fresh
+    private one) maps keys and values to dense ids; pass the world's
+    interner so all peers share string storage. *)
+val create : ?interner:Intern.t -> unit -> t
+
+(** The interner this store resolves ids against. *)
+val interner : t -> Intern.t
 
 (** Number of items held. *)
 val size : t -> int

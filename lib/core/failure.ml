@@ -304,4 +304,4 @@ let repair w =
    | Some heal -> heal ~op:(Some op)
    | None -> ());
   Trace.end_op (World.trace w) ~time:(World.now w) ~op
-    (Printf.sprintf "%d live peers" (List.length (World.live_peers w)))
+    (Printf.sprintf "%d live peers" (World.peer_count w))

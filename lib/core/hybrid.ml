@@ -19,7 +19,10 @@ type join_outcome = { peer : Peer.t; hops : int; latency : float }
 let create ~seed ~routing ?(config = Config.default) ?snet_policy ?(s_fraction = 0.5)
     ?(processing_delay = 0.1) ?stress ?trace () =
   if s_fraction < 0.0 || s_fraction > 1.0 then invalid_arg "Hybrid.create: s_fraction";
-  let engine = Engine.create ~seed () in
+  let engine =
+    Engine.create ~seed ~lanes:config.Config.engine_lanes
+      ~lookahead:config.Config.engine_lookahead ()
+  in
   let metrics = Metrics.create () in
   let underlay =
     Underlay.create ~engine ~routing ~metrics ?stress ?trace ~processing_delay ()
@@ -98,7 +101,8 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
     let p_id = match p_id with Some id -> id | None -> World.fresh_p_id t.w in
     let cache_capacity = (config t).Config.cache_capacity in
     let peer =
-      Peer.make ~cache_capacity ~host ~p_id ~role:Peer.T_peer ~link_capacity ?interest ()
+      Peer.make ~cache_capacity ~interner:(World.interner t.w) ~host ~p_id
+        ~role:Peer.T_peer ~link_capacity ?interest ()
     in
     let op =
       Trace.begin_op (trace t) ~time:started ~kind:Trace.T_join
@@ -130,7 +134,8 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
   | Peer.S_peer ->
     let cache_capacity = (config t).Config.cache_capacity in
     let peer =
-      Peer.make ~cache_capacity ~host ~p_id:0 ~role:Peer.S_peer ~link_capacity ?interest ()
+      Peer.make ~cache_capacity ~interner:(World.interner t.w) ~host ~p_id:0
+        ~role:Peer.S_peer ~link_capacity ?interest ()
     in
     let op =
       Trace.begin_op (trace t) ~time:started ~kind:Trace.S_join

@@ -1,0 +1,35 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;  (* id -> string; slots >= count are garbage *)
+  mutable count : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  if initial_capacity < 0 then invalid_arg "Intern.create: negative capacity";
+  { ids = Hashtbl.create (max 1 initial_capacity); names = [||]; count = 0 }
+
+let count t = t.count
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    let cap = Array.length t.names in
+    if id = cap then begin
+      let names = Array.make (if cap = 0 then 16 else cap * 2) s in
+      Array.blit t.names 0 names 0 t.count;
+      t.names <- names
+    end;
+    t.names.(id) <- s;
+    t.count <- t.count + 1;
+    Hashtbl.add t.ids s id;
+    id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Intern.name: unknown id";
+  t.names.(id)
+
+let mem_id t id = id >= 0 && id < t.count

@@ -1,0 +1,36 @@
+(** String interning: dense integer ids for data keys and values.
+
+    At million-peer scale the per-peer stores cannot afford to hold one
+    string copy per (peer, item) pair: replication keeps [r + 1] copies of
+    every item and Zipf workloads re-insert the same hot keys constantly.
+    Interning maps each distinct string to a small dense [int] once, so
+    flat int arrays (see {!Data_store}) replace string-keyed hashtables on
+    every per-peer hot path, and all copies of a key or value across the
+    whole world share one heap block.
+
+    Ids are dense ([0 .. count - 1]) in first-intern order.  They are only
+    meaningful relative to the interner that produced them; the world owns
+    one interner shared by every peer's stores. *)
+
+type t
+
+(** [create ?initial_capacity ()] — an empty interner. *)
+val create : ?initial_capacity:int -> unit -> t
+
+(** Number of distinct strings interned so far. *)
+val count : t -> int
+
+(** [intern t s] is the id of [s], allocating the next dense id on first
+    sight.  O(1) amortized. *)
+val intern : t -> string -> int
+
+(** [find t s] is [s]'s id if it was ever interned — a read-only probe
+    that never grows the table (lookups of unknown keys must not leak). *)
+val find : t -> string -> int option
+
+(** [name t id] is the string with id [id].
+    @raise Invalid_argument on an id this interner never issued. *)
+val name : t -> int -> string
+
+(** [mem_id t id] — was [id] issued by this interner? *)
+val mem_id : t -> int -> bool

@@ -37,7 +37,8 @@ type t = {
   mutable last_ack_sent : float;
 }
 
-let make ?(cache_capacity = 0) ~host ~p_id ~role ~link_capacity ?interest () =
+let make ?(cache_capacity = 0) ?interner ~host ~p_id ~role ~link_capacity
+    ?interest () =
   {
     host;
     p_id;
@@ -54,14 +55,16 @@ let make ?(cache_capacity = 0) ~host ~p_id ~role ~link_capacity ?interest () =
     t_home = None;
     cp = None;
     children = [];
-    store = Data_store.create ();
-    replicas = Data_store.create ();
+    store = Data_store.create ?interner ();
+    replicas = Data_store.create ?interner ();
     cache = Cache.create ~capacity:cache_capacity;
-    summaries = Hashtbl.create 4;
+    (* initial capacity 1: at million-peer scale these tables are almost
+       always empty, and Hashtbl grows them on demand anyway *)
+    summaries = Hashtbl.create 1;
     summaries_epoch = -1;
-    tracker_index = Hashtbl.create 8;
+    tracker_index = Hashtbl.create 1;
     bypass = [];
-    watchdogs = Hashtbl.create 8;
+    watchdogs = Hashtbl.create 1;
     hello_timer = None;
     last_ack_sent = neg_infinity;
   }

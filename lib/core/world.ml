@@ -11,18 +11,28 @@ type snet_policy =
   | By_interest
   | By_cluster of Landmark.t
 
+(* Membership state is flat: hosts are dense graph-node ids, so a
+   [Peer.t option array] indexed by host replaces the host->peer Hashtbl,
+   and an int array (-1 = no entry) replaces the s-network size table.
+   The t-ring oracle keeps a parallel [t_ids] int array next to
+   [t_sorted] so successor search is a binary search over a flat int
+   array with no pointer chasing.  See SCALING.md for the per-peer byte
+   budget this buys at million-peer scale. *)
 type t = {
   engine : Engine.t;
   underlay : Underlay.t;
   metrics : Metrics.t;
   config : Config.t;
   rng : Rng.t;
-  peers : (int, Peer.t) Hashtbl.t;
+  interner : Intern.t;
+  mutable slots : Peer.t option array;
+  mutable live_count : int;
+  mutable snet : int array;
   mutable t_sorted : Peer.t array;
+  mutable t_ids : int array;
   mutable t_dirty : bool;
   mutable fingers_dirty : bool;
   mutable summary_epoch : int;
-  snet_sizes : (int, int) Hashtbl.t;
   snet_policy : snet_policy;
   pending_election : (int, Peer.t option) Hashtbl.t;
   mutable on_query : (receiver:Peer.t -> sender:Peer.t -> unit) option;
@@ -49,12 +59,15 @@ let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network
     metrics;
     config;
     rng = Rng.split (Engine.rng engine);
-    peers = Hashtbl.create 256;
+    interner = Intern.create ();
+    slots = [||];
+    live_count = 0;
+    snet = [||];
     t_sorted = [||];
+    t_ids = [||];
     t_dirty = false;
     fingers_dirty = false;
     summary_epoch = 0;
-    snet_sizes = Hashtbl.create 64;
     snet_policy;
     pending_election = Hashtbl.create 8;
     on_query = None;
@@ -68,8 +81,20 @@ let now t = Engine.now t.engine
 
 let trace t = Underlay.trace t.underlay
 
+let interner t = t.interner
+
+(* Ring-segment sharding: the id space splits into 64 equal arcs and a
+   message's shard is the arc of its destination's p_id, so each engine
+   lane serves a contiguous ring segment.  Cross-segment traffic (finger
+   hops) crosses lanes; segment-local traffic (successor walks, tree
+   floods, stabilization) stays lane-local. *)
+let shard_shift = Id_space.bits - 6
+
+let shard_of (p : Peer.t) = p.Peer.p_id lsr shard_shift
+
 let send t ?op ~src ~dst f =
-  Underlay.send t.underlay ?op ~src:src.Peer.host ~dst:dst.Peer.host f
+  Underlay.send t.underlay ?op ~shard:(shard_of dst) ~src:src.Peer.host
+    ~dst:dst.Peer.host f
 
 (* Like [send], but the delivery is also a causal span of [op]: opened
    when the message is posted, closed (under the op's root span — no
@@ -83,7 +108,8 @@ let send_span t ?op ~tier ~phase ~src ~dst f =
       Trace.begin_span tr ~time:(now t) ~op:op_id ~tier ~phase
         ~src:src.Peer.host ~dst:dst.Peer.host phase
     in
-    Underlay.send t.underlay ~op:op_id ~src:src.Peer.host ~dst:dst.Peer.host
+    Underlay.send t.underlay ~op:op_id ~shard:(shard_of dst)
+      ~src:src.Peer.host ~dst:dst.Peer.host
       (fun () ->
         Fun.protect
           ~finally:(fun () -> Trace.end_span tr ~time:(now t) span)
@@ -110,53 +136,103 @@ let touch_ring t =
      so every edge summary built before this instant is suspect *)
   t.summary_epoch <- t.summary_epoch + 1
 
+(* Grow both host-indexed arrays to cover [host] (doubling, so n peers
+   cost O(n) amortized).  Hosts are graph node ids — dense from 0 — so
+   the arrays carry essentially no slack. *)
+let ensure_slot t host =
+  let n = Array.length t.slots in
+  if host >= n then begin
+    let cap = ref (max 16 n) in
+    while host >= !cap do
+      cap := !cap * 2
+    done;
+    let slots = Array.make !cap None in
+    Array.blit t.slots 0 slots 0 n;
+    t.slots <- slots;
+    let snet = Array.make !cap (-1) in
+    Array.blit t.snet 0 snet 0 n;
+    t.snet <- snet
+  end
+
 let register t peer =
-  Hashtbl.replace t.peers peer.Peer.host peer;
+  let host = peer.Peer.host in
+  if host < 0 then invalid_arg "World.register: negative host";
+  ensure_slot t host;
+  (match t.slots.(host) with
+   | None -> t.live_count <- t.live_count + 1
+   | Some _ -> ());
+  t.slots.(host) <- Some peer;
   if Peer.is_t_peer peer then begin
     touch_ring t;
-    if not (Hashtbl.mem t.snet_sizes peer.Peer.host) then
-      Hashtbl.replace t.snet_sizes peer.Peer.host 0
+    if t.snet.(host) < 0 then t.snet.(host) <- 0
   end
 
 let unregister t peer =
-  Hashtbl.remove t.peers peer.Peer.host;
-  if Peer.is_t_peer peer then begin
-    touch_ring t;
-    Hashtbl.remove t.snet_sizes peer.Peer.host
+  let host = peer.Peer.host in
+  if host >= 0 && host < Array.length t.slots then begin
+    (match t.slots.(host) with
+     | Some _ -> t.live_count <- t.live_count - 1
+     | None -> ());
+    t.slots.(host) <- None;
+    if Peer.is_t_peer peer then begin
+      touch_ring t;
+      t.snet.(host) <- -1
+    end
   end
 
-let find_peer t ~host = Hashtbl.find_opt t.peers host
+let find_peer t ~host =
+  if host < 0 || host >= Array.length t.slots then None else t.slots.(host)
 
-let peer_count t = Hashtbl.length t.peers
+let peer_count t = t.live_count
 
-let live_peers t = Hashtbl.fold (fun _ p acc -> p :: acc) t.peers []
+let iter_peers t f =
+  Array.iter (function Some p -> f p | None -> ()) t.slots
+
+let live_peers t =
+  let acc = ref [] in
+  for i = Array.length t.slots - 1 downto 0 do
+    match t.slots.(i) with Some p -> acc := p :: !acc | None -> ()
+  done;
+  !acc
 
 let t_peers t =
   if t.t_dirty then begin
-    let arr =
-      Hashtbl.fold
-        (fun _ p acc -> if Peer.is_t_peer p && p.Peer.alive then p :: acc else acc)
-        t.peers []
-      |> Array.of_list
-    in
+    let acc = ref [] in
+    for i = Array.length t.slots - 1 downto 0 do
+      match t.slots.(i) with
+      | Some p when Peer.is_t_peer p && p.Peer.alive -> acc := p :: !acc
+      | Some _ | None -> ()
+    done;
+    let arr = Array.of_list !acc in
     Array.sort (fun a b -> compare a.Peer.p_id b.Peer.p_id) arr;
     t.t_sorted <- arr;
+    t.t_ids <- Array.map (fun p -> p.Peer.p_id) arr;
     t.t_dirty <- false
   end;
   t.t_sorted
 
-let oracle_owner t d_id =
-  let arr = t_peers t in
-  let n = Array.length arr in
-  if n = 0 then None
+(* Index into the sorted t-peer array of [d_id]'s successor — the first
+   p_id >= d_id, wrapping to index 0 past the highest p_id.  The search
+   runs over the flat [t_ids] int array (no pointer chasing per probe);
+   [-1] on an empty ring. *)
+let successor_index t d_id =
+  ignore (t_peers t);
+  let ids = t.t_ids in
+  let n = Array.length ids in
+  if n = 0 then -1
   else begin
     let lo = ref 0 and hi = ref n in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if arr.(mid).Peer.p_id >= d_id then hi := mid else lo := mid + 1
+      if ids.(mid) >= d_id then hi := mid else lo := mid + 1
     done;
-    Some (if !lo = n then arr.(0) else arr.(!lo))
+    if !lo = n then 0 else !lo
   end
+
+let oracle_owner t d_id =
+  match successor_index t d_id with
+  | -1 -> None
+  | i -> Some t.t_sorted.(i)
 
 let fresh_p_id t = Rng.int t.rng Id_space.size
 
@@ -165,15 +241,24 @@ let random_t_peer t =
   if Array.length arr = 0 then None else Some (Rng.pick t.rng arr)
 
 let snet_size t tpeer =
-  Option.value ~default:0 (Hashtbl.find_opt t.snet_sizes tpeer.Peer.host)
+  let host = tpeer.Peer.host in
+  if host < 0 || host >= Array.length t.snet then 0 else max 0 t.snet.(host)
+
+let set_snet_size t tpeer n =
+  let host = tpeer.Peer.host in
+  if host < 0 then invalid_arg "World.set_snet_size: negative host";
+  ensure_slot t host;
+  t.snet.(host) <- n
 
 let snet_size_changed t tpeer ~delta =
-  Hashtbl.replace t.snet_sizes tpeer.Peer.host (snet_size t tpeer + delta)
-
-let set_snet_size t tpeer n = Hashtbl.replace t.snet_sizes tpeer.Peer.host n
+  set_snet_size t tpeer (snet_size t tpeer + delta)
 
 let snet_size_entries t =
-  Hashtbl.fold (fun host n acc -> (host, n) :: acc) t.snet_sizes []
+  let acc = ref [] in
+  for host = Array.length t.snet - 1 downto 0 do
+    if t.snet.(host) >= 0 then acc := (host, t.snet.(host)) :: !acc
+  done;
+  !acc
 
 let fingers_fresh t = not t.fingers_dirty
 

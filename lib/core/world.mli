@@ -28,8 +28,19 @@ type t = {
   metrics : P2p_net.Metrics.t;
   config : Config.t;
   rng : P2p_sim.Rng.t;
-  peers : (int, Peer.t) Hashtbl.t;  (** host -> live peer *)
+  interner : Intern.t;
+      (** world-wide string interner shared by every peer's stores, so all
+          copies of a key or value share one heap block *)
+  mutable slots : Peer.t option array;
+      (** host-indexed membership directory (hosts are dense graph node
+          ids); [None] = no peer registered on that host *)
+  mutable live_count : int;  (** registered peers, i.e. occupied [slots] *)
+  mutable snet : int array;
+      (** host-indexed s-peer counts for t-peers; [-1] = no entry *)
   mutable t_sorted : Peer.t array;  (** live t-peers by p_id (lazy) *)
+  mutable t_ids : int array;
+      (** p_ids of [t_sorted], same order — the flat successor array the
+          oracle binary-searches without touching peer records *)
   mutable t_dirty : bool;
   mutable fingers_dirty : bool;
   mutable summary_epoch : int;
@@ -38,7 +49,6 @@ type t = {
           tree's summaries at once (any t-ring membership change, a
           replication heal).  A tree whose root carries an older epoch
           rebuilds lazily before its next pruned flood. *)
-  snet_sizes : (int, int) Hashtbl.t;  (** t-peer host -> s-peer count *)
   snet_policy : snet_policy;
   pending_election : (int, Peer.t option) Hashtbl.t;
       (** crashed t-peer host -> elected replacement ([None] when the
@@ -127,14 +137,33 @@ val bump : t -> subsystem:string -> name:string -> unit
 
 (** {1 Membership directory} *)
 
+(** The world's shared string interner (see the [interner] field). *)
+val interner : t -> Intern.t
+
+(** [register t peer] enters [peer] into the membership directory.
+    @raise Invalid_argument on a negative host. *)
 val register : t -> Peer.t -> unit
+
 val unregister : t -> Peer.t -> unit
 val find_peer : t -> host:int -> Peer.t option
 val peer_count : t -> int
+
+(** All registered peers in ascending host order. *)
 val live_peers : t -> Peer.t list
+
+(** [iter_peers t f] applies [f] to every registered peer in ascending
+    host order, allocating nothing — walks of million-peer worlds
+    (audits, replication sweeps) should prefer this to {!live_peers}. *)
+val iter_peers : t -> (Peer.t -> unit) -> unit
 
 (** Live t-peers sorted by p_id. *)
 val t_peers : t -> Peer.t array
+
+(** [successor_index t d_id] is the index into {!t_peers} of [d_id]'s
+    successor — the first p_id [>= d_id], wrapping past the highest p_id
+    to index [0].  [-1] on an empty ring.  Runs as a binary search over
+    the flat [t_ids] array. *)
+val successor_index : t -> Id_space.id -> int
 
 (** Mark the t-ring membership changed (invalidates oracle and fingers). *)
 val touch_ring : t -> unit

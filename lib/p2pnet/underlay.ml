@@ -35,7 +35,10 @@ let delay t ~src ~dst =
   if src = dst then t.processing_delay
   else Routing.distance t.routing src dst +. t.processing_delay +. transmission
 
-let send t ?op ~src ~dst f =
+let send t ?op ?shard ~src ~dst f =
+  (* default sharding: by destination host, so deliveries to one host
+     stay in one lane; the overlay passes ring-segment shards instead *)
+  let shard = match shard with Some s -> s | None -> dst in
   let path_hops =
     if src = dst then 0
     else begin
@@ -49,7 +52,9 @@ let send t ?op ~src ~dst f =
   let message_delay = delay t ~src ~dst in
   Trace.record_f t.trace ~time:(Engine.now t.engine) ~tag:"message" ?op ~src ~dst
     "%.2f ms, %d links" message_delay path_hops;
-  ignore (Engine.schedule ~label:"message" t.engine ~delay:message_delay f : Engine.handle)
+  ignore
+    (Engine.schedule ~label:"message" ~shard t.engine ~delay:message_delay f
+      : Engine.handle)
 
 let engine t = t.engine
 let trace t = t.trace

@@ -62,7 +62,7 @@ type census_entry = {
   mutable replica_holders : Peer.t list;
 }
 
-let census live =
+let census w =
   let tbl : (string, census_entry) Hashtbl.t = Hashtbl.create 1024 in
   let learn ~primary p ~key ~value ~route_id =
     let e =
@@ -76,13 +76,11 @@ let census live =
     if primary then e.primaries <- p :: e.primaries
     else e.replica_holders <- p :: e.replica_holders
   in
-  List.iter
-    (fun p ->
+  World.iter_peers w (fun p ->
       Data_store.iter p.Peer.store (fun ~key ~value ~route_id ->
           learn ~primary:true p ~key ~value ~route_id);
       Data_store.iter p.Peer.replicas (fun ~key ~value ~route_id ->
-          learn ~primary:false p ~key ~value ~route_id))
-    live;
+          learn ~primary:false p ~key ~value ~route_id));
   tbl
 
 let update_live_factor t tbl =
@@ -120,8 +118,7 @@ let heal ?op t =
     | Some op -> op
     | None -> Trace.begin_op (World.trace w) ~time:(World.now w) ~kind:Trace.Replicate "heal"
   in
-  let live = World.live_peers w in
-  let tbl = census live in
+  let tbl = census w in
   let promoted = ref 0 and restored = ref 0 in
   Hashtbl.iter
     (fun key e ->

@@ -4,23 +4,37 @@ type labeled = { label : string option; thunk : unit -> unit }
 
 type label_stats = { mutable fires : int; mutable cpu_s : float }
 
+(* The event population is partitioned into [lanes] independent heaps
+   sharing one sequence counter.  Execution merges the lane heads by
+   (time, seq), so with [lookahead = 0] the order is bit-identical to a
+   single queue for every lane count; [run] additionally drains a lane in
+   batches while it stays ahead of every other lane (plus the lookahead
+   allowance), which keeps the merge overhead off the hot path when
+   segments genuinely run independently. *)
 type t = {
-  queue : labeled Event_queue.t;
+  lanes : labeled Event_queue.t array;
+  lookahead : float;
   mutable clock : float;
   mutable executed : int;
   root_rng : Rng.t;
   mutable queue_hwm : int;
+  mutable physical : int;  (* events currently occupying heap slots *)
   mutable profiling : bool;
   label_table : (string, label_stats) Hashtbl.t;
 }
 
-let create ~seed () =
+let create ~seed ?(lanes = 1) ?(lookahead = 0.0) () =
+  if lanes < 1 then invalid_arg "Engine.create: lanes must be >= 1";
+  if lookahead < 0.0 then invalid_arg "Engine.create: negative lookahead";
+  let tick = ref 0 in
   {
-    queue = Event_queue.create ();
+    lanes = Array.init lanes (fun _ -> Event_queue.create ~tick ());
+    lookahead;
     clock = 0.0;
     executed = 0;
     root_rng = Rng.create seed;
     queue_hwm = 0;
+    physical = 0;
     profiling = false;
     label_table = Hashtbl.create 16;
   }
@@ -29,23 +43,41 @@ let rng t = t.root_rng
 
 let now t = t.clock
 
+let lanes t = Array.length t.lanes
+
+let lookahead t = t.lookahead
+
 let enable_profiling t = t.profiling <- true
 
 let profiling t = t.profiling
 
-let add t ~time ~label f =
-  let h = Event_queue.add t.queue ~time { label; thunk = f } in
-  let depth = Event_queue.length t.queue in
-  if depth > t.queue_hwm then t.queue_hwm <- depth;
+let lane_for t shard =
+  match shard with
+  | None -> t.lanes.(0)
+  | Some s -> t.lanes.((s land max_int) mod Array.length t.lanes)
+
+let physical_length t =
+  Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.lanes
+
+let add t ~time ~shard ~label f =
+  let q = lane_for t shard in
+  let before = Event_queue.length q in
+  let h = Event_queue.add q ~time { label; thunk = f } in
+  (* adding can trigger a lane compaction; track the physical population
+     incrementally and resync against the true figure when it shrank *)
+  let after = Event_queue.length q in
+  t.physical <- t.physical + (after - before);
+  if after < before then t.physical <- physical_length t
+  else if t.physical > t.queue_hwm then t.queue_hwm <- t.physical;
   h
 
-let schedule ?label t ~delay f =
+let schedule ?label ?shard t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  add t ~time:(t.clock +. delay) ~label f
+  add t ~time:(t.clock +. delay) ~shard ~label f
 
-let schedule_at ?label t ~time f =
+let schedule_at ?label ?shard t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  add t ~time ~label f
+  add t ~time ~shard ~label f
 
 let cancel = Event_queue.cancel
 
@@ -61,36 +93,108 @@ let account t label cpu_s =
   stats.fires <- stats.fires + 1;
   stats.cpu_s <- stats.cpu_s +. cpu_s
 
-let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, { label; thunk }) ->
-    t.clock <- time;
-    t.executed <- t.executed + 1;
-    (match label with
-     | Some label when t.profiling ->
-       let started = Sys.time () in
-       thunk ();
-       account t label (Sys.time () -. started)
-     | Some _ | None -> thunk ());
-    true
+let execute t time { label; thunk } =
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  t.physical <- t.physical - 1;
+  match label with
+  | Some label when t.profiling ->
+    let started = Sys.time () in
+    thunk ();
+    account t label (Sys.time () -. started)
+  | Some _ | None -> thunk ()
 
-let rec run t = if step t then run t
+(* Index of the lane holding the globally earliest live event by
+   (time, seq) — exactly the entry a single merged heap would pop. *)
+let min_lane t =
+  let n = Array.length t.lanes in
+  if n = 1 then if Event_queue.is_empty t.lanes.(0) then -1 else 0
+  else begin
+    let best = ref (-1) in
+    let best_time = ref infinity and best_seq = ref max_int in
+    for i = 0 to n - 1 do
+      match Event_queue.peek_key t.lanes.(i) with
+      | Some (time, seq)
+        when time < !best_time || (time = !best_time && seq < !best_seq) ->
+        best := i;
+        best_time := time;
+        best_seq := seq
+      | Some _ | None -> ()
+    done;
+    !best
+  end
+
+let step t =
+  match min_lane t with
+  | -1 -> false
+  | i ->
+    (match Event_queue.pop t.lanes.(i) with
+     | Some (time, ev) ->
+       execute t time ev;
+       true
+     | None -> false)
+
+(* Earliest head time over every lane except [i]: the conservative bound
+   up to which lane [i] may run without consulting the others. *)
+let frontier_excluding t i =
+  let bound = ref infinity in
+  Array.iteri
+    (fun j q ->
+      if j <> i then
+        match Event_queue.peek_time q with
+        | Some time when time < !bound -> bound := time
+        | Some _ | None -> ())
+    t.lanes;
+  !bound
+
+let rec run t =
+  match min_lane t with
+  | -1 -> ()
+  | i ->
+    let q = t.lanes.(i) in
+    (match Event_queue.pop q with
+     | Some (time, ev) -> execute t time ev
+     | None -> ());
+    (* Batch: keep draining this lane while it cannot race any other
+       lane.  With lookahead = 0 only strictly earlier events qualify
+       (same-time events across lanes must merge by sequence number, so
+       order stays single-queue-identical); a positive lookahead lets the
+       lane run bounded-skew ahead, the conservative-lookahead window. *)
+    let continue = ref true in
+    while !continue do
+      let frontier = frontier_excluding t i in
+      match Event_queue.peek_time q with
+      | Some time
+        when time < frontier
+             || (t.lookahead > 0.0 && time <= frontier +. t.lookahead) -> (
+        match Event_queue.pop q with
+        | Some (time, ev) -> execute t time ev
+        | None -> continue := false)
+      | Some _ | None -> continue := false
+    done;
+    run t
 
 let run_until t ~time =
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some event_time when event_time <= time ->
-      ignore (step t : bool);
-      loop ()
-    | Some _ | None -> ()
+    match min_lane t with
+    | -1 -> ()
+    | i -> (
+      match Event_queue.peek_time t.lanes.(i) with
+      | Some event_time when event_time <= time -> (
+        match Event_queue.pop t.lanes.(i) with
+        | Some (event_time, ev) ->
+          execute t event_time ev;
+          loop ()
+        | None -> ())
+      | Some _ | None -> ())
   in
   loop ();
   if time > t.clock then t.clock <- time
 
 let events_executed t = t.executed
 
-let pending t = Event_queue.live_length t.queue
+let pending t =
+  Array.fold_left (fun acc q -> acc + Event_queue.live_length q) 0 t.lanes
 
 let queue_high_water t = t.queue_hwm
 

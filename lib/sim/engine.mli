@@ -9,6 +9,24 @@
     paper reports (hop counts, latencies, message counts, failure ratios) is
     produced by event-driven message delivery on top of this engine.
 
+    {b Event lanes.} The event population can be partitioned into [lanes]
+    independent heaps ({!create}'s [?lanes], default [1]).  Callers tag
+    scheduled events with an integer [?shard] (untagged events go to lane
+    0); the engine maps shards onto lanes and merges the lane heads
+    conservatively by [(time, sequence)].  With the default
+    [lookahead = 0.] the merged order is {e identical} to a single queue
+    for every lane count — lanes only change the data layout (smaller
+    heaps, segment-local sift costs), never the trace.  A positive
+    [lookahead] relaxes the merge: {!run} drains one lane in batches while
+    its head stays within [lookahead] of every other lane's head, so
+    mostly-independent segments execute in long runs without consulting
+    the global order.  That is safe whenever [lookahead] is at most the
+    minimum cross-lane scheduling delay (for the hybrid overlay: the
+    minimum underlay message latency), the classic conservative-lookahead
+    condition; events inside one lane always execute in exact order.
+    During a lookahead batch the clock can regress by at most [lookahead]
+    between events of different lanes.
+
     {b Profiling.} The engine always tracks the number of events executed
     and the high-water mark of the queue depth.  When profiling is switched
     on ({!enable_profiling}), events scheduled with a [?label] additionally
@@ -21,38 +39,55 @@ type t
 
 type handle = Event_queue.handle
 
-(** [create ~seed ()] makes an engine whose clock starts at [0.] and whose
-    root RNG is seeded with [seed]. *)
-val create : seed:int -> unit -> t
+(** [create ~seed ?lanes ?lookahead ()] makes an engine whose clock starts
+    at [0.] and whose root RNG is seeded with [seed].  [lanes] (default
+    [1]) is the number of event lanes; [lookahead] (default [0.], exact
+    merge) is the conservative-lookahead window in simulated milliseconds.
+    @raise Invalid_argument if [lanes < 1] or [lookahead < 0.]. *)
+val create : seed:int -> ?lanes:int -> ?lookahead:float -> unit -> t
 
 (** The engine's root RNG.  Subsystems should [Rng.split] it rather than
     share it, so that adding a consumer does not shift other streams. *)
 val rng : t -> Rng.t
 
-(** Current simulated time. *)
+(** Current simulated time (the timestamp of the executing event; under a
+    positive lookahead this can regress by at most [lookahead] between
+    events of different lanes). *)
 val now : t -> float
 
-(** [schedule ?label t ~delay f] runs [f ()] at [now t +. delay].
-    [label] groups the event for {!profile} accounting.
-    @raise Invalid_argument if [delay < 0.]. *)
-val schedule : ?label:string -> t -> delay:float -> (unit -> unit) -> handle
+(** Number of event lanes. *)
+val lanes : t -> int
 
-(** [schedule_at ?label t ~time f] runs [f ()] at absolute [time].
+(** The conservative-lookahead window ([0.] = exact single-queue order). *)
+val lookahead : t -> float
+
+(** [schedule ?label ?shard t ~delay f] runs [f ()] at [now t +. delay].
+    [label] groups the event for {!profile} accounting; [shard] selects
+    the event's lane ([shard mod lanes]; omitted means lane 0).
+    @raise Invalid_argument if [delay < 0.]. *)
+val schedule :
+  ?label:string -> ?shard:int -> t -> delay:float -> (unit -> unit) -> handle
+
+(** [schedule_at ?label ?shard t ~time f] runs [f ()] at absolute [time].
     @raise Invalid_argument if [time] is in the simulated past. *)
-val schedule_at : ?label:string -> t -> time:float -> (unit -> unit) -> handle
+val schedule_at :
+  ?label:string -> ?shard:int -> t -> time:float -> (unit -> unit) -> handle
 
 (** [cancel h] prevents a scheduled action from running. *)
 val cancel : handle -> unit
 
-(** [step t] executes the earliest pending event, advancing the clock.
-    Returns [false] if no event was pending. *)
+(** [step t] executes the earliest pending event (by global
+    [(time, sequence)] order across every lane), advancing the clock.
+    Returns [false] if no event was pending.  [step] never applies the
+    lookahead batching — external step loops observe the exact order. *)
 val step : t -> bool
 
-(** [run t] executes events until the queue is empty. *)
+(** [run t] executes events until every lane is empty, draining lanes in
+    conservative batches (see the module preamble). *)
 val run : t -> unit
 
-(** [run_until t ~time] executes all events with timestamp [<= time], then
-    advances the clock to exactly [time]. *)
+(** [run_until t ~time] executes all events with timestamp [<= time] in
+    exact global order, then advances the clock to exactly [time]. *)
 val run_until : t -> time:float -> unit
 
 (** {1 Profiling} *)
@@ -67,11 +102,11 @@ val profiling : t -> bool
 (** Number of events executed so far. *)
 val events_executed : t -> int
 
-(** Number of live events still pending. *)
+(** Number of live events still pending, summed over every lane. *)
 val pending : t -> int
 
-(** Highest queue depth observed so far (physical heap size, counting
-    not-yet-collected cancelled events). *)
+(** Highest total queue depth observed so far (physical heap slots summed
+    over lanes, counting not-yet-collected cancelled events). *)
 val queue_high_water : t -> int
 
 (** [profile t] — per-label [(label, fires, cpu_seconds)] rows, sorted by

@@ -11,11 +11,13 @@ type 'a t = {
   (* [heap] slots at index >= size are physical garbage kept only to satisfy
      the array type; [dummy] fills freed slots. *)
   mutable size : int;
-  mutable next_seq : int;
+  tick : int ref;
   dead_in_heap : int ref;  (* cancelled entries still occupying slots *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dead_in_heap = ref 0 }
+let create ?tick () =
+  let tick = match tick with Some t -> t | None -> ref 0 in
+  { heap = [||]; size = 0; tick; dead_in_heap = ref 0 }
 
 let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -76,8 +78,8 @@ let maybe_compact t = if t.size >= 16 && 2 * !(t.dead_in_heap) > t.size then com
 
 let add t ~time value =
   let handle = { dead = false; queued = true; dead_count = t.dead_in_heap } in
-  let entry = { time; seq = t.next_seq; value; handle } in
-  t.next_seq <- t.next_seq + 1;
+  let entry = { time; seq = !(t.tick); value; handle } in
+  t.tick := !(t.tick) + 1;
   maybe_compact t;
   grow t entry;
   t.heap.(t.size) <- entry;
@@ -122,6 +124,14 @@ let pop t =
 let peek_time t =
   drop_dead t;
   if t.size = 0 then None else Some t.heap.(0).time
+
+let peek_key t =
+  drop_dead t;
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    Some (top.time, top.seq)
+  end
 
 let is_empty t =
   drop_dead t;

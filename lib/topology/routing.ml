@@ -1,6 +1,6 @@
 type source_result = { dist : float array; prev : int array }
 
-type t = {
+type graph_routed = {
   graph : Graph.t;
   cache : source_result option array;
   max_cached : int;
@@ -9,17 +9,31 @@ type t = {
   mutable cached : int;
 }
 
+(* [Synthetic] short-circuits path computation entirely: every distinct
+   pair is one hop at a fixed latency.  Million-node underlays cannot
+   afford per-source Dijkstra (the cache alone is O(n) per source), and
+   overlay-scalability studies do not need real path diversity. *)
+type t =
+  | Graph_routed of graph_routed
+  | Synthetic of { graph : Graph.t; latency : float }
+
 let create ?(max_cached_sources = max_int) graph =
   if max_cached_sources < 1 then invalid_arg "Routing.create: max_cached_sources";
   let n = Graph.node_count graph in
-  {
-    graph;
-    cache = Array.make n None;
-    max_cached = max_cached_sources;
-    last_used = Array.make n 0;
-    clock = 0;
-    cached = 0;
-  }
+  Graph_routed
+    {
+      graph;
+      cache = Array.make n None;
+      max_cached = max_cached_sources;
+      last_used = Array.make n 0;
+      clock = 0;
+      cached = 0;
+    }
+
+let synthetic ~nodes ~latency =
+  if nodes < 0 then invalid_arg "Routing.synthetic: negative node count";
+  if latency <= 0.0 then invalid_arg "Routing.synthetic: latency must be positive";
+  Synthetic { graph = Graph.create nodes; latency }
 
 (* Dijkstra with a simple binary heap of (distance, node). *)
 module Heap = struct
@@ -125,18 +139,31 @@ let source_result t src =
     t.cached <- t.cached + 1;
     r
 
-let distance t u v = (source_result t u).dist.(v)
+let distance t u v =
+  match t with
+  | Graph_routed t -> (source_result t u).dist.(v)
+  | Synthetic { latency; _ } -> if u = v then 0.0 else latency
 
 let path t u v =
-  let r = source_result t u in
-  if r.dist.(v) = infinity then raise Not_found;
-  let rec build acc node = if node = u then u :: acc else build (node :: acc) r.prev.(node) in
-  build [] v
+  match t with
+  | Graph_routed t ->
+    let r = source_result t u in
+    if r.dist.(v) = infinity then raise Not_found;
+    let rec build acc node =
+      if node = u then u :: acc else build (node :: acc) r.prev.(node)
+    in
+    build [] v
+  | Synthetic _ -> if u = v then [ u ] else [ u; v ]
 
 let hop_count t u v = List.length (path t u v) - 1
 
 let eccentricity t u =
-  let r = source_result t u in
-  Array.fold_left (fun acc d -> if d <> infinity && d > acc then d else acc) 0.0 r.dist
+  match t with
+  | Graph_routed t ->
+    let r = source_result t u in
+    Array.fold_left (fun acc d -> if d <> infinity && d > acc then d else acc) 0.0 r.dist
+  | Synthetic { latency; _ } -> latency
 
-let graph t = t.graph
+let graph = function
+  | Graph_routed t -> t.graph
+  | Synthetic { graph; _ } -> graph

@@ -16,6 +16,16 @@ type t
     nodes.  @raise Invalid_argument when [max_cached_sources < 1]. *)
 val create : ?max_cached_sources:int -> Graph.t -> t
 
+(** [synthetic ~nodes ~latency] is a router over [nodes] hosts in which
+    every distinct pair is directly connected at a uniform [latency] (ms)
+    — one physical hop, no path computation, O(1) memory.  This is the
+    underlay for overlay-scalability runs (the million-peer sweep in
+    [bench/scale.ml]) where per-source shortest-path state is
+    unaffordable and physical path diversity is not under study.
+    {!graph} returns an edgeless placeholder of [nodes] nodes.
+    @raise Invalid_argument when [nodes < 0] or [latency <= 0]. *)
+val synthetic : nodes:int -> latency:float -> t
+
 (** [distance t u v] is the latency of the shortest path.  [infinity] when
     unreachable. *)
 val distance : t -> int -> int -> float

@@ -26,6 +26,7 @@ let () =
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("analysis", Test_analysis.suite);
+      ("scale", Test_scale.suite);
       ("properties", Test_properties.suite);
       ("properties.extensions", Test_properties2.suite);
     ]

@@ -1,0 +1,227 @@
+(* Scale-refactor tests: key interning, the flat data store, the flat
+   world membership (successor-index wraparound) and the sharded engine
+   lanes (merge order and end-to-end determinism under churn). *)
+
+open Helpers
+module Intern = Hybrid_p2p.Intern
+module Data_store = Hybrid_p2p.Data_store
+module Engine = P2p_sim.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* --- key interning ----------------------------------------------------- *)
+
+let test_intern_round_trip () =
+  let t = Intern.create () in
+  let ids = List.map (fun k -> Intern.intern t k) [ "a"; "b"; "c" ] in
+  checki "dense ids from zero" 0 (List.nth ids 0);
+  checki "dense ids in order" 2 (List.nth ids 2);
+  checki "count" 3 (Intern.count t);
+  (* duplicate interning is stable and does not grow the table *)
+  checki "re-intern returns same id" (List.nth ids 1) (Intern.intern t "b");
+  checki "count unchanged" 3 (Intern.count t);
+  (* id -> name -> id round trip *)
+  List.iteri
+    (fun i id ->
+      let name = Intern.name t id in
+      checks "name round-trips" (List.nth [ "a"; "b"; "c" ] i) name;
+      checki "find round-trips" id (Option.get (Intern.find t name)))
+    ids;
+  (* find never interns *)
+  checkb "find misses unknown" true (Intern.find t "zzz" = None);
+  checki "find did not intern" 3 (Intern.count t);
+  checkb "mem_id in range" true (Intern.mem_id t 2);
+  checkb "mem_id out of range" false (Intern.mem_id t 3)
+
+let test_intern_growth () =
+  let t = Intern.create ~initial_capacity:2 () in
+  for i = 0 to 999 do
+    checki "sequential ids" i (Intern.intern t (string_of_int i))
+  done;
+  checki "all interned" 1000 (Intern.count t);
+  for i = 0 to 999 do
+    checki "stable after growth" i (Intern.intern t (string_of_int i))
+  done;
+  checki "no duplicates" 1000 (Intern.count t)
+
+(* --- flat data store --------------------------------------------------- *)
+
+let test_store_basics () =
+  let s = Data_store.create () in
+  checki "empty" 0 (Data_store.size s);
+  checkb "find on empty" true (Data_store.find s ~key:"a" = None);
+  for i = 0 to 199 do
+    Data_store.insert s
+      ~key:(Printf.sprintf "k%d" i)
+      ~value:(Printf.sprintf "v%d" i)
+  done;
+  checki "all inserted" 200 (Data_store.size s);
+  for i = 0 to 199 do
+    checks "find after growth"
+      (Printf.sprintf "v%d" i)
+      (Option.get (Data_store.find s ~key:(Printf.sprintf "k%d" i)))
+  done;
+  (* overwrite does not grow *)
+  Data_store.insert s ~key:"k7" ~value:"fresh";
+  checki "overwrite keeps size" 200 (Data_store.size s);
+  checks "overwrite wins" "fresh" (Option.get (Data_store.find s ~key:"k7"))
+
+let test_store_tombstones () =
+  let s = Data_store.create () in
+  for i = 0 to 99 do
+    Data_store.insert s ~key:(Printf.sprintf "k%d" i) ~value:"v"
+  done;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then Data_store.remove s ~key:(Printf.sprintf "k%d" i)
+  done;
+  checki "half removed" 50 (Data_store.size s);
+  for i = 0 to 99 do
+    let expect = i mod 2 = 1 in
+    checkb "survivors only" expect
+      (Data_store.mem s ~key:(Printf.sprintf "k%d" i))
+  done;
+  (* tombstoned slots are reused: re-insert the removed half *)
+  for i = 0 to 99 do
+    if i mod 2 = 0 then
+      Data_store.insert s ~key:(Printf.sprintf "k%d" i) ~value:"back"
+  done;
+  checki "all back" 100 (Data_store.size s);
+  checks "re-inserted readable" "back" (Option.get (Data_store.find s ~key:"k0"));
+  (* remove everything, store stays usable *)
+  for i = 0 to 99 do
+    Data_store.remove s ~key:(Printf.sprintf "k%d" i)
+  done;
+  checki "emptied" 0 (Data_store.size s);
+  Data_store.insert s ~key:"again" ~value:"x";
+  checkb "usable after full drain" true (Data_store.mem s ~key:"again")
+
+let test_store_shared_interner () =
+  let interner = Intern.create () in
+  let a = Data_store.create ~interner () in
+  let b = Data_store.create ~interner () in
+  Data_store.insert a ~key:"shared-key" ~value:"1";
+  let before = Intern.count interner in
+  (* the key is already interned; only the new value "2" is added *)
+  Data_store.insert b ~key:"shared-key" ~value:"2";
+  checki "second store reuses the interned key" (before + 1)
+    (Intern.count interner);
+  Data_store.insert b ~key:"shared-key" ~value:"1";
+  checki "fully shared key+value interns nothing" (before + 1)
+    (Intern.count interner);
+  Data_store.insert b ~key:"shared-key" ~value:"2";
+  checks "stores stay independent" "1"
+    (Option.get (Data_store.find a ~key:"shared-key"));
+  checks "stores stay independent (b)" "2"
+    (Option.get (Data_store.find b ~key:"shared-key"))
+
+(* --- flat world: successor index --------------------------------------- *)
+
+let test_successor_index_wraparound () =
+  let h = H.create_star ~seed:11 ~peers:16 () in
+  let ids = [ 100; 200; 300 ] in
+  List.iteri
+    (fun host p_id ->
+      ignore (H.join h ~host ~role:Peer.T_peer ~p_id ());
+      H.run h)
+    ids;
+  let w = H.world h in
+  let succ_id d = (World.t_peers w).(World.successor_index w d).Peer.p_id in
+  checki "below the ring minimum" 100 (succ_id 50);
+  checki "interior gap" 200 (succ_id 150);
+  checki "exact hit maps to itself" 200 (succ_id 200);
+  checki "last arc" 300 (succ_id 250);
+  checki "past the maximum wraps to index 0" 100 (succ_id 301);
+  checki "top of the id space wraps" 100
+    (succ_id (P2p_hashspace.Id_space.size - 1))
+
+(* --- engine lanes ------------------------------------------------------ *)
+
+(* Events scheduled across 4 lanes must pop in the exact global
+   (time, seq) order a single lane would produce. *)
+let test_lane_merge_order () =
+  let record engine ~lanes:_ =
+    let out = ref [] in
+    (* same schedule in both runs: shard i places events round-robin *)
+    for i = 0 to 31 do
+      ignore
+        (Engine.schedule ~shard:i engine
+           ~delay:(float_of_int ((i * 7) mod 5))
+           (fun () -> out := i :: !out)
+          : Engine.handle)
+    done;
+    while Engine.step engine do
+      ()
+    done;
+    List.rev !out
+  in
+  let single = record (Engine.create ~seed:3 ~lanes:1 ()) ~lanes:1 in
+  let sharded = record (Engine.create ~seed:3 ~lanes:4 ()) ~lanes:4 in
+  checki "same event count" (List.length single) (List.length sharded);
+  checkb "identical pop order" true (single = sharded);
+  (* run (batched draining) must also execute everything *)
+  let e = Engine.create ~seed:3 ~lanes:4 ~lookahead:1.0 () in
+  let n = ref 0 in
+  for i = 0 to 31 do
+    ignore
+      (Engine.schedule ~shard:i e ~delay:(float_of_int (i mod 3)) (fun () ->
+           incr n)
+        : Engine.handle)
+  done;
+  Engine.run e;
+  checki "run drains every lane" 32 !n
+
+(* --- end-to-end determinism under churn -------------------------------- *)
+
+(* Same seed, same scenario, 1 vs 4 lanes: the final stored-item
+   multiset (host, key, value, route) must be identical and the audit
+   invariants clean.  This is the contract SCALING.md documents. *)
+let stored_items h =
+  let acc = ref [] in
+  World.iter_peers (H.world h)
+    (fun p ->
+      Data_store.iter p.Peer.store (fun ~key ~value ~route_id ->
+          acc := Printf.sprintf "%d|%s|%s|%d" p.Peer.host key value route_id :: !acc));
+  List.sort compare !acc
+
+let churn_run ~lanes =
+  let config =
+    { Config.default with Config.engine_lanes = lanes; replication_factor = 1 }
+  in
+  let h, _ = star_system ~config ~seed:7 ~capacity:2200 ~n:2000 ~ps:0.8 () in
+  ignore (insert_items h ~count:200 : string list);
+  (* churn: crash a deterministic slice, then heal *)
+  let victims =
+    List.filteri (fun i _ -> i mod 17 = 3) (World.live_peers (H.world h))
+  in
+  List.iter (fun p -> H.crash h p) victims;
+  H.repair h;
+  H.run h;
+  ok_invariants h;
+  (H.total_items h, stored_items h)
+
+let test_lanes_deterministic_churn () =
+  let items1, set1 = churn_run ~lanes:1 in
+  let items4, set4 = churn_run ~lanes:4 in
+  checki "same stored count" items1 items4;
+  checki "same set size" (List.length set1) (List.length set4);
+  checkb "identical stored-item sets" true (set1 = set4)
+
+let suite =
+  [
+    Alcotest.test_case "intern: round trips" `Quick test_intern_round_trip;
+    Alcotest.test_case "intern: growth keeps ids" `Quick test_intern_growth;
+    Alcotest.test_case "flat store: insert/find/overwrite" `Quick
+      test_store_basics;
+    Alcotest.test_case "flat store: tombstone reuse" `Quick
+      test_store_tombstones;
+    Alcotest.test_case "flat store: shared interner" `Quick
+      test_store_shared_interner;
+    Alcotest.test_case "world: successor index wraparound" `Quick
+      test_successor_index_wraparound;
+    Alcotest.test_case "lanes: merge order matches single queue" `Quick
+      test_lane_merge_order;
+    Alcotest.test_case "lanes: churn scenario deterministic 1-vs-4" `Slow
+      test_lanes_deterministic_churn;
+  ]
