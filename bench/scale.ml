@@ -43,10 +43,16 @@ let s_fraction = 0.8
    seed machine drains well over 100k events/sec at the 10k point. *)
 let smoke_min_events_per_s = 10_000.0
 
+(* Telemetry overhead gate: sampled tracing at this rate must keep at
+   least this fraction of the tracing-off throughput. *)
+let telemetry_sample_rate = 0.01
+let min_sampled_throughput_ratio = 0.9
+
 type point = {
   n : int;
   lanes : int;
   lookahead : float;
+  telemetry : string;  (* "off" | "sampled-<rate>" | "full" *)
   t_count : int;
   items : int;
   lookups : int;
@@ -167,7 +173,7 @@ let sized n =
   let lookups = min 10_000 (max 2_000 (n / 100)) in
   (items, lookups)
 
-let measure_point ~seed ~n ~lanes ~lookahead =
+let measure_point ?(telemetry = `Full) ~seed ~n ~lanes ~lookahead () =
   let items, lookups = sized n in
   let routing = Routing.synthetic ~nodes:n ~latency:underlay_latency_ms in
   let config =
@@ -178,8 +184,16 @@ let measure_point ~seed ~n ~lanes ~lookahead =
       engine_lookahead = lookahead; use_fingers_for_data = true }
   in
   (* Ring buffer sized so the lookup phase stays fully traced. *)
-  let trace = Trace.create ~capacity:(max 100_000 (60 * lookups)) () in
-  let h = H.create ~seed ~routing ~config ~trace () in
+  let capacity = max 100_000 (60 * lookups) in
+  let trace, telemetry_label =
+    match telemetry with
+    | `Off -> (None, "off")
+    | `Sampled rate ->
+      ( Some (Trace.create ~capacity ~sample_rate:rate ~sample_seed:seed ()),
+        Printf.sprintf "sampled-%g" rate )
+    | `Full -> (Some (Trace.create ~capacity ()), "full")
+  in
+  let h = H.create ~seed ~routing ~config ?trace () in
   let rng = Rng.create (seed + 17) in
   let t0 = Sys.time () in
   let peers, t_count = populate h ~rng ~n in
@@ -209,9 +223,10 @@ let measure_point ~seed ~n ~lanes ~lookahead =
   let events_per_s =
     if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
   in
-  (* Lookup latency percentiles from the span histograms (PR-5). *)
+  (* Lookup latency percentiles from the exact op-completion histograms
+     (all ops counted at every sample rate; empty with tracing off). *)
   let reg = Metrics.registry (H.metrics h) in
-  Spans.record reg (H.trace h);
+  if Trace.enabled (H.trace h) then Spans.record reg (H.trace h);
   let hist =
     Registry.log_histogram reg ~subsystem:"latency" ~name:"lookup_total_ms"
   in
@@ -232,6 +247,7 @@ let measure_point ~seed ~n ~lanes ~lookahead =
       n;
       lanes;
       lookahead;
+      telemetry = telemetry_label;
       t_count;
       items;
       lookups;
@@ -267,6 +283,7 @@ let point_json p =
       ("t_peers", Json.Int p.t_count);
       ("lanes", Json.Int p.lanes);
       ("lookahead_ms", Json.Float p.lookahead);
+      ("telemetry", Json.String p.telemetry);
       ("items", Json.Int p.items);
       ("lookups", Json.Int p.lookups);
       ("found", Json.Int p.found);
@@ -291,8 +308,8 @@ let point_json p =
 
 let print_point p =
   Printf.printf
-    "  %7d peers (%d t)  %8.0f ev/s  %6.1f MB live (%5.0f B/peer)  found %d/%d  p50 %s p99 %s\n%!"
-    p.n p.t_count p.events_per_s
+    "  %7d peers (%d t) [%-12s]  %8.0f ev/s  %6.1f MB live (%5.0f B/peer)  found %d/%d  p50 %s p99 %s\n%!"
+    p.n p.t_count p.telemetry p.events_per_s
     (float_of_int p.live_bytes /. 1048576.0)
     p.bytes_per_peer p.found p.lookups
     (match p.p50_ms with Some f -> Printf.sprintf "%.1fms" f | None -> "-")
@@ -314,11 +331,50 @@ let run ~smoke () =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   (* 10k point, single lane: the reference measurement. *)
-  let p10k = measure_point ~seed ~n:10_000 ~lanes:1 ~lookahead:0.0 in
+  let p10k = measure_point ~seed ~n:10_000 ~lanes:1 ~lookahead:0.0 () in
   print_point p10k;
+  (* Telemetry cost at the same point: tracing off (the throughput
+     ceiling) and head-sampled tracing (the scale configuration). *)
+  let p10k_off =
+    measure_point ~telemetry:`Off ~seed ~n:10_000 ~lanes:1 ~lookahead:0.0 ()
+  in
+  print_point p10k_off;
+  let p10k_sampled =
+    measure_point
+      ~telemetry:(`Sampled telemetry_sample_rate)
+      ~seed ~n:10_000 ~lanes:1 ~lookahead:0.0 ()
+  in
+  print_point p10k_sampled;
+  let overhead_pct p =
+    if p10k_off.events_per_s > 0.0 then
+      100.0 *. (1.0 -. (p.events_per_s /. p10k_off.events_per_s))
+    else 0.0
+  in
+  let telemetry_overhead_pct = overhead_pct p10k in
+  let sampled_overhead_pct = overhead_pct p10k_sampled in
+  Printf.printf
+    "  telemetry overhead vs off: full %.1f%%, sampled(%g) %.1f%%\n%!"
+    telemetry_overhead_pct telemetry_sample_rate sampled_overhead_pct;
+  if
+    p10k_sampled.events_per_s
+    < min_sampled_throughput_ratio *. p10k_off.events_per_s
+  then
+    fail
+      "sampled tracing (rate %g) throughput %.0f ev/s is below %.0f%% of \
+       tracing-off %.0f ev/s"
+      telemetry_sample_rate p10k_sampled.events_per_s
+      (100.0 *. min_sampled_throughput_ratio)
+      p10k_off.events_per_s;
+  (* Telemetry must never change the simulation itself. *)
+  if p10k_off.events <> p10k.events || p10k_sampled.events <> p10k.events then
+    fail "telemetry changed the event schedule (off %d, sampled %d, full %d)"
+      p10k_off.events p10k_sampled.events p10k.events;
+  if p10k_sampled.found <> p10k.found || p10k_off.found <> p10k.found then
+    fail "telemetry changed lookup outcomes (off %d, sampled %d, full %d)"
+      p10k_off.found p10k_sampled.found p10k.found;
   (* Lanes determinism: 4 lanes with zero lookahead must replay the
      exact single-lane schedule — same event count, same outcome. *)
-  let p10k_l4 = measure_point ~seed ~n:10_000 ~lanes:4 ~lookahead:0.0 in
+  let p10k_l4 = measure_point ~seed ~n:10_000 ~lanes:4 ~lookahead:0.0 () in
   print_point p10k_l4;
   if p10k_l4.events <> p10k.events then
     fail "lanes=4 executed %d events, lanes=1 executed %d (determinism broken)"
@@ -331,7 +387,7 @@ let run ~smoke () =
       p10k_l4.found p10k.found;
   (* Bounded-skew mode: results may legitimately differ in event order;
      reported as its own sample, not gated for equality. *)
-  let p10k_la = measure_point ~seed ~n:10_000 ~lanes:4 ~lookahead:2.0 in
+  let p10k_la = measure_point ~seed ~n:10_000 ~lanes:4 ~lookahead:2.0 () in
   print_point p10k_la;
   if p10k.events_per_s < smoke_min_events_per_s then
     fail "events/sec %.0f below floor %.0f" p10k.events_per_s
@@ -339,13 +395,13 @@ let run ~smoke () =
   (match p10k.invariant_error with
   | None -> ()
   | Some msg -> fail "invariants violated at 10k: %s" msg);
-  let points = ref [ p10k; p10k_l4; p10k_la ] in
+  let points = ref [ p10k; p10k_off; p10k_sampled; p10k_l4; p10k_la ] in
   let attempted_1m = ref "not attempted (smoke mode)" in
   if not smoke then begin
-    let p100k = measure_point ~seed ~n:100_000 ~lanes:1 ~lookahead:0.0 in
+    let p100k = measure_point ~seed ~n:100_000 ~lanes:1 ~lookahead:0.0 () in
     print_point p100k;
     points := !points @ [ p100k ];
-    (match measure_point ~seed ~n:1_000_000 ~lanes:1 ~lookahead:0.0 with
+    (match measure_point ~seed ~n:1_000_000 ~lanes:1 ~lookahead:0.0 () with
     | p1m ->
         print_point p1m;
         points := !points @ [ p1m ];
@@ -368,6 +424,18 @@ let run ~smoke () =
             (p10k_l4.events = p10k.events
             && p10k_l4.stored_total = p10k.stored_total
             && p10k_l4.found = p10k.found) );
+        ( "telemetry",
+          Json.Obj
+            [
+              ("sample_rate", Json.Float telemetry_sample_rate);
+              ("off_events_per_s", Json.Float p10k_off.events_per_s);
+              ("sampled_events_per_s", Json.Float p10k_sampled.events_per_s);
+              ("full_events_per_s", Json.Float p10k.events_per_s);
+              ("telemetry_overhead_pct", Json.Float telemetry_overhead_pct);
+              ("sampled_overhead_pct", Json.Float sampled_overhead_pct);
+              ( "min_sampled_throughput_ratio",
+                Json.Float min_sampled_throughput_ratio );
+            ] );
         ("points", Json.List (List.map point_json !points));
         ( "gate",
           Json.Obj

@@ -26,6 +26,9 @@ module Report = P2p_obs.Report
 module Spans = P2p_obs.Spans
 module Sampler = P2p_obs.Sampler
 module Slo = P2p_obs.Slo
+module Gc_stats = P2p_obs.Gc_stats
+module Engine_stats = P2p_obs.Engine_stats
+module Flight_recorder = P2p_obs.Flight_recorder
 module Transit_stub = P2p_topology.Transit_stub
 module Routing = P2p_topology.Routing
 module Metrics = P2p_net.Metrics
@@ -167,6 +170,37 @@ let trace_cap_arg =
     & info [ "trace-cap" ] ~docv:"N"
         ~doc:"Trace ring-buffer capacity: the newest $(docv) events are kept.")
 
+let trace_sample_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "trace-sample" ] ~docv:"RATE"
+        ~doc:
+          "Head-based op sampling rate in [0,1]: each operation either carries \
+           its full event/span record ($(docv) of them, chosen by a \
+           deterministic hash of the op id, so replays trace identical ops) or \
+           costs one integer compare per record.  Latency percentiles and \
+           $(b,--slo) gates always count 100% of operations regardless of the \
+           rate.  1 (default) traces everything.")
+
+let dump_on_exit_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-on-exit" ]
+        ~doc:
+          "Always write the flight-recorder dump at the end of the run, even \
+           when no SLO gate or audit check tripped.")
+
+let dump_dir_arg =
+  Arg.(
+    value & opt string "flight"
+    & info [ "dump-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for flight-recorder dumps (created on demand).  A dump — \
+           the recent-completion ring as JSONL, a chrome trace of the retained \
+           spans, and a metrics snapshot — is written automatically when an \
+           $(b,--slo) gate fails, an audit check finds an error, or \
+           $(b,--dump-on-exit) is set.")
+
 let trace_format_arg =
   Arg.(
     value
@@ -261,18 +295,24 @@ let finish_audit a =
        snap.Checks.statuses);
   if Auditor.errors_total a > 0 then Some 1 else None
 
-(* Snapshot engine counters into the registry so exported metrics carry
-   them alongside the protocol subsystems. *)
+(* Snapshot engine counters (whole-engine plus per-lane occupancy when
+   sharded) into the registry so exported metrics carry them alongside
+   the protocol subsystems. *)
 let snapshot_engine_stats h =
-  let engine = H.engine h in
   let reg = Metrics.registry (H.metrics h) in
-  Registry.set
-    (Registry.gauge reg ~subsystem:"engine" ~name:"events_executed")
-    (float_of_int (Engine.events_executed engine));
-  Registry.set
-    (Registry.gauge reg ~subsystem:"engine" ~name:"queue_high_water")
-    (float_of_int (Engine.queue_high_water engine));
+  Engine_stats.record reg (H.engine h);
   reg
+
+(* Lane attribution for chrome exports: a peer's spans execute on the
+   lane serving its ring-segment shard. *)
+let lane_of_host h =
+  let engine = H.engine h in
+  let lanes = Engine.lanes engine in
+  if lanes <= 1 then None
+  else
+    Some
+      (fun host ->
+        Option.map (fun s -> s mod lanes) (World.shard_of_host (H.world h) ~host))
 
 let export_observability h ?(trace_format = `Jsonl) ~trace_out ~metrics_out
     ~metrics_csv ~profile () =
@@ -291,7 +331,7 @@ let export_observability h ?(trace_format = `Jsonl) ~trace_out ~metrics_out
           (Trace.ops_started (H.trace h))
           path
       | `Chrome ->
-        Export.write_chrome_trace ~path (H.trace h);
+        Export.write_chrome_trace ~path ?lane_of:(lane_of_host h) (H.trace h);
         Printf.printf "trace: %d spans (%d ops) -> %s (chrome trace-event)\n"
           (Trace.spans_started (H.trace h))
           (Trace.ops_started (H.trace h))
@@ -365,8 +405,9 @@ let print_metrics h =
 let run_cmd =
   let run seed ps n items lookups ttl delta placement bloom_bits bloom_depth
       cache_capacity cache_ttl lanes lookahead replication anti_entropy
-      trace_out trace_cap trace_format timeline_out timeline_interval slos
-      metrics_out metrics_csv profile audit_interval =
+      trace_out trace_cap trace_sample trace_format timeline_out
+      timeline_interval slos metrics_out metrics_csv profile audit_interval
+      dump_on_exit dump_dir =
     let config =
       {
         Config.default with
@@ -396,13 +437,22 @@ let run_cmd =
         timeline_interval;
       exit 1
     end;
+    if trace_sample < 0.0 || trace_sample > 1.0 then begin
+      Printf.eprintf "p2psim: --trace-sample must be in [0,1] (got %g)\n"
+        trace_sample;
+      exit 1
+    end;
     let trace =
-      (* SLO specs over latency/* percentiles need spans, so a gate also
-         turns tracing on (without a --trace-out file nothing is written;
-         the gate falls back to coarse data_ops summaries otherwise) *)
-      match (trace_out, slos) with
-      | Some _, _ | None, _ :: _ -> Some (Trace.create ~capacity:trace_cap ())
-      | None, [] -> None
+      (* SLO specs over latency/* percentiles need the op-completion
+         stream, so a gate also turns tracing on (without a --trace-out
+         file nothing is written); same for an exit dump, whose chrome
+         trace comes from the retained spans *)
+      match (trace_out, slos, dump_on_exit) with
+      | Some _, _, _ | None, _ :: _, _ | None, [], true ->
+        Some
+          (Trace.create ~capacity:trace_cap ~sample_rate:trace_sample
+             ~sample_seed:seed ())
+      | None, [], false -> None
     in
     Printf.printf "building %d peers (p_s = %.2f) over a transit-stub underlay...\n%!" n ps;
     let h, rng = build_system ?trace ~profile ~seed ~ps ~n ~config () in
@@ -412,10 +462,32 @@ let run_cmd =
     let auditor =
       Option.map (fun interval -> Auditor.create ~interval (H.world h)) audit_interval
     in
+    let reg = Metrics.registry (H.metrics h) in
+    let gcs = Gc_stats.create reg in
+    (* The always-on flight recorder: fed 100% of op completions by the
+       trace listener (independent of --trace-sample) and every audit
+       violation; dumped when something trips. *)
+    let recorder =
+      match (trace, auditor) with
+      | None, None -> None
+      | _ -> Some (Flight_recorder.create ~capacity:8192 ())
+    in
+    (match (recorder, trace) with
+     | Some fr, Some tr -> Trace.on_op_complete tr (Flight_recorder.observe fr)
+     | _ -> ());
+    (match (recorder, auditor) with
+     | Some fr, Some a ->
+       Auditor.set_on_violation a (fun ~time ~check ~severity ~detail ->
+           Flight_recorder.record_audit fr ~at:time ~check ~severity ~detail)
+     | _ -> ());
     let sampler =
       Option.map
         (fun _ ->
-          Sampler.create ~interval:timeline_interval (Metrics.registry (H.metrics h)))
+          Sampler.create ~interval:timeline_interval
+            ~on_sample:(fun () ->
+              Gc_stats.update gcs;
+              Engine_stats.record reg (H.engine h))
+            reg)
         timeline_out
     in
     let drain () =
@@ -483,6 +555,9 @@ let run_cmd =
        exit 1
      | _, None -> ());
     print_metrics h;
+    (* final pull of the runtime gauges so the exported snapshot (and
+       the report header rendered from it) carries them *)
+    Gc_stats.update gcs;
     export_observability h ~trace_format ~trace_out ~metrics_out ~metrics_csv
       ~profile ();
     (match (sampler, timeline_out) with
@@ -495,10 +570,34 @@ let run_cmd =
           exit 1)
      | _ -> ());
     let slo_ok =
-      slos = []
-      || Slo.enforce (Metrics.registry (H.metrics h)) ~specs:slos
-           ~print:print_endline
+      slos = [] || Slo.enforce reg ~specs:slos ~print:print_endline
     in
+    let audit_failed =
+      match auditor with Some a -> Auditor.errors_total a > 0 | None -> false
+    in
+    (* flight dump before any failure exit, so a tripped gate always
+       leaves its post-mortem record behind *)
+    (match recorder with
+     | Some fr ->
+       let reason =
+         if not slo_ok then Some "slo"
+         else if audit_failed then Some "audit"
+         else if dump_on_exit then Some "exit"
+         else None
+       in
+       (match reason with
+        | Some reason ->
+          (try
+             let files =
+               Flight_recorder.dump fr ?trace
+                 ?lane_of:(lane_of_host h) ~registry:reg ~dir:dump_dir ~reason ()
+             in
+             List.iter (fun f -> Printf.printf "flight dump -> %s\n" f) files
+           with Sys_error e ->
+             Printf.eprintf "p2psim: cannot write flight dump: %s\n" e;
+             exit 1)
+        | None -> ())
+     | None -> ());
     (match Option.bind auditor finish_audit with
      | Some code -> exit code
      | None -> ());
@@ -510,9 +609,9 @@ let run_cmd =
       $ delta_arg $ scheme_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg
       $ cache_ttl_arg $ lanes_arg $ lookahead_arg $ replication_arg
       $ anti_entropy_arg $ trace_out_arg
-      $ trace_cap_arg $ trace_format_arg $ timeline_out_arg $ timeline_interval_arg
-      $ slo_arg $ metrics_out_arg $ metrics_csv_arg $ profile_arg
-      $ audit_interval_arg)
+      $ trace_cap_arg $ trace_sample_arg $ trace_format_arg $ timeline_out_arg
+      $ timeline_interval_arg $ slo_arg $ metrics_out_arg $ metrics_csv_arg
+      $ profile_arg $ audit_interval_arg $ dump_on_exit_arg $ dump_dir_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Build a hybrid system, insert items, run lookups, print metrics.")
@@ -685,7 +784,7 @@ let parse_script text =
 
 let scenario_cmd =
   let run seed n script_text lanes lookahead replication assert_no_loss
-      audit_interval trace_out trace_cap trace_format metrics_out =
+      audit_interval trace_out trace_cap trace_sample trace_format metrics_out =
     match parse_script script_text with
     | Error token ->
       Printf.printf "cannot parse script token %S\n" token;
@@ -695,9 +794,17 @@ let scenario_cmd =
         Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
         exit 1
       end;
+      if trace_sample < 0.0 || trace_sample > 1.0 then begin
+        Printf.eprintf "p2psim: --trace-sample must be in [0,1] (got %g)\n"
+          trace_sample;
+        exit 1
+      end;
       let trace =
         match trace_out with
-        | Some _ -> Some (Trace.create ~capacity:trace_cap ())
+        | Some _ ->
+          Some
+            (Trace.create ~capacity:trace_cap ~sample_rate:trace_sample
+               ~sample_seed:seed ())
         | None -> None
       in
       let config =
@@ -733,7 +840,7 @@ let scenario_cmd =
                  (Trace.ops_started (H.trace h))
                  path
              | `Chrome ->
-               Export.write_chrome_trace ~path (H.trace h);
+               Export.write_chrome_trace ~path ?lane_of:(lane_of_host h) (H.trace h);
                Printf.printf "trace: %d spans (%d ops) -> %s (chrome trace-event)\n"
                  (Trace.spans_started (H.trace h))
                  (Trace.ops_started (H.trace h))
@@ -786,7 +893,7 @@ let scenario_cmd =
     Term.(
       const run $ seed_arg $ peers_arg $ script_arg $ lanes_arg $ lookahead_arg
       $ replication_arg $ assert_no_loss_arg $ audit_interval_arg $ trace_out_arg
-      $ trace_cap_arg $ trace_format_arg $ metrics_out_arg)
+      $ trace_cap_arg $ trace_sample_arg $ trace_format_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a declarative churn/workload script and report.")
@@ -851,7 +958,8 @@ let inject_corruption h ~config = function
 
 let audit_cmd =
   let run seed ps n items lookups interval inject bloom_bits bloom_depth cache_capacity
-      replication checks trace_out trace_cap trace_format metrics_out metrics_csv =
+      replication checks trace_out trace_cap trace_sample trace_format
+      metrics_out metrics_csv =
     let config =
       {
         Config.default with
@@ -870,6 +978,11 @@ let audit_cmd =
       Printf.eprintf "p2psim: --trace-cap must be positive (got %d)\n" trace_cap;
       exit 1
     end;
+    if trace_sample < 0.0 || trace_sample > 1.0 then begin
+      Printf.eprintf "p2psim: --trace-sample must be in [0,1] (got %g)\n"
+        trace_sample;
+      exit 1
+    end;
     let selected =
       match checks with
       | [] -> Checks.all
@@ -883,7 +996,10 @@ let audit_cmd =
     in
     let trace =
       match trace_out with
-      | Some _ -> Some (Trace.create ~capacity:trace_cap ())
+      | Some _ ->
+        Some
+          (Trace.create ~capacity:trace_cap ~sample_rate:trace_sample
+             ~sample_seed:seed ())
       | None -> None
     in
     Printf.printf "building %d peers (p_s = %.2f)...\n%!" n ps;
@@ -963,8 +1079,8 @@ let audit_cmd =
     Term.(
       const run $ seed_arg $ ps_arg $ peers_arg $ items_arg $ lookups_arg $ interval_arg
       $ inject_arg $ bloom_bits_arg $ bloom_depth_arg $ cache_arg $ replication_arg
-      $ checks_arg $ trace_out_arg $ trace_cap_arg $ trace_format_arg
-      $ metrics_out_arg $ metrics_csv_arg)
+      $ checks_arg $ trace_out_arg $ trace_cap_arg $ trace_sample_arg
+      $ trace_format_arg $ metrics_out_arg $ metrics_csv_arg)
   in
   Cmd.v
     (Cmd.info "audit"

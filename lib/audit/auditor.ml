@@ -20,6 +20,9 @@ type t = {
   mutable next_due : float;
   mutable ticked_at : float;  (* clock value of the last tick; nan = never *)
   mutable timer : Engine.handle option;
+  mutable on_violation :
+    (time:float -> check:string -> severity:string -> detail:string -> unit)
+    option;
 }
 
 let subsystem = "audit"
@@ -58,7 +61,10 @@ let create ?(interval = 250.0) ?(checks = Checks.all) world =
     next_due = Engine.now world.World.engine +. interval;
     ticked_at = Float.nan;
     timer = None;
+    on_violation = None;
   }
+
+let set_on_violation t f = t.on_violation <- Some f
 
 let world t = t.world
 
@@ -103,7 +109,12 @@ let tick t =
           end;
           Trace.record trace ~time ~tag:(severity_tag v) ~op
             ?src:v.Checks.subject
-            (Printf.sprintf "%s: %s" v.Checks.check v.Checks.detail))
+            (Printf.sprintf "%s: %s" v.Checks.check v.Checks.detail);
+          match t.on_violation with
+          | None -> ()
+          | Some f ->
+            f ~time ~check:v.Checks.check ~severity:(severity_tag v)
+              ~detail:v.Checks.detail)
         s.Checks.violations)
     snap.Checks.statuses;
   Registry.incr t.ticks_c;

@@ -40,6 +40,16 @@ val create :
 val world : t -> Hybrid_p2p.World.t
 val interval : t -> float
 
+(** [set_on_violation t f] — call [f] for every violation any future
+    tick finds (severity is the trace tag, ["audit-error"] or
+    ["audit-warning"]).  The flight recorder hooks in here so audit
+    findings appear in dumps alongside the op completions surrounding
+    them.  Replaces any previously set callback. *)
+val set_on_violation :
+  t ->
+  (time:float -> check:string -> severity:string -> detail:string -> unit) ->
+  unit
+
 (** [tick t] runs the catalogue right now, unconditionally, and records
     the results; returns the snapshot.  Resets the cadence: the next
     periodic tick is due [interval] from now. *)

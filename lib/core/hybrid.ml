@@ -24,6 +24,28 @@ let create ~seed ~routing ?(config = Config.default) ?snet_policy ?(s_fraction =
       ~lookahead:config.Config.engine_lookahead ()
   in
   let metrics = Metrics.create () in
+  (* Exact latency path: every op completion — sampled or not — feeds
+     latency/<kind>_total_ms directly, so percentiles and SLO gates stay
+     exact at any --trace-sample rate.  Spans.record sees the listener
+     and skips its own (sampled, ring-bounded) totals fold. *)
+  (match trace with
+   | Some tr when Trace.enabled tr ->
+     let reg = Metrics.registry metrics in
+     let hists = Hashtbl.create 8 in
+     Trace.on_op_complete tr (fun (c : Trace.op_completion) ->
+         let h =
+           match Hashtbl.find_opt hists c.Trace.comp_kind with
+           | Some h -> h
+           | None ->
+             let h =
+               P2p_obs.Registry.log_histogram reg ~subsystem:"latency"
+                 ~name:(c.Trace.comp_kind ^ "_total_ms")
+             in
+             Hashtbl.add hists c.Trace.comp_kind h;
+             h
+         in
+         P2p_obs.Log_hist.observe h (c.Trace.comp_stop -. c.Trace.comp_start))
+   | Some _ | None -> ());
   let underlay =
     Underlay.create ~engine ~routing ~metrics ?stress ?trace ~processing_delay ()
   in

@@ -99,11 +99,13 @@ let send t ?op ~src ~dst f =
 (* Like [send], but the delivery is also a causal span of [op]: opened
    when the message is posted, closed (under the op's root span — no
    parent threading at call sites) when the handler finishes, so the
-   span covers propagation delay plus handler work. *)
+   span covers propagation delay plus handler work.  Unsampled ops take
+   the plain path: no span, no handler wrapper, no closure — the
+   per-message cost head-based sampling exists to avoid. *)
 let send_span t ?op ~tier ~phase ~src ~dst f =
   let tr = trace t in
   match op with
-  | Some op_id when Trace.enabled tr ->
+  | Some op_id when Trace.enabled tr && Trace.sampled tr op_id ->
     let span =
       Trace.begin_span tr ~time:(now t) ~op:op_id ~tier ~phase
         ~src:src.Peer.host ~dst:dst.Peer.host phase
@@ -182,6 +184,11 @@ let unregister t peer =
 
 let find_peer t ~host =
   if host < 0 || host >= Array.length t.slots then None else t.slots.(host)
+
+let shard_of_host t ~host =
+  match find_peer t ~host with
+  | Some p -> Some (shard_of p)
+  | None -> None
 
 let peer_count t = t.live_count
 

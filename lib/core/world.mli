@@ -146,6 +146,13 @@ val register : t -> Peer.t -> unit
 
 val unregister : t -> Peer.t -> unit
 val find_peer : t -> host:int -> Peer.t option
+
+(** [shard_of_host t ~host] — the ring-segment shard of the live peer on
+    [host] ([None] for unknown/crashed hosts).  An event's engine lane is
+    [shard mod Engine.lanes]; exporters use this to attribute a peer's
+    spans to the lane that executed them. *)
+val shard_of_host : t -> host:int -> int option
+
 val peer_count : t -> int
 
 (** All registered peers in ascending host order. *)

@@ -78,61 +78,91 @@ let span_pid (s : Trace.span) =
   | None, Some src -> src
   | None, None -> 0
 
-let chrome_events trace =
+(* Synthetic process holding one thread row per engine lane; far above
+   any real host id so Perfetto sorts it after the peer processes. *)
+let lanes_pid = 1_000_000_000
+
+let chrome_events ?lane_of trace =
   let spans = Trace.spans trace in
   let pids = Hashtbl.create 16 in
+  let lanes_seen = Hashtbl.create 8 in
+  let span_event ~pid ~tid (s : Trace.span) stop =
+    Json.Obj
+      [
+        ("name", Json.String s.Trace.phase);
+        ("cat", Json.String s.Trace.tier);
+        ("ph", Json.String "X");
+        ("ts", Json.Float (s.Trace.span_start *. 1000.0));
+        ("dur", Json.Float ((stop -. s.Trace.span_start) *. 1000.0));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ( "args",
+          Json.Obj
+            [
+              ("op", Json.Int s.Trace.span_op);
+              ("span", Json.Int s.Trace.span_id);
+              ("parent", Json.Int s.Trace.parent);
+              ("label", Json.String s.Trace.span_label);
+            ] );
+      ]
+  in
   let events =
-    List.filter_map
+    List.concat_map
       (fun (s : Trace.span) ->
         match s.Trace.span_stop with
-        | None -> None
+        | None -> []
         | Some stop ->
           let pid = span_pid s in
           if not (Hashtbl.mem pids pid) then Hashtbl.add pids pid ();
-          Some
-            (Json.Obj
-               [
-                 ("name", Json.String s.Trace.phase);
-                 ("cat", Json.String s.Trace.tier);
-                 ("ph", Json.String "X");
-                 ("ts", Json.Float (s.Trace.span_start *. 1000.0));
-                 ("dur", Json.Float ((stop -. s.Trace.span_start) *. 1000.0));
-                 ("pid", Json.Int pid);
-                 ("tid", Json.Int s.Trace.span_op);
-                 ( "args",
-                   Json.Obj
-                     [
-                       ("op", Json.Int s.Trace.span_op);
-                       ("span", Json.Int s.Trace.span_id);
-                       ("parent", Json.Int s.Trace.parent);
-                       ("label", Json.String s.Trace.span_label);
-                     ] );
-               ]))
+          let per_peer = span_event ~pid ~tid:s.Trace.span_op s stop in
+          (* mirror the span onto its engine lane's thread row, so the
+             "engine lanes" process shows per-lane occupancy over time *)
+          let on_lane =
+            match lane_of with
+            | None -> []
+            | Some f -> (
+              match f pid with
+              | None -> []
+              | Some lane ->
+                if not (Hashtbl.mem lanes_seen lane) then
+                  Hashtbl.add lanes_seen lane ();
+                [ span_event ~pid:lanes_pid ~tid:lane s stop ])
+          in
+          per_peer :: on_lane)
       spans
+  in
+  let meta ~pid ~tid ~what name =
+    Json.Obj
+      [
+        ("name", Json.String what);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
   in
   let metadata =
     Hashtbl.fold (fun pid () acc -> pid :: acc) pids []
     |> List.sort compare
     |> List.map (fun pid ->
-           Json.Obj
-             [
-               ("name", Json.String "process_name");
-               ("ph", Json.String "M");
-               ("pid", Json.Int pid);
-               ("tid", Json.Int 0);
-               ( "args",
-                 Json.Obj
-                   [
-                     ( "name",
-                       Json.String
-                         (if pid = 0 then "ops" else Printf.sprintf "peer %d" pid)
-                     );
-                   ] );
-             ])
+           meta ~pid ~tid:0 ~what:"process_name"
+             (if pid = 0 then "ops" else Printf.sprintf "peer %d" pid))
   in
-  metadata @ events
+  let lane_metadata =
+    match Hashtbl.length lanes_seen with
+    | 0 -> []
+    | _ ->
+      meta ~pid:lanes_pid ~tid:0 ~what:"process_name" "engine lanes"
+      :: (Hashtbl.fold (fun lane () acc -> lane :: acc) lanes_seen []
+         |> List.sort compare
+         |> List.map (fun lane ->
+                meta ~pid:lanes_pid ~tid:lane ~what:"thread_name"
+                  (Printf.sprintf "lane %d" lane)))
+  in
+  metadata @ lane_metadata @ events
 
-let trace_to_chrome trace = Json.to_string (Json.List (chrome_events trace))
+let trace_to_chrome ?lane_of trace =
+  Json.to_string (Json.List (chrome_events ?lane_of trace))
 
 let write_file ~path contents =
   let oc = open_out path in
@@ -148,7 +178,8 @@ let read_file path =
 
 let write_trace ~path trace = write_file ~path (trace_to_string trace)
 
-let write_chrome_trace ~path trace = write_file ~path (trace_to_chrome trace)
+let write_chrome_trace ~path ?lane_of trace =
+  write_file ~path (trace_to_chrome ?lane_of trace)
 
 let write_metrics ~path registry = write_file ~path (metrics_to_string registry)
 

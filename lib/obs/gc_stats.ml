@@ -1,0 +1,56 @@
+(* OCaml runtime gauges under subsystem "gc", fed from Gc.quick_stat
+   deltas.  quick_stat reads a handful of fields without walking the
+   heap, so updating on every sampler tick (and once at the end of a
+   run) is safe even at million-peer scale.  The allocation rate is the
+   ROADMAP's hot-path signal: minor+major words allocated per host CPU
+   second, the number the next speed pass needs to drive down. *)
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+type t = {
+  alloc_rate : Registry.gauge;
+  allocated_total : Registry.gauge;
+  heap : Registry.gauge;
+  minor : Registry.gauge;
+  major : Registry.gauge;
+  compactions : Registry.gauge;
+  mutable last_words : float;
+  mutable last_cpu : float;
+  base_words : float; (* allocation before [create]: not ours to report *)
+}
+
+let allocated_words (s : Gc.stat) =
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let create reg =
+  let g name = Registry.gauge reg ~subsystem:"gc" ~name in
+  let s = Gc.quick_stat () in
+  let words = allocated_words s in
+  {
+    alloc_rate = g "alloc_rate_mb_s";
+    allocated_total = g "allocated_mb_total";
+    heap = g "heap_mb";
+    minor = g "minor_collections";
+    major = g "major_collections";
+    compactions = g "compactions";
+    last_words = words;
+    last_cpu = Sys.time ();
+    base_words = words;
+  }
+
+let update t =
+  let s = Gc.quick_stat () in
+  let words = allocated_words s in
+  let cpu = Sys.time () in
+  let dt = cpu -. t.last_cpu in
+  if dt > 0.0 then begin
+    Registry.set t.alloc_rate
+      ((words -. t.last_words) *. word_bytes /. dt /. 1e6);
+    t.last_words <- words;
+    t.last_cpu <- cpu
+  end;
+  Registry.set t.allocated_total ((words -. t.base_words) *. word_bytes /. 1e6);
+  Registry.set t.heap (float_of_int s.Gc.heap_words *. word_bytes /. 1e6);
+  Registry.set t.minor (float_of_int s.Gc.minor_collections);
+  Registry.set t.major (float_of_int s.Gc.major_collections);
+  Registry.set t.compactions (float_of_int s.Gc.compactions)

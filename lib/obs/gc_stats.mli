@@ -1,0 +1,25 @@
+(** OCaml runtime gauges fed from [Gc.quick_stat] deltas.
+
+    Registers, under subsystem ["gc"]:
+    - [alloc_rate_mb_s] — MB allocated (minor + major, promotions not
+      double-counted) per host {e CPU} second since the previous
+      {!update};
+    - [allocated_mb_total] — MB allocated since {!create};
+    - [heap_mb] — current major-heap size;
+    - [minor_collections], [major_collections], [compactions] —
+      lifetime collection counts.
+
+    These are pull-style gauges: nothing updates them per event.  Wire
+    {!update} as the {!Sampler}'s [on_sample] hook for a timeline view,
+    and call it once more before exporting final metrics. *)
+
+type t
+
+(** [create reg] registers the gauges and anchors the deltas at the
+    current allocation figures. *)
+val create : Registry.t -> t
+
+(** [update t] re-reads [Gc.quick_stat] and refreshes every gauge.  The
+    allocation rate covers the window since the previous [update] (it is
+    left unchanged when no CPU time has elapsed). *)
+val update : t -> unit

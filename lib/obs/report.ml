@@ -265,12 +265,70 @@ let render_latency buf metrics =
     kinds;
   Buffer.add_char buf '\n'
 
+(* The ["gc"] subsystem renders as a one-line runtime header at the very
+   top of the report — the allocation rate is the hot-path signal every
+   workflow should see without asking — and is skipped in the body so it
+   does not repeat itself. *)
+let render_runtime_header buf metrics =
+  let value name =
+    match List.assoc_opt name metrics with Some (Gauge v) -> Some v | _ -> None
+  in
+  let part fmt name = Option.map (Printf.sprintf fmt) (value name) in
+  let parts =
+    List.filter_map Fun.id
+      [
+        part "alloc %.1f MB/s" "alloc_rate_mb_s";
+        part "heap %.1f MB" "heap_mb";
+        part "minor gcs %.0f" "minor_collections";
+        part "major gcs %.0f" "major_collections";
+        part "compactions %.0f" "compactions";
+      ]
+  in
+  if parts <> [] then
+    Buffer.add_string buf ("runtime: " ^ String.concat " | " parts ^ "\n\n")
+
+(* The ["lanes"] subsystem (written by the engine-stats fold on sharded
+   engines) renders as a per-lane occupancy table: lane<i>_{executed,
+   pending,high_water,stalls} gauges become one row per lane, plus the
+   imbalance summary line. *)
+let render_lanes buf metrics =
+  Buffer.add_string buf "== lanes ==\n";
+  let value name =
+    match List.assoc_opt name metrics with Some (Gauge v) -> Some v | _ -> None
+  in
+  let get i suffix = value (Printf.sprintf "lane%d_%s" i suffix) in
+  Buffer.add_string buf
+    (Printf.sprintf "  %4s %12s %10s %12s %8s\n" "lane" "executed" "pending"
+       "high-water" "stalls");
+  let rec row i =
+    match get i "executed" with
+    | None -> ()
+    | Some executed ->
+      let f suffix = Option.value ~default:0.0 (get i suffix) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %4d %12.0f %10.0f %12.0f %8.0f\n" i executed
+           (f "pending") (f "high_water") (f "stalls"));
+      row (i + 1)
+  in
+  row 0;
+  (match value "imbalance" with
+   | Some v ->
+     Buffer.add_string buf
+       (Printf.sprintf "  imbalance (max/mean executed)  %.2f\n" v)
+   | None -> ());
+  Buffer.add_char buf '\n'
+
 let render report =
   let buf = Buffer.create 1024 in
+  (match List.assoc_opt "gc" report with
+   | Some metrics -> render_runtime_header buf metrics
+   | None -> ());
   List.iter
     (fun (subsystem, metrics) ->
-      if subsystem = "audit" then render_health buf metrics
+      if subsystem = "gc" then ()
+      else if subsystem = "audit" then render_health buf metrics
       else if subsystem = "latency" then render_latency buf metrics
+      else if subsystem = "lanes" then render_lanes buf metrics
       else begin
         Buffer.add_string buf (Printf.sprintf "== %s ==\n" subsystem);
         (* counters and gauges first, aligned; histograms after with charts *)

@@ -12,13 +12,14 @@ type sample = { at : float; line : Json.t }
 type t = {
   interval : float;
   reg : Registry.t;
+  on_sample : (unit -> unit) option;
   mutable next_due : float;
   mutable samples : sample list; (* newest first *)
 }
 
-let create ~interval reg =
+let create ~interval ?on_sample reg =
   if interval <= 0.0 then invalid_arg "Sampler.create: interval must be positive";
-  { interval; reg; next_due = 0.0; samples = [] }
+  { interval; reg; on_sample; next_due = 0.0; samples = [] }
 
 let snapshot t ~now =
   let counters, gauges =
@@ -44,6 +45,10 @@ let snapshot t ~now =
 
 let poll t ~now =
   if now >= t.next_due then begin
+    (* refresh pull-style gauges (GC deltas, lane occupancy) right before
+       reading the registry, so the timeline sees current values without
+       the hot path paying for them on every event *)
+    (match t.on_sample with Some f -> f () | None -> ());
     t.samples <- snapshot t ~now :: t.samples;
     (* re-anchor on the sampled instant: a long quiet stretch yields one
        sample when activity resumes, not a burst of catch-up lines *)

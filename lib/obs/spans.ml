@@ -113,13 +113,19 @@ let record reg trace =
   Registry.incr
     ~by:(List.length ops)
     (Registry.counter reg ~subsystem:"latency" ~name:"ops_analyzed");
+  (* when an op-completion listener is wired (Hybrid installs one that
+     feeds <kind>_total_ms from 100% of ops), the retained root spans are
+     a sampled, bounded subset — folding them into the same histograms
+     would double count, so the exact path wins *)
+  let exact_totals = Trace.has_op_listener trace in
   let tier_totals = Hashtbl.create 16 in
   List.iter
     (fun o ->
-      Log_hist.observe
-        (Registry.log_histogram reg ~subsystem:"latency"
-           ~name:(o.kind ^ "_total_ms"))
-        o.total_ms;
+      if not exact_totals then
+        Log_hist.observe
+          (Registry.log_histogram reg ~subsystem:"latency"
+             ~name:(o.kind ^ "_total_ms"))
+          o.total_ms;
       Log_hist.observe
         (Registry.log_histogram reg ~subsystem:"latency"
            ~name:(o.kind ^ "_critical_ms"))
@@ -155,6 +161,12 @@ let record reg trace =
   trace_gauge "spans_started" (Trace.spans_started trace);
   trace_gauge "span_orphans" (Trace.span_orphans trace);
   trace_gauge "orphan_ends" (Trace.orphan_ends trace);
+  trace_gauge "evicted_ends" (Trace.evicted_ends trace);
   trace_gauge "span_mismatches" (Trace.span_mismatches trace);
   trace_gauge "spans_suppressed" (Trace.spans_suppressed trace);
-  trace_gauge "spans_clamped" (Trace.spans_clamped trace)
+  trace_gauge "spans_clamped" (Trace.spans_clamped trace);
+  trace_gauge "ops_sampled" (Trace.ops_sampled trace);
+  trace_gauge "spans_unsampled" (Trace.spans_unsampled trace);
+  Registry.set
+    (Registry.gauge reg ~subsystem:"trace" ~name:"sample_rate")
+    (Trace.sample_rate trace)

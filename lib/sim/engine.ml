@@ -11,6 +11,13 @@ type label_stats = { mutable fires : int; mutable cpu_s : float }
    batches while it stays ahead of every other lane (plus the lookahead
    allowance), which keeps the merge overhead off the hot path when
    segments genuinely run independently. *)
+type lane_stat = {
+  lane_events : int;
+  lane_pending : int;
+  lane_high_water : int;
+  lane_merge_stalls : int;
+}
+
 type t = {
   lanes : labeled Event_queue.t array;
   lookahead : float;
@@ -21,6 +28,12 @@ type t = {
   mutable physical : int;  (* events currently occupying heap slots *)
   mutable profiling : bool;
   label_table : (string, label_stats) Hashtbl.t;
+  (* per-lane occupancy: where do events execute, how deep does each
+     lane's heap get, and how often does a batch hit another lane's
+     frontier (the merge-overhead signal lookahead tuning cares about) *)
+  lane_executed : int array;
+  lane_hwm : int array;
+  lane_stalls : int array;
 }
 
 let create ~seed ?(lanes = 1) ?(lookahead = 0.0) () =
@@ -37,6 +50,9 @@ let create ~seed ?(lanes = 1) ?(lookahead = 0.0) () =
     physical = 0;
     profiling = false;
     label_table = Hashtbl.create 16;
+    lane_executed = Array.make lanes 0;
+    lane_hwm = Array.make lanes 0;
+    lane_stalls = Array.make lanes 0;
   }
 
 let rng t = t.root_rng
@@ -51,16 +67,17 @@ let enable_profiling t = t.profiling <- true
 
 let profiling t = t.profiling
 
-let lane_for t shard =
+let lane_index t shard =
   match shard with
-  | None -> t.lanes.(0)
-  | Some s -> t.lanes.((s land max_int) mod Array.length t.lanes)
+  | None -> 0
+  | Some s -> (s land max_int) mod Array.length t.lanes
 
 let physical_length t =
   Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.lanes
 
 let add t ~time ~shard ~label f =
-  let q = lane_for t shard in
+  let i = lane_index t shard in
+  let q = t.lanes.(i) in
   let before = Event_queue.length q in
   let h = Event_queue.add q ~time { label; thunk = f } in
   (* adding can trigger a lane compaction; track the physical population
@@ -69,6 +86,7 @@ let add t ~time ~shard ~label f =
   t.physical <- t.physical + (after - before);
   if after < before then t.physical <- physical_length t
   else if t.physical > t.queue_hwm then t.queue_hwm <- t.physical;
+  if after > t.lane_hwm.(i) then t.lane_hwm.(i) <- after;
   h
 
 let schedule ?label ?shard t ~delay f =
@@ -93,9 +111,10 @@ let account t label cpu_s =
   stats.fires <- stats.fires + 1;
   stats.cpu_s <- stats.cpu_s +. cpu_s
 
-let execute t time { label; thunk } =
+let execute t lane time { label; thunk } =
   t.clock <- time;
   t.executed <- t.executed + 1;
+  t.lane_executed.(lane) <- t.lane_executed.(lane) + 1;
   t.physical <- t.physical - 1;
   match label with
   | Some label when t.profiling ->
@@ -130,7 +149,7 @@ let step t =
   | i ->
     (match Event_queue.pop t.lanes.(i) with
      | Some (time, ev) ->
-       execute t time ev;
+       execute t i time ev;
        true
      | None -> false)
 
@@ -153,7 +172,7 @@ let rec run t =
   | i ->
     let q = t.lanes.(i) in
     (match Event_queue.pop q with
-     | Some (time, ev) -> execute t time ev
+     | Some (time, ev) -> execute t i time ev
      | None -> ());
     (* Batch: keep draining this lane while it cannot race any other
        lane.  With lookahead = 0 only strictly earlier events qualify
@@ -168,9 +187,14 @@ let rec run t =
         when time < frontier
              || (t.lookahead > 0.0 && time <= frontier +. t.lookahead) -> (
         match Event_queue.pop q with
-        | Some (time, ev) -> execute t time ev
+        | Some (time, ev) -> execute t i time ev
         | None -> continue := false)
-      | Some _ | None -> continue := false
+      | Some _ ->
+        (* the lane still has work but another lane's frontier stops the
+           batch: back to the global merge *)
+        t.lane_stalls.(i) <- t.lane_stalls.(i) + 1;
+        continue := false
+      | None -> continue := false
     done;
     run t
 
@@ -183,7 +207,7 @@ let run_until t ~time =
       | Some event_time when event_time <= time -> (
         match Event_queue.pop t.lanes.(i) with
         | Some (event_time, ev) ->
-          execute t event_time ev;
+          execute t i event_time ev;
           loop ()
         | None -> ())
       | Some _ | None -> ())
@@ -197,6 +221,17 @@ let pending t =
   Array.fold_left (fun acc q -> acc + Event_queue.live_length q) 0 t.lanes
 
 let queue_high_water t = t.queue_hwm
+
+let lane_stats t =
+  Array.mapi
+    (fun i q ->
+      {
+        lane_events = t.lane_executed.(i);
+        lane_pending = Event_queue.live_length q;
+        lane_high_water = t.lane_hwm.(i);
+        lane_merge_stalls = t.lane_stalls.(i);
+      })
+    t.lanes
 
 let profile t =
   Hashtbl.fold

@@ -109,6 +109,23 @@ val pending : t -> int
     over lanes, counting not-yet-collected cancelled events). *)
 val queue_high_water : t -> int
 
+(** One lane's occupancy figures — always tracked (a handful of array
+    stores per event), so per-lane telemetry needs no profiling flag. *)
+type lane_stat = {
+  lane_events : int;  (** events executed on this lane *)
+  lane_pending : int;  (** live events currently queued on this lane *)
+  lane_high_water : int;
+      (** deepest physical heap this lane has reached (slots, counting
+          not-yet-collected cancelled events) *)
+  lane_merge_stalls : int;
+      (** {!run} batches this lane ended because another lane's frontier
+          blocked further draining — the cross-lane merge-overhead signal
+          lookahead tuning watches *)
+}
+
+(** [lane_stats t] — a fresh per-lane snapshot, index = lane number. *)
+val lane_stats : t -> lane_stat array
+
 (** [profile t] — per-label [(label, fires, cpu_seconds)] rows, sorted by
     label.  Empty unless {!enable_profiling} was called and labelled events
     fired.  CPU time is host time ([Sys.time]), not simulated time. *)

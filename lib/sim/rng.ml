@@ -18,6 +18,15 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+let hash62 ~seed x =
+  (* One stateless SplitMix64 step: item [x] indexes the stream position,
+     [seed] selects the stream.  No state, so callers can hash the same
+     item repeatedly (per-op sampling decisions) at constant cost. *)
+  let z =
+    Int64.add (Int64.mul (Int64.of_int x) golden_gamma) (Int64.of_int seed)
+  in
+  Int64.to_int (Int64.shift_right_logical (mix z) 2)
+
 let split t =
   let seed = bits64 t in
   { state = seed }

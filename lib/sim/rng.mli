@@ -23,6 +23,13 @@ val split : t -> t
 (** [bits64 t] returns the next raw 64-bit output. *)
 val bits64 : t -> int64
 
+(** [hash62 ~seed x] is a stateless SplitMix64 avalanche of item [x] on
+    stream [seed], folded to a nonnegative 62-bit int.  Deterministic —
+    equal [(seed, x)] always hash alike — which makes it the right
+    primitive for reproducible per-item sampling decisions (compare the
+    hash against [rate * 2^62]). *)
+val hash62 : seed:int -> int -> int
+
 (** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
     [bound <= 0]. *)
 val int : t -> int -> int

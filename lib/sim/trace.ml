@@ -56,6 +56,14 @@ type span = {
   span_label : string;
 }
 
+type op_completion = {
+  comp_op : int;
+  comp_kind : string;
+  comp_start : float;
+  comp_stop : float;
+  comp_sampled : bool;
+}
+
 type t = {
   capacity : int;
   buffer : event option array;
@@ -64,21 +72,43 @@ type t = {
   mutable total : int;
   mutable next_op : int;
   active : bool;
+  (* head-based op sampling: the decision is a pure hash of the op id, so
+     an unsampled op costs one integer compare per record/begin_span and
+     the sampled set is identical across same-seed runs *)
+  sample_rate : float;
+  sample_seed : int;
+  sample_all : bool;
+  sample_threshold : int; (* sampled iff hash62 op < threshold *)
+  (* one-entry decision memo: events arrive in per-op bursts, so this
+     turns the per-record hash (boxed Int64 arithmetic) into an integer
+     compare on the hot path *)
+  mutable memo_op : int;
+  mutable memo_sampled : bool;
+  mutable ops_sampled : int;
+  mutable spans_unsampled : int; (* begin/mark skipped on unsampled ops *)
   (* causal span trees: span id [k] lives at slot [k mod capacity], so
      ending a span is O(1) and eviction is detected by an id mismatch *)
   spans : span option array;
   mutable span_next : int;
   mutable span_retained : int;
   mutable span_orphans : int; (* still-open spans evicted by wraparound *)
-  mutable orphan_ends : int; (* end_span on an already-evicted id *)
+  mutable orphan_ends : int; (* end_span on a never-minted id *)
+  mutable evicted_ends : int; (* end_span on an already-evicted id *)
   mutable span_mismatches : int; (* double end, or time running backwards *)
   mutable spans_suppressed : int; (* begin after the parent had closed *)
   mutable spans_clamped : int; (* stop clamped to the parent's stop *)
   op_roots : (int, int) Hashtbl.t; (* open op id -> its root span id *)
+  (* exact latency accounting for 100% of ops, independent of sampling *)
+  open_ops : (int, string * float) Hashtbl.t; (* op id -> kind, start *)
+  mutable op_listener : (op_completion -> unit) option;
 }
 
-let create ~capacity () =
+let two_pow_62 = 4611686018427387904.0
+
+let create ~capacity ?(sample_rate = 1.0) ?(sample_seed = 0) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  if not (sample_rate >= 0.0 && sample_rate <= 1.0) then
+    invalid_arg "Trace.create: sample_rate must be in [0, 1]";
   {
     capacity;
     buffer = Array.make capacity None;
@@ -87,15 +117,28 @@ let create ~capacity () =
     total = 0;
     next_op = 0;
     active = true;
+    sample_rate;
+    sample_seed;
+    sample_all = sample_rate >= 1.0;
+    sample_threshold =
+      (if sample_rate >= 1.0 then max_int
+       else int_of_float (sample_rate *. two_pow_62));
+    memo_op = -1;
+    memo_sampled = false;
+    ops_sampled = 0;
+    spans_unsampled = 0;
     spans = Array.make capacity None;
     span_next = 0;
     span_retained = 0;
     span_orphans = 0;
     orphan_ends = 0;
+    evicted_ends = 0;
     span_mismatches = 0;
     spans_suppressed = 0;
     spans_clamped = 0;
     op_roots = Hashtbl.create 64;
+    open_ops = Hashtbl.create 64;
+    op_listener = None;
   }
 
 let disabled =
@@ -107,21 +150,46 @@ let disabled =
     total = 0;
     next_op = 0;
     active = false;
+    sample_rate = 1.0;
+    sample_seed = 0;
+    sample_all = true;
+    sample_threshold = max_int;
+    memo_op = -1;
+    memo_sampled = false;
+    ops_sampled = 0;
+    spans_unsampled = 0;
     spans = [| None |];
     span_next = 0;
     span_retained = 0;
     span_orphans = 0;
     orphan_ends = 0;
+    evicted_ends = 0;
     span_mismatches = 0;
     spans_suppressed = 0;
     spans_clamped = 0;
     op_roots = Hashtbl.create 1;
+    open_ops = Hashtbl.create 1;
+    op_listener = None;
   }
 
 let enabled t = t.active
 
+let sampled t op =
+  t.sample_all
+  || op = t.memo_op && t.memo_sampled
+  ||
+  if op = t.memo_op then false
+  else begin
+    let d = op >= 0 && Rng.hash62 ~seed:t.sample_seed op < t.sample_threshold in
+    t.memo_op <- op;
+    t.memo_sampled <- d;
+    d
+  end
+
+let sample_rate t = t.sample_rate
+
 let record t ~time ~tag ?op ?src ?dst detail =
-  if t.active then begin
+  if t.active && (match op with None -> true | Some o -> sampled t o) then begin
     t.buffer.(t.next) <- Some { time; tag; op; src; dst; detail };
     t.next <- (t.next + 1) mod t.capacity;
     if t.retained < t.capacity then t.retained <- t.retained + 1;
@@ -129,7 +197,8 @@ let record t ~time ~tag ?op ?src ?dst detail =
   end
 
 let record_f t ~time ~tag ?op ?src ?dst fmt =
-  if t.active then Printf.ksprintf (record t ~time ~tag ?op ?src ?dst) fmt
+  if t.active && (match op with None -> true | Some o -> sampled t o) then
+    Printf.ksprintf (record t ~time ~tag ?op ?src ?dst) fmt
   else Printf.ikfprintf (fun () -> ()) () fmt
 
 (* --- causal spans --- *)
@@ -167,6 +236,12 @@ let mint_span t ~time ~op ~tier ~phase ~parent ?src ?dst label =
 
 let begin_span t ~time ~op ~tier ~phase ?parent ?src ?dst label =
   if not t.active then -1
+  else if not (sampled t op) then begin
+    (* counted separately from suppression: the op was healthy, the
+       observer just chose not to watch it *)
+    t.spans_unsampled <- t.spans_unsampled + 1;
+    -1
+  end
   else
     let chosen =
       match parent with Some p -> Some p | None -> Hashtbl.find_opt t.op_roots op
@@ -188,7 +263,13 @@ let begin_span t ~time ~op ~tier ~phase ?parent ?src ?dst label =
 let end_span t ~time id =
   if t.active && id >= 0 then
     match find_span t id with
-    | None -> t.orphan_ends <- t.orphan_ends + 1
+    | None ->
+      (* ids below the retained window were minted and then overwritten by
+         wraparound — a capacity artifact, not a protocol bug — so they
+         get their own counter; anything else is a true orphan *)
+      if id < t.span_next - t.span_retained then
+        t.evicted_ends <- t.evicted_ends + 1
+      else t.orphan_ends <- t.orphan_ends + 1
     | Some s -> (
       match s.span_stop with
       | Some _ -> t.span_mismatches <- t.span_mismatches + 1
@@ -215,22 +296,57 @@ let begin_op t ~time ~kind detail =
   t.next_op <- t.next_op + 1;
   record t ~time ~tag:(op_kind_to_string kind ^ "-start") ~op:id detail;
   if t.active then begin
-    let root =
-      mint_span t ~time ~op:id ~tier:"op" ~phase:(op_kind_to_string kind)
-        ~parent:(-1) detail
-    in
-    Hashtbl.replace t.op_roots id root
+    (* every op is accounted exactly, sampled or not: percentile gates
+       must not depend on the sample rate *)
+    Hashtbl.replace t.open_ops id (op_kind_to_string kind, time);
+    if sampled t id then begin
+      t.ops_sampled <- t.ops_sampled + 1;
+      let root =
+        mint_span t ~time ~op:id ~tier:"op" ~phase:(op_kind_to_string kind)
+          ~parent:(-1) detail
+      in
+      Hashtbl.replace t.op_roots id root
+    end
   end;
   id
 
 let end_op t ~time ~op detail =
   record t ~time ~tag:"op-end" ~op detail;
-  if t.active then
+  if t.active then begin
+    (match Hashtbl.find_opt t.open_ops op with
+     | None -> ()
+     | Some (kind, start) ->
+       Hashtbl.remove t.open_ops op;
+       (match t.op_listener with
+        | None -> ()
+        | Some f ->
+          f
+            {
+              comp_op = op;
+              comp_kind = kind;
+              comp_start = start;
+              comp_stop = time;
+              comp_sampled = sampled t op;
+            }));
     match Hashtbl.find_opt t.op_roots op with
     | None -> ()
     | Some root ->
       Hashtbl.remove t.op_roots op;
       end_span t ~time root
+  end
+
+let on_op_complete t f =
+  if t.active then
+    match t.op_listener with
+    | None -> t.op_listener <- Some f
+    | Some g ->
+      t.op_listener <-
+        Some
+          (fun c ->
+            g c;
+            f c)
+
+let has_op_listener t = t.op_listener <> None
 
 let op_root_span t op = Hashtbl.find_opt t.op_roots op
 
@@ -246,6 +362,12 @@ let spans_started t = t.span_next
 let span_orphans t = t.span_orphans
 
 let orphan_ends t = t.orphan_ends
+
+let evicted_ends t = t.evicted_ends
+
+let ops_sampled t = t.ops_sampled
+
+let spans_unsampled t = t.spans_unsampled
 
 let span_mismatches t = t.span_mismatches
 
@@ -276,7 +398,8 @@ let clear t =
   t.retained <- 0;
   Array.fill t.spans 0 t.capacity None;
   t.span_retained <- 0;
-  Hashtbl.reset t.op_roots
+  Hashtbl.reset t.op_roots;
+  Hashtbl.reset t.open_ops
 
 let reset t =
   clear t;
@@ -286,9 +409,12 @@ let reset t =
   t.span_next <- 0;
   t.span_orphans <- 0;
   t.orphan_ends <- 0;
+  t.evicted_ends <- 0;
   t.span_mismatches <- 0;
   t.spans_suppressed <- 0;
-  t.spans_clamped <- 0
+  t.spans_clamped <- 0;
+  t.ops_sampled <- 0;
+  t.spans_unsampled <- 0
 
 let pp_event ppf e =
   let pp_id ppf = function

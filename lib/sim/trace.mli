@@ -65,14 +65,60 @@ type span = {
 }
 
 (** [create ~capacity ()] makes a trace keeping the last [capacity]
-    events.  @raise Invalid_argument if [capacity <= 0]. *)
-val create : capacity:int -> unit -> t
+    events.
+
+    [sample_rate] (default [1.0], full tracing) enables head-based op
+    sampling: each operation minted by {!begin_op} is either {e sampled}
+    — its events, root span, and child spans are recorded as usual — or
+    {e unsampled} — its root span is never minted and every
+    {!record}/{!begin_span}/{!mark_span} for it returns after a single
+    integer compare ({!spans_unsampled} counts the skipped spans).  The
+    decision is a pure hash of the op id on stream [sample_seed]
+    ({!Rng.hash62}), so two runs with equal seeds sample the identical
+    op set and a replay traces exactly the ops the original run traced.
+    Exact accounting is unaffected: {!begin_op}/{!end_op} track 100% of
+    ops and report each completion to the {!on_op_complete} listener, so
+    latency percentiles and SLO gates never depend on the rate.
+
+    @raise Invalid_argument if [capacity <= 0] or [sample_rate] is
+    outside [\[0, 1\]]. *)
+val create :
+  capacity:int -> ?sample_rate:float -> ?sample_seed:int -> unit -> t
 
 (** A trace that drops everything (the default wiring). *)
 val disabled : t
 
 (** [enabled t] — does recording do anything? *)
 val enabled : t -> bool
+
+(** [sampled t op] — is operation [op] in the sampled set?  Pure and
+    deterministic; always [true] at rate [1.0]. *)
+val sampled : t -> int -> bool
+
+(** The configured sampling rate ([1.0] = trace everything). *)
+val sample_rate : t -> float
+
+(** What {!end_op} reports for every completed operation, sampled or
+    not.  [comp_kind] is the op kind's wire name; the latency is
+    [comp_stop -. comp_start] in simulated ms. *)
+type op_completion = {
+  comp_op : int;
+  comp_kind : string;
+  comp_start : float;
+  comp_stop : float;
+  comp_sampled : bool;  (** did the op carry a span tree? *)
+}
+
+(** [on_op_complete t f] installs [f] as an op-completion listener;
+    subsequent calls chain (all listeners fire, installation order).
+    This is the exact-latency path: it sees 100% of completions
+    regardless of the sample rate.  No-op on a disabled trace. *)
+val on_op_complete : t -> (op_completion -> unit) -> unit
+
+(** Is at least one {!on_op_complete} listener installed?  Consumers that
+    would otherwise derive per-op totals from retained root spans (a
+    sampled, bounded set) use this to avoid double counting. *)
+val has_op_listener : t -> bool
 
 (** [record t ~time ~tag ?op ?src ?dst detail] appends an event (dropping
     the oldest if full).  [op] attributes the event to an operation minted
@@ -97,7 +143,9 @@ val record_f :
     minting order, so a fixed seed yields identical ids run to run.  The id
     is minted (and unique) even when the trace is disabled.  On an enabled
     trace it also opens the operation's {e root span} (tier ["op"], phase
-    the kind's wire name); {!end_op} closes it. *)
+    the kind's wire name) when the op is sampled (see {!create});
+    {!end_op} closes it.  Exact open-op accounting happens for every op
+    regardless of sampling. *)
 val begin_op : t -> time:float -> kind:op_kind -> string -> int
 
 (** [end_op t ~time ~op detail] records the terminal ["op-end"] event of
@@ -127,9 +175,11 @@ val begin_span :
 
 (** [end_span t ~time id] closes span [id].  The stop is clamped to the
     parent's stop when the parent closed first ({!spans_clamped}), so a
-    child interval always lies inside its parent's.  Ending an evicted id
-    counts under {!orphan_ends}; a double end, or [time] before the span's
-    start, under {!span_mismatches}.  [id = -1] is a no-op. *)
+    child interval always lies inside its parent's.  Ending an id evicted
+    by ring wraparound is a counted no-op under {!evicted_ends} (a
+    capacity artifact); an id that was never minted counts under
+    {!orphan_ends}; a double end, or [time] before the span's start,
+    under {!span_mismatches}.  [id = -1] is a no-op. *)
 val end_span : t -> time:float -> int -> unit
 
 (** [mark_span t ~time ~op ~tier ~phase label] records a zero-duration
@@ -163,8 +213,20 @@ val spans_started : t -> int
 (** Still-open spans evicted by ring-buffer wraparound. *)
 val span_orphans : t -> int
 
-(** {!end_span} calls whose span had already been evicted. *)
+(** {!end_span} calls naming an id that was never minted. *)
 val orphan_ends : t -> int
+
+(** {!end_span} calls whose span had already been evicted by ring-buffer
+    wraparound — distinct from {!orphan_ends} because eviction is a
+    capacity artifact, not a protocol bug. *)
+val evicted_ends : t -> int
+
+(** Operations that fell in the sampled set (all of them at rate 1). *)
+val ops_sampled : t -> int
+
+(** {!begin_span}/{!mark_span} calls skipped because their op was
+    unsampled (distinct from {!spans_suppressed}). *)
+val spans_unsampled : t -> int
 
 (** Double ends and backwards-time ends. *)
 val span_mismatches : t -> int

@@ -4,12 +4,18 @@
    log-bucketed percentile math, SLO specs and the timeline sampler. *)
 
 module Trace = P2p_sim.Trace
+module Engine = P2p_sim.Engine
 module Spans = P2p_obs.Spans
 module Log_hist = P2p_obs.Log_hist
 module Registry = P2p_obs.Registry
 module Sampler = P2p_obs.Sampler
 module Slo = P2p_obs.Slo
 module Json = P2p_obs.Json
+module Report = P2p_obs.Report
+module Export = P2p_obs.Export
+module Flight_recorder = P2p_obs.Flight_recorder
+module Gc_stats = P2p_obs.Gc_stats
+module Engine_stats = P2p_obs.Engine_stats
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -79,11 +85,45 @@ let test_wraparound_orphans () =
   (* the 6th wraps onto still-open s1 *)
   let _s5 = Trace.begin_span t ~time:5.0 ~op ~tier:"x" ~phase:"p" "5" in
   checki "second eviction counted" 2 (Trace.span_orphans t);
-  (* ending an evicted id is an orphan end, not a crash or a mismatch *)
+  (* ending an evicted id is a counted no-op under its own counter — a
+     capacity artifact, not lumped into orphan ends *)
   Trace.end_span t ~time:6.0 s1;
-  checki "orphan end counted" 1 (Trace.orphan_ends t);
+  checki "evicted end counted" 1 (Trace.evicted_ends t);
+  checki "not an orphan end" 0 (Trace.orphan_ends t);
   checki "not a mismatch" 0 (Trace.span_mismatches t);
   checki "minted ids keep counting" 6 (Trace.spans_started t)
+
+(* The evicted/orphan split at the smallest capacities, where every mint
+   recycles the single slot. *)
+let test_evicted_ends_tiny () =
+  let t = Trace.create ~capacity:1 () in
+  let op = Trace.begin_op t ~time:0.0 ~kind:Trace.Lookup "k" in
+  (* the child span evicts the root from the one slot *)
+  let s1 = Trace.begin_span t ~time:1.0 ~op ~tier:"x" ~phase:"p" "1" in
+  checkb "child minted" true (s1 >= 0);
+  (* a second op's root evicts s1 in turn *)
+  let _op2 = Trace.begin_op t ~time:2.0 ~kind:Trace.Insert "k2" in
+  Trace.end_span t ~time:3.0 s1;
+  checki "evicted end counted" 1 (Trace.evicted_ends t);
+  checki "no orphan end" 0 (Trace.orphan_ends t);
+  checki "no mismatch" 0 (Trace.span_mismatches t);
+  (* a never-minted id is a true orphan end, not an eviction *)
+  Trace.end_span t ~time:4.0 999;
+  checki "never-minted id is an orphan end" 1 (Trace.orphan_ends t);
+  checki "evicted count unchanged" 1 (Trace.evicted_ends t);
+  (* capacity 2: a span still inside the retained window ends normally *)
+  let t2 = Trace.create ~capacity:2 () in
+  let opb = Trace.begin_op t2 ~time:0.0 ~kind:Trace.Lookup "k" in
+  let a = Trace.begin_span t2 ~time:1.0 ~op:opb ~tier:"x" ~phase:"p" "a" in
+  let b = Trace.begin_span t2 ~time:2.0 ~op:opb ~tier:"x" ~phase:"p" "b" in
+  checkb "b evicts only the root" true (b >= 0);
+  Trace.end_span t2 ~time:3.0 a;
+  checki "resident end is clean" 0 (Trace.evicted_ends t2);
+  checki "still no orphan ends" 0 (Trace.orphan_ends t2);
+  (* reset zeroes both counters *)
+  Trace.reset t;
+  checki "reset clears evicted ends" 0 (Trace.evicted_ends t);
+  checki "reset clears orphan ends" 0 (Trace.orphan_ends t)
 
 (* Closed spans are recycled silently: wraparound over a completed span
    is not an orphan. *)
@@ -368,11 +408,239 @@ let test_sampler () =
        false
      with Invalid_argument _ -> true)
 
+(* --- head-based op sampling --- *)
+
+(* n ops, each with one timed child, one mark, and a deterministic total
+   latency (4 + i mod 7 ms). *)
+let run_ops t n =
+  for i = 0 to n - 1 do
+    let t0 = float_of_int (10 * i) in
+    let op = Trace.begin_op t ~time:t0 ~kind:Trace.Lookup (Printf.sprintf "k%d" i) in
+    let a =
+      Trace.begin_span t ~time:(t0 +. 1.0) ~op ~tier:"t_network" ~phase:"ring_hop" "a"
+    in
+    Trace.end_span t ~time:(t0 +. 2.0) a;
+    Trace.mark_span t ~time:(t0 +. 3.0) ~op ~tier:"cache" ~phase:"miss" "m";
+    Trace.end_op t ~time:(t0 +. 4.0 +. float_of_int (i mod 7)) ~op "done"
+  done
+
+(* An op is all-or-nothing: a sampled op carries its whole span tree and
+   its events; an unsampled op leaves no trace at all — never a half
+   tree. *)
+let test_sampling_no_half_trees () =
+  let t = Trace.create ~capacity:4096 ~sample_rate:0.5 ~sample_seed:42 () in
+  run_ops t 200;
+  let s = Trace.ops_sampled t in
+  checkb "some ops sampled" true (s > 0);
+  checkb "some ops unsampled" true (s < 200);
+  checkb "skipped spans counted" true (Trace.spans_unsampled t > 0);
+  for op = 0 to 199 do
+    let nspans = List.length (Trace.spans_of_op t op) in
+    let nevents = List.length (Trace.events_of_op t op) in
+    if Trace.sampled t op then begin
+      checki (Printf.sprintf "sampled op %d has its full tree" op) 3 nspans;
+      checkb (Printf.sprintf "sampled op %d has events" op) true (nevents > 0)
+    end
+    else begin
+      checki (Printf.sprintf "unsampled op %d has no spans" op) 0 nspans;
+      checki (Printf.sprintf "unsampled op %d has no events" op) 0 nevents
+    end
+  done;
+  checki "sampling is not suppression" 0 (Trace.spans_suppressed t);
+  checki "sampling is not orphaning" 0 (Trace.span_orphans t)
+
+(* The sampled set is a pure hash of the op id: equal seeds pick equal
+   sets (replays trace the ops the original run traced), and the rate
+   endpoints are total. *)
+let test_sampling_deterministic () =
+  let sampled_set seed =
+    let t = Trace.create ~capacity:16 ~sample_rate:0.3 ~sample_seed:seed () in
+    List.init 300 (fun op -> Trace.sampled t op)
+  in
+  checkb "same seed, same sampled set" true (sampled_set 7 = sampled_set 7);
+  checkb "different seed, different sampled set" true
+    (sampled_set 7 <> sampled_set 8);
+  let t0 = Trace.create ~capacity:16 ~sample_rate:0.0 () in
+  run_ops t0 10;
+  checki "rate 0 samples nothing" 0 (Trace.ops_sampled t0);
+  checki "rate 0 mints no spans" 0 (Trace.spans_started t0);
+  let t1 = Trace.create ~capacity:1024 ~sample_rate:1.0 () in
+  run_ops t1 10;
+  checki "rate 1 samples everything" 10 (Trace.ops_sampled t1);
+  checkb "rate outside [0,1] rejected" true
+    (try
+       ignore (Trace.create ~capacity:4 ~sample_rate:1.5 () : Trace.t);
+       false
+     with Invalid_argument _ -> true)
+
+let observe_exact t reg =
+  Trace.on_op_complete t (fun (c : Trace.op_completion) ->
+      Log_hist.observe
+        (Registry.log_histogram reg ~subsystem:"latency"
+           ~name:(c.Trace.comp_kind ^ "_total_ms"))
+        (c.Trace.comp_stop -. c.Trace.comp_start))
+
+(* The exact-latency path: listener-fed totals count 100% of ops and are
+   bit-identical at every sample rate, so SLO gates never depend on the
+   rate. *)
+let test_sampling_exact_latency () =
+  let totals rate =
+    let t = Trace.create ~capacity:4096 ~sample_rate:rate ~sample_seed:3 () in
+    let reg = Registry.create () in
+    observe_exact t reg;
+    run_ops t 250;
+    let h = Registry.log_histogram reg ~subsystem:"latency" ~name:"lookup_total_ms" in
+    (Log_hist.count h, Log_hist.percentile h 50.0, Log_hist.percentile h 99.0)
+  in
+  let full = totals 1.0 and sparse = totals 0.02 and off = totals 0.0 in
+  checkb "totals identical at rate 0.02" true (full = sparse);
+  checkb "totals identical at rate 0" true (full = off);
+  (match full with n, _, _ -> checki "every op counted" 250 n);
+  (* and Spans.record defers to the listener: no double counting when
+     both run over the same trace *)
+  let t = Trace.create ~capacity:4096 () in
+  let reg = Registry.create () in
+  observe_exact t reg;
+  run_ops t 50;
+  Spans.record reg t;
+  let h = Registry.log_histogram reg ~subsystem:"latency" ~name:"lookup_total_ms" in
+  checki "record + listener count once" 50 (Log_hist.count h);
+  checkf "sample_rate gauge exported" 1.0
+    (Registry.gauge_value (Registry.gauge reg ~subsystem:"trace" ~name:"sample_rate"))
+
+(* --- flight recorder --- *)
+
+let test_flight_recorder () =
+  let fr = Flight_recorder.create ~capacity:4 () in
+  let t = Trace.create ~capacity:256 ~sample_rate:0.5 ~sample_seed:1 () in
+  Trace.on_op_complete t (Flight_recorder.observe fr);
+  run_ops t 10;
+  checki "ring bounded at capacity" 4 (Flight_recorder.length fr);
+  checki "sees 100% of completions" 10 (Flight_recorder.total_recorded fr);
+  Flight_recorder.record_audit fr ~at:99.0 ~check:"ring" ~severity:"audit-error"
+    ~detail:"gap";
+  (match List.rev (Flight_recorder.entries fr) with
+   | Flight_recorder.Audit { check; _ } :: _ -> checks "audit entry newest" "ring" check
+   | _ -> Alcotest.fail "expected the audit entry last");
+  let lines =
+    Flight_recorder.to_jsonl ~reason:"test" fr
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  checki "header + one line per retained entry" 5 (List.length lines);
+  List.iter
+    (fun l ->
+      checkb "jsonl line parses" true
+        (match Json.parse l with Ok _ -> true | Error _ -> false))
+    lines;
+  (* dump writes the ring + chrome trace + metrics, creating the dir *)
+  let dir = Filename.temp_file "flight" "" in
+  Sys.remove dir;
+  let reg = Registry.create () in
+  let files = Flight_recorder.dump fr ~trace:t ~registry:reg ~dir ~reason:"slo" () in
+  checki "jsonl + chrome + metrics" 3 (List.length files);
+  List.iter
+    (fun f -> checkb (Filename.basename f ^ " exists") true (Sys.file_exists f))
+    files;
+  (match files with
+   | jsonl :: chrome :: _ ->
+     checkb "dump names carry the reason" true
+       (Filename.basename jsonl = "flight-slo.jsonl");
+     checkb "chrome dump parses as json" true
+       (match Json.parse (Export.read_file chrome) with
+        | Ok _ -> true
+        | Error _ -> false)
+   | _ -> Alcotest.fail "missing dump files");
+  List.iter Sys.remove files;
+  Sys.rmdir dir;
+  checkb "zero capacity rejected" true
+    (try
+       ignore (Flight_recorder.create ~capacity:0 () : Flight_recorder.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- pull-style gauges: sampler hook, gc stats, lane stats --- *)
+
+let test_sampler_hook () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg ~subsystem:"gc" ~name:"x" in
+  let pulls = ref 0 in
+  let s =
+    Sampler.create ~interval:10.0
+      ~on_sample:(fun () ->
+        incr pulls;
+        Registry.set g (float_of_int !pulls))
+      reg
+  in
+  Sampler.poll s ~now:0.0;
+  Sampler.poll s ~now:5.0;
+  Sampler.poll s ~now:10.0;
+  checki "hook fires once per snapshot, not per poll" 2 !pulls;
+  (* the snapshot sees the value the hook just refreshed *)
+  match List.rev (Sampler.samples s) with
+  | (_, line) :: _ ->
+    (match Option.bind (Json.member "gauges" line) (Json.member "gc/x") with
+     | Some v ->
+       checkf "gauge refreshed before snapshot" 2.0
+         (Option.value ~default:0.0 (Json.to_float v))
+     | None -> Alcotest.fail "gc/x gauge missing from snapshot")
+  | [] -> Alcotest.fail "no samples"
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let test_runtime_and_lane_gauges () =
+  let reg = Registry.create () in
+  let gc = Gc_stats.create reg in
+  ignore (Sys.opaque_identity (Array.make 100_000 0.0) : float array);
+  Gc_stats.update gc;
+  let gv name = Registry.gauge_value (Registry.gauge reg ~subsystem:"gc" ~name) in
+  checkb "heap gauge populated" true (gv "heap_mb" > 0.0);
+  checkb "allocation tracked" true (gv "allocated_mb_total" > 0.0);
+  checkb "collection counts non-negative" true (gv "minor_collections" >= 0.0);
+  (* sharded engine: per-lane stats sum to the whole-engine figures *)
+  let e = Engine.create ~seed:1 ~lanes:4 () in
+  for i = 0 to 99 do
+    ignore
+      (Engine.schedule ~shard:i e ~delay:(float_of_int (i mod 10)) (fun () -> ())
+        : Engine.handle)
+  done;
+  Engine.run e;
+  let stats = Engine.lane_stats e in
+  checki "one stat per lane" 4 (Array.length stats);
+  checki "lane executed sums to engine total" (Engine.events_executed e)
+    (Array.fold_left (fun a s -> a + s.Engine.lane_events) 0 stats);
+  checki "nothing left pending" 0
+    (Array.fold_left (fun a s -> a + s.Engine.lane_pending) 0 stats);
+  Array.iter
+    (fun s -> checkb "high water covers executed" true
+        (s.Engine.lane_high_water >= 1))
+    stats;
+  Engine_stats.record reg e;
+  let lv name = Registry.gauge_value (Registry.gauge reg ~subsystem:"lanes" ~name) in
+  checkf "per-lane executed gauge" 25.0 (lv "lane0_executed");
+  checkf "balanced load reports imbalance 1" 1.0 (lv "imbalance");
+  checkf "whole-engine gauge kept" 100.0
+    (Registry.gauge_value (Registry.gauge reg ~subsystem:"engine" ~name:"events_executed"));
+  (* the report renders both without any flag: runtime header + lane table *)
+  let text = Report.render (Report.of_registry reg) in
+  checkb "runtime header rendered" true (contains text "runtime: alloc");
+  checkb "lanes section rendered" true (contains text "== lanes ==");
+  checkb "imbalance line rendered" true (contains text "imbalance");
+  (* a single-lane engine emits no lanes subsystem at all *)
+  let reg1 = Registry.create () in
+  Engine_stats.record reg1 (Engine.create ~seed:1 ());
+  checkb "single lane: no lanes section" false
+    (contains (Report.render (Report.of_registry reg1)) "== lanes ==")
+
 let suite =
   [
     Alcotest.test_case "span lifecycle" `Quick test_lifecycle;
     Alcotest.test_case "disabled trace" `Quick test_disabled;
     Alcotest.test_case "wraparound orphans" `Quick test_wraparound_orphans;
+    Alcotest.test_case "evicted ends at tiny capacities" `Quick test_evicted_ends_tiny;
     Alcotest.test_case "wraparound recycles closed" `Quick test_wraparound_closed_ok;
     Alcotest.test_case "begin/end mismatches" `Quick test_mismatches;
     Alcotest.test_case "suppression and clamping" `Quick test_suppression_and_clamp;
@@ -384,4 +652,10 @@ let suite =
     Alcotest.test_case "log-hist merge" `Quick test_log_hist_merge;
     Alcotest.test_case "slo specs" `Quick test_slo;
     Alcotest.test_case "timeline sampler" `Quick test_sampler;
+    Alcotest.test_case "sampling: no half trees" `Quick test_sampling_no_half_trees;
+    Alcotest.test_case "sampling: deterministic" `Quick test_sampling_deterministic;
+    Alcotest.test_case "sampling: exact latency" `Quick test_sampling_exact_latency;
+    Alcotest.test_case "flight recorder" `Quick test_flight_recorder;
+    Alcotest.test_case "sampler on_sample hook" `Quick test_sampler_hook;
+    Alcotest.test_case "runtime and lane gauges" `Quick test_runtime_and_lane_gauges;
   ]
