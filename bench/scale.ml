@@ -279,6 +279,10 @@ let opt_kb = function Some kb -> Json.Int kb | None -> Json.Null
 let point_json p =
   Json.Obj
     [
+      (* which transport backend carried the run — benches always drive
+         the deterministic sim seam; live-ring figures come from
+         `p2psim serve` health dumps instead *)
+      ("transport", Json.String "sim");
       ("peers", Json.Int p.n);
       ("t_peers", Json.Int p.t_count);
       ("lanes", Json.Int p.lanes);

@@ -1162,6 +1162,80 @@ let report_cmd =
           charts; $(b,--timeline) adds sparkline time series.")
     term
 
+(* --- serve subcommand --- *)
+
+let serve_cmd =
+  let run peers port_base smoke inserts lookups ready_timeout dump_dir =
+    if peers < 1 then begin
+      Printf.eprintf "p2psim serve: --peers must be >= 1\n";
+      exit 2
+    end;
+    let outcome =
+      P2p_transport.Serve.run ~inserts ~lookups ~ready_timeout ~dump_dir
+        ~peers ~port_base ~smoke ()
+    in
+    P2p_transport.Serve.print_outcome outcome;
+    exit outcome.P2p_transport.Serve.exit_code
+  in
+  let peers_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "peers" ] ~docv:"N" ~doc:"Number of worker processes to fork.")
+  in
+  let port_base_arg =
+    Arg.(
+      value & opt int 4700
+      & info [ "port-base" ] ~docv:"PORT"
+          ~doc:
+            "First TCP port; worker $(i,i) listens on 127.0.0.1:PORT+$(i,i) \
+             and the client on PORT+N.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the smoke workload (inserts + lookups), report recall, shut \
+             the ring down and exit non-zero unless recall is 1.0 and the \
+             health dumps are violation-free.")
+  in
+  let inserts_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "inserts" ] ~docv:"K" ~doc:"Smoke-mode insert count.")
+  in
+  let lookups_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "lookups" ] ~docv:"K" ~doc:"Smoke-mode lookup count.")
+  in
+  let ready_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "ready-timeout" ] ~docv:"SECONDS"
+          ~doc:"How long to wait for every worker to report ready.")
+  in
+  let dump_dir_arg =
+    Arg.(
+      value & opt string "_serve_health"
+      & info [ "dump-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory receiving one health-$(i,node).jsonl per worker \
+             (periodic self-audit and transport counters).")
+  in
+  let term =
+    Term.(
+      const run $ peers_arg $ port_base_arg $ smoke_arg $ inserts_arg
+      $ lookups_arg $ ready_timeout_arg $ dump_dir_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Fork N OS processes that bootstrap a live ring on localhost over \
+          real TCP sockets, serve inserts/lookups, and write periodic JSONL \
+          health dumps per process.")
+    term
+
 let () =
   let doc = "hybrid peer-to-peer system simulator (Yang & Yang reproduction)" in
   let info = Cmd.info "p2psim" ~version:"1.0.0" ~doc in
@@ -1169,4 +1243,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; audit_cmd; analyze_cmd;
-            report_cmd ]))
+            report_cmd; serve_cmd ]))

@@ -1,7 +1,7 @@
 open P2p_hashspace
 module Rng = P2p_sim.Rng
 module Engine = P2p_sim.Engine
-module Timer = P2p_sim.Timer
+module Transport = P2p_transport.Transport
 module Trace = P2p_sim.Trace
 module Metrics = P2p_net.Metrics
 
@@ -132,7 +132,7 @@ type ctx = {
   started : float;
   mutable finished : bool;
   mutable replied : bool;
-  mutable timer : Timer.t;
+  mutable timer : Transport.timer;
   on_result : lookup_outcome -> unit;
   w : World.t;
 }
@@ -140,7 +140,7 @@ type ctx = {
 let finish_success ctx ~holder ~value ~hops =
   if not ctx.finished then begin
     ctx.finished <- true;
-    Timer.cancel ctx.timer;
+    Transport.cancel ctx.timer;
     let latency = World.now ctx.w -. ctx.started in
     Metrics.record_lookup_success ctx.w.World.metrics ~latency ~hops;
     Trace.end_op (World.trace ctx.w) ~time:(World.now ctx.w) ~op:ctx.op
@@ -296,8 +296,8 @@ let lookup w ~from ~key ?ttl ?route_id () ~on_result =
   let op = Trace.begin_op (World.trace w) ~time:(World.now w) ~kind:Trace.Lookup key in
   let expire_hook = ref (fun () -> ()) in
   let make_timer () =
-    Timer.one_shot w.World.engine ~delay:w.World.config.Config.lookup_timeout
-      (fun () -> !expire_hook ())
+    World.one_shot w ~delay:w.World.config.Config.lookup_timeout (fun () ->
+        !expire_hook ())
   in
   let ctx =
     {
@@ -396,12 +396,12 @@ let keyword_lookup w ~from ~substring ~route_id ?ttl ~window () ~on_result =
   let matches = ref [] in
   let closed = ref false in
   ignore
-    (Timer.one_shot w.World.engine ~delay:window (fun () ->
+    (World.one_shot w ~delay:window (fun () ->
          closed := true;
          Trace.end_op (World.trace w) ~time:(World.now w) ~op
            (Printf.sprintf "%d matches" (List.length !matches));
          on_result (List.rev !matches))
-      : Timer.t);
+      : Transport.timer);
   let scan_peer peer =
     Metrics.record_contact w.World.metrics;
     Data_store.iter peer.Peer.store (fun ~key ~value:_ ~route_id:_ ->

@@ -1,4 +1,4 @@
-module Timer = P2p_sim.Timer
+module Transport = P2p_transport.Transport
 module Trace = P2p_sim.Trace
 
 (* Every overlay link a peer maintains: its tree edges plus, for a t-peer,
@@ -15,7 +15,7 @@ let overlay_neighbors peer =
 let is_neighbor peer q = List.exists (fun n -> n == q) (overlay_neighbors peer)
 
 let cancel_watchdogs peer =
-  Hashtbl.iter (fun _ t -> Timer.cancel t) peer.Peer.watchdogs;
+  Hashtbl.iter (fun _ t -> Transport.cancel t) peer.Peer.watchdogs;
   Hashtbl.reset peer.Peer.watchdogs
 
 (* Collect the live members of a crashed t-peer's former s-network by
@@ -68,11 +68,11 @@ let elect w ~dead =
 
 let rec arm_watchdog w peer ~target =
   match Hashtbl.find_opt peer.Peer.watchdogs target.Peer.host with
-  | Some t -> Timer.reset t
+  | Some t -> Transport.reset t
   | None ->
     let t =
-      Timer.one_shot w.World.engine ~delay:w.World.config.Config.hello_timeout
-        (fun () -> on_timeout w peer ~target)
+      World.one_shot w ~delay:w.World.config.Config.hello_timeout (fun () ->
+          on_timeout w peer ~target)
     in
     Hashtbl.replace peer.Peer.watchdogs target.Peer.host t
 
@@ -134,11 +134,11 @@ let broadcast_hello w peer () =
 let enable_heartbeats w peer =
   if w.World.config.Config.heartbeats && peer.Peer.alive then begin
     (match peer.Peer.hello_timer with
-     | Some t -> Timer.cancel t
+     | Some t -> Transport.cancel t
      | None -> ());
     peer.Peer.hello_timer <-
       Some
-        (Timer.periodic w.World.engine ~period:w.World.config.Config.hello_period
+        (World.periodic w ~period:w.World.config.Config.hello_period
            (broadcast_hello w peer));
     List.iter (fun neighbor -> arm_watchdog w peer ~target:neighbor) (overlay_neighbors peer)
   end
@@ -159,7 +159,7 @@ let install_query_hook w =
               (* The scheduled HELLO is cancelled to save bandwidth: the ack
                  doubles as the heartbeat. *)
               (match receiver.Peer.hello_timer with
-               | Some t -> Timer.reset t
+               | Some t -> Transport.reset t
                | None -> ());
               World.send w ~src:receiver ~dst:sender (fun () ->
                   if sender.Peer.alive && receiver.Peer.alive then
@@ -181,7 +181,7 @@ let crash w peer =
   peer.Peer.bypass <- [];
   (match peer.Peer.hello_timer with
    | Some t ->
-     Timer.cancel t;
+     Transport.cancel t;
      peer.Peer.hello_timer <- None
    | None -> ());
   cancel_watchdogs peer;

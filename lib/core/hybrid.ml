@@ -145,9 +145,8 @@ let join t ~host ?role ?p_id ?(link_capacity = 1.0) ?interest ?on_done () =
             incr retries;
             if !retries <= 30 then
               ignore
-                (Engine.schedule t.w.World.engine ~label:"timer" ~delay:1.0
-                   start_join
-                  : Engine.handle))
+                (World.one_shot t.w ~delay:1.0 start_join
+                  : P2p_transport.Transport.timer))
           ~on_done:(fun ~hops -> finish_join t peer started ~op ?on_done ~hops ())
           ()
     in

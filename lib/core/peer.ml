@@ -32,8 +32,8 @@ type t = {
   mutable summaries_epoch : int;
   tracker_index : (string, t) Hashtbl.t;
   mutable bypass : (t * float) list;
-  mutable watchdogs : (int, P2p_sim.Timer.t) Hashtbl.t;
-  mutable hello_timer : P2p_sim.Timer.t option;
+  mutable watchdogs : (int, P2p_transport.Transport.timer) Hashtbl.t;
+  mutable hello_timer : P2p_transport.Transport.timer option;
   mutable last_ack_sent : float;
 }
 

@@ -65,8 +65,8 @@ type t = {
   (* bypass links, with absolute expiry times *)
   mutable bypass : (t * float) list;
   (* failure detection bookkeeping (driven by the [Failure] module) *)
-  mutable watchdogs : (int, P2p_sim.Timer.t) Hashtbl.t;  (** neighbour host -> timer *)
-  mutable hello_timer : P2p_sim.Timer.t option;
+  mutable watchdogs : (int, P2p_transport.Transport.timer) Hashtbl.t;  (** neighbour host -> timer *)
+  mutable hello_timer : P2p_transport.Transport.timer option;
   mutable last_ack_sent : float;  (** for the suppress timer *)
 }
 

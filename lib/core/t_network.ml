@@ -293,9 +293,9 @@ let rec leave w ?op peer ~on_done =
   if peer.Peer.joining || peer.Peer.join_queue <> [] || peer.Peer.leaving then
     (* Pending joins must complete first; retry shortly. *)
     ignore
-      (Engine.schedule w.World.engine ~label:"timer" ~delay:1.0 (fun () ->
+      (World.one_shot w ~delay:1.0 (fun () ->
            if peer.Peer.alive then leave w ?op peer ~on_done)
-        : Engine.handle)
+        : P2p_transport.Transport.timer)
   else begin
     World.bump w ~subsystem:"t_network" ~name:"leaves";
     let members =

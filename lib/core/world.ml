@@ -5,6 +5,7 @@ module Trace = P2p_sim.Trace
 module Underlay = P2p_net.Underlay
 module Metrics = P2p_net.Metrics
 module Landmark = P2p_topology.Landmark
+module Transport = P2p_transport.Transport
 
 type snet_policy =
   | Smallest_s_network
@@ -21,6 +22,7 @@ type snet_policy =
 type t = {
   engine : Engine.t;
   underlay : Underlay.t;
+  transport : Transport.t;
   metrics : Metrics.t;
   config : Config.t;
   rng : Rng.t;
@@ -56,6 +58,7 @@ let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network
   {
     engine;
     underlay;
+    transport = P2p_transport.Sim_transport.create ~underlay;
     metrics;
     config;
     rng = Rng.split (Engine.rng engine);
@@ -77,7 +80,7 @@ let create ~engine ~underlay ~metrics ~config ?(snet_policy = Smallest_s_network
     replication_pending = 0;
   }
 
-let now t = Engine.now t.engine
+let now t = Transport.now t.transport
 
 let trace t = Underlay.trace t.underlay
 
@@ -93,8 +96,16 @@ let shard_shift = Id_space.bits - 6
 let shard_of (p : Peer.t) = p.Peer.p_id lsr shard_shift
 
 let send t ?op ~src ~dst f =
-  Underlay.send t.underlay ?op ~shard:(shard_of dst) ~src:src.Peer.host
+  Transport.send t.transport ?op ~shard:(shard_of dst) ~src:src.Peer.host
     ~dst:dst.Peer.host f
+
+(* Timers on the transport clock — the protocol layers' only way to arm
+   delayed work, so the same code runs over the simulation engine and
+   the live wall-clock wheel. *)
+let one_shot t ?label ~delay f = Transport.one_shot t.transport ?label ~delay f
+
+let periodic t ?label ~period f =
+  Transport.periodic t.transport ?label ~period f
 
 (* Like [send], but the delivery is also a causal span of [op]: opened
    when the message is posted, closed (under the op's root span — no
@@ -110,7 +121,7 @@ let send_span t ?op ~tier ~phase ~src ~dst f =
       Trace.begin_span tr ~time:(now t) ~op:op_id ~tier ~phase
         ~src:src.Peer.host ~dst:dst.Peer.host phase
     in
-    Underlay.send t.underlay ~op:op_id ~shard:(shard_of dst)
+    Transport.send t.transport ~op:op_id ~shard:(shard_of dst)
       ~src:src.Peer.host ~dst:dst.Peer.host
       (fun () ->
         Fun.protect

@@ -25,6 +25,11 @@ type snet_policy =
 type t = {
   engine : P2p_sim.Engine.t;
   underlay : P2p_net.Underlay.t;
+  transport : P2p_transport.Transport.t;
+      (** the seam every protocol message and timer goes through — a
+          {!P2p_transport.Sim_transport} over [underlay] here; the live
+          Unix backend implements the same signature for real
+          deployments *)
   metrics : P2p_net.Metrics.t;
   config : Config.t;
   rng : P2p_sim.Rng.t;
@@ -100,9 +105,21 @@ val now : t -> float
     message event lands. *)
 val trace : t -> P2p_sim.Trace.t
 
-(** [send t ?op ~src ~dst f] delivers [f] over the underlay, attributing
-    the message to operation [op] in the trace. *)
+(** [send t ?op ~src ~dst f] delivers [f] through the transport seam,
+    attributing the message to operation [op] in the trace. *)
 val send : t -> ?op:int -> src:Peer.t -> dst:Peer.t -> (unit -> unit) -> unit
+
+(** [one_shot t ~delay f] arms a timer on the transport clock.  The
+    protocol layers must use these (not {!P2p_sim.Timer} directly) so
+    the same code runs over the simulation engine and the live
+    wall-clock wheel.  Cancelling after firing is a counted no-op (the
+    [timer/cancel_late] counter). *)
+val one_shot :
+  t -> ?label:string -> delay:float -> (unit -> unit) -> P2p_transport.Transport.timer
+
+(** [periodic t ~period f] fires [f] every [period] until cancelled. *)
+val periodic :
+  t -> ?label:string -> period:float -> (unit -> unit) -> P2p_transport.Transport.timer
 
 (** [send_span t ?op ~tier ~phase ~src ~dst f] — {!send}, plus a causal
     span of [op] (parented on the op's root span) covering the message's

@@ -18,6 +18,10 @@ let record reg engine =
     (float_of_int (Engine.events_executed engine));
   set "engine" "queue_high_water"
     (float_of_int (Engine.queue_high_water engine));
+  (* cancels that arrived after their timer had already fired — a
+     process-wide figure shared by the sim timer and the live transport's
+     wall-clock wheel *)
+  set "timer" "cancel_late" (float_of_int (P2p_sim.Timer.cancel_late ()));
   let stats = Engine.lane_stats engine in
   let n = Array.length stats in
   if n > 1 then begin

@@ -3,7 +3,7 @@ module Peer = Hybrid_p2p.Peer
 module Config = Hybrid_p2p.Config
 module Data_store = Hybrid_p2p.Data_store
 module Summaries = Hybrid_p2p.Summaries
-module Timer = P2p_sim.Timer
+module Transport = P2p_transport.Transport
 module Trace = P2p_sim.Trace
 module Registry = P2p_obs.Registry
 module Metrics = P2p_net.Metrics
@@ -22,8 +22,8 @@ type t = {
   digest_mismatches : Registry.counter;
   stale_pruned : Registry.counter;
   live_factor : Registry.gauge;
-  mutable heal_timer : Timer.t option;  (* debounced post-crash heal *)
-  mutable ae_timer : Timer.t option;  (* periodic anti-entropy *)
+  mutable heal_timer : Transport.timer option;  (* debounced post-crash heal *)
+  mutable ae_timer : Transport.timer option;  (* periodic anti-entropy *)
 }
 
 let factor t = t.factor
@@ -176,12 +176,12 @@ let heal ?op t =
 let on_failure t _dead =
   let w = t.w in
   match t.heal_timer with
-  | Some timer -> Timer.reset timer
+  | Some timer -> Transport.reset timer
   | None ->
     w.World.replication_pending <- w.World.replication_pending + 1;
     t.heal_timer <-
       Some
-        (Timer.one_shot w.World.engine ~delay:w.World.config.Config.hello_timeout
+        (World.one_shot w ~delay:w.World.config.Config.hello_timeout
            (fun () ->
              t.heal_timer <- None;
              w.World.replication_pending <- w.World.replication_pending - 1;
@@ -274,14 +274,14 @@ let start t =
   if t.factor > 0 && t.ae_timer = None then
     t.ae_timer <-
       Some
-        (Timer.periodic t.w.World.engine
+        (World.periodic t.w
            ~period:t.w.World.config.Config.anti_entropy_interval (fun () ->
              anti_entropy_round t))
 
 let stop t =
   match t.ae_timer with
   | Some timer ->
-    Timer.cancel timer;
+    Transport.cancel timer;
     t.ae_timer <- None
   | None -> ()
 

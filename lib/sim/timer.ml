@@ -1,43 +1,83 @@
 type kind = One_shot | Periodic
 
+(* Armed: a live entry sits in the event queue.  Fired: a one-shot ran to
+   completion (periodics re-arm before running the action, so they only
+   reach Fired through the action cancelling them mid-tick).  Cancelled:
+   disarmed by the owner.  A cancel that arrives after the timer already
+   fired is a silent no-op counted under [cancel_late] — it must NOT
+   touch the queue, or the dead handle would linger as a ghost entry
+   until compaction. *)
+type state = Armed | Fired | Cancelled
+
 type t = {
   engine : Engine.t;
   delay : float;
   kind : kind;
+  label : string;
   action : unit -> unit;
   mutable handle : Engine.handle option;
+  mutable state : state;
 }
+
+(* Cancels that arrived after the timer had already fired.  One shared
+   monotonic counter for the whole process: the sim engine and the live
+   timer wheel agree on the semantics, and observability layers export
+   the figure as the [timer/cancel_late] gauge. *)
+let cancel_late_total = ref 0
+
+let cancel_late () = !cancel_late_total
+
+let note_cancel_late () = incr cancel_late_total
 
 let arm t =
   let rec fire () =
     t.handle <- None;
+    t.state <- Fired;
     (match t.kind with
      | Periodic ->
-       t.handle <- Some (Engine.schedule ~label:"timer" t.engine ~delay:t.delay fire)
+       t.state <- Armed;
+       t.handle <- Some (Engine.schedule ~label:t.label t.engine ~delay:t.delay fire)
      | One_shot -> ());
     t.action ()
   in
-  t.handle <- Some (Engine.schedule ~label:"timer" t.engine ~delay:t.delay fire)
+  t.state <- Armed;
+  t.handle <- Some (Engine.schedule ~label:t.label t.engine ~delay:t.delay fire)
 
-let one_shot engine ~delay action =
-  let t = { engine; delay; kind = One_shot; action; handle = None } in
+let one_shot ?(label = "timer") engine ~delay action =
+  let t =
+    { engine; delay; kind = One_shot; label; action; handle = None; state = Armed }
+  in
   arm t;
   t
 
-let periodic engine ~period action =
-  let t = { engine; delay = period; kind = Periodic; action; handle = None } in
+let periodic ?(label = "timer") engine ~period action =
+  let t =
+    { engine; delay = period; kind = Periodic; label; action; handle = None;
+      state = Armed }
+  in
   arm t;
   t
 
 let cancel t =
   match t.handle with
-  | None -> ()
+  | None ->
+    (* Already fired (late cancel, counted) or already cancelled
+       (idempotent): either way there is no queue entry to kill. *)
+    if t.state = Fired then begin
+      t.state <- Cancelled;
+      note_cancel_late ()
+    end
   | Some h ->
     Engine.cancel h;
-    t.handle <- None
+    t.handle <- None;
+    t.state <- Cancelled
 
 let reset t =
-  cancel t;
+  (match t.handle with
+   | None -> ()
+   | Some h ->
+     Engine.cancel h;
+     t.handle <- None);
   arm t
 
 let active t = t.handle <> None

@@ -10,20 +10,34 @@ type t
 
 (** [one_shot engine ~delay f] arms a timer firing [f] once after [delay].
     The timer may be {!reset} (rearmed for a fresh [delay]) or {!cancel}ed
-    before it fires. *)
-val one_shot : Engine.t -> delay:float -> (unit -> unit) -> t
+    before it fires.  [label] (default ["timer"]) is the engine profiling
+    label of the scheduled event. *)
+val one_shot : ?label:string -> Engine.t -> delay:float -> (unit -> unit) -> t
 
 (** [periodic engine ~period f] fires [f] every [period], starting one
     [period] from now, until cancelled. *)
-val periodic : Engine.t -> period:float -> (unit -> unit) -> t
+val periodic : ?label:string -> Engine.t -> period:float -> (unit -> unit) -> t
 
 (** [reset t] rearms the timer: a one-shot fires a full delay from now, a
     periodic's next tick moves to one period from now.  Resetting a
     cancelled or already-fired one-shot re-arms it. *)
 val reset : t -> unit
 
-(** [cancel t] disarms the timer permanently until the next [reset]. *)
+(** [cancel t] disarms the timer permanently until the next [reset].
+    Cancelling a timer that already fired is a silent no-op counted under
+    {!cancel_late} — it leaves no ghost entry in the event queue.
+    Cancelling an already-cancelled timer is an uncounted no-op. *)
 val cancel : t -> unit
 
 (** [active t] is [true] iff the timer is armed. *)
 val active : t -> bool
+
+(** Process-wide count of cancels that arrived after their timer had
+    already fired.  The live transport's wall-clock wheel shares this
+    counter so sim and live runs export one [timer/cancel_late] figure. *)
+val cancel_late : unit -> int
+
+(** Bump the shared late-cancel counter — for alternative timer
+    implementations (the live transport's wall-clock wheel) that keep the
+    same cancel semantics. *)
+val note_cancel_late : unit -> unit

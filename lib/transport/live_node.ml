@@ -1,0 +1,303 @@
+(* One live ring node: the protocol logic a [p2psim serve] worker
+   process runs over {!Live_transport}.
+
+   Bootstrap is tracker-style (the paper's BitTorrent-like s-network,
+   §5): every node announces itself to node 0; once the tracker has
+   heard from all [n] members it broadcasts the full peer list, and each
+   node derives its ring position — successor and predecessor by p_id
+   order — locally.  Connection refusals during the race where workers
+   come up in arbitrary order are absorbed by the transport's
+   retry/backoff, so announces need no application-level retry.
+
+   Data operations route Chord-style around the successor ring: a node
+   owning the key's [d_id] (half-open arc (pred, self]) serves it,
+   anyone else forwards to its successor with the hop counter bumped.
+   Client requests enter at any node; that entry node remembers the
+   requesting client per request id and relays the ring's answer back as
+   a [Client_reply].
+
+   Every node audits itself: each stored key must hash into the node's
+   own arc, the peer list must have exactly [n] members, and a routed
+   message must never exceed [2n] hops.  Violations are counted and
+   published in the periodic JSONL health dump ([health-<node>.jsonl]),
+   one self-describing object per line, which the orchestrator collects
+   after shutdown. *)
+
+module Json = P2p_obs.Json
+module Id_space = P2p_hashspace.Id_space
+module Key_hash = P2p_hashspace.Key_hash
+
+type t = {
+  node : int;
+  n : int;
+  p_id : int;
+  tr : Live_transport.t;
+  store : (string, string) Hashtbl.t;
+  mutable peers : (int * int) list;  (* (node, p_id), sorted by p_id *)
+  mutable succ : int;
+  mutable pred : int;
+  mutable pred_id : int;
+  mutable ready : bool;
+  pending : (int, int) Hashtbl.t;  (* request id -> client node *)
+  mutable violations : int;
+  mutable hops_served : int;
+  mutable served : int;
+  dump : out_channel option;
+  mutable stopping : bool;
+  (* tracker state (node 0 only) *)
+  announced : (int, int * int) Hashtbl.t;  (* node -> (p_id, port) *)
+}
+
+let loopback port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let owns t d_id =
+  t.n = 1 || Id_space.between_incl_right d_id ~left:t.pred_id ~right:t.p_id
+
+let max_hops t = 2 * t.n
+
+(* --- health dump ----------------------------------------------------- *)
+
+let dump_health t ~event =
+  match t.dump with
+  | None -> ()
+  | Some oc ->
+    let s = Live_transport.stats t.tr in
+    let line =
+      Json.Obj
+        [
+          ("ts", Json.Float (Unix.gettimeofday ()));
+          ("event", Json.String event);
+          ("node", Json.Int t.node);
+          ("p_id", Json.Int t.p_id);
+          ("ready", Json.Bool t.ready);
+          ("store", Json.Int (Hashtbl.length t.store));
+          ("served", Json.Int t.served);
+          ("hops_served", Json.Int t.hops_served);
+          ("violations", Json.Int t.violations);
+          ("msgs_sent", Json.Int s.msgs_sent);
+          ("msgs_received", Json.Int s.msgs_received);
+          ("bytes_sent", Json.Int s.bytes_sent);
+          ("bytes_received", Json.Int s.bytes_received);
+          ("retries", Json.Int s.retries);
+          ("window_stalls", Json.Int s.window_stalls);
+          ("decode_errors", Json.Int s.decode_errors);
+          ("timer_cancel_late", Json.Int (P2p_sim.Timer.cancel_late ()));
+        ]
+    in
+    output_string oc (Json.to_string line);
+    output_char oc '\n';
+    flush oc
+
+(* --- self-audit ------------------------------------------------------ *)
+
+let audit t =
+  if t.ready then begin
+    if List.length t.peers <> t.n then t.violations <- t.violations + 1;
+    Hashtbl.iter
+      (fun key _ ->
+        if not (owns t (Key_hash.of_string key)) then
+          t.violations <- t.violations + 1)
+      t.store
+  end
+
+(* --- ring bootstrap -------------------------------------------------- *)
+
+let send t ~dst msg = Live_transport.send t.tr ~src:t.node ~dst msg
+
+let apply_peers t peers =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare a b)
+      (List.map (fun (node, p_id, _port) -> (node, p_id)) peers)
+  in
+  t.peers <- sorted;
+  let len = List.length sorted in
+  let idx = ref 0 in
+  List.iteri (fun i (node, _) -> if node = t.node then idx := i) sorted;
+  let succ_node, _ = List.nth sorted ((!idx + 1) mod len) in
+  let pred_node, pred_id = List.nth sorted ((!idx + len - 1) mod len) in
+  t.succ <- succ_node;
+  t.pred <- pred_node;
+  t.pred_id <- pred_id;
+  t.ready <- true
+
+let tracker_maybe_broadcast t =
+  if t.node = 0 && Hashtbl.length t.announced = t.n then begin
+    let peers =
+      List.sort compare
+        (Hashtbl.fold
+           (fun node (p_id, port) acc -> (node, p_id, port) :: acc)
+           t.announced [])
+    in
+    List.iter
+      (fun (node, _, _) ->
+        if node = t.node then apply_peers t peers
+        else send t ~dst:node (Wire.Tracker_peers { peers }))
+      peers
+  end
+
+(* --- data path ------------------------------------------------------- *)
+
+let reply_client t ~req ~found ~value ~holder ~hops =
+  match Hashtbl.find_opt t.pending req with
+  | None -> ()
+  | Some client ->
+    Hashtbl.remove t.pending req;
+    send t ~dst:client (Wire.Client_reply { req; found; value; holder; hops })
+
+let route_insert t ~op ~origin ~route_id ~key ~value ~hops =
+  if hops > max_hops t then t.violations <- t.violations + 1
+  else if owns t (Key_hash.of_string key) then begin
+    Hashtbl.replace t.store key value;
+    t.served <- t.served + 1;
+    t.hops_served <- t.hops_served + hops;
+    if origin = t.node then
+      reply_client t ~req:op ~found:true ~value:"" ~holder:t.node ~hops
+    else
+      send t ~dst:origin (Wire.Insert_ack { op; holder = t.node; hops })
+  end
+  else if t.succ = t.node then t.violations <- t.violations + 1
+  else
+    send t ~dst:t.succ
+      (Wire.Insert { op; origin; route_id; key; value; hops = hops + 1 })
+
+let route_lookup t ~op ~origin ~route_id ~key ~ttl ~hops =
+  if hops > max_hops t then t.violations <- t.violations + 1
+  else if owns t (Key_hash.of_string key) then begin
+    t.served <- t.served + 1;
+    t.hops_served <- t.hops_served + hops;
+    let answer =
+      match Hashtbl.find_opt t.store key with
+      | Some value -> Wire.Found { op; key; value; holder = t.node; hops }
+      | None -> Wire.Not_found { op; key; hops }
+    in
+    if origin = t.node then
+      match answer with
+      | Wire.Found { value; holder; hops; _ } ->
+        reply_client t ~req:op ~found:true ~value ~holder ~hops
+      | _ -> reply_client t ~req:op ~found:false ~value:"" ~holder:(-1) ~hops
+    else send t ~dst:origin answer
+  end
+  else if t.succ = t.node then t.violations <- t.violations + 1
+  else
+    send t ~dst:t.succ
+      (Wire.Lookup { op; origin; route_id; key; ttl; hops = hops + 1 })
+
+(* --- dispatch -------------------------------------------------------- *)
+
+let handle t ~src msg =
+  match msg with
+  | Wire.Tracker_announce { host; p_id; port } ->
+    if t.node = 0 then begin
+      Hashtbl.replace t.announced host (p_id, port);
+      tracker_maybe_broadcast t
+    end
+  | Wire.Tracker_peers { peers } -> apply_peers t peers
+  | Wire.Insert { op; origin; route_id; key; value; hops } ->
+    route_insert t ~op ~origin ~route_id ~key ~value ~hops
+  | Wire.Insert_ack { op; holder; hops } ->
+    reply_client t ~req:op ~found:true ~value:"" ~holder ~hops
+  | Wire.Lookup { op; origin; route_id; key; ttl; hops } ->
+    route_lookup t ~op ~origin ~route_id ~key ~ttl ~hops
+  | Wire.Found { op; value; holder; hops; _ } ->
+    reply_client t ~req:op ~found:true ~value ~holder ~hops
+  | Wire.Not_found { op; hops; _ } ->
+    reply_client t ~req:op ~found:false ~value:"" ~holder:(-1) ~hops
+  | Wire.Client_insert { req; key; value } ->
+    Hashtbl.replace t.pending req src;
+    route_insert t ~op:req ~origin:t.node ~route_id:req ~key ~value ~hops:0
+  | Wire.Client_lookup { req; key } ->
+    Hashtbl.replace t.pending req src;
+    route_lookup t ~op:req ~origin:t.node ~route_id:req ~key
+      ~ttl:(max_hops t) ~hops:0
+  | Wire.Status_request { req } ->
+    send t ~dst:src
+      (Wire.Status
+         {
+           req;
+           node = t.node;
+           ready = t.ready;
+           store = Hashtbl.length t.store;
+           violations = t.violations;
+         })
+  | Wire.Shutdown -> t.stopping <- true
+  | Wire.Ping { nonce } -> send t ~dst:src (Wire.Pong { nonce })
+  | _ -> ()
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+(* [client] is the orchestrator's node index (= [n]); it gets an address
+   so replies can dial back to it. *)
+let create ?dump_dir ~node ~n ~port_base () =
+  let port = port_base + node in
+  let p_id = Key_hash.of_address ~ip:"127.0.0.1" ~port in
+  let tr = Live_transport.create ~p_id ~self:node () in
+  for peer = 0 to n do
+    Live_transport.set_peer_addr tr peer (loopback (port_base + peer))
+  done;
+  Live_transport.listen tr (loopback port);
+  let dump =
+    Option.map
+      (fun dir ->
+        open_out (Filename.concat dir (Printf.sprintf "health-%d.jsonl" node)))
+      dump_dir
+  in
+  let t =
+    {
+      node;
+      n;
+      p_id;
+      tr;
+      store = Hashtbl.create 256;
+      peers = [];
+      succ = node;
+      pred = node;
+      pred_id = p_id;
+      ready = false;
+      pending = Hashtbl.create 64;
+      violations = 0;
+      hops_served = 0;
+      served = 0;
+      dump;
+      stopping = false;
+      announced = Hashtbl.create 16;
+    }
+  in
+  Live_transport.set_handler tr (fun ~src ~dst:_ msg -> handle t ~src msg);
+  (* Announce to the tracker; node 0 announces to itself locally. *)
+  if node = 0 then begin
+    Hashtbl.replace t.announced 0 (p_id, port);
+    tracker_maybe_broadcast t
+  end
+  else send t ~dst:0 (Wire.Tracker_announce { host = node; p_id; port });
+  dump_health t ~event:"start";
+  ignore
+    (Live_transport.periodic tr ~period:500. (fun () ->
+         audit t;
+         dump_health t ~event:"tick"));
+  t
+
+let ready t = t.ready
+
+let step ?timeout t = Live_transport.step ?timeout t.tr
+
+let transport t = t.tr
+
+let violations t = t.violations
+
+let stop t =
+  audit t;
+  dump_health t ~event:"final";
+  (match t.dump with Some oc -> close_out oc | None -> ());
+  Live_transport.stop t.tr
+
+(* Run until a [Shutdown] frame arrives, then flush a final health line
+   and close every socket.  A few extra steps before closing let the
+   last replies (and other nodes' shutdowns) drain. *)
+let run t =
+  while not t.stopping do
+    ignore (step ~timeout:0.05 t)
+  done;
+  for _ = 1 to 5 do
+    ignore (step ~timeout:0.01 t)
+  done;
+  stop t

@@ -1,0 +1,35 @@
+(** One live ring node — the protocol logic a [p2psim serve] worker
+    process runs over {!Live_transport}.
+
+    Tracker-style bootstrap (node 0 collects announces and broadcasts
+    the peer list), Chord-style successor-ring routing for inserts and
+    lookups, client request relay, per-node self-audit (stored keys must
+    hash into the node's own arc) and periodic JSONL health dumps. *)
+
+type t
+
+(** [create ~node ~n ~port_base ()] builds node [node] of an [n]-node
+    ring listening on [port_base + node].  Node indices [0..n-1] are
+    ring members; index [n] is reserved for the orchestrator/client.
+    [dump_dir], when given, receives [health-<node>.jsonl]. *)
+val create : ?dump_dir:string -> node:int -> n:int -> port_base:int -> unit -> t
+
+(** [true] once the tracker's peer list arrived and the ring position
+    (successor/predecessor) is known. *)
+val ready : t -> bool
+
+(** One event-loop turn; see {!Live_transport.step}. *)
+val step : ?timeout:float -> t -> bool
+
+val transport : t -> Live_transport.t
+
+(** Audit violations counted so far (misplaced keys, ring shape,
+    hop-count overruns). *)
+val violations : t -> int
+
+(** Blocking loop: step until a [Shutdown] frame arrives, drain, then
+    {!stop}. *)
+val run : t -> unit
+
+(** Final audit + health line, close dump and sockets. *)
+val stop : t -> unit

@@ -1,0 +1,69 @@
+(** Live Unix backend of the transport seam.
+
+    Non-blocking TCP with a [Unix.select] event loop.  Peers are node
+    indices mapped to socket addresses with {!set_peer_addr}; outbound
+    connections are dialled on first {!send} and carry a
+    connect/retry/backoff state machine — frames queued while a
+    connection is down are preserved and flushed after reconnect.
+    Sends past the per-connection byte window still queue but count
+    [window_stalls].  Decoding a corrupt stream closes the connection
+    and counts [decode_errors]; it never raises.
+
+    The loop owner calls {!step} repeatedly; each step selects on every
+    live socket (bounded by the earliest wall-clock timer or retry
+    deadline), services readiness, and fires due {!Timer_wheel} timers.
+    Time is milliseconds since {!create}. *)
+
+type t
+
+include Transport.S with type t := t and type payload = Wire.msg and type addr = int
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable msgs_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable connects : int;
+  mutable retries : int;
+  mutable window_stalls : int;
+  mutable decode_errors : int;
+}
+
+(** [create ~self ()] makes a transport for node [self].  [p_id] is
+    advertised in the connection handshake; [window] caps queued bytes
+    per connection before sends count as stalled; [backoff_base] /
+    [backoff_max] (ms) bound the reconnect backoff. *)
+val create :
+  ?p_id:int ->
+  ?window:int ->
+  ?backoff_base:float ->
+  ?backoff_max:float ->
+  self:int ->
+  unit ->
+  t
+
+val stats : t -> stats
+
+(** [set_peer_addr t peer sockaddr] registers where [peer] listens. *)
+val set_peer_addr : t -> int -> Unix.sockaddr -> unit
+
+(** [listen t sockaddr] binds and listens for inbound connections. *)
+val listen : t -> Unix.sockaddr -> unit
+
+(** [step ?timeout t] runs one event-loop turn: redial due backoffs,
+    select (at most [timeout] seconds, default 0.05), read/write ready
+    sockets, fire due timers.  Returns [true] iff anything happened. *)
+val step : ?timeout:float -> t -> bool
+
+(** [connected t peer] is [true] iff the outbound connection to [peer]
+    is established. *)
+val connected : t -> int -> bool
+
+(** Bytes queued (and handshake pending) toward [peer]. *)
+val pending_bytes : t -> int -> int
+
+(** Flush best-effort, close every socket, stop accepting.  Idempotent;
+    later {!step}s are no-ops. *)
+val stop : t -> unit
+
+val running : t -> bool

@@ -1,0 +1,292 @@
+(* [p2psim serve]: fork N worker processes, each running one
+   {!Live_node} of a live localhost ring, and drive them from the parent
+   acting as the client (node index N on the same transport fabric).
+
+   The parent waits for every worker to report [ready] via
+   [Status_request]/[Status] polling, then — in smoke mode — pushes a
+   fixed insert/lookup workload through round-robin entry nodes,
+   computes recall, shuts the ring down with [Shutdown] frames, reaps
+   the children and scans their JSONL health dumps for audit violations
+   and decode errors.  Exit code 0 means the ring formed, recall was
+   1.0 and the dumps are clean; anything else is 1.
+
+   Without [--smoke] the ring is left serving until the parent receives
+   SIGINT/SIGTERM, which triggers the same clean shutdown. *)
+
+module Json = P2p_obs.Json
+
+type outcome = {
+  ready_nodes : int;
+  inserts_ok : int;
+  lookups_found : int;
+  lookups_total : int;
+  recall : float;
+  violations : int;
+  decode_errors : int;
+  exit_code : int;
+}
+
+let mkdir_p dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ())
+
+(* --- child ----------------------------------------------------------- *)
+
+let run_child ~node ~n ~port_base ~dump_dir =
+  let t = Live_node.create ~dump_dir ~node ~n ~port_base () in
+  Live_node.run t;
+  exit 0
+
+(* --- parent: client over the live fabric ----------------------------- *)
+
+type client = {
+  tr : Live_transport.t;
+  replies : (int, Wire.msg) Hashtbl.t;
+  statuses : (int, Wire.msg) Hashtbl.t;
+}
+
+let make_client ~n ~port_base =
+  let tr = Live_transport.create ~self:n () in
+  for peer = 0 to n do
+    Live_transport.set_peer_addr tr peer
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, port_base + peer))
+  done;
+  Live_transport.listen tr
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, port_base + n));
+  let c = { tr; replies = Hashtbl.create 1024; statuses = Hashtbl.create 64 } in
+  Live_transport.set_handler tr (fun ~src:_ ~dst:_ msg ->
+      match msg with
+      | Wire.Client_reply { req; _ } -> Hashtbl.replace c.replies req msg
+      | Wire.Status { node; _ } -> Hashtbl.replace c.statuses node msg
+      | _ -> ());
+  c
+
+(* Step the client loop until [done_ ()] or the wall-clock deadline. *)
+let pump c ~seconds done_ =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let finished = ref (done_ ()) in
+  while (not !finished) && Unix.gettimeofday () < deadline do
+    ignore (Live_transport.step ~timeout:0.02 c.tr);
+    finished := done_ ()
+  done;
+  !finished
+
+let wait_ready c ~n ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let req = ref 0 in
+  let all_ready () =
+    let count = ref 0 in
+    Hashtbl.iter
+      (fun _ msg ->
+        match msg with Wire.Status { ready = true; _ } -> incr count | _ -> ())
+      c.statuses;
+    !count = n
+  in
+  let ready = ref (all_ready ()) in
+  while (not !ready) && Unix.gettimeofday () < deadline do
+    for node = 0 to n - 1 do
+      incr req;
+      Live_transport.send c.tr ~src:n ~dst:node
+        (Wire.Status_request { req = !req })
+    done;
+    ignore (pump c ~seconds:0.25 all_ready);
+    ready := all_ready ()
+  done;
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun _ msg ->
+      match msg with Wire.Status { ready = true; _ } -> incr count | _ -> ())
+    c.statuses;
+  (!ready, !count)
+
+(* --- health-dump scan ------------------------------------------------ *)
+
+let scan_dumps ~dump_dir ~n =
+  let violations = ref 0 and decode_errors = ref 0 in
+  for node = 0 to n - 1 do
+    let path = Filename.concat dump_dir (Printf.sprintf "health-%d.jsonl" node) in
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let last = ref None in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then last := Some line
+         done
+       with End_of_file -> ());
+      close_in ic;
+      match !last with
+      | None -> ()
+      | Some line -> (
+        match Json.parse line with
+        | Error _ -> incr decode_errors
+        | Ok v ->
+          let field name =
+            Option.value ~default:0
+              (Option.bind (Json.member name v) Json.to_int)
+          in
+          violations := !violations + field "violations";
+          decode_errors := !decode_errors + field "decode_errors")
+    end
+  done;
+  (!violations, !decode_errors)
+
+(* --- orchestration --------------------------------------------------- *)
+
+let kill_children pids =
+  List.iter (fun pid -> try Unix.kill pid Sys.sigkill with _ -> ()) pids
+
+let reap pids ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec wait_one pid =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () < deadline then begin
+        ignore (Unix.select [] [] [] 0.02);
+        wait_one pid
+      end
+      else begin
+        (try Unix.kill pid Sys.sigkill with _ -> ());
+        ignore (Unix.waitpid [] pid)
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (ECHILD, _, _) -> ()
+  in
+  List.iter wait_one pids
+
+let shutdown_ring c ~n =
+  for node = 0 to n - 1 do
+    Live_transport.send c.tr ~src:n ~dst:node Wire.Shutdown
+  done;
+  (* Let the shutdown frames flush. *)
+  ignore (pump c ~seconds:1.0 (fun () -> false))
+
+let smoke_workload c ~n ~inserts ~lookups =
+  let key i = Printf.sprintf "live-key-%04d" i in
+  for i = 1 to inserts do
+    Live_transport.send c.tr ~src:n ~dst:((i - 1) mod n)
+      (Wire.Client_insert { req = i; key = key i; value = Printf.sprintf "v%d" i })
+  done;
+  let inserts_done () =
+    let ok = ref 0 in
+    for i = 1 to inserts do
+      if Hashtbl.mem c.replies i then incr ok
+    done;
+    !ok = inserts
+  in
+  let _ = pump c ~seconds:30. inserts_done in
+  let inserts_ok = ref 0 in
+  for i = 1 to inserts do
+    match Hashtbl.find_opt c.replies i with
+    | Some (Wire.Client_reply { found = true; _ }) -> incr inserts_ok
+    | _ -> ()
+  done;
+  let base = 1_000_000 in
+  for j = 1 to lookups do
+    let target = ((j * 7) mod inserts) + 1 in
+    Live_transport.send c.tr ~src:n ~dst:((j - 1) mod n)
+      (Wire.Client_lookup { req = base + j; key = key target })
+  done;
+  let lookups_done () =
+    let ok = ref 0 in
+    for j = 1 to lookups do
+      if Hashtbl.mem c.replies (base + j) then incr ok
+    done;
+    !ok = lookups
+  in
+  let _ = pump c ~seconds:30. lookups_done in
+  let found = ref 0 in
+  for j = 1 to lookups do
+    match Hashtbl.find_opt c.replies (base + j) with
+    | Some (Wire.Client_reply { found = true; _ }) -> incr found
+    | _ -> ()
+  done;
+  (!inserts_ok, !found)
+
+let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
+    ?(dump_dir = "_serve_health") ~peers:n ~port_base ~smoke () =
+  mkdir_p dump_dir;
+  let pids =
+    List.init n (fun node ->
+        match Unix.fork () with
+        | 0 ->
+          (* Child: run the node; never returns. *)
+          (try run_child ~node ~n ~port_base ~dump_dir
+           with e ->
+             Printf.eprintf "node %d died: %s\n%!" node (Printexc.to_string e);
+             exit 2)
+        | pid -> pid)
+  in
+  let c = make_client ~n ~port_base in
+  let finish ~ready_nodes ~inserts_ok ~lookups_found ~lookups_total =
+    shutdown_ring c ~n;
+    Live_transport.stop c.tr;
+    reap pids ~seconds:5.;
+    let violations, decode_errors = scan_dumps ~dump_dir ~n in
+    let recall =
+      if lookups_total = 0 then 0.
+      else float_of_int lookups_found /. float_of_int lookups_total
+    in
+    let exit_code =
+      if
+        ready_nodes = n
+        && inserts_ok = inserts
+        && lookups_total > 0
+        && lookups_found = lookups_total
+        && violations = 0
+        && decode_errors = 0
+      then 0
+      else 1
+    in
+    {
+      ready_nodes;
+      inserts_ok;
+      lookups_found;
+      lookups_total;
+      recall;
+      violations;
+      decode_errors;
+      exit_code;
+    }
+  in
+  let all_ready, ready_nodes = wait_ready c ~n ~seconds:ready_timeout in
+  if not all_ready then begin
+    Printf.eprintf "serve: only %d/%d nodes ready after %.0fs\n%!" ready_nodes
+      n ready_timeout;
+    let o = finish ~ready_nodes ~inserts_ok:0 ~lookups_found:0 ~lookups_total:0 in
+    kill_children pids;
+    { o with exit_code = 1 }
+  end
+  else if smoke then begin
+    Printf.printf "serve: ring of %d nodes ready on ports %d-%d\n%!" n
+      port_base (port_base + n - 1);
+    let inserts_ok, lookups_found = smoke_workload c ~n ~inserts ~lookups in
+    finish ~ready_nodes ~inserts_ok ~lookups_found ~lookups_total:lookups
+  end
+  else begin
+    Printf.printf
+      "serve: ring of %d nodes ready on ports %d-%d (Ctrl-C to stop)\n%!" n
+      port_base (port_base + n - 1);
+    let stop = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+    while not !stop do
+      ignore (Live_transport.step ~timeout:0.2 c.tr)
+    done;
+    let o = finish ~ready_nodes ~inserts_ok:0 ~lookups_found:0 ~lookups_total:0 in
+    (* Without a smoke workload, success means the ring formed and the
+       dumps are clean. *)
+    {
+      o with
+      exit_code =
+        (if ready_nodes = n && o.violations = 0 && o.decode_errors = 0 then 0
+         else 1);
+    }
+  end
+
+let print_outcome o =
+  Printf.printf
+    "serve: ready=%d inserts_ok=%d lookups=%d/%d recall=%.3f violations=%d \
+     decode_errors=%d -> %s\n%!"
+    o.ready_nodes o.inserts_ok o.lookups_found o.lookups_total o.recall
+    o.violations o.decode_errors
+    (if o.exit_code = 0 then "PASS" else "FAIL")

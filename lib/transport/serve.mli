@@ -1,0 +1,33 @@
+(** [p2psim serve] orchestration: fork [peers] worker processes each
+    running one {!Live_node} on [127.0.0.1:(port_base + node)], act as
+    the client from the parent, and (in smoke mode) drive an
+    insert/lookup workload, compute recall and scan the workers' JSONL
+    health dumps for violations. *)
+
+type outcome = {
+  ready_nodes : int;
+  inserts_ok : int;
+  lookups_found : int;
+  lookups_total : int;
+  recall : float;  (** found / total lookups, smoke mode *)
+  violations : int;  (** summed from final health-dump lines *)
+  decode_errors : int;
+  exit_code : int;  (** 0 = ring formed, recall 1.0, dumps clean *)
+}
+
+(** [run ~peers ~port_base ~smoke ()] forks the ring and returns after
+    shutdown (smoke mode) or after SIGINT/SIGTERM (serve mode).
+    [dump_dir] (default ["_serve_health"]) receives
+    [health-<node>.jsonl] per worker. *)
+val run :
+  ?inserts:int ->
+  ?lookups:int ->
+  ?ready_timeout:float ->
+  ?dump_dir:string ->
+  peers:int ->
+  port_base:int ->
+  smoke:bool ->
+  unit ->
+  outcome
+
+val print_outcome : outcome -> unit

@@ -1,0 +1,109 @@
+(* Wall-clock timers for the live transport, with the same semantics as
+   the engine-clock [P2p_sim.Timer]: restartable one-shots and
+   periodics, lazy cancellation, and cancel-after-fire as a counted
+   no-op on the shared [timer/cancel_late] counter.  Backed by the same
+   [Event_queue] binary heap the engine uses — time is whatever the
+   clock function supplied at [create] returns (the live loop passes
+   milliseconds since its epoch), and the owning event loop drives the
+   wheel by calling [run_due] whenever [next_deadline] comes due. *)
+
+open P2p_sim
+
+type state = Armed | Fired | Cancelled
+
+type tm = {
+  wheel : t;
+  delay : float;
+  kind : [ `One_shot | `Periodic ];
+  action : unit -> unit;
+  mutable handle : Event_queue.handle option;
+  mutable state : state;
+}
+
+and t = { q : tm Event_queue.t; clock : unit -> float }
+
+let create ~clock = { q = Event_queue.create (); clock }
+
+let arm tm =
+  tm.handle <- Some (Event_queue.add tm.wheel.q ~time:(tm.wheel.clock () +. tm.delay) tm);
+  tm.state <- Armed
+
+let cancel tm =
+  match tm.handle with
+  | Some h ->
+    Event_queue.cancel h;
+    tm.handle <- None;
+    tm.state <- Cancelled
+  | None ->
+    if tm.state = Fired then begin
+      tm.state <- Cancelled;
+      Timer.note_cancel_late ()
+    end
+
+let reset tm =
+  (match tm.handle with
+   | Some h ->
+     Event_queue.cancel h;
+     tm.handle <- None
+   | None -> ());
+  arm tm
+
+let active tm = tm.handle <> None
+
+let wrap tm =
+  {
+    Transport.cancel = (fun () -> cancel tm);
+    reset = (fun () -> reset tm);
+    active = (fun () -> active tm);
+  }
+
+let one_shot t ~delay action =
+  let tm =
+    { wheel = t; delay; kind = `One_shot; action; handle = None; state = Armed }
+  in
+  arm tm;
+  wrap tm
+
+let periodic t ~period action =
+  let tm =
+    {
+      wheel = t;
+      delay = period;
+      kind = `Periodic;
+      action;
+      handle = None;
+      state = Armed;
+    }
+  in
+  arm tm;
+  wrap tm
+
+let next_deadline t = Event_queue.peek_time t.q
+
+let pending t = Event_queue.live_length t.q
+
+(* Fire every timer due at or before the current clock reading.  A
+   periodic re-arms before its action runs, so the action may cancel or
+   reset it; a one-shot is marked [Fired] first for the same reason.
+   Periodics re-arm relative to the current clock, not the missed
+   deadline: a stalled loop fires each periodic once and moves on rather
+   than bursting through every missed interval. *)
+let run_due t =
+  let now = t.clock () in
+  let fired = ref 0 in
+  let rec loop () =
+    match Event_queue.peek_time t.q with
+    | Some time when time <= now -> (
+      match Event_queue.pop t.q with
+      | None -> ()
+      | Some (_, tm) ->
+        tm.handle <- None;
+        tm.state <- Fired;
+        if tm.kind = `Periodic then arm tm;
+        tm.action ();
+        incr fired;
+        loop ())
+    | _ -> ()
+  in
+  loop ();
+  !fired

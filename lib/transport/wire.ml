@@ -1,0 +1,525 @@
+(* Length-prefixed binary wire codec for every protocol message.
+
+   Frame layout (all integers big-endian):
+
+     +--------+-------+---------+-----+---------+
+     | len u32| 'P''2'| version | tag | payload |
+     +--------+-------+---------+-----+---------+
+
+   [len] counts the bytes after the length word (magic + version + tag +
+   payload).  Integers in payloads are 8-byte two's complement (OCaml's
+   63-bit ints round-trip exactly); strings are u32-length-prefixed
+   bytes; lists are u32-count-prefixed elements.  Decoding never raises:
+   every malformed input — bad magic, unknown version or tag, truncated
+   payload, oversized frame — comes back as [Error]. *)
+
+let version = 1
+
+let magic0 = 'P'
+let magic1 = '2'
+
+(* Frames larger than this are rejected as corruption rather than
+   trusted as an allocation size. *)
+let max_body = 16 * 1024 * 1024
+
+type role = T | S
+
+type msg =
+  | Hello of { node : int; p_id : int }
+  | Ping of { nonce : int }
+  | Pong of { nonce : int }
+  | Join_request of { host : int; p_id : int; role : role }
+  | Join_welcome of { succ : int; pred : int }
+  | Attach_child of { parent : int; child : int }
+  | Stabilize_notify of { host : int; p_id : int }
+  | Leave of { host : int }
+  | Insert of {
+      op : int;
+      origin : int;
+      route_id : int;
+      key : string;
+      value : string;
+      hops : int;
+    }
+  | Insert_ack of { op : int; holder : int; hops : int }
+  | Lookup of {
+      op : int;
+      origin : int;
+      route_id : int;
+      key : string;
+      ttl : int;
+      hops : int;
+    }
+  | Found of { op : int; key : string; value : string; holder : int; hops : int }
+  | Not_found of { op : int; key : string; hops : int }
+  | Flood of { op : int; route_id : int; key : string; ttl : int }
+  | Walk of { op : int; route_id : int; key : string; ttl : int }
+  | Replicate of { route_id : int; key : string; value : string }
+  | Digest of { left : int; right : int; digest : int }
+  | Digest_pull of { left : int; right : int }
+  | Tracker_announce of { host : int; p_id : int; port : int }
+  | Tracker_peers of { peers : (int * int * int) list }
+  | Client_insert of { req : int; key : string; value : string }
+  | Client_lookup of { req : int; key : string }
+  | Client_reply of {
+      req : int;
+      found : bool;
+      value : string;
+      holder : int;
+      hops : int;
+    }
+  | Status_request of { req : int }
+  | Status of {
+      req : int;
+      node : int;
+      ready : bool;
+      store : int;
+      violations : int;
+    }
+  | Shutdown
+
+let tag_of = function
+  | Hello _ -> 1
+  | Ping _ -> 2
+  | Pong _ -> 3
+  | Join_request _ -> 4
+  | Join_welcome _ -> 5
+  | Attach_child _ -> 6
+  | Stabilize_notify _ -> 7
+  | Leave _ -> 8
+  | Insert _ -> 9
+  | Insert_ack _ -> 10
+  | Lookup _ -> 11
+  | Found _ -> 12
+  | Not_found _ -> 13
+  | Flood _ -> 14
+  | Walk _ -> 15
+  | Replicate _ -> 16
+  | Digest _ -> 17
+  | Digest_pull _ -> 18
+  | Tracker_announce _ -> 19
+  | Tracker_peers _ -> 20
+  | Client_insert _ -> 21
+  | Client_lookup _ -> 22
+  | Client_reply _ -> 23
+  | Status_request _ -> 24
+  | Status _ -> 25
+  | Shutdown -> 26
+
+let tag_name = function
+  | Hello _ -> "hello"
+  | Ping _ -> "ping"
+  | Pong _ -> "pong"
+  | Join_request _ -> "join_request"
+  | Join_welcome _ -> "join_welcome"
+  | Attach_child _ -> "attach_child"
+  | Stabilize_notify _ -> "stabilize_notify"
+  | Leave _ -> "leave"
+  | Insert _ -> "insert"
+  | Insert_ack _ -> "insert_ack"
+  | Lookup _ -> "lookup"
+  | Found _ -> "found"
+  | Not_found _ -> "not_found"
+  | Flood _ -> "flood"
+  | Walk _ -> "walk"
+  | Replicate _ -> "replicate"
+  | Digest _ -> "digest"
+  | Digest_pull _ -> "digest_pull"
+  | Tracker_announce _ -> "tracker_announce"
+  | Tracker_peers _ -> "tracker_peers"
+  | Client_insert _ -> "client_insert"
+  | Client_lookup _ -> "client_lookup"
+  | Client_reply _ -> "client_reply"
+  | Status_request _ -> "status_request"
+  | Status _ -> "status"
+  | Shutdown -> "shutdown"
+
+(* --- encoding -------------------------------------------------------- *)
+
+let put_int b v =
+  Buffer.add_int64_be b (Int64.of_int v)
+
+let put_u32 b v =
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let put_role b = function T -> Buffer.add_char b 'T' | S -> Buffer.add_char b 'S'
+
+let encode_body msg =
+  let b = Buffer.create 64 in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr (tag_of msg));
+  (match msg with
+   | Hello { node; p_id } ->
+     put_int b node;
+     put_int b p_id
+   | Ping { nonce } | Pong { nonce } -> put_int b nonce
+   | Join_request { host; p_id; role } ->
+     put_int b host;
+     put_int b p_id;
+     put_role b role
+   | Join_welcome { succ; pred } ->
+     put_int b succ;
+     put_int b pred
+   | Attach_child { parent; child } ->
+     put_int b parent;
+     put_int b child
+   | Stabilize_notify { host; p_id } ->
+     put_int b host;
+     put_int b p_id
+   | Leave { host } -> put_int b host
+   | Insert { op; origin; route_id; key; value; hops } ->
+     put_int b op;
+     put_int b origin;
+     put_int b route_id;
+     put_string b key;
+     put_string b value;
+     put_int b hops
+   | Insert_ack { op; holder; hops } ->
+     put_int b op;
+     put_int b holder;
+     put_int b hops
+   | Lookup { op; origin; route_id; key; ttl; hops } ->
+     put_int b op;
+     put_int b origin;
+     put_int b route_id;
+     put_string b key;
+     put_int b ttl;
+     put_int b hops
+   | Found { op; key; value; holder; hops } ->
+     put_int b op;
+     put_string b key;
+     put_string b value;
+     put_int b holder;
+     put_int b hops
+   | Not_found { op; key; hops } ->
+     put_int b op;
+     put_string b key;
+     put_int b hops
+   | Flood { op; route_id; key; ttl } | Walk { op; route_id; key; ttl } ->
+     put_int b op;
+     put_int b route_id;
+     put_string b key;
+     put_int b ttl
+   | Replicate { route_id; key; value } ->
+     put_int b route_id;
+     put_string b key;
+     put_string b value
+   | Digest { left; right; digest } ->
+     put_int b left;
+     put_int b right;
+     put_int b digest
+   | Digest_pull { left; right } ->
+     put_int b left;
+     put_int b right
+   | Tracker_announce { host; p_id; port } ->
+     put_int b host;
+     put_int b p_id;
+     put_int b port
+   | Tracker_peers { peers } ->
+     put_u32 b (List.length peers);
+     List.iter
+       (fun (host, p_id, port) ->
+         put_int b host;
+         put_int b p_id;
+         put_int b port)
+       peers
+   | Client_insert { req; key; value } ->
+     put_int b req;
+     put_string b key;
+     put_string b value
+   | Client_lookup { req; key } ->
+     put_int b req;
+     put_string b key
+   | Client_reply { req; found; value; holder; hops } ->
+     put_int b req;
+     put_bool b found;
+     put_string b value;
+     put_int b holder;
+     put_int b hops
+   | Status_request { req } -> put_int b req
+   | Status { req; node; ready; store; violations } ->
+     put_int b req;
+     put_int b node;
+     put_bool b ready;
+     put_int b store;
+     put_int b violations
+   | Shutdown -> ());
+  Buffer.contents b
+
+let encode msg =
+  let body = encode_body msg in
+  let b = Buffer.create (4 + String.length body) in
+  put_u32 b (String.length body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+(* --- decoding -------------------------------------------------------- *)
+
+type cursor = { data : string; mutable pos : int }
+
+exception Bad of string
+
+let need c n =
+  if c.pos + n > String.length c.data then
+    raise (Bad (Printf.sprintf "truncated at byte %d (want %d more)" c.pos n))
+
+let get_int c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_be c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.data c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Bad "negative length");
+  v
+
+let get_char c =
+  need c 1;
+  let ch = c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  ch
+
+let get_string c =
+  let n = get_u32 c in
+  if n > max_body then raise (Bad "oversized string");
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bool c =
+  match get_char c with
+  | '\000' -> false
+  | '\001' -> true
+  | ch -> raise (Bad (Printf.sprintf "bad bool byte %#x" (Char.code ch)))
+
+let get_role c =
+  match get_char c with
+  | 'T' -> T
+  | 'S' -> S
+  | ch -> raise (Bad (Printf.sprintf "bad role byte %#x" (Char.code ch)))
+
+let decode_payload c tag =
+  match tag with
+  | 1 ->
+    let node = get_int c in
+    let p_id = get_int c in
+    Hello { node; p_id }
+  | 2 -> Ping { nonce = get_int c }
+  | 3 -> Pong { nonce = get_int c }
+  | 4 ->
+    let host = get_int c in
+    let p_id = get_int c in
+    let role = get_role c in
+    Join_request { host; p_id; role }
+  | 5 ->
+    let succ = get_int c in
+    let pred = get_int c in
+    Join_welcome { succ; pred }
+  | 6 ->
+    let parent = get_int c in
+    let child = get_int c in
+    Attach_child { parent; child }
+  | 7 ->
+    let host = get_int c in
+    let p_id = get_int c in
+    Stabilize_notify { host; p_id }
+  | 8 -> Leave { host = get_int c }
+  | 9 ->
+    let op = get_int c in
+    let origin = get_int c in
+    let route_id = get_int c in
+    let key = get_string c in
+    let value = get_string c in
+    let hops = get_int c in
+    Insert { op; origin; route_id; key; value; hops }
+  | 10 ->
+    let op = get_int c in
+    let holder = get_int c in
+    let hops = get_int c in
+    Insert_ack { op; holder; hops }
+  | 11 ->
+    let op = get_int c in
+    let origin = get_int c in
+    let route_id = get_int c in
+    let key = get_string c in
+    let ttl = get_int c in
+    let hops = get_int c in
+    Lookup { op; origin; route_id; key; ttl; hops }
+  | 12 ->
+    let op = get_int c in
+    let key = get_string c in
+    let value = get_string c in
+    let holder = get_int c in
+    let hops = get_int c in
+    Found { op; key; value; holder; hops }
+  | 13 ->
+    let op = get_int c in
+    let key = get_string c in
+    let hops = get_int c in
+    Not_found { op; key; hops }
+  | 14 ->
+    let op = get_int c in
+    let route_id = get_int c in
+    let key = get_string c in
+    let ttl = get_int c in
+    Flood { op; route_id; key; ttl }
+  | 15 ->
+    let op = get_int c in
+    let route_id = get_int c in
+    let key = get_string c in
+    let ttl = get_int c in
+    Walk { op; route_id; key; ttl }
+  | 16 ->
+    let route_id = get_int c in
+    let key = get_string c in
+    let value = get_string c in
+    Replicate { route_id; key; value }
+  | 17 ->
+    let left = get_int c in
+    let right = get_int c in
+    let digest = get_int c in
+    Digest { left; right; digest }
+  | 18 ->
+    let left = get_int c in
+    let right = get_int c in
+    Digest_pull { left; right }
+  | 19 ->
+    let host = get_int c in
+    let p_id = get_int c in
+    let port = get_int c in
+    Tracker_announce { host; p_id; port }
+  | 20 ->
+    let n = get_u32 c in
+    if n > max_body / 24 then raise (Bad "oversized peer list");
+    let peers =
+      List.init n (fun _ ->
+          let host = get_int c in
+          let p_id = get_int c in
+          let port = get_int c in
+          (host, p_id, port))
+    in
+    Tracker_peers { peers }
+  | 21 ->
+    let req = get_int c in
+    let key = get_string c in
+    let value = get_string c in
+    Client_insert { req; key; value }
+  | 22 ->
+    let req = get_int c in
+    let key = get_string c in
+    Client_lookup { req; key }
+  | 23 ->
+    let req = get_int c in
+    let found = get_bool c in
+    let value = get_string c in
+    let holder = get_int c in
+    let hops = get_int c in
+    Client_reply { req; found; value; holder; hops }
+  | 24 -> Status_request { req = get_int c }
+  | 25 ->
+    let req = get_int c in
+    let node = get_int c in
+    let ready = get_bool c in
+    let store = get_int c in
+    let violations = get_int c in
+    Status { req; node; ready; store; violations }
+  | 26 -> Shutdown
+  | tag -> raise (Bad (Printf.sprintf "unknown tag %d" tag))
+
+let decode_body body =
+  let c = { data = body; pos = 0 } in
+  match
+    if get_char c <> magic0 || get_char c <> magic1 then raise (Bad "bad magic");
+    let v = Char.code (get_char c) in
+    if v <> version then raise (Bad (Printf.sprintf "unknown version %d" v));
+    let tag = Char.code (get_char c) in
+    let msg = decode_payload c tag in
+    if c.pos <> String.length body then
+      raise (Bad (Printf.sprintf "%d trailing bytes" (String.length body - c.pos)));
+    msg
+  with
+  | msg -> Ok msg
+  | exception Bad reason -> Error reason
+  | exception _ -> Error "malformed frame"
+
+(* [decode buf] reads one frame from the head of [buf]: [Ok (Some (msg,
+   consumed))] on a complete frame, [Ok None] when more bytes are needed,
+   [Error] on corruption.  Stream readers call it in a loop. *)
+let decode buf =
+  let len = String.length buf in
+  if len < 4 then Ok None
+  else begin
+    let body_len = Int32.to_int (String.get_int32_be buf 0) in
+    if body_len < 4 then Error "frame too short for header"
+    else if body_len > max_body then
+      Error (Printf.sprintf "frame of %d bytes exceeds cap" body_len)
+    else if len < 4 + body_len then Ok None
+    else
+      match decode_body (String.sub buf 4 body_len) with
+      | Ok msg -> Ok (Some (msg, 4 + body_len))
+      | Error e -> Error e
+  end
+
+(* --- golden exemplars ------------------------------------------------- *)
+
+(* One canonical value per message kind, in tag order.  The checked-in
+   [test/golden/wire_v1.bin] is the concatenated encoding of this list;
+   changing the codec or this list without regenerating the golden file
+   fails the round-trip test. *)
+let golden_exemplars =
+  [
+    Hello { node = 3; p_id = 0x1234_5678 };
+    Ping { nonce = 42 };
+    Pong { nonce = 42 };
+    Join_request { host = 17; p_id = 0x0fed_cba9; role = T };
+    Join_welcome { succ = 4; pred = 2 };
+    Attach_child { parent = 5; child = 11 };
+    Stabilize_notify { host = 7; p_id = 99 };
+    Leave { host = 13 };
+    Insert
+      {
+        op = 1001;
+        origin = 2;
+        route_id = 0x7fff_ffff;
+        key = "song/track-01";
+        value = "payload bytes \x00\x01\xff";
+        hops = 3;
+      };
+    Insert_ack { op = 1001; holder = 6; hops = 4 };
+    Lookup
+      {
+        op = 2002;
+        origin = 1;
+        route_id = 0;
+        key = "needle";
+        ttl = 4;
+        hops = 0;
+      };
+    Found { op = 2002; key = "needle"; value = "hay"; holder = 6; hops = 5 };
+    Not_found { op = 2003; key = "missing"; hops = 7 };
+    Flood { op = 3001; route_id = 77; key = "flood-key"; ttl = 2 };
+    Walk { op = 3002; route_id = 78; key = "walk-key"; ttl = 6 };
+    Replicate { route_id = 4242; key = "copy"; value = "of this" };
+    Digest { left = 100; right = 200; digest = 0x5ca1_ab1e };
+    Digest_pull { left = 100; right = 200 };
+    Tracker_announce { host = 0; p_id = 12345; port = 4700 };
+    Tracker_peers { peers = [ (0, 10, 4700); (1, 20, 4701); (2, 30, 4702) ] };
+    Client_insert { req = 1; key = "k"; value = "v" };
+    Client_lookup { req = 2; key = "k" };
+    Client_reply { req = 2; found = true; value = "v"; holder = 3; hops = 2 };
+    Status_request { req = 9 };
+    Status { req = 9; node = 4; ready = true; store = 25; violations = 0 };
+    Shutdown;
+  ]

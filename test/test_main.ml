@@ -27,6 +27,7 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("analysis", Test_analysis.suite);
       ("scale", Test_scale.suite);
+      ("transport", Test_transport.suite);
       ("properties", Test_properties.suite);
       ("properties.extensions", Test_properties2.suite);
     ]

@@ -1,0 +1,385 @@
+(* Transport seam: wire codec (round-trip, golden bytes, fuzz), timer
+   cancel-late semantics (engine clock and wall-clock wheel), and the
+   live TCP loop driven entirely in-process — two [Live_transport]
+   endpoints on localhost stepped by hand through connect,
+   retry-after-refused, windowed send under a full buffer, and clean
+   shutdown. *)
+
+module Wire = P2p_transport.Wire
+module Transport = P2p_transport.Transport
+module Live = P2p_transport.Live_transport
+module Wheel = P2p_transport.Timer_wheel
+module Sim_transport = P2p_transport.Sim_transport
+module Timer = P2p_sim.Timer
+module Engine = P2p_sim.Engine
+
+let golden_path = "golden/wire_v1.bin"
+
+(* --- codec ----------------------------------------------------------- *)
+
+let roundtrip_every_kind () =
+  List.iter
+    (fun msg ->
+      let frame = Wire.encode msg in
+      match Wire.decode frame with
+      | Ok (Some (decoded, consumed)) ->
+        Alcotest.(check int)
+          (Wire.tag_name msg ^ " consumes whole frame")
+          (String.length frame) consumed;
+        Alcotest.(check bool) (Wire.tag_name msg ^ " round-trips") true
+          (decoded = msg)
+      | Ok None -> Alcotest.fail (Wire.tag_name msg ^ ": incomplete?")
+      | Error e -> Alcotest.fail (Wire.tag_name msg ^ ": " ^ e))
+    Wire.golden_exemplars
+
+let all_tags_covered () =
+  (* The exemplar list is the codec's coverage contract: one value per
+     constructor, distinct tags. *)
+  let tags =
+    List.sort_uniq compare (List.map Wire.tag_of Wire.golden_exemplars)
+  in
+  Alcotest.(check int) "one exemplar per message kind" 26 (List.length tags)
+
+let golden_bytes () =
+  let concatenated =
+    String.concat "" (List.map Wire.encode Wire.golden_exemplars)
+  in
+  match Sys.getenv_opt "WIRE_GOLDEN_WRITE" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc concatenated;
+    close_out oc
+  | None ->
+    let ic = open_in_bin golden_path in
+    let len = in_channel_length ic in
+    let golden = really_input_string ic len in
+    close_in ic;
+    Alcotest.(check int) "golden length" (String.length golden)
+      (String.length concatenated);
+    Alcotest.(check bool) "every message kind encodes byte-identically" true
+      (golden = concatenated);
+    (* And the golden stream decodes back to the exemplars. *)
+    let rec decode_all buf acc =
+      match Wire.decode buf with
+      | Ok (Some (msg, consumed)) ->
+        decode_all
+          (String.sub buf consumed (String.length buf - consumed))
+          (msg :: acc)
+      | Ok None ->
+        Alcotest.(check int) "no trailing bytes" 0 (String.length buf);
+        List.rev acc
+      | Error e -> Alcotest.fail ("golden stream: " ^ e)
+    in
+    let decoded = decode_all golden [] in
+    Alcotest.(check bool) "golden stream decodes to the exemplars" true
+      (decoded = Wire.golden_exemplars)
+
+let truncation_never_raises () =
+  List.iter
+    (fun msg ->
+      let frame = Wire.encode msg in
+      for cut = 0 to String.length frame - 1 do
+        match Wire.decode (String.sub frame 0 cut) with
+        | Ok None | Error _ -> ()
+        | Ok (Some _) ->
+          Alcotest.fail
+            (Printf.sprintf "%s truncated to %d bytes decoded"
+               (Wire.tag_name msg) cut)
+      done)
+    Wire.golden_exemplars
+
+let corruption_never_raises () =
+  (* Flip every byte of every frame through a few xor patterns: decode
+     must return (any result), never raise.  Header corruption (magic,
+     version, tag) must be an [Error]. *)
+  List.iter
+    (fun msg ->
+      let frame = Wire.encode msg in
+      List.iter
+        (fun pattern ->
+          for pos = 0 to String.length frame - 1 do
+            let corrupted = Bytes.of_string frame in
+            Bytes.set corrupted pos
+              (Char.chr (Char.code (Bytes.get corrupted pos) lxor pattern));
+            ignore (Wire.decode (Bytes.to_string corrupted))
+          done)
+        [ 0xff; 0x01; 0x80 ])
+    Wire.golden_exemplars;
+  let frame = Bytes.of_string (Wire.encode Wire.Shutdown) in
+  Bytes.set frame 4 'X';
+  (match Wire.decode (Bytes.to_string frame) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad magic accepted");
+  let frame = Bytes.of_string (Wire.encode Wire.Shutdown) in
+  Bytes.set frame 6 '\xee';
+  (match Wire.decode (Bytes.to_string frame) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown version accepted");
+  let frame = Bytes.of_string (Wire.encode Wire.Shutdown) in
+  Bytes.set frame 7 '\xee';
+  match Wire.decode (Bytes.to_string frame) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag accepted"
+
+let oversized_frame_rejected () =
+  let b = Buffer.create 8 in
+  Buffer.add_int32_be b 0x7fff_ffffl;
+  Buffer.add_string b "P2";
+  match Wire.decode (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame length accepted"
+
+(* --- timer cancel-late semantics ------------------------------------- *)
+
+let sim_cancel_late_counted () =
+  let engine = Engine.create ~seed:7 () in
+  let fired = ref 0 in
+  let t = Timer.one_shot engine ~delay:5.0 (fun () -> incr fired) in
+  Engine.run engine;
+  Alcotest.(check int) "fired once" 1 !fired;
+  let before = Timer.cancel_late () in
+  Timer.cancel t;
+  Alcotest.(check int) "cancel after fire is counted" (before + 1)
+    (Timer.cancel_late ());
+  Timer.cancel t;
+  Alcotest.(check int) "second cancel is an uncounted no-op" (before + 1)
+    (Timer.cancel_late ());
+  (* A cancel-late must not leave a ghost entry for the engine to chew. *)
+  Alcotest.(check int) "no ghost event scheduled" 1 (Engine.events_executed engine)
+
+let sim_cancel_in_time_not_counted () =
+  let engine = Engine.create ~seed:7 () in
+  let fired = ref 0 in
+  let t = Timer.one_shot engine ~delay:5.0 (fun () -> incr fired) in
+  let before = Timer.cancel_late () in
+  Timer.cancel t;
+  Engine.run engine;
+  Alcotest.(check int) "never fired" 0 !fired;
+  Alcotest.(check int) "timely cancel is not late" before (Timer.cancel_late ())
+
+let wheel_fires_and_counts_late_cancel () =
+  let clock_now = ref 0.0 in
+  let wheel = Wheel.create ~clock:(fun () -> !clock_now) in
+  let fired = ref 0 in
+  let tm = Wheel.one_shot wheel ~delay:10.0 (fun () -> incr fired) in
+  Alcotest.(check int) "armed" 1 (Wheel.pending wheel);
+  clock_now := 5.0;
+  Alcotest.(check int) "not due yet" 0 (Wheel.run_due wheel);
+  clock_now := 10.0;
+  Alcotest.(check int) "fires when due" 1 (Wheel.run_due wheel);
+  Alcotest.(check int) "fired once" 1 !fired;
+  Alcotest.(check int) "wheel drained" 0 (Wheel.pending wheel);
+  let before = Timer.cancel_late () in
+  Transport.cancel tm;
+  Alcotest.(check int) "wheel shares the cancel_late counter" (before + 1)
+    (Timer.cancel_late ());
+  Transport.cancel tm;
+  Alcotest.(check int) "wheel double cancel uncounted" (before + 1)
+    (Timer.cancel_late ())
+
+let wheel_periodic_reset_cancel () =
+  let clock_now = ref 0.0 in
+  let wheel = Wheel.create ~clock:(fun () -> !clock_now) in
+  let ticks = ref 0 in
+  let tm = Wheel.periodic wheel ~period:10.0 (fun () -> incr ticks) in
+  clock_now := 35.0;
+  ignore (Wheel.run_due wheel);
+  (* Wall-clock periodics re-arm from now: a stalled loop fires once and
+     moves on, it does not burst through the missed intervals. *)
+  Alcotest.(check int) "stall fires once, no catch-up burst" 1 !ticks;
+  Transport.reset tm;
+  clock_now := 44.0;
+  Alcotest.(check int) "reset pushed next tick out" 0 (Wheel.run_due wheel);
+  clock_now := 45.0;
+  Alcotest.(check int) "tick after reset" 1 (Wheel.run_due wheel);
+  Transport.cancel tm;
+  clock_now := 1000.0;
+  Alcotest.(check int) "cancelled periodic stays quiet" 0 (Wheel.run_due wheel);
+  Alcotest.(check int) "wheel empty after cancel" 0 (Wheel.pending wheel)
+
+(* --- live loop ------------------------------------------------------- *)
+
+let loopback port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(* Step both endpoints until [pred ()] or a wall-clock deadline. *)
+let pump ?(seconds = 5.0) transports pred =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec loop () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      List.iter (fun tr -> ignore (Live.step ~timeout:0.01 tr)) transports;
+      loop ()
+    end
+  in
+  loop ()
+
+let make_pair ~port_a ~port_b =
+  let a = Live.create ~self:0 () in
+  let b = Live.create ~self:1 () in
+  Live.set_peer_addr a 1 (loopback port_b);
+  Live.set_peer_addr b 0 (loopback port_a);
+  (a, b)
+
+let live_connect_and_exchange () =
+  let port_a = 43210 and port_b = 43211 in
+  let a, b = make_pair ~port_a ~port_b in
+  Live.listen a (loopback port_a);
+  Live.listen b (loopback port_b);
+  let got_a = ref [] and got_b = ref [] in
+  Live.set_handler a (fun ~src ~dst:_ msg -> got_a := (src, msg) :: !got_a);
+  Live.set_handler b (fun ~src ~dst:_ msg -> got_b := (src, msg) :: !got_b);
+  Live.send b ~src:1 ~dst:0 (Wire.Ping { nonce = 99 });
+  Alcotest.(check bool) "ping arrives" true
+    (pump [ a; b ] (fun () -> !got_a <> []));
+  (match !got_a with
+   | [ (src, Wire.Ping { nonce }) ] ->
+     Alcotest.(check int) "handshake identified the sender" 1 src;
+     Alcotest.(check int) "payload intact" 99 nonce
+   | _ -> Alcotest.fail "unexpected messages at a");
+  Live.send a ~src:0 ~dst:1 (Wire.Pong { nonce = 99 });
+  Alcotest.(check bool) "pong arrives" true
+    (pump [ a; b ] (fun () -> !got_b <> []));
+  Live.stop a;
+  Live.stop b
+
+let live_retry_after_refused () =
+  let port_a = 43220 and port_b = 43221 in
+  let a, b = make_pair ~port_a ~port_b in
+  let got_a = ref [] in
+  Live.set_handler a (fun ~src ~dst:_ msg -> got_a := (src, msg) :: !got_a);
+  (* Nobody listens on port_a yet: the dial is refused and must back
+     off, keeping the queued frame. *)
+  Live.send b ~src:1 ~dst:0 (Wire.Ping { nonce = 7 });
+  let saw_retry =
+    pump ~seconds:3.0 [ b ] (fun () -> (Live.stats b).Live.retries >= 1)
+  in
+  Alcotest.(check bool) "connect refused triggers backoff retry" true saw_retry;
+  Alcotest.(check bool) "message not delivered while down" true (!got_a = []);
+  (* Now bring the listener up: a later retry must connect and flush the
+     queued frame. *)
+  Live.listen a (loopback port_a);
+  Alcotest.(check bool) "queued frame delivered after listener appears" true
+    (pump ~seconds:10.0 [ a; b ] (fun () -> !got_a <> []));
+  (match !got_a with
+   | [ (_, Wire.Ping { nonce }) ] -> Alcotest.(check int) "same frame" 7 nonce
+   | _ -> Alcotest.fail "unexpected messages at a");
+  Live.stop a;
+  Live.stop b
+
+let live_windowed_send_under_full_buffer () =
+  let port_a = 43230 and port_b = 43231 in
+  let a = Live.create ~self:0 () in
+  (* A tiny window so a burst outruns it immediately. *)
+  let b = Live.create ~self:1 ~window:2048 () in
+  Live.set_peer_addr a 1 (loopback port_b);
+  Live.set_peer_addr b 0 (loopback port_a);
+  Live.listen a (loopback port_a);
+  let received = ref 0 in
+  Live.set_handler a (fun ~src:_ ~dst:_ msg ->
+      match msg with Wire.Insert _ -> incr received | _ -> ());
+  let total = 64 in
+  let value = String.make 1024 'x' in
+  (* Burst without stepping the receiver: the connection is still in
+     flight, so every frame queues and the window fills. *)
+  for i = 1 to total do
+    Live.send b ~src:1 ~dst:0
+      (Wire.Insert
+         {
+           op = i;
+           origin = 1;
+           route_id = i;
+           key = Printf.sprintf "k%d" i;
+           value;
+           hops = 0;
+         })
+  done;
+  Alcotest.(check bool) "burst past the window counts stalls" true
+    ((Live.stats b).Live.window_stalls > 0);
+  Alcotest.(check bool) "backpressure kept bytes queued" true
+    (Live.pending_bytes b 0 > 2048);
+  (* Draining both loops delivers the entire burst in order. *)
+  Alcotest.(check bool) "every frame delivered" true
+    (pump ~seconds:10.0 [ a; b ] (fun () -> !received = total));
+  Alcotest.(check int) "nothing lost to backpressure" total !received;
+  Live.stop a;
+  Live.stop b
+
+let live_clean_shutdown () =
+  let port_a = 43240 and port_b = 43241 in
+  let a, b = make_pair ~port_a ~port_b in
+  Live.listen a (loopback port_a);
+  let got_a = ref [] in
+  Live.set_handler a (fun ~src ~dst:_ msg -> got_a := (src, msg) :: !got_a);
+  Live.send b ~src:1 ~dst:0 (Wire.Ping { nonce = 1 });
+  Alcotest.(check bool) "exchange before shutdown" true
+    (pump [ a; b ] (fun () -> !got_a <> []));
+  Live.stop b;
+  Live.stop a;
+  Alcotest.(check bool) "stopped transports report not running" false
+    (Live.running a || Live.running b);
+  Alcotest.(check bool) "step after stop is a no-op" false
+    (Live.step ~timeout:0.0 a || Live.step ~timeout:0.0 b);
+  Live.stop a;
+  (* The listening socket really closed: the port can be bound again. *)
+  let a2 = Live.create ~self:0 () in
+  Live.listen a2 (loopback port_a);
+  Live.stop a2
+
+(* --- sim transport sanity -------------------------------------------- *)
+
+let sim_transport_timer_is_engine_timer () =
+  let engine = Engine.create ~seed:11 () in
+  let g = P2p_topology.Graph.create 4 in
+  P2p_topology.Graph.add_edge g 0 1 ~latency:1.0;
+  P2p_topology.Graph.add_edge g 1 2 ~latency:1.0;
+  P2p_topology.Graph.add_edge g 2 3 ~latency:1.0;
+  let routing = P2p_topology.Routing.create g in
+  let metrics = P2p_net.Metrics.create () in
+  let underlay =
+    P2p_net.Underlay.create ~engine ~routing ~metrics ~processing_delay:0.5 ()
+  in
+  let tr = Sim_transport.create ~underlay in
+  let fired = ref [] in
+  ignore
+    (Transport.one_shot tr ~delay:3.0 (fun () -> fired := `T :: !fired)
+      : Transport.timer);
+  Transport.send tr ~src:1 ~dst:2 (fun () -> fired := `M :: !fired);
+  Engine.run engine;
+  (* message at underlay delay (< 3.0), then the timer *)
+  Alcotest.(check bool) "message then timer, on one engine clock" true
+    (!fired = [ `T; `M ]);
+  Alcotest.(check bool) "transport clock is the engine clock" true
+    (Transport.now tr = Engine.now engine)
+
+let suite =
+  [
+    Alcotest.test_case "codec round-trips every message kind" `Quick
+      roundtrip_every_kind;
+    Alcotest.test_case "exemplar list covers every tag" `Quick all_tags_covered;
+    Alcotest.test_case "golden wire_v1.bin is byte-identical" `Quick
+      golden_bytes;
+    Alcotest.test_case "decoder survives truncation" `Quick
+      truncation_never_raises;
+    Alcotest.test_case "decoder survives corruption" `Quick
+      corruption_never_raises;
+    Alcotest.test_case "oversized frame rejected" `Quick
+      oversized_frame_rejected;
+    Alcotest.test_case "sim timer: cancel after fire is a counted no-op"
+      `Quick sim_cancel_late_counted;
+    Alcotest.test_case "sim timer: timely cancel is not late" `Quick
+      sim_cancel_in_time_not_counted;
+    Alcotest.test_case "wheel: fires due timers, shares cancel_late" `Quick
+      wheel_fires_and_counts_late_cancel;
+    Alcotest.test_case "wheel: periodic catch-up, reset, cancel" `Quick
+      wheel_periodic_reset_cancel;
+    Alcotest.test_case "live: connect and exchange" `Quick
+      live_connect_and_exchange;
+    Alcotest.test_case "live: retry after refused" `Quick
+      live_retry_after_refused;
+    Alcotest.test_case "live: windowed send under full buffer" `Quick
+      live_windowed_send_under_full_buffer;
+    Alcotest.test_case "live: clean shutdown" `Quick live_clean_shutdown;
+    Alcotest.test_case "sim transport: one clock for messages and timers"
+      `Quick sim_transport_timer_is_engine_timer;
+  ]
