@@ -80,6 +80,7 @@ let dump_health t ~event =
           ("bytes_received", Json.Int s.bytes_received);
           ("retries", Json.Int s.retries);
           ("window_stalls", Json.Int s.window_stalls);
+          ("drops", Json.Int s.drops);
           ("decode_errors", Json.Int s.decode_errors);
           ("timer_cancel_late", Json.Int (P2p_sim.Timer.cancel_late ()));
         ]

@@ -9,8 +9,15 @@
    kept and flushed on reconnect; a fresh [Hello] handshake frame is
    written first on every (re)connect so the remote can attribute the
    connection.  Sends are windowed: once a connection's queued bytes
-   exceed the window the send still queues (the caller is trusted to be
-   finite) but a [window_stalls] counter records the backpressure.
+   exceed the window the send still queues but a [window_stalls]
+   counter records the backpressure, and past the hard [max_queued]
+   cap the frame is dropped and counted in [drops] — a dead or
+   never-listening peer costs bounded memory, not monotonic growth.
+
+   SIGPIPE is ignored at [create] so a write to a peer-closed socket
+   surfaces as [Unix_error EPIPE] and goes through the backoff/retry
+   machinery instead of killing the process with the signal's default
+   disposition.
 
    Inbound connections are accepted, identified by their first [Hello],
    and read until EOF.  Received frames are decoded incrementally from a
@@ -48,6 +55,7 @@ type stats = {
   mutable connects : int;
   mutable retries : int;
   mutable window_stalls : int;
+  mutable drops : int;
   mutable decode_errors : int;
 }
 
@@ -55,6 +63,7 @@ type t = {
   self : int;
   p_id : int;
   window : int;
+  max_queued : int;
   backoff_base : float;  (* ms *)
   backoff_max : float;  (* ms *)
   epoch : float;
@@ -68,14 +77,20 @@ type t = {
   mutable running : bool;
 }
 
-let create ?(p_id = 0) ?(window = 256 * 1024) ?(backoff_base = 50.)
-    ?(backoff_max = 2_000.) ~self () =
+let create ?(p_id = 0) ?(window = 256 * 1024) ?max_queued
+    ?(backoff_base = 50.) ?(backoff_max = 2_000.) ~self () =
+  (* Writes to a peer-closed socket must raise EPIPE, not deliver a
+     fatal SIGPIPE before the Unix_error handlers ever run. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let max_queued = Option.value max_queued ~default:(16 * window) in
   let epoch = Unix.gettimeofday () in
   let clock () = (Unix.gettimeofday () -. epoch) *. 1000.0 in
   {
     self;
     p_id;
     window;
+    max_queued;
     backoff_base;
     backoff_max;
     epoch;
@@ -94,6 +109,7 @@ let create ?(p_id = 0) ?(window = 256 * 1024) ?(backoff_base = 50.)
         connects = 0;
         retries = 0;
         window_stalls = 0;
+        drops = 0;
         decode_errors = 0;
       };
     running = true;
@@ -134,6 +150,13 @@ let conn_failed t c =
 
 let hello_frame t = Wire.encode (Wire.Hello { node = t.self; p_id = t.p_id })
 
+(* Connection established: clear the attempt count so the next drop of
+   this (now proven-reachable) peer backs off from [backoff_base], not
+   from wherever the dial history left the exponent. *)
+let mark_connected c =
+  c.state <- Connected;
+  c.attempts <- 0
+
 (* Start (or restart) a non-blocking connect.  On loopback the kernel
    may refuse synchronously — that is a normal backoff, not an error. *)
 let attempt_connect t c =
@@ -147,7 +170,7 @@ let attempt_connect t c =
     c.woff <- 0;
     t.stats.connects <- t.stats.connects + 1;
     match Unix.connect fd sockaddr with
-    | () -> c.state <- Connected
+    | () -> mark_connected c
     | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
       c.state <- Connecting
     | exception Unix.Unix_error _ -> conn_failed t c)
@@ -210,39 +233,57 @@ let rec flush_conn t c =
 let send t ?op:_ ?shard:_ ~src:_ ~dst msg =
   let c = ensure_conn t dst in
   let frame = Wire.encode msg in
-  if c.queued_bytes + String.length frame > t.window then
-    t.stats.window_stalls <- t.stats.window_stalls + 1;
-  Queue.push frame c.outq;
-  c.queued_bytes <- c.queued_bytes + String.length frame;
-  t.stats.msgs_sent <- t.stats.msgs_sent + 1;
+  if c.queued_bytes + String.length frame > t.max_queued then
+    (* Hard cap: a peer that is dead, never listening, or hopelessly
+       behind must cost bounded memory.  The newest frame is dropped —
+       older queued frames preserve FIFO delivery for whatever does get
+       through — and [drops] records the loss for the caller. *)
+    t.stats.drops <- t.stats.drops + 1
+  else begin
+    if c.queued_bytes + String.length frame > t.window then
+      t.stats.window_stalls <- t.stats.window_stalls + 1;
+    Queue.push frame c.outq;
+    c.queued_bytes <- c.queued_bytes + String.length frame;
+    t.stats.msgs_sent <- t.stats.msgs_sent + 1
+  end;
   if c.state = Closed then attempt_connect t c;
   if c.state = Connected then flush_conn t c
 
 (* Decode every complete frame sitting in the connection's read buffer.
    [Hello] identifies the remote end and stays transport-internal; all
    other messages dispatch to the handler.  Returns [false] when the
-   stream is corrupt and the connection must die. *)
+   stream is corrupt and the connection must die.
+
+   The buffer is materialised once and walked with an offset, then
+   compacted once at the end — decoding a backlog of n frames is O(n),
+   not the O(n^2) of re-copying the remainder per frame. *)
 let drain_frames t c =
-  let rec loop () =
-    let buf = Buffer.contents c.rbuf in
-    match Wire.decode buf with
-    | Ok None -> true
+  let buf = Buffer.contents c.rbuf in
+  let len = String.length buf in
+  let rec loop off =
+    match Wire.decode ~off buf with
+    | Ok None -> Ok off
     | Ok (Some (msg, consumed)) -> (
-      Buffer.clear c.rbuf;
-      Buffer.add_substring c.rbuf buf consumed (String.length buf - consumed);
       t.stats.msgs_received <- t.stats.msgs_received + 1;
       match msg with
       | Wire.Hello { node; _ } ->
         c.remote <- node;
-        loop ()
+        loop (off + consumed)
       | msg ->
         t.handler ~src:c.remote ~dst:t.self msg;
-        loop ())
+        loop (off + consumed))
     | Error _ ->
       t.stats.decode_errors <- t.stats.decode_errors + 1;
-      false
+      Error ()
   in
-  loop ()
+  match loop 0 with
+  | Error () -> false
+  | Ok off ->
+    if off > 0 then begin
+      Buffer.clear c.rbuf;
+      if off < len then Buffer.add_substring c.rbuf buf off (len - off)
+    end;
+    true
 
 let kill_conn t c =
   (match c.fd with Some fd -> close_fd fd | None -> ());
@@ -364,7 +405,7 @@ let step ?(timeout = 0.05) t =
           | Connecting -> (
             match Unix.getsockopt_error fd with
             | None ->
-              c.state <- Connected;
+              mark_connected c;
               flush_conn t c
             | Some _ -> conn_failed t c)
           | Connected -> flush_conn t c

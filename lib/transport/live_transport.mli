@@ -6,13 +6,22 @@
     connect/retry/backoff state machine — frames queued while a
     connection is down are preserved and flushed after reconnect.
     Sends past the per-connection byte window still queue but count
-    [window_stalls].  Decoding a corrupt stream closes the connection
-    and counts [decode_errors]; it never raises.
+    [window_stalls]; past the hard [max_queued] cap the frame is
+    dropped and counted in [drops], so an unreachable peer costs
+    bounded memory.  Decoding a corrupt stream closes the connection
+    and counts [decode_errors]; it never raises.  SIGPIPE is ignored
+    at {!create} so peer-closed writes surface as [EPIPE] and go
+    through backoff instead of killing the process.
 
     The loop owner calls {!step} repeatedly; each step selects on every
     live socket (bounded by the earliest wall-clock timer or retry
     deadline), services readiness, and fires due {!Timer_wheel} timers.
-    Time is milliseconds since {!create}. *)
+    Time is milliseconds since {!create}.
+
+    Known limit: the loop uses [Unix.select], whose [fd_set] holds
+    [FD_SETSIZE] (typically 1024) descriptors — one transport can drive
+    a few hundred live connections, not thousands.  Rings beyond that
+    need a poll/epoll loop (see SCALING.md, "sim vs live fidelity"). *)
 
 type t
 
@@ -26,16 +35,20 @@ type stats = {
   mutable connects : int;
   mutable retries : int;
   mutable window_stalls : int;
+  mutable drops : int;
   mutable decode_errors : int;
 }
 
 (** [create ~self ()] makes a transport for node [self].  [p_id] is
     advertised in the connection handshake; [window] caps queued bytes
-    per connection before sends count as stalled; [backoff_base] /
-    [backoff_max] (ms) bound the reconnect backoff. *)
+    per connection before sends count as stalled; [max_queued]
+    (default [16 * window]) is the hard per-connection cap past which
+    sends are dropped and counted; [backoff_base] / [backoff_max] (ms)
+    bound the reconnect backoff. *)
 val create :
   ?p_id:int ->
   ?window:int ->
+  ?max_queued:int ->
   ?backoff_base:float ->
   ?backoff_max:float ->
   self:int ->

@@ -204,6 +204,15 @@ let smoke_workload c ~n ~inserts ~lookups =
 
 let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
     ?(dump_dir = "_serve_health") ~peers:n ~port_base ~smoke () =
+  (* The live loop selects with [Unix.select], whose fd_set caps out at
+     FD_SETSIZE (typically 1024).  The tracker node and the parent
+     client both talk to every peer, so rings past a few hundred peers
+     exceed it; warn rather than corrupt fd_sets silently. *)
+  if n > 400 then
+    Printf.eprintf
+      "serve: warning: %d peers approaches the select() FD_SETSIZE limit \
+       (1024 fds); rings this size need a poll/epoll loop (see SCALING.md)\n%!"
+      n;
   mkdir_p dump_dir;
   let pids =
     List.init n (fun node ->

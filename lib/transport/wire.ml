@@ -454,20 +454,23 @@ let decode_body body =
   | exception Bad reason -> Error reason
   | exception _ -> Error "malformed frame"
 
-(* [decode buf] reads one frame from the head of [buf]: [Ok (Some (msg,
-   consumed))] on a complete frame, [Ok None] when more bytes are needed,
-   [Error] on corruption.  Stream readers call it in a loop. *)
-let decode buf =
-  let len = String.length buf in
+(* [decode ?off buf] reads one frame starting at [off] (default 0):
+   [Ok (Some (msg, consumed))] on a complete frame — [consumed] counts
+   from [off] — [Ok None] when more bytes are needed, [Error] on
+   corruption.  Stream readers call it in a loop, advancing [off] by
+   [consumed] each time, so a backlog of buffered frames drains without
+   re-copying the buffer per frame. *)
+let decode ?(off = 0) buf =
+  let len = String.length buf - off in
   if len < 4 then Ok None
   else begin
-    let body_len = Int32.to_int (String.get_int32_be buf 0) in
+    let body_len = Int32.to_int (String.get_int32_be buf off) in
     if body_len < 4 then Error "frame too short for header"
     else if body_len > max_body then
       Error (Printf.sprintf "frame of %d bytes exceeds cap" body_len)
     else if len < 4 + body_len then Ok None
     else
-      match decode_body (String.sub buf 4 body_len) with
+      match decode_body (String.sub buf (off + 4) body_len) with
       | Ok msg -> Ok (Some (msg, 4 + body_len))
       | Error e -> Error e
   end

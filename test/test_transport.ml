@@ -270,8 +270,9 @@ let live_retry_after_refused () =
 let live_windowed_send_under_full_buffer () =
   let port_a = 43230 and port_b = 43231 in
   let a = Live.create ~self:0 () in
-  (* A tiny window so a burst outruns it immediately. *)
-  let b = Live.create ~self:1 ~window:2048 () in
+  (* A tiny window so a burst outruns it immediately; the hard cap is
+     kept wide so backpressure stalls, it does not drop. *)
+  let b = Live.create ~self:1 ~window:2048 ~max_queued:(1024 * 1024) () in
   Live.set_peer_addr a 1 (loopback port_b);
   Live.set_peer_addr b 0 (loopback port_a);
   Live.listen a (loopback port_a);
@@ -303,6 +304,53 @@ let live_windowed_send_under_full_buffer () =
     (pump ~seconds:10.0 [ a; b ] (fun () -> !received = total));
   Alcotest.(check int) "nothing lost to backpressure" total !received;
   Live.stop a;
+  Live.stop b
+
+let live_hard_cap_bounds_dead_peer_queue () =
+  (* Nothing ever listens on the destination port: the connection sits
+     in backoff forever, and the hard cap must bound what a runaway
+     sender can queue against it. *)
+  let b = Live.create ~self:1 ~window:1024 ~max_queued:(8 * 1024) () in
+  Live.set_peer_addr b 0 (loopback 43250);
+  let value = String.make 512 'x' in
+  for i = 1 to 200 do
+    Live.send b ~src:1 ~dst:0
+      (Wire.Insert
+         { op = i; origin = 1; route_id = i; key = "k"; value; hops = 0 })
+  done;
+  let s = Live.stats b in
+  Alcotest.(check bool) "past the cap, frames are dropped and counted" true
+    (s.Live.drops > 0);
+  Alcotest.(check bool) "queued bytes stay under the hard cap" true
+    (Live.pending_bytes b 0 <= 8 * 1024 + 1024);
+  Alcotest.(check int) "drops account for the whole burst"
+    200 (s.Live.msgs_sent + s.Live.drops);
+  Live.stop b
+
+let live_peer_close_is_backoff_not_sigpipe () =
+  (* After the remote stops, continued sends must surface as EPIPE /
+     ECONNRESET inside flush_conn and land in backoff — a SIGPIPE with
+     default disposition would kill this whole test process. *)
+  let port_a = 43260 and port_b = 43261 in
+  let a, b = make_pair ~port_a ~port_b in
+  Live.listen a (loopback port_a);
+  let got_a = ref [] in
+  Live.set_handler a (fun ~src ~dst:_ msg -> got_a := (src, msg) :: !got_a);
+  Live.send b ~src:1 ~dst:0 (Wire.Ping { nonce = 1 });
+  Alcotest.(check bool) "exchange before the remote dies" true
+    (pump [ a; b ] (fun () -> !got_a <> []));
+  Live.stop a;
+  let retries_before = (Live.stats b).Live.retries in
+  (* Keep writing into the dead connection until the failure registers.
+     The first write after close may be swallowed by the socket buffer;
+     the RST turns later ones into EPIPE/ECONNRESET. *)
+  let saw_backoff =
+    pump ~seconds:5.0 [ b ] (fun () ->
+        Live.send b ~src:1 ~dst:0 (Wire.Ping { nonce = 2 });
+        (Live.stats b).Live.retries > retries_before)
+  in
+  Alcotest.(check bool) "peer close became a backoff retry, not a crash"
+    true saw_backoff;
   Live.stop b
 
 let live_clean_shutdown () =
@@ -379,6 +427,10 @@ let suite =
       live_retry_after_refused;
     Alcotest.test_case "live: windowed send under full buffer" `Quick
       live_windowed_send_under_full_buffer;
+    Alcotest.test_case "live: hard cap bounds a dead peer's queue" `Quick
+      live_hard_cap_bounds_dead_peer_queue;
+    Alcotest.test_case "live: peer close is backoff, not SIGPIPE" `Quick
+      live_peer_close_is_backoff_not_sigpipe;
     Alcotest.test_case "live: clean shutdown" `Quick live_clean_shutdown;
     Alcotest.test_case "sim transport: one clock for messages and timers"
       `Quick sim_transport_timer_is_engine_timer;
