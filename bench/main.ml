@@ -17,7 +17,8 @@ let usage () =
   print_endline
     "usage: main.exe [all|fig3a|fig3b|fig3-sim|fig4|fig5a|fig5b|durability|fig6a|\n\
     \                 fig6b|table2|ablate-delta|ablate-fingers|ablate-bypass|\n\
-    \                 ablate-bt|ablate-cache|stress|lookup-perf|scale|bechamel]\n\
+    \                 ablate-bt|ablate-cache|stress|lookup-perf|scale|hotpath|\n\
+    \                 bechamel]\n\
     \                [--paper] [--metrics-dir DIR] [--audit] [--smoke]\n\
     \                [--slo 'lookup:p99<=40']..."
 
@@ -172,6 +173,7 @@ let () =
   | "churn-live" -> Ablations.churn_live ()
   | "lookup-perf" | "lookup_perf" -> Lookup_perf.run ~smoke ~scale ()
   | "scale" -> Scale.run ~smoke ()
+  | "hotpath" -> Hotpath.run ~smoke ()
   | "bechamel" -> run_bechamel ()
   | "help" | "--help" | "-h" -> usage ()
   | unknown ->

@@ -33,6 +33,7 @@ type t = {
   successor_list_length : int;
   engine_lanes : int;
   engine_lookahead : float;
+  batch_sends : bool;
 }
 
 let default =
@@ -65,6 +66,7 @@ let default =
     successor_list_length = 8;
     engine_lanes = 1;
     engine_lookahead = 0.0;
+    batch_sends = true;
   }
 
 let validate t =

@@ -117,6 +117,13 @@ type t = {
           merge).  Positive values let a lane run batched up to this far
           past the other lanes' heads; safe when at most the minimum
           cross-lane message latency. *)
+  batch_sends : bool;
+      (** batch the event-heap insertions of multi-recipient fan-outs
+          (tree floods, replication pushes) into one restructuring pass
+          via the transport's [batch] hook (default [true]).  Purely a
+          speed knob: sequence numbers are stamped at send time, so the
+          executed event schedule is bit-identical either way — [false]
+          exists for A/B measurement ([bench hotpath]). *)
 }
 
 (** Paper-faithful defaults: [δ = 3] (the simulations' setting),

@@ -150,11 +150,18 @@ let flood w ?op ?prune_key ~from ~ttl ~visit () =
               may)
             next_hops
       in
-      List.iter
-        (fun q ->
-          World.send_span w ?op ~tier:"s_network" ~phase:"flood" ~src:peer
-            ~dst:q (fun () -> deliver q ~depth:(depth + 1) ~sender:(Some peer)))
-        next_hops
+      (* the hottest fan-out in the system: batch the per-child event
+         insertions into one heap pass (a single hop is just a send) *)
+      let fan_out () =
+        List.iter
+          (fun q ->
+            World.send_span w ?op ~tier:"s_network" ~phase:"flood" ~src:peer
+              ~dst:q (fun () -> deliver q ~depth:(depth + 1) ~sender:(Some peer)))
+          next_hops
+      in
+      match next_hops with
+      | [] | [ _ ] -> fan_out ()
+      | _ -> World.batch w fan_out
     end
   in
   deliver from ~depth:0 ~sender:None

@@ -99,6 +99,13 @@ let send t ?op ~src ~dst f =
   Transport.send t.transport ?op ~shard:(shard_of dst) ~src:src.Peer.host
     ~dst:dst.Peer.host f
 
+(* Fan-out seam: run [f]'s sends with the transport's insertion batching
+   (one event-heap restructuring pass for the whole fan-out) unless the
+   config switched it off for A/B measurement.  Ordering is identical
+   either way. *)
+let batch t f =
+  if t.config.Config.batch_sends then Transport.batch t.transport f else f ()
+
 (* Timers on the transport clock — the protocol layers' only way to arm
    delayed work, so the same code runs over the simulation engine and
    the live wall-clock wheel. *)

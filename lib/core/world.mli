@@ -109,6 +109,14 @@ val trace : t -> P2p_sim.Trace.t
     attributing the message to operation [op] in the trace. *)
 val send : t -> ?op:int -> src:Peer.t -> dst:Peer.t -> (unit -> unit) -> unit
 
+(** [batch t f] runs [f] (a multi-recipient fan-out issuing several
+    {!send}/{!send_span} calls) under the transport's insertion batching:
+    the sim backend defers event-heap sifting to one pass per touched
+    lane.  Delivery order is bit-identical with and without batching;
+    [Config.batch_sends = false] turns it into a plain call for A/B
+    measurement. *)
+val batch : t -> (unit -> unit) -> unit
+
 (** [one_shot t ~delay f] arms a timer on the transport clock.  The
     protocol layers must use these (not {!P2p_sim.Timer} directly) so
     the same code runs over the simulation engine and the live

@@ -28,6 +28,9 @@ let create ~engine ~routing ~metrics ?stress ?(trace = Trace.disabled)
 
 let set_transmission_delay t f = t.transmission_delay <- Some f
 
+(* hoisted so the per-message schedule call allocates no [Some] *)
+let message_label = Some "message"
+
 let delay t ~src ~dst =
   let transmission =
     match t.transmission_delay with Some f -> f ~src ~dst | None -> 0.0
@@ -50,11 +53,19 @@ let send t ?op ?shard ~src ~dst f =
   in
   Metrics.record_message t.metrics ~physical_hops:path_hops;
   let message_delay = delay t ~src ~dst in
-  Trace.record_f t.trace ~time:(Engine.now t.engine) ~tag:"message" ?op ~src ~dst
-    "%.2f ms, %d links" message_delay path_hops;
-  ignore
-    (Engine.schedule ~label:"message" ~shard t.engine ~delay:message_delay f
-      : Engine.handle)
+  (* guard: even a disabled trace pays a closure per [record_f] call
+     (ikfprintf), and on a sampled trace an unsampled op would still pay
+     the format machinery plus the [Some src]/[Some dst] wrappers — so
+     decide sampling before building anything *)
+  if
+    Trace.enabled t.trace
+    && (match op with None -> true | Some o -> Trace.sampled t.trace o)
+  then
+    Trace.record_f t.trace ~time:(Engine.now t.engine) ~tag:"message" ?op ~src
+      ~dst "%.2f ms, %d links" message_delay path_hops;
+  (* deliveries are never cancelled: the detached path skips the handle *)
+  Engine.schedule_detached t.engine ~label:message_label ~shard
+    ~delay:message_delay f
 
 let engine t = t.engine
 let trace t = t.trace

@@ -35,21 +35,26 @@ let factor t = t.factor
    flight so audit ticks that land mid-fan-out stay quiet. *)
 let fan_out t ~op ~holder ~route_id ~key ~value =
   let w = t.w in
-  List.iter
-    (fun target ->
-      w.World.replication_pending <- w.World.replication_pending + 1;
-      World.send_span w ?op ~tier:"replication" ~phase:"replicate_copy"
-        ~src:holder ~dst:target (fun () ->
-          w.World.replication_pending <- w.World.replication_pending - 1;
-          if target.Peer.alive && not (Data_store.mem target.Peer.store ~key) then begin
-            Data_store.insert_routed target.Peer.replicas ~route_id ~key ~value;
-            (* replica copies count as flood-servable keys: the edge
-               summaries must learn them or a pruned flood could miss the
-               copy once the primary dies *)
-            Summaries.note_stored w ~holder:target ~key;
-            Registry.incr t.copies_written
-          end))
-    (Policy.targets w ~primary:holder)
+  let targets = Policy.targets w ~primary:holder in
+  let ship () =
+    List.iter
+      (fun target ->
+        w.World.replication_pending <- w.World.replication_pending + 1;
+        World.send_span w ?op ~tier:"replication" ~phase:"replicate_copy"
+          ~src:holder ~dst:target (fun () ->
+            w.World.replication_pending <- w.World.replication_pending - 1;
+            if target.Peer.alive && not (Data_store.mem target.Peer.store ~key) then begin
+              Data_store.insert_routed target.Peer.replicas ~route_id ~key ~value;
+              (* replica copies count as flood-servable keys: the edge
+                 summaries must learn them or a pruned flood could miss the
+                 copy once the primary dies *)
+              Summaries.note_stored w ~holder:target ~key;
+              Registry.incr t.copies_written
+            end))
+      targets
+  in
+  (* r copies leave in one burst: batch their event insertions *)
+  match targets with [] | [ _ ] -> ship () | _ -> World.batch w ship
 
 (* --- heal: promote lost primaries, restore the factor ------------------ *)
 
@@ -219,6 +224,8 @@ let anti_entropy_round t =
             (Peer.tree_members home)
         in
         let digest = Data_store.digest_items items in
+        (* one digest per successor leaves in a burst: batch the inserts *)
+        World.batch w @@ fun () ->
         List.iter
           (fun target ->
             incr segments;

@@ -34,70 +34,14 @@ type t = {
   lane_executed : int array;
   lane_hwm : int array;
   lane_stalls : int array;
+  (* one executor closure per lane, built once — [pop_apply] then runs
+     events without a fresh closure per pop *)
+  mutable exec : (float -> labeled -> unit) array;
+  (* scoped batch insertion: inside [schedule_batch] every insert defers
+     its heap sift; [batch_dirty] marks the lanes to flush on exit *)
+  mutable in_batch : bool;
+  batch_dirty : bool array;
 }
-
-let create ~seed ?(lanes = 1) ?(lookahead = 0.0) () =
-  if lanes < 1 then invalid_arg "Engine.create: lanes must be >= 1";
-  if lookahead < 0.0 then invalid_arg "Engine.create: negative lookahead";
-  let tick = ref 0 in
-  {
-    lanes = Array.init lanes (fun _ -> Event_queue.create ~tick ());
-    lookahead;
-    clock = 0.0;
-    executed = 0;
-    root_rng = Rng.create seed;
-    queue_hwm = 0;
-    physical = 0;
-    profiling = false;
-    label_table = Hashtbl.create 16;
-    lane_executed = Array.make lanes 0;
-    lane_hwm = Array.make lanes 0;
-    lane_stalls = Array.make lanes 0;
-  }
-
-let rng t = t.root_rng
-
-let now t = t.clock
-
-let lanes t = Array.length t.lanes
-
-let lookahead t = t.lookahead
-
-let enable_profiling t = t.profiling <- true
-
-let profiling t = t.profiling
-
-let lane_index t shard =
-  match shard with
-  | None -> 0
-  | Some s -> (s land max_int) mod Array.length t.lanes
-
-let physical_length t =
-  Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.lanes
-
-let add t ~time ~shard ~label f =
-  let i = lane_index t shard in
-  let q = t.lanes.(i) in
-  let before = Event_queue.length q in
-  let h = Event_queue.add q ~time { label; thunk = f } in
-  (* adding can trigger a lane compaction; track the physical population
-     incrementally and resync against the true figure when it shrank *)
-  let after = Event_queue.length q in
-  t.physical <- t.physical + (after - before);
-  if after < before then t.physical <- physical_length t
-  else if t.physical > t.queue_hwm then t.queue_hwm <- t.physical;
-  if after > t.lane_hwm.(i) then t.lane_hwm.(i) <- after;
-  h
-
-let schedule ?label ?shard t ~delay f =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  add t ~time:(t.clock +. delay) ~shard ~label f
-
-let schedule_at ?label ?shard t ~time f =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  add t ~time ~shard ~label f
-
-let cancel = Event_queue.cancel
 
 let account t label cpu_s =
   let stats =
@@ -123,6 +67,130 @@ let execute t lane time { label; thunk } =
     account t label (Sys.time () -. started)
   | Some _ | None -> thunk ()
 
+let create ~seed ?(lanes = 1) ?(lookahead = 0.0) () =
+  if lanes < 1 then invalid_arg "Engine.create: lanes must be >= 1";
+  if lookahead < 0.0 then invalid_arg "Engine.create: negative lookahead";
+  let tick = ref 0 in
+  let t =
+    {
+      lanes = Array.init lanes (fun _ -> Event_queue.create ~tick ());
+      lookahead;
+      clock = 0.0;
+      executed = 0;
+      root_rng = Rng.create seed;
+      queue_hwm = 0;
+      physical = 0;
+      profiling = false;
+      label_table = Hashtbl.create 16;
+      lane_executed = Array.make lanes 0;
+      lane_hwm = Array.make lanes 0;
+      lane_stalls = Array.make lanes 0;
+      exec = [||];
+      in_batch = false;
+      batch_dirty = Array.make lanes false;
+    }
+  in
+  t.exec <- Array.init lanes (fun i time ev -> execute t i time ev);
+  t
+
+let rng t = t.root_rng
+
+let now t = t.clock
+
+let lanes t = Array.length t.lanes
+
+let lookahead t = t.lookahead
+
+let enable_profiling t = t.profiling <- true
+
+let profiling t = t.profiling
+
+let lane_index t shard =
+  match shard with
+  | None -> 0
+  | Some s -> (s land max_int) mod Array.length t.lanes
+
+let physical_length t =
+  Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.lanes
+
+(* Incremental physical-population bookkeeping around one lane insert:
+   adding can trigger a lane compaction, so resync against the true
+   figure when the lane shrank. *)
+let track_insert t i ~before ~after =
+  t.physical <- t.physical + (after - before);
+  if after < before then t.physical <- physical_length t
+  else if t.physical > t.queue_hwm then t.queue_hwm <- t.physical;
+  if after > t.lane_hwm.(i) then t.lane_hwm.(i) <- after
+
+let add t ~time ~shard ~label f =
+  let i = lane_index t shard in
+  let q = t.lanes.(i) in
+  let before = Event_queue.length q in
+  let h =
+    if t.in_batch then begin
+      t.batch_dirty.(i) <- true;
+      Event_queue.batch_add q ~time { label; thunk = f }
+    end
+    else Event_queue.add q ~time { label; thunk = f }
+  in
+  track_insert t i ~before ~after:(Event_queue.length q);
+  h
+
+let schedule ?label ?shard t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  add t ~time:(t.clock +. delay) ~shard ~label f
+
+let schedule_at ?label ?shard t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  add t ~time ~shard ~label f
+
+(* The fire-and-forget fast path: no handle, and [label]/[shard] are
+   plain arguments so a call site with hoisted values allocates nothing
+   beyond the event record itself. *)
+let schedule_detached t ~label ~shard ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_detached: negative delay";
+  let i = (shard land max_int) mod Array.length t.lanes in
+  let q = t.lanes.(i) in
+  let time = t.clock +. delay in
+  let before = Event_queue.length q in
+  if t.in_batch then begin
+    t.batch_dirty.(i) <- true;
+    Event_queue.batch_add_fast q ~time { label; thunk = f }
+  end
+  else Event_queue.add_fast q ~time { label; thunk = f };
+  track_insert t i ~before ~after:(Event_queue.length q)
+
+let flush_batches t =
+  for i = 0 to Array.length t.batch_dirty - 1 do
+    if t.batch_dirty.(i) then begin
+      t.batch_dirty.(i) <- false;
+      let q = t.lanes.(i) in
+      let before = Event_queue.length q in
+      Event_queue.flush_batch q;
+      (* flushing can compact the lane; only shrinkage to account for *)
+      let after = Event_queue.length q in
+      if after < before then t.physical <- physical_length t
+    end
+  done
+
+(* hand-rolled instead of [Fun.protect]: this wraps every multi-recipient
+   fan-out, and the protect wrapper's closure is measurable there *)
+let schedule_batch t f =
+  if t.in_batch then f ()
+  else begin
+    t.in_batch <- true;
+    match f () with
+    | () ->
+      t.in_batch <- false;
+      flush_batches t
+    | exception e ->
+      t.in_batch <- false;
+      flush_batches t;
+      raise e
+  end
+
+let cancel = Event_queue.cancel
+
 (* Index of the lane holding the globally earliest live event by
    (time, seq) — exactly the entry a single merged heap would pop. *)
 let min_lane t =
@@ -132,13 +200,16 @@ let min_lane t =
     let best = ref (-1) in
     let best_time = ref infinity and best_seq = ref max_int in
     for i = 0 to n - 1 do
-      match Event_queue.peek_key t.lanes.(i) with
-      | Some (time, seq)
-        when time < !best_time || (time = !best_time && seq < !best_seq) ->
-        best := i;
-        best_time := time;
-        best_seq := seq
-      | Some _ | None -> ()
+      let q = t.lanes.(i) in
+      if not (Event_queue.is_empty q) then begin
+        let time = Event_queue.next_time q in
+        let seq = Event_queue.peek_seq q in
+        if time < !best_time || (time = !best_time && seq < !best_seq) then begin
+          best := i;
+          best_time := time;
+          best_seq := seq
+        end
+      end
     done;
     !best
   end
@@ -146,24 +217,18 @@ let min_lane t =
 let step t =
   match min_lane t with
   | -1 -> false
-  | i ->
-    (match Event_queue.pop t.lanes.(i) with
-     | Some (time, ev) ->
-       execute t i time ev;
-       true
-     | None -> false)
+  | i -> Event_queue.pop_apply t.lanes.(i) t.exec.(i)
 
 (* Earliest head time over every lane except [i]: the conservative bound
    up to which lane [i] may run without consulting the others. *)
 let frontier_excluding t i =
   let bound = ref infinity in
-  Array.iteri
-    (fun j q ->
-      if j <> i then
-        match Event_queue.peek_time q with
-        | Some time when time < !bound -> bound := time
-        | Some _ | None -> ())
-    t.lanes;
+  for j = 0 to Array.length t.lanes - 1 do
+    if j <> i then begin
+      let time = Event_queue.next_time t.lanes.(j) in
+      if time < !bound then bound := time
+    end
+  done;
   !bound
 
 let rec run t =
@@ -171,9 +236,8 @@ let rec run t =
   | -1 -> ()
   | i ->
     let q = t.lanes.(i) in
-    (match Event_queue.pop q with
-     | Some (time, ev) -> execute t i time ev
-     | None -> ());
+    let exec = t.exec.(i) in
+    ignore (Event_queue.pop_apply q exec : bool);
     (* Batch: keep draining this lane while it cannot race any other
        lane.  With lookahead = 0 only strictly earlier events qualify
        (same-time events across lanes must merge by sequence number, so
@@ -181,20 +245,21 @@ let rec run t =
        lane run bounded-skew ahead, the conservative-lookahead window. *)
     let continue = ref true in
     while !continue do
-      let frontier = frontier_excluding t i in
-      match Event_queue.peek_time q with
-      | Some time
-        when time < frontier
-             || (t.lookahead > 0.0 && time <= frontier +. t.lookahead) -> (
-        match Event_queue.pop q with
-        | Some (time, ev) -> execute t i time ev
-        | None -> continue := false)
-      | Some _ ->
-        (* the lane still has work but another lane's frontier stops the
-           batch: back to the global merge *)
-        t.lane_stalls.(i) <- t.lane_stalls.(i) + 1;
-        continue := false
-      | None -> continue := false
+      if Event_queue.is_empty q then continue := false
+      else begin
+        let frontier = frontier_excluding t i in
+        let time = Event_queue.next_time q in
+        if
+          time < frontier
+          || (t.lookahead > 0.0 && time <= frontier +. t.lookahead)
+        then ignore (Event_queue.pop_apply q exec : bool)
+        else begin
+          (* the lane still has work but another lane's frontier stops
+             the batch: back to the global merge *)
+          t.lane_stalls.(i) <- t.lane_stalls.(i) + 1;
+          continue := false
+        end
+      end
     done;
     run t
 
@@ -202,15 +267,13 @@ let run_until t ~time =
   let rec loop () =
     match min_lane t with
     | -1 -> ()
-    | i -> (
-      match Event_queue.peek_time t.lanes.(i) with
-      | Some event_time when event_time <= time -> (
-        match Event_queue.pop t.lanes.(i) with
-        | Some (event_time, ev) ->
-          execute t i event_time ev;
-          loop ()
-        | None -> ())
-      | Some _ | None -> ())
+    | i ->
+      let q = t.lanes.(i) in
+      (* min_lane <> -1 guarantees a live head *)
+      if Event_queue.next_time q <= time then begin
+        ignore (Event_queue.pop_apply q t.exec.(i) : bool);
+        loop ()
+      end
   in
   loop ();
   if time > t.clock then t.clock <- time

@@ -73,6 +73,29 @@ val schedule :
 val schedule_at :
   ?label:string -> ?shard:int -> t -> time:float -> (unit -> unit) -> handle
 
+(** [schedule_detached t ~label ~shard ~delay f] is {!schedule} for
+    fire-and-forget events: no handle is returned, so nothing cancellable
+    is allocated (the lane queue reuses a shared never-dead handle and a
+    pooled entry).  [label] and [shard] are plain arguments — pass
+    hoisted values at hot call sites and the call allocates only the
+    event record.  This is the per-message path of the underlay, which
+    never cancels deliveries.
+    @raise Invalid_argument if [delay < 0.]. *)
+val schedule_detached :
+  t -> label:string option -> shard:int -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_batch t f] runs [f ()] with batched event insertion: every
+    [schedule]/[schedule_at]/[schedule_detached] inside [f] appends to
+    its lane without restoring the heap property, and the touched lanes
+    are restructured once when [f] returns (or raises).  A fan-out of
+    [k] inserts thus costs one sift pass instead of [k].  Ordering is
+    unaffected — sequence numbers are stamped at call time, so the
+    executed schedule is bit-identical with and without batching.  Nested
+    calls flatten into the outermost batch.  [f] must not itself drain
+    the engine ({!step}/{!run} inside a batch would observe a flushed —
+    correct but unbatched — queue). *)
+val schedule_batch : t -> (unit -> unit) -> unit
+
 (** [cancel h] prevents a scheduled action from running. *)
 val cancel : handle -> unit
 

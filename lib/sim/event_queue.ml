@@ -4,22 +4,59 @@ type handle = {
   dead_count : int ref;  (* shared with the owning queue *)
 }
 
-type 'a entry = { time : float; seq : int; value : 'a; handle : handle }
+(* Entries are mutable and recycled through a bounded pool; event times
+   live in a parallel [float array] so they stay unboxed (a mixed
+   float/pointer record would box the float on every insertion). *)
+type 'a entry = {
+  mutable seq : int;
+  mutable value : 'a;
+  mutable handle : handle;
+}
 
 type 'a t = {
   mutable heap : 'a entry array;
-  (* [heap] slots at index >= size are physical garbage kept only to satisfy
-     the array type; [dummy] fills freed slots. *)
+  (* [heap]/[times] slots at index >= size are physical garbage kept only
+     to satisfy the array type. *)
+  mutable times : float array;
   mutable size : int;
   tick : int ref;
   dead_in_heap : int ref;  (* cancelled entries still occupying slots *)
+  immortal : handle;  (* shared handle for never-cancelled events *)
+  mutable pool : 'a entry array;
+  mutable pool_len : int;
+  mutable pending : int;  (* appended but not yet sifted (batch mode) *)
 }
+
+(* Bounds how many popped entries (and thus stale ['a] references) a
+   queue retains for reuse. *)
+let pool_cap = 1024
 
 let create ?tick () =
   let tick = match tick with Some t -> t | None -> ref 0 in
-  { heap = [||]; size = 0; tick; dead_in_heap = ref 0 }
+  let dead_in_heap = ref 0 in
+  {
+    heap = [||];
+    times = [||];
+    size = 0;
+    tick;
+    dead_in_heap;
+    immortal = { dead = false; queued = false; dead_count = dead_in_heap };
+    pool = [||];
+    pool_len = 0;
+    pending = 0;
+  }
 
-let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.heap.(i).seq < t.heap.(j).seq)
+
+let swap t i j =
+  let e = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- e;
+  let x = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- x
 
 let grow t entry =
   let cap = Array.length t.heap in
@@ -27,16 +64,17 @@ let grow t entry =
     let new_cap = if cap = 0 then 16 else cap * 2 in
     let heap = Array.make new_cap entry in
     Array.blit t.heap 0 heap 0 t.size;
-    t.heap <- heap
+    t.heap <- heap;
+    let times = Array.make new_cap 0.0 in
+    Array.blit t.times 0 times 0 t.size;
+    t.times <- times
   end
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_before t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
+    if before t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -44,48 +82,121 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && before t l !smallest then smallest := l;
+  if r < t.size && before t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
+
+let recycle t e =
+  e.handle <- t.immortal;  (* never retain a cancellable handle *)
+  if t.pool_len < pool_cap then begin
+    let cap = Array.length t.pool in
+    if t.pool_len = cap then begin
+      let pool = Array.make (min pool_cap (max 16 (cap * 2))) e in
+      Array.blit t.pool 0 pool 0 t.pool_len;
+      t.pool <- pool
+    end;
+    t.pool.(t.pool_len) <- e;
+    t.pool_len <- t.pool_len + 1
+  end
+
+let take_entry t ~value ~handle =
+  let seq = !(t.tick) in
+  t.tick := seq + 1;
+  if t.pool_len > 0 then begin
+    t.pool_len <- t.pool_len - 1;
+    let e = t.pool.(t.pool_len) in
+    e.seq <- seq;
+    e.value <- value;
+    e.handle <- handle;
+    e
+  end
+  else { seq; value; handle }
 
 (* Squeeze every cancelled entry out in one pass and re-heapify.  Lazy
    cancellation only frees dead events when they surface at the root, so
    timer-heavy churn (watchdog resets, anti-entropy rearming) would
    otherwise keep arbitrarily many dead slots alive in the middle of the
-   heap. *)
+   heap.  The full heapify also validates any pending batch suffix. *)
 let compact t =
   let live = ref 0 in
   for i = 0 to t.size - 1 do
     let e = t.heap.(i) in
-    if e.handle.dead then e.handle.queued <- false
+    if e.handle.dead then begin
+      e.handle.queued <- false;
+      recycle t e
+    end
     else begin
       t.heap.(!live) <- e;
+      t.times.(!live) <- t.times.(i);
       incr live
     end
   done;
   t.size <- !live;
   t.dead_in_heap := 0;
+  t.pending <- 0;
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
   done
 
 let maybe_compact t = if t.size >= 16 && 2 * !(t.dead_in_heap) > t.size then compact t
 
-let add t ~time value =
-  let handle = { dead = false; queued = true; dead_count = t.dead_in_heap } in
-  let entry = { time; seq = !(t.tick); value; handle } in
-  t.tick := !(t.tick) + 1;
-  maybe_compact t;
+let flush_batch t =
+  let k = t.pending in
+  if k > 0 then begin
+    t.pending <- 0;
+    (* Large batch relative to the heap: one bottom-up heapify is O(size)
+       and beats k * O(log size) sifts.  Small batch: sift each appended
+       element up in append order, which is exactly the deferred inserts. *)
+    if k * 4 >= t.size then
+      for i = (t.size / 2) - 1 downto 0 do
+        sift_down t i
+      done
+    else
+      for i = t.size - k to t.size - 1 do
+        sift_up t i
+      done;
+    maybe_compact t
+  end
+
+(* Every operation that reads the root must see a valid heap. *)
+let ensure t = if t.pending > 0 then flush_batch t
+
+let append t ~time entry =
   grow t entry;
   t.heap.(t.size) <- entry;
-  t.size <- t.size + 1;
+  t.times.(t.size) <- time;
+  t.size <- t.size + 1
+
+let add t ~time value =
+  ensure t;
+  let handle = { dead = false; queued = true; dead_count = t.dead_in_heap } in
+  let entry = take_entry t ~value ~handle in
+  maybe_compact t;
+  append t ~time entry;
   sift_up t (t.size - 1);
   handle
+
+let add_fast t ~time value =
+  ensure t;
+  let entry = take_entry t ~value ~handle:t.immortal in
+  maybe_compact t;
+  append t ~time entry;
+  sift_up t (t.size - 1)
+
+let batch_add t ~time value =
+  let handle = { dead = false; queued = true; dead_count = t.dead_in_heap } in
+  let entry = take_entry t ~value ~handle in
+  append t ~time entry;
+  t.pending <- t.pending + 1;
+  handle
+
+let batch_add_fast t ~time value =
+  let entry = take_entry t ~value ~handle:t.immortal in
+  append t ~time entry;
+  t.pending <- t.pending + 1
 
 let cancel h =
   if not h.dead then begin
@@ -96,14 +207,17 @@ let cancel h =
 let cancelled h = h.dead
 
 let remove_top t =
-  let h = t.heap.(0).handle in
+  let e = t.heap.(0) in
+  let h = e.handle in
   h.queued <- false;
   if h.dead then decr t.dead_in_heap;
   t.size <- t.size - 1;
   if t.size > 0 then begin
     t.heap.(0) <- t.heap.(t.size);
+    t.times.(0) <- t.times.(t.size);
     sift_down t 0
-  end
+  end;
+  recycle t e
 
 (* Discard dead events sitting at the root. *)
 let rec drop_dead t =
@@ -113,27 +227,51 @@ let rec drop_dead t =
   end
 
 let pop t =
+  ensure t;
   drop_dead t;
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let time = t.times.(0) in
+    let value = t.heap.(0).value in
     remove_top t;
-    Some (top.time, top.value)
+    Some (time, value)
+  end
+
+let pop_apply t f =
+  ensure t;
+  drop_dead t;
+  if t.size = 0 then false
+  else begin
+    let time = t.times.(0) in
+    let value = t.heap.(0).value in
+    remove_top t;
+    f time value;
+    true
   end
 
 let peek_time t =
+  ensure t;
   drop_dead t;
-  if t.size = 0 then None else Some t.heap.(0).time
+  if t.size = 0 then None else Some t.times.(0)
+
+let next_time t =
+  ensure t;
+  drop_dead t;
+  if t.size = 0 then infinity else t.times.(0)
 
 let peek_key t =
+  ensure t;
   drop_dead t;
   if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    Some (top.time, top.seq)
-  end
+  else Some (t.times.(0), t.heap.(0).seq)
+
+let peek_seq t =
+  ensure t;
+  drop_dead t;
+  if t.size = 0 then max_int else t.heap.(0).seq
 
 let is_empty t =
+  ensure t;
   drop_dead t;
   t.size = 0
 

@@ -4,10 +4,49 @@ type graph_routed = {
   graph : Graph.t;
   cache : source_result option array;
   max_cached : int;
-  last_used : int array;  (* LRU stamps, meaningful where cache is Some *)
-  mutable clock : int;
+  (* Intrusive LRU list over cached sources: [lru_prev]/[lru_next] chain
+     exactly the sources whose cache slot is [Some], so touching a source
+     and evicting the coldest one are both O(1) pointer splices — no scan,
+     no stamps. *)
+  lru_prev : int array;
+  lru_next : int array;
+  mutable lru_head : int; (* least recently used cached source; -1 = none *)
+  mutable lru_tail : int; (* most recently used cached source; -1 = none *)
   mutable cached : int;
 }
+
+(* Precomputed link-state tables over a transit-stub hierarchy (the
+   TinyOS LinkStateC idea: pay for SPF once, amortize over every routed
+   message).  The decomposition exploits the topology's structure: a
+   stub domain touches the rest of the graph through exactly one access
+   link, so every inter-domain shortest path factors as
+   stub -> gateway -> transit backbone -> gateway -> stub.  We therefore
+   store all-pairs tables only *inside* each (small) stub domain and
+   over the transit backbone — O(sum s_i^2 + g^2) memory, not O(n^2) —
+   and answer any [distance]/[hop_count] query with O(1) arithmetic over
+   those tables. *)
+type link_state = {
+  ls_graph : Graph.t;
+  is_transit : bool array;
+  domain_of : int array; (* stub-domain id per node; -1 for transit nodes *)
+  dom_members : int array array; (* domain -> member nodes *)
+  dom_index : int array; (* node -> its index inside its domain *)
+  dom_gateway : int array; (* domain -> gateway node, -1 when isolated *)
+  dom_attach : int array; (* domain -> transit node of the access link *)
+  dom_access : float array; (* domain -> access-link latency *)
+  (* per-domain all-pairs, s*s row-major in domain-local indices *)
+  dom_dist : float array array;
+  dom_next : int array array; (* first hop, as a global node id; -1 = none *)
+  dom_hops : int array array;
+  (* transit backbone all-pairs, g*g row-major in transit indices *)
+  t_index : int array; (* node -> transit index; -1 for stub nodes *)
+  t_nodes : int array;
+  t_dist : float array;
+  t_next : int array; (* first hop, as a global node id; -1 = none *)
+  t_hops : int array;
+}
+
+type ls_box = { mutable ls : link_state }
 
 (* [Synthetic] short-circuits path computation entirely: every distinct
    pair is one hop at a fixed latency.  Million-node underlays cannot
@@ -16,6 +55,7 @@ type graph_routed = {
 type t =
   | Graph_routed of graph_routed
   | Synthetic of { graph : Graph.t; latency : float }
+  | Link_state of ls_box
 
 let create ?(max_cached_sources = max_int) graph =
   if max_cached_sources < 1 then invalid_arg "Routing.create: max_cached_sources";
@@ -25,8 +65,10 @@ let create ?(max_cached_sources = max_int) graph =
       graph;
       cache = Array.make n None;
       max_cached = max_cached_sources;
-      last_used = Array.make n 0;
-      clock = 0;
+      lru_prev = Array.make n (-1);
+      lru_next = Array.make n (-1);
+      lru_head = -1;
+      lru_tail = -1;
       cached = 0;
     }
 
@@ -113,36 +155,376 @@ let dijkstra graph src =
   loop ();
   { dist; prev }
 
-(* Evict the least-recently-used cached source.  The linear scan is noise
-   next to the Dijkstra run that triggered it. *)
+(* --- graph-routed cache: intrusive LRU --- *)
+
+let lru_unlink t src =
+  let p = t.lru_prev.(src) and n = t.lru_next.(src) in
+  if p >= 0 then t.lru_next.(p) <- n else t.lru_head <- n;
+  if n >= 0 then t.lru_prev.(n) <- p else t.lru_tail <- p;
+  t.lru_prev.(src) <- -1;
+  t.lru_next.(src) <- -1
+
+let lru_push_tail t src =
+  t.lru_prev.(src) <- t.lru_tail;
+  t.lru_next.(src) <- -1;
+  if t.lru_tail >= 0 then t.lru_next.(t.lru_tail) <- src else t.lru_head <- src;
+  t.lru_tail <- src
+
+(* Evict the least-recently-used cached source: the head of the
+   intrusive list, an O(1) splice. *)
 let evict_lru t =
-  let victim = ref (-1) in
-  Array.iteri
-    (fun i r ->
-      if r <> None && (!victim < 0 || t.last_used.(i) < t.last_used.(!victim)) then
-        victim := i)
-    t.cache;
-  if !victim >= 0 then begin
-    t.cache.(!victim) <- None;
+  let victim = t.lru_head in
+  if victim >= 0 then begin
+    lru_unlink t victim;
+    t.cache.(victim) <- None;
     t.cached <- t.cached - 1
   end
 
 let source_result t src =
-  t.clock <- t.clock + 1;
-  t.last_used.(src) <- t.clock;
   match t.cache.(src) with
-  | Some r -> r
+  | Some r ->
+    if t.lru_tail <> src then begin
+      lru_unlink t src;
+      lru_push_tail t src
+    end;
+    r
   | None ->
     if t.cached >= t.max_cached then evict_lru t;
     let r = dijkstra t.graph src in
     t.cache.(src) <- Some r;
     t.cached <- t.cached + 1;
+    lru_push_tail t src;
     r
+
+let drop_cache t =
+  for src = 0 to Array.length t.cache - 1 do
+    t.cache.(src) <- None;
+    t.lru_prev.(src) <- -1;
+    t.lru_next.(src) <- -1
+  done;
+  t.lru_head <- -1;
+  t.lru_tail <- -1;
+  t.cached <- 0
+
+(* --- link-state construction --- *)
+
+(* All-pairs Dijkstra over the subgraph induced by [members] (neighbours
+   outside the set are ignored).  Domains and the transit backbone are
+   small, so a scan-min O(s^2) Dijkstra per source beats heap overhead
+   and allocates only the result tables. *)
+let restricted_all_pairs graph ~members ~index_of ~in_set =
+  let s = Array.length members in
+  let dist = Array.make (s * s) infinity in
+  let next = Array.make (s * s) (-1) in
+  let hops = Array.make (s * s) 0 in
+  let d = Array.make s infinity in
+  let settled = Array.make s false in
+  let first = Array.make s (-1) in
+  let hop = Array.make s 0 in
+  for si = 0 to s - 1 do
+    Array.fill d 0 s infinity;
+    Array.fill settled 0 s false;
+    Array.fill first 0 s (-1);
+    Array.fill hop 0 s 0;
+    d.(si) <- 0.0;
+    let src = members.(si) in
+    for _round = 0 to s - 1 do
+      (* pick the unsettled node with the smallest tentative distance *)
+      let best = ref (-1) in
+      let best_d = ref infinity in
+      for j = 0 to s - 1 do
+        if (not settled.(j)) && d.(j) < !best_d then begin
+          best := j;
+          best_d := d.(j)
+        end
+      done;
+      if !best >= 0 then begin
+        let u = !best in
+        settled.(u) <- true;
+        Graph.iter_neighbors graph members.(u) (fun v w ->
+            if in_set v then begin
+              let vi = index_of v in
+              let alt = d.(u) +. w in
+              if alt < d.(vi) then begin
+                d.(vi) <- alt;
+                first.(vi) <- (if members.(u) = src then v else first.(u));
+                hop.(vi) <- hop.(u) + 1
+              end
+            end)
+      end
+    done;
+    let row = si * s in
+    for j = 0 to s - 1 do
+      dist.(row + j) <- d.(j);
+      next.(row + j) <- first.(j);
+      hops.(row + j) <- hop.(j)
+    done
+  done;
+  (dist, next, hops)
+
+let build_link_state graph ~is_transit =
+  let n = Graph.node_count graph in
+  let transit = Array.init n is_transit in
+  (* stub domains = connected components of the stub-only subgraph *)
+  let domain_of = Array.make n (-1) in
+  let members_rev = ref [] in
+  let domain_count = ref 0 in
+  let stack = ref [] in
+  for u = 0 to n - 1 do
+    if (not transit.(u)) && domain_of.(u) < 0 then begin
+      let d = !domain_count in
+      incr domain_count;
+      let acc = ref [] in
+      domain_of.(u) <- d;
+      stack := [ u ];
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          acc := v :: !acc;
+          Graph.iter_neighbors graph v (fun w _ ->
+              if (not transit.(w)) && domain_of.(w) < 0 then begin
+                domain_of.(w) <- d;
+                stack := w :: !stack
+              end)
+      done;
+      members_rev := Array.of_list (List.rev !acc) :: !members_rev
+    end
+  done;
+  let dom_members = Array.of_list (List.rev !members_rev) in
+  let domains = Array.length dom_members in
+  let dom_index = Array.make n 0 in
+  Array.iter
+    (fun members -> Array.iteri (fun i u -> dom_index.(u) <- i) members)
+    dom_members;
+  (* access links: each domain must touch the backbone through at most
+     one stub-to-transit edge, the structural invariant the whole
+     decomposition rests on *)
+  let dom_gateway = Array.make domains (-1) in
+  let dom_attach = Array.make domains (-1) in
+  let dom_access = Array.make domains infinity in
+  Array.iteri
+    (fun d members ->
+      Array.iter
+        (fun u ->
+          Graph.iter_neighbors graph u (fun v w ->
+              if transit.(v) then begin
+                if dom_gateway.(d) >= 0 then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Routing.link_state: stub domain %d has several access \
+                        links (not transit-stub shaped)"
+                       d);
+                dom_gateway.(d) <- u;
+                dom_attach.(d) <- v;
+                dom_access.(d) <- w
+              end))
+        members)
+    dom_members;
+  (* intra-domain tables *)
+  let dom_dist = Array.make domains [||] in
+  let dom_next = Array.make domains [||] in
+  let dom_hops = Array.make domains [||] in
+  Array.iteri
+    (fun d members ->
+      let dist, next, hops =
+        restricted_all_pairs graph ~members
+          ~index_of:(fun v -> dom_index.(v))
+          ~in_set:(fun v -> (not transit.(v)) && domain_of.(v) = d)
+      in
+      dom_dist.(d) <- dist;
+      dom_next.(d) <- next;
+      dom_hops.(d) <- hops)
+    dom_members;
+  (* transit backbone tables *)
+  let t_nodes =
+    let acc = ref [] in
+    for u = n - 1 downto 0 do
+      if transit.(u) then acc := u :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let t_index = Array.make n (-1) in
+  Array.iteri (fun i u -> t_index.(u) <- i) t_nodes;
+  let t_dist, t_next, t_hops =
+    restricted_all_pairs graph ~members:t_nodes
+      ~index_of:(fun v -> t_index.(v))
+      ~in_set:(fun v -> transit.(v))
+  in
+  {
+    ls_graph = graph;
+    is_transit = transit;
+    domain_of;
+    dom_members;
+    dom_index;
+    dom_gateway;
+    dom_attach;
+    dom_access;
+    dom_dist;
+    dom_next;
+    dom_hops;
+    t_index;
+    t_nodes;
+    t_dist;
+    t_hops;
+    t_next;
+  }
+
+let link_state graph ~is_transit =
+  Link_state { ls = build_link_state graph ~is_transit }
+
+(* --- link-state queries --- *)
+
+let ls_intra_dist ls d u v =
+  let s = Array.length ls.dom_members.(d) in
+  ls.dom_dist.(d).((ls.dom_index.(u) * s) + ls.dom_index.(v))
+
+let ls_intra_hops ls d u v =
+  let s = Array.length ls.dom_members.(d) in
+  ls.dom_hops.(d).((ls.dom_index.(u) * s) + ls.dom_index.(v))
+
+let ls_intra_next ls d u v =
+  let s = Array.length ls.dom_members.(d) in
+  ls.dom_next.(d).((ls.dom_index.(u) * s) + ls.dom_index.(v))
+
+let ls_t_dist ls u v =
+  let g = Array.length ls.t_nodes in
+  ls.t_dist.((ls.t_index.(u) * g) + ls.t_index.(v))
+
+let ls_t_hops ls u v =
+  let g = Array.length ls.t_nodes in
+  ls.t_hops.((ls.t_index.(u) * g) + ls.t_index.(v))
+
+let ls_t_next ls u v =
+  let g = Array.length ls.t_nodes in
+  ls.t_next.((ls.t_index.(u) * g) + ls.t_index.(v))
+
+(* Distance (and hops) from a node up to its backbone attachment point:
+   0 for a transit node; intra-path to the gateway plus the access link
+   for a stub node.  Infinity when the domain has no access link. *)
+let ls_to_backbone ls u du =
+  if du < 0 then (u, 0.0, 0)
+  else begin
+    let gw = ls.dom_gateway.(du) in
+    if gw < 0 then (-1, infinity, 0)
+    else
+      ( ls.dom_attach.(du),
+        ls_intra_dist ls du u gw +. ls.dom_access.(du),
+        ls_intra_hops ls du u gw + 1 )
+  end
+
+let ls_distance ls u v =
+  if u = v then 0.0
+  else begin
+    let du = ls.domain_of.(u) and dv = ls.domain_of.(v) in
+    if du >= 0 && du = dv then ls_intra_dist ls du u v
+    else if du < 0 && dv < 0 then ls_t_dist ls u v
+    else begin
+      let au, up, _ = ls_to_backbone ls u du in
+      let av, down, _ = ls_to_backbone ls v dv in
+      if au < 0 || av < 0 then infinity else up +. ls_t_dist ls au av +. down
+    end
+  end
+
+let ls_hop_count ls u v =
+  if u = v then 0
+  else begin
+    let du = ls.domain_of.(u) and dv = ls.domain_of.(v) in
+    if du >= 0 && du = dv then ls_intra_hops ls du u v
+    else if du < 0 && dv < 0 then ls_t_hops ls u v
+    else begin
+      let au, _, hu = ls_to_backbone ls u du in
+      let av, _, hv = ls_to_backbone ls v dv in
+      if au < 0 || av < 0 then 0 else hu + ls_t_hops ls au av + hv
+    end
+  end
+
+(* First hop from [u] toward [v]; -1 when unreachable.  Mirrors the
+   distance decomposition: head for the gateway, cross the backbone to
+   the destination domain's attachment, drop down its access link,
+   finish inside the domain. *)
+let ls_next_hop ls u v =
+  let du = ls.domain_of.(u) and dv = ls.domain_of.(v) in
+  if u = v then u
+  else if du >= 0 && du = dv then ls_intra_next ls du u v
+  else if du >= 0 then begin
+    let gw = ls.dom_gateway.(du) in
+    if gw < 0 then -1
+    else if u = gw then ls.dom_attach.(du)
+    else ls_intra_next ls du u gw
+  end
+  else if dv < 0 then ls_t_next ls u v
+  else begin
+    let a = ls.dom_attach.(dv) in
+    if a < 0 then -1
+    else if u = a then ls.dom_gateway.(dv)
+    else ls_t_next ls u a
+  end
+
+let ls_path ls u v =
+  if ls_distance ls u v = infinity then raise Not_found;
+  let rec collect node acc =
+    if node = v then List.rev (v :: acc)
+    else collect (ls_next_hop ls node v) (node :: acc)
+  in
+  if u = v then [ u ] else collect u []
+
+(* --- incremental recomputation --- *)
+
+let rebuild_domain ls d =
+  let members = ls.dom_members.(d) in
+  let dist, next, hops =
+    restricted_all_pairs ls.ls_graph ~members
+      ~index_of:(fun v -> ls.dom_index.(v))
+      ~in_set:(fun v -> (not ls.is_transit.(v)) && ls.domain_of.(v) = d)
+  in
+  ls.dom_dist.(d) <- dist;
+  ls.dom_next.(d) <- next;
+  ls.dom_hops.(d) <- hops
+
+let rebuild_transit ls =
+  let dist, next, hops =
+    restricted_all_pairs ls.ls_graph ~members:ls.t_nodes
+      ~index_of:(fun v -> ls.t_index.(v))
+      ~in_set:(fun v -> ls.is_transit.(v))
+  in
+  Array.blit dist 0 ls.t_dist 0 (Array.length dist);
+  Array.blit next 0 ls.t_next 0 (Array.length next);
+  Array.blit hops 0 ls.t_hops 0 (Array.length hops)
+
+let update_link t u v ~latency =
+  match t with
+  | Synthetic _ -> invalid_arg "Routing.update_link: synthetic router"
+  | Graph_routed r ->
+    Graph.set_latency r.graph u v ~latency;
+    (* every cached single-source tree may route through the edge *)
+    drop_cache r
+  | Link_state b ->
+    let ls = b.ls in
+    Graph.set_latency ls.ls_graph u v ~latency;
+    let du = ls.domain_of.(u) and dv = ls.domain_of.(v) in
+    if du < 0 && dv < 0 then rebuild_transit ls
+    else if du >= 0 && du = dv then rebuild_domain ls du
+    else
+      (* the only stub-to-transit edges are access links *)
+      let d = if du >= 0 then du else dv in
+      ls.dom_access.(d) <- latency
+
+let refresh t =
+  match t with
+  | Synthetic _ -> ()
+  | Graph_routed r -> drop_cache r
+  | Link_state b ->
+    b.ls <- build_link_state b.ls.ls_graph ~is_transit:(fun u -> b.ls.is_transit.(u))
+
+(* --- the common query surface --- *)
 
 let distance t u v =
   match t with
   | Graph_routed t -> (source_result t u).dist.(v)
   | Synthetic { latency; _ } -> if u = v then 0.0 else latency
+  | Link_state b -> ls_distance b.ls u v
 
 let path t u v =
   match t with
@@ -154,8 +536,29 @@ let path t u v =
     in
     build [] v
   | Synthetic _ -> if u = v then [ u ] else [ u; v ]
+  | Link_state b -> ls_path b.ls u v
 
-let hop_count t u v = List.length (path t u v) - 1
+(* Hop counting never materializes the path: graph mode walks the
+   predecessor chain, link-state mode adds three table entries. *)
+let hop_count t u v =
+  match t with
+  | Graph_routed t ->
+    if u = v then 0
+    else begin
+      let r = source_result t u in
+      if r.dist.(v) = infinity then raise Not_found;
+      let hops = ref 0 in
+      let node = ref v in
+      while !node <> u do
+        node := r.prev.(!node);
+        incr hops
+      done;
+      !hops
+    end
+  | Synthetic _ -> if u = v then 0 else 1
+  | Link_state b ->
+    if u <> v && ls_distance b.ls u v = infinity then raise Not_found;
+    ls_hop_count b.ls u v
 
 let eccentricity t u =
   match t with
@@ -163,7 +566,17 @@ let eccentricity t u =
     let r = source_result t u in
     Array.fold_left (fun acc d -> if d <> infinity && d > acc then d else acc) 0.0 r.dist
   | Synthetic { latency; _ } -> latency
+  | Link_state b ->
+    let ls = b.ls in
+    let n = Graph.node_count ls.ls_graph in
+    let acc = ref 0.0 in
+    for v = 0 to n - 1 do
+      let d = ls_distance ls u v in
+      if d <> infinity && d > !acc then acc := d
+    done;
+    !acc
 
 let graph = function
   | Graph_routed t -> t.graph
   | Synthetic { graph; _ } -> graph
+  | Link_state b -> b.ls.ls_graph

@@ -2,19 +2,39 @@
 
     Overlay links are logical: a message sent over the overlay edge
     [u -> v] traverses the latency-shortest physical path from [u] to [v].
-    This module computes those paths with Dijkstra's algorithm, caching the
-    full single-source result per source on first use (a 1,000-node topology
-    fits comfortably; [max_cached_sources] bounds the cache for larger
-    ones). *)
+    Three backends compute those paths:
+
+    - {!create} — on-demand per-source Dijkstra with an LRU-bounded cache.
+      Exact on any graph; the right default below a few thousand nodes.
+    - {!link_state} — precomputed tables exploiting the transit-stub
+      hierarchy (each stub domain reaches the backbone through exactly one
+      access link, so every inter-domain path factors through the
+      gateways).  All-pairs state is kept only inside each small domain
+      and across the transit backbone — O(Σ sᵢ² + g²) memory, O(1)
+      [distance]/[hop_count] — so the real graph stays affordable on the
+      hot message path at 10k+ nodes.
+    - {!synthetic} — a fake uniform-latency clique for overlay-only
+      scalability studies. *)
 
 type t
 
-(** [create graph] prepares a router; no paths are computed yet.
+(** [create graph] prepares a Dijkstra router; no paths are computed yet.
     [max_cached_sources] caps how many single-source results stay cached
-    (LRU eviction beyond it); the default is unlimited — O(n²) memory once
-    every node has sent, which is the right trade below a few thousand
-    nodes.  @raise Invalid_argument when [max_cached_sources < 1]. *)
+    (O(1) LRU eviction beyond it); the default is unlimited — O(n²) memory
+    once every node has sent, which is the right trade below a few
+    thousand nodes.  @raise Invalid_argument when [max_cached_sources < 1]. *)
 val create : ?max_cached_sources:int -> Graph.t -> t
+
+(** [link_state graph ~is_transit] precomputes hierarchical routing
+    tables over a transit-stub graph; [is_transit u] classifies node [u].
+    Stub domains are the connected components of the stub-only subgraph;
+    each must touch the backbone through at most one stub-to-transit edge
+    (its access link) — a domain with none is simply unreachable from the
+    outside.  Construction runs all-pairs shortest paths inside every
+    domain and over the backbone; queries are table lookups.
+    @raise Invalid_argument when some stub domain has several access
+    links (the graph is not transit-stub shaped). *)
+val link_state : Graph.t -> is_transit:(int -> bool) -> t
 
 (** [synthetic ~nodes ~latency] is a router over [nodes] hosts in which
     every distinct pair is directly connected at a uniform [latency] (ms)
@@ -34,9 +54,26 @@ val distance : t -> int -> int -> float
     @raise Not_found when unreachable. *)
 val path : t -> int -> int -> int list
 
-(** [hop_count t u v] is [List.length (path t u v) - 1]; 0 when [u = v].
+(** [hop_count t u v] is the number of physical links on a shortest path;
+    0 when [u = v].  Never materializes the path: the Dijkstra backend
+    walks the predecessor chain, the link-state backend reads hop tables.
     @raise Not_found when unreachable. *)
 val hop_count : t -> int -> int -> int
+
+(** [update_link t u v ~latency] changes the weight of the existing edge
+    [u -- v] and re-derives only the routing state the change can affect:
+    the Dijkstra backend drops its cache; the link-state backend rebuilds
+    the one stub domain (intra-domain edge), the backbone tables
+    (transit-transit edge), or just the stored access latency
+    (stub-to-transit edge).
+    @raise Invalid_argument on a {!synthetic} router; [Not_found] when
+    the edge is absent. *)
+val update_link : t -> int -> int -> latency:float -> unit
+
+(** [refresh t] recomputes all routing state from the current graph.
+    Required after structural changes ([Graph.add_edge]) that
+    {!update_link} does not cover.  No-op for {!synthetic}. *)
+val refresh : t -> unit
 
 (** [eccentricity t u] is the maximum finite distance from [u]. *)
 val eccentricity : t -> int -> float

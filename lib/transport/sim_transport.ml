@@ -15,6 +15,10 @@ type t = {
   engine : Engine.t;
   underlay : P2p_net.Underlay.t;
   mutable handler : src:addr -> dst:addr -> payload -> unit;
+  (* true while [handler] is still the identity dispatch below: [send]
+     then hands the payload straight to the underlay instead of building
+     a wrapper closure per message *)
+  mutable default_dispatch : bool;
 }
 
 (* The closure payload is its own handler: the default dispatch just
@@ -25,15 +29,21 @@ let make ~underlay =
     engine = P2p_net.Underlay.engine underlay;
     underlay;
     handler = (fun ~src:_ ~dst:_ f -> f ());
+    default_dispatch = true;
   }
 
 let now t = Engine.now t.engine
 
 let send t ?op ?shard ~src ~dst payload =
-  P2p_net.Underlay.send t.underlay ?op ?shard ~src ~dst (fun () ->
-      t.handler ~src ~dst payload)
+  if t.default_dispatch then
+    P2p_net.Underlay.send t.underlay ?op ?shard ~src ~dst payload
+  else
+    P2p_net.Underlay.send t.underlay ?op ?shard ~src ~dst (fun () ->
+        t.handler ~src ~dst payload)
 
-let set_handler t f = t.handler <- f
+let set_handler t f =
+  t.handler <- f;
+  t.default_dispatch <- false
 
 let wrap tm =
   {
@@ -53,6 +63,7 @@ let transport t =
     send = (fun ?op ?shard ~src ~dst f -> send t ?op ?shard ~src ~dst f);
     one_shot = (fun ?label ~delay f -> one_shot t ?label ~delay f);
     periodic = (fun ?label ~period f -> periodic t ?label ~period f);
+    batch = (fun f -> Engine.schedule_batch t.engine f);
   }
 
 let create ~underlay = transport (make ~underlay)

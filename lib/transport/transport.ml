@@ -62,11 +62,14 @@ type t = {
     ?op:int -> ?shard:int -> src:int -> dst:int -> (unit -> unit) -> unit;
   one_shot : ?label:string -> delay:float -> (unit -> unit) -> timer;
   periodic : ?label:string -> period:float -> (unit -> unit) -> timer;
+  batch : (unit -> unit) -> unit;
 }
 
 let now t = t.now ()
 
 let send t ?op ?shard ~src ~dst f = t.send ?op ?shard ~src ~dst f
+
+let batch t f = t.batch f
 
 let one_shot t ?label ~delay f = t.one_shot ?label ~delay f
 

@@ -57,11 +57,20 @@ type t = {
     ?op:int -> ?shard:int -> src:int -> dst:int -> (unit -> unit) -> unit;
   one_shot : ?label:string -> delay:float -> (unit -> unit) -> timer;
   periodic : ?label:string -> period:float -> (unit -> unit) -> timer;
+  batch : (unit -> unit) -> unit;
+      (** [batch f] runs [f] with the backend's fan-out batching, if any:
+          the sim backend defers event-heap restructuring for every send
+          inside [f] to one pass ([Engine.schedule_batch]); backends
+          without an equivalent just run [f].  Semantics (ordering,
+          delivery) are identical with and without. *)
 }
 
 val now : t -> float
 
 val send : t -> ?op:int -> ?shard:int -> src:int -> dst:int -> (unit -> unit) -> unit
+
+(** [batch t f] — see the {!type-t} field. *)
+val batch : t -> (unit -> unit) -> unit
 
 val one_shot : t -> ?label:string -> delay:float -> (unit -> unit) -> timer
 

@@ -105,6 +105,99 @@ let test_queue_interleaved () =
     end
   done
 
+(* --- batched insertion and the entry pool --- *)
+
+let test_queue_batch_determinism () =
+  (* the same schedule through [batch_add] + [flush_batch] must pop
+     bit-identically to plain [add] — same times, same tie-breaks *)
+  let plain = Event_queue.create () in
+  let batched = Event_queue.create () in
+  let rng = P2p_sim.Rng.create 7 in
+  let times = Array.init 500 (fun _ -> float_of_int (P2p_sim.Rng.int rng 50)) in
+  Array.iteri
+    (fun i time -> ignore (Event_queue.add plain ~time i : Event_queue.handle))
+    times;
+  Array.iteri
+    (fun i time -> ignore (Event_queue.batch_add batched ~time i : Event_queue.handle))
+    times;
+  Event_queue.flush_batch batched;
+  let rec drain () =
+    match (Event_queue.pop plain, Event_queue.pop batched) with
+    | None, None -> ()
+    | Some (t1, v1), Some (t2, v2) ->
+      checkf "same time" t1 t2;
+      checki "same value" v1 v2;
+      drain ()
+    | _ -> Alcotest.fail "queues drained unevenly"
+  in
+  drain ()
+
+let test_queue_batch_autoflush () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.batch_add q ~time:2.0 'b' : Event_queue.handle);
+  Event_queue.batch_add_fast q ~time:1.0 'a';
+  (* reading operations flush the pending suffix on their own *)
+  checkf "peek flushes" 1.0 (Option.get (Event_queue.peek_time q));
+  Alcotest.check Alcotest.char "first" 'a' (snd (Option.get (Event_queue.pop q)));
+  Alcotest.check Alcotest.char "second" 'b' (snd (Option.get (Event_queue.pop q)))
+
+let test_queue_batch_cancel () =
+  (* cancelling a batched entry before its flush must stick *)
+  let q = Event_queue.create () in
+  let h = Event_queue.batch_add q ~time:1.0 "dead" in
+  ignore (Event_queue.batch_add q ~time:2.0 "live" : Event_queue.handle);
+  Event_queue.cancel h;
+  Event_queue.flush_batch q;
+  Alcotest.check Alcotest.string "cancelled skipped" "live"
+    (snd (Option.get (Event_queue.pop q)));
+  checkb "then empty" true (Event_queue.pop q = None)
+
+let test_queue_add_fast () =
+  let q = Event_queue.create () in
+  Event_queue.add_fast q ~time:2.0 'b';
+  Event_queue.add_fast q ~time:1.0 'a';
+  ignore (Event_queue.add q ~time:3.0 'c' : Event_queue.handle);
+  Alcotest.check Alcotest.char "first" 'a' (snd (Option.get (Event_queue.pop q)));
+  Alcotest.check Alcotest.char "second" 'b' (snd (Option.get (Event_queue.pop q)));
+  Alcotest.check Alcotest.char "third" 'c' (snd (Option.get (Event_queue.pop q)))
+
+let test_queue_pop_apply () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:1.0 1 : Event_queue.handle);
+  let seen = ref [] in
+  let f time v =
+    seen := (time, v) :: !seen;
+    (* the entry is removed before [f] runs, so re-adding is fine *)
+    if v < 3 then ignore (Event_queue.add q ~time:(time +. 1.0) (v + 1) : Event_queue.handle)
+  in
+  while Event_queue.pop_apply q f do
+    ()
+  done;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+    "chain" [ (1.0, 1); (2.0, 2); (3.0, 3) ] (List.rev !seen);
+  checkb "empty returns false" false (Event_queue.pop_apply q f)
+
+let test_queue_pool_reuse () =
+  (* thousands of add/pop cycles churn through the entry pool; recycled
+     entries must never leak a stale value or break ordering *)
+  let q = Event_queue.create () in
+  for round = 0 to 99 do
+    for i = 0 to 49 do
+      ignore
+        (Event_queue.add q ~time:(float_of_int (i * 13 mod 50)) (round, i)
+          : Event_queue.handle)
+    done;
+    let last = ref neg_infinity in
+    for _ = 0 to 49 do
+      let time, (r, _) = Option.get (Event_queue.pop q) in
+      checkb "time monotone" true (time >= !last);
+      last := time;
+      checki "value from this round" round r
+    done;
+    checkb "drained" true (Event_queue.is_empty q)
+  done
+
 (* --- Engine --- *)
 
 let test_engine_clock () =
@@ -177,6 +270,96 @@ let test_engine_same_time_order () =
   Alcotest.check (Alcotest.list Alcotest.int) "scheduling order preserved" [ 1; 2; 3; 4; 5 ]
     (List.rev !order)
 
+(* --- schedule_batch / schedule_detached --- *)
+
+(* The load-bearing property: wrapping any set of schedule calls in
+   [schedule_batch] must replay the unbatched event schedule
+   bit-identically — same firing order, same clocks — across lanes and
+   same-time ties, including fan-outs issued from inside a running
+   event. *)
+let test_engine_schedule_batch_determinism () =
+  let run ~batch =
+    let e = Engine.create ~seed:3 ~lanes:4 () in
+    let log = ref [] in
+    let wrap f = if batch then Engine.schedule_batch e f else f () in
+    let sched i delay =
+      ignore
+        (Engine.schedule e ~shard:(i mod 4) ~delay (fun () ->
+             log := (i, Engine.now e) :: !log)
+          : Engine.handle)
+    in
+    wrap (fun () ->
+        for i = 0 to 19 do
+          sched i (float_of_int (i * 7 mod 5))
+        done);
+    ignore
+      (Engine.schedule e ~delay:1.5 (fun () ->
+           wrap (fun () ->
+               for i = 100 to 109 do
+                 sched i 2.0
+               done))
+        : Engine.handle);
+    Engine.run e;
+    List.rev !log
+  in
+  let unbatched = run ~batch:false in
+  let batched = run ~batch:true in
+  checki "same count" 30 (List.length batched);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 1e-9)))
+    "batched insertion replays the unbatched schedule" unbatched batched
+
+let test_engine_batch_cancel () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref [] in
+  Engine.schedule_batch e (fun () ->
+      let h = Engine.schedule e ~delay:1.0 (fun () -> fired := 1 :: !fired) in
+      ignore (Engine.schedule e ~delay:2.0 (fun () -> fired := 2 :: !fired) : Engine.handle);
+      Engine.cancel h);
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.int) "cancelled inside batch never fires"
+    [ 2 ] !fired
+
+let test_engine_batch_nested () =
+  (* nested batches flatten into the outermost one *)
+  let e = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  Engine.schedule_batch e (fun () ->
+      Engine.schedule_batch e (fun () ->
+          ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired) : Engine.handle));
+      ignore (Engine.schedule e ~delay:2.0 (fun () -> incr fired) : Engine.handle));
+  Engine.run e;
+  checki "both fired" 2 !fired
+
+let test_engine_batch_exception () =
+  (* events scheduled before the batch body raised must still land *)
+  let e = Engine.create ~seed:1 () in
+  let fired = ref false in
+  (try
+     Engine.schedule_batch e (fun () ->
+         ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := true) : Engine.handle);
+         failwith "boom")
+   with Failure _ -> ());
+  Engine.run e;
+  checkb "flushed despite exception" true !fired
+
+let test_engine_schedule_detached () =
+  let e = Engine.create ~seed:1 ~lanes:2 () in
+  let log = ref [] in
+  Engine.schedule_detached e ~label:None ~shard:1 ~delay:2.0 (fun () ->
+      log := "detached" :: !log);
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "first" :: !log) : Engine.handle);
+  ignore
+    (Engine.schedule e ~shard:1 ~delay:2.0 (fun () -> log := "tie-second" :: !log)
+      : Engine.handle);
+  Engine.run e;
+  (* the detached event was scheduled first, so it wins the time-2 tie *)
+  Alcotest.check (Alcotest.list Alcotest.string) "ordering with normal schedules"
+    [ "first"; "detached"; "tie-second" ] (List.rev !log);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_detached: negative delay") (fun () ->
+      Engine.schedule_detached e ~label:None ~shard:0 ~delay:(-1.0) (fun () -> ()))
+
 (* --- Timer --- *)
 
 let test_timer_one_shot () =
@@ -248,6 +431,14 @@ let suite =
     Alcotest.test_case "queue: live_length" `Quick test_queue_live_length;
     Alcotest.test_case "queue: 10k cancels stay compact" `Quick test_queue_compaction_bounded;
     Alcotest.test_case "queue: interleaved ops stay sorted" `Quick test_queue_interleaved;
+    Alcotest.test_case "queue: batched insertion is deterministic" `Quick
+      test_queue_batch_determinism;
+    Alcotest.test_case "queue: reads auto-flush pending batch" `Quick
+      test_queue_batch_autoflush;
+    Alcotest.test_case "queue: cancel inside batch" `Quick test_queue_batch_cancel;
+    Alcotest.test_case "queue: add_fast ordering" `Quick test_queue_add_fast;
+    Alcotest.test_case "queue: pop_apply" `Quick test_queue_pop_apply;
+    Alcotest.test_case "queue: entry pool reuse" `Quick test_queue_pool_reuse;
     Alcotest.test_case "engine: clock and ordering" `Quick test_engine_clock;
     Alcotest.test_case "engine: negative delay rejected" `Quick test_engine_negative_delay;
     Alcotest.test_case "engine: schedule_at past rejected" `Quick test_engine_schedule_at_past;
@@ -255,6 +446,14 @@ let suite =
     Alcotest.test_case "engine: run_until" `Quick test_engine_run_until;
     Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
     Alcotest.test_case "engine: same-time scheduling order" `Quick test_engine_same_time_order;
+    Alcotest.test_case "engine: schedule_batch replays unbatched order" `Quick
+      test_engine_schedule_batch_determinism;
+    Alcotest.test_case "engine: cancel inside schedule_batch" `Quick test_engine_batch_cancel;
+    Alcotest.test_case "engine: nested schedule_batch flattens" `Quick test_engine_batch_nested;
+    Alcotest.test_case "engine: schedule_batch flushes on exception" `Quick
+      test_engine_batch_exception;
+    Alcotest.test_case "engine: schedule_detached ordering" `Quick
+      test_engine_schedule_detached;
     Alcotest.test_case "timer: one-shot" `Quick test_timer_one_shot;
     Alcotest.test_case "timer: cancel" `Quick test_timer_cancel;
     Alcotest.test_case "timer: reset postpones" `Quick test_timer_reset_postpones;

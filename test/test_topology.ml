@@ -214,6 +214,193 @@ let test_routing_eccentricity () =
   checkf "end node" 4.0 (Routing.eccentricity r 0);
   checkf "middle node" 2.0 (Routing.eccentricity r 2)
 
+let test_graph_set_latency () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 ~latency:1.0;
+  Graph.set_latency g 1 0 ~latency:2.5;
+  checkf "updated both directions" 2.5 (Graph.latency g 0 1);
+  Alcotest.check_raises "absent edge" Not_found (fun () ->
+      Graph.set_latency g 0 2 ~latency:1.0);
+  Alcotest.check_raises "bad latency"
+    (Invalid_argument "Graph.set_latency: non-positive latency") (fun () ->
+      Graph.set_latency g 0 1 ~latency:0.0)
+
+(* --- link-state routing --- *)
+
+let is_transit_of t u =
+  match t.Transit_stub.classes.(u) with
+  | Transit_stub.Transit _ -> true
+  | Transit_stub.Stub _ -> false
+
+(* When [u ~ v], the backend's reported path must be real (edges exist),
+   cost exactly the reported distance, and agree with [hop_count].  This
+   is checked per backend, not across backends: equal-cost ties may give
+   the two backends different — equally shortest — paths. *)
+let check_path_valid g r name u v =
+  if Routing.distance r u v < infinity then begin
+    let p = Routing.path r u v in
+    (match p with
+     | first :: _ -> checki (name ^ ": path starts at u") u first
+     | [] -> Alcotest.fail (name ^ ": empty path"));
+    checki (name ^ ": path ends at v") v (List.nth p (List.length p - 1));
+    let rec cost = function
+      | a :: (b :: _ as rest) ->
+        checkb (name ^ ": edge exists") true (Graph.has_edge g a b);
+        Graph.latency g a b +. cost rest
+      | _ -> 0.0
+    in
+    Alcotest.check (Alcotest.float 1e-6)
+      (name ^ ": path cost = distance")
+      (Routing.distance r u v) (cost p);
+    checki
+      (name ^ ": hop_count = |path| - 1")
+      (List.length p - 1)
+      (Routing.hop_count r u v)
+  end
+
+(* Property: over random transit-stub graphs, the precomputed link-state
+   tables answer exactly like per-source Dijkstra on every pair
+   (distances to float tolerance — hierarchical composition sums in a
+   different order), and both backends report self-consistent paths. *)
+let test_link_state_matches_dijkstra () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let t = Transit_stub.generate ~rng small_params in
+      let g = t.Transit_stub.graph in
+      let dij = Routing.create g in
+      let ls = Routing.link_state g ~is_transit:(is_transit_of t) in
+      let n = Graph.node_count g in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          Alcotest.check (Alcotest.float 1e-6) "distance agrees"
+            (Routing.distance dij u v)
+            (Routing.distance ls u v);
+          check_path_valid g dij "dijkstra" u v;
+          check_path_valid g ls "link_state" u v
+        done
+      done)
+    [ 11; 12; 13 ]
+
+(* Hand-built hierarchy where every figure is known exactly: transit
+   backbone 0 -- 1, a 3-node stub domain {2,3,4} on node 0, a 2-node
+   stub domain {5,6} on node 1, and node 7 an isolated stub domain with
+   no access link. *)
+let manual_hierarchy () =
+  let g = Graph.create 8 in
+  Graph.add_edge g 0 1 ~latency:10.0;
+  Graph.add_edge g 2 3 ~latency:1.0;
+  Graph.add_edge g 3 4 ~latency:1.0;
+  Graph.add_edge g 0 2 ~latency:2.0;
+  Graph.add_edge g 5 6 ~latency:1.0;
+  Graph.add_edge g 1 5 ~latency:3.0;
+  (g, Routing.link_state g ~is_transit:(fun u -> u < 2))
+
+let test_link_state_manual () =
+  let _g, r = manual_hierarchy () in
+  checkf "intra-domain" 2.0 (Routing.distance r 2 4);
+  checkf "stub to transit" 13.0 (Routing.distance r 3 1);
+  checkf "transit to stub" 4.0 (Routing.distance r 1 6);
+  checkf "cross-domain" 18.0 (Routing.distance r 4 6);
+  checki "cross-domain hops" 6 (Routing.hop_count r 4 6);
+  Alcotest.check (Alcotest.list Alcotest.int) "cross-domain path"
+    [ 4; 3; 2; 0; 1; 5; 6 ] (Routing.path r 4 6);
+  checkf "eccentricity" 18.0 (Routing.eccentricity r 4);
+  (* the isolated domain: reachable from itself, nothing else *)
+  checkf "isolated self" 0.0 (Routing.distance r 7 7);
+  checkb "isolated unreachable" true (Routing.distance r 7 4 = infinity);
+  checkb "unreachable from transit" true (Routing.distance r 0 7 = infinity);
+  Alcotest.check_raises "no path" Not_found (fun () ->
+      ignore (Routing.path r 4 7 : int list));
+  Alcotest.check_raises "no hop count" Not_found (fun () ->
+      ignore (Routing.hop_count r 4 7 : int))
+
+let test_link_state_rejects_multi_access () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 ~latency:1.0;
+  Graph.add_edge g 2 3 ~latency:1.0;
+  Graph.add_edge g 0 2 ~latency:1.0;
+  Graph.add_edge g 1 3 ~latency:1.0;
+  (* stub domain {2,3} touches the backbone twice: not transit-stub *)
+  checkb "rejected" true
+    (match Routing.link_state g ~is_transit:(fun u -> u < 2) with
+     | exception Invalid_argument _ -> true
+     | (_ : Routing.t) -> false)
+
+(* Incremental recomputation: after [update_link] on each link class
+   (intra-stub, transit-transit, access) the link-state router must
+   answer exactly like a fresh Dijkstra router over the mutated graph. *)
+let test_link_state_update_link () =
+  let rng = Rng.create 21 in
+  let t = Transit_stub.generate ~rng small_params in
+  let g = t.Transit_stub.graph in
+  let is_t = is_transit_of t in
+  let ls = Routing.link_state g ~is_transit:is_t in
+  let edges = Graph.edges g in
+  let pick pred = List.find pred edges in
+  let intra = pick (fun e -> (not (is_t e.Graph.u)) && not (is_t e.Graph.v)) in
+  let transit = pick (fun e -> is_t e.Graph.u && is_t e.Graph.v) in
+  let access = pick (fun e -> is_t e.Graph.u <> is_t e.Graph.v) in
+  let check_against_fresh name =
+    let fresh = Routing.create g in
+    let n = Graph.node_count g in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        Alcotest.check (Alcotest.float 1e-6) name
+          (Routing.distance fresh u v)
+          (Routing.distance ls u v)
+      done
+    done
+  in
+  Routing.update_link ls intra.Graph.u intra.Graph.v ~latency:0.25;
+  check_against_fresh "after intra-stub update";
+  Routing.update_link ls transit.Graph.u transit.Graph.v ~latency:123.0;
+  check_against_fresh "after transit update";
+  Routing.update_link ls access.Graph.u access.Graph.v ~latency:9.5;
+  check_against_fresh "after access-link update"
+
+let test_graph_routed_update_link () =
+  let g = line_graph 5 in
+  let r = Routing.create g in
+  checkf "before" 4.0 (Routing.distance r 0 4);
+  (* the cached source-0 tree must be dropped, not reused *)
+  Routing.update_link r 2 3 ~latency:10.0;
+  checkf "after" 13.0 (Routing.distance r 0 4);
+  checki "hops unchanged" 4 (Routing.hop_count r 0 4);
+  Alcotest.check_raises "synthetic rejects"
+    (Invalid_argument "Routing.update_link: synthetic router") (fun () ->
+      Routing.update_link
+        (Routing.synthetic ~nodes:3 ~latency:1.0)
+        0 1 ~latency:2.0)
+
+let test_routing_refresh () =
+  let g, r = manual_hierarchy () in
+  checkf "before" 2.0 (Routing.distance r 2 4);
+  (* a structural change (new edge) needs the full refresh *)
+  Graph.add_edge g 2 4 ~latency:0.5;
+  Routing.refresh r;
+  checkf "refreshed intra" 0.5 (Routing.distance r 2 4);
+  checkf "refreshed cross" 16.5 (Routing.distance r 4 6);
+  (* Dijkstra backend: refresh drops the cache *)
+  let g2 = line_graph 3 in
+  let r2 = Routing.create g2 in
+  checkf "line before" 2.0 (Routing.distance r2 0 2);
+  Graph.add_edge g2 0 2 ~latency:0.5;
+  Routing.refresh r2;
+  checkf "line after" 0.5 (Routing.distance r2 0 2)
+
+let test_routing_lru_cap_one () =
+  (* cap 1 thrashes the intrusive LRU list on every alternating source:
+     head/tail bookkeeping must survive constant single-entry churn *)
+  let rng = Rng.create 8 in
+  let t = Transit_stub.generate ~rng small_params in
+  let unbounded = Routing.create t.Transit_stub.graph in
+  let capped = Routing.create ~max_cached_sources:1 t.Transit_stub.graph in
+  for v = 0 to 53 do
+    checkf "source 0" (Routing.distance unbounded 0 v) (Routing.distance capped 0 v);
+    checkf "source 9" (Routing.distance unbounded 9 v) (Routing.distance capped 9 v)
+  done
+
 (* --- Link_stress --- *)
 
 let test_stress_basic () =
@@ -311,6 +498,18 @@ let suite =
     Alcotest.test_case "routing: triangle inequality" `Quick test_routing_triangle_inequality;
     Alcotest.test_case "routing: eccentricity" `Quick test_routing_eccentricity;
     Alcotest.test_case "routing: LRU-bounded cache" `Quick test_routing_lru_bound;
+    Alcotest.test_case "graph: set_latency" `Quick test_graph_set_latency;
+    Alcotest.test_case "routing: link-state matches Dijkstra" `Quick
+      test_link_state_matches_dijkstra;
+    Alcotest.test_case "routing: link-state manual hierarchy" `Quick test_link_state_manual;
+    Alcotest.test_case "routing: link-state rejects multi-access domains" `Quick
+      test_link_state_rejects_multi_access;
+    Alcotest.test_case "routing: link-state incremental update" `Quick
+      test_link_state_update_link;
+    Alcotest.test_case "routing: Dijkstra update_link drops cache" `Quick
+      test_graph_routed_update_link;
+    Alcotest.test_case "routing: refresh after structural change" `Quick test_routing_refresh;
+    Alcotest.test_case "routing: LRU cap of one" `Quick test_routing_lru_cap_one;
     Alcotest.test_case "stress: accounting" `Quick test_stress_basic;
     Alcotest.test_case "stress: trivial paths" `Quick test_stress_trivial_paths;
     Alcotest.test_case "stress: clear" `Quick test_stress_clear;
