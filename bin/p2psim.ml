@@ -7,7 +7,10 @@
      scenario  run a declarative churn/workload script (see parse_script)
      audit     run the invariant-check catalogue online over a live system
      analyze   print the Section-4 analytical model for given parameters
-     report    pretty-print a metrics JSON file written by run *)
+     report    pretty-print (and merge) metrics JSON files written by run/serve
+     serve     fork a live localhost ring over real TCP sockets
+     top       live per-node table for a serving ring (scrape poller)
+     cluster-report  one-shot merged rollup + SLO gate for a serving ring *)
 
 module H = Hybrid_p2p.Hybrid
 module Peer = Hybrid_p2p.Peer
@@ -1112,21 +1115,57 @@ let analyze_cmd =
 
 (* --- report subcommand --- *)
 
+(* Merge several metrics documents (e.g. one per live node, or serve's
+   per-node scrape files) into one registry export: counters sum,
+   gauges keep the maximum, log histograms merge bucketwise.  A single
+   file passes through unmerged so Summary-backed histograms (which the
+   merge cannot rebuild) stay visible. *)
+let merged_metrics_doc paths =
+  match paths with
+  | [ path ] -> Ok (Export.read_file path)
+  | paths ->
+    let reg = Registry.create () in
+    let rec fold = function
+      | [] -> Ok (P2p_obs.Json.to_string (Registry.to_json reg))
+      | path :: rest -> (
+        match P2p_obs.Json.parse (Export.read_file path) with
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+        | Ok doc ->
+          (* scrape snapshots wrap the registry doc in [metrics] *)
+          let doc =
+            match P2p_obs.Scrape.of_json doc with
+            | Ok snap -> snap.P2p_obs.Scrape.metrics
+            | Error _ -> doc
+          in
+          P2p_obs.Scrape.merge_metrics_into reg doc;
+          fold rest)
+    in
+    fold paths
+
 let report_cmd =
-  let run path timeline =
-    if path = None && timeline = None then begin
+  let run paths timeline =
+    if paths = [] && timeline = None then begin
       Printf.eprintf
         "p2psim report: nothing to render (give METRICS.json and/or --timeline)\n";
       exit 1
     end;
-    (match path with
-     | Some path -> (
-       match Report.of_string (Export.read_file path) with
-       | Ok report -> print_string (Report.render report)
+    (match paths with
+     | [] -> ()
+     | paths -> (
+       match merged_metrics_doc paths with
        | Error msg ->
-         Printf.eprintf "p2psim report: cannot parse %s: %s\n" path msg;
-         exit 1)
-     | None -> ());
+         Printf.eprintf "p2psim report: %s\n" msg;
+         exit 1
+       | Ok doc -> (
+         match Report.of_string doc with
+         | Ok report ->
+           if List.length paths > 1 then
+             Printf.printf "merged report over %d metrics files\n\n"
+               (List.length paths);
+           print_string (Report.render report)
+         | Error msg ->
+           Printf.eprintf "p2psim report: cannot parse metrics: %s\n" msg;
+           exit 1)));
     match timeline with
     | Some tpath -> (
       match Report.render_timeline (Export.read_file tpath) with
@@ -1139,9 +1178,13 @@ let report_cmd =
   let path_arg =
     Arg.(
       value
-      & pos 0 (some file) None
+      & pos_all file []
       & info [] ~docv:"METRICS.json"
-          ~doc:"Metrics JSON file written by $(b,run --metrics-out).")
+          ~doc:
+            "Metrics JSON files written by $(b,run --metrics-out) or \
+             $(b,serve)'s per-node scrapes.  Several files are merged \
+             (counters sum, gauges max, latency log histograms \
+             bucket-merge) before rendering.")
   in
   let timeline_arg =
     Arg.(
@@ -1165,14 +1208,27 @@ let report_cmd =
 (* --- serve subcommand --- *)
 
 let serve_cmd =
-  let run peers port_base smoke inserts lookups ready_timeout dump_dir =
+  let run peers port_base smoke inserts lookups ready_timeout dump_dir
+      sample_rate sample_seed slo linger =
     if peers < 1 then begin
       Printf.eprintf "p2psim serve: --peers must be >= 1\n";
       exit 2
     end;
+    if sample_rate < 0.0 || sample_rate > 1.0 then begin
+      Printf.eprintf "p2psim serve: --trace-sample must be within [0, 1]\n";
+      exit 2
+    end;
+    List.iter
+      (fun spec ->
+        match Slo.parse spec with
+        | Ok _ -> ()
+        | Error msg ->
+          Printf.eprintf "p2psim serve: bad --slo %S: %s\n" spec msg;
+          exit 2)
+      slo;
     let outcome =
       P2p_transport.Serve.run ~inserts ~lookups ~ready_timeout ~dump_dir
-        ~peers ~port_base ~smoke ()
+        ~sample_rate ~sample_seed ~slo ~linger ~peers ~port_base ~smoke ()
     in
     P2p_transport.Serve.print_outcome outcome;
     exit outcome.P2p_transport.Serve.exit_code
@@ -1223,17 +1279,231 @@ let serve_cmd =
             "Directory receiving one health-$(i,node).jsonl per worker \
              (periodic self-audit and transport counters).")
   in
+  let sample_rate_arg =
+    Arg.(
+      value
+      & opt float Config.default.Config.trace_sample_rate
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:
+            "Cluster-wide head-sampling rate for cross-process traces \
+             (every worker gets the same rate so wire-propagated sampling \
+             bits agree with local decisions).")
+  in
+  let sample_seed_arg =
+    Arg.(
+      value
+      & opt int Config.default.Config.trace_sample_seed
+      & info [ "trace-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the sampling hash (must also match cluster-wide).")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "Latency objective such as $(i,lookup:p99<=2000), enforced in \
+             smoke mode against the cluster-merged histograms; repeatable; \
+             any violation makes the exit code non-zero.")
+  in
+  let linger_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "linger" ] ~docv:"SECONDS"
+          ~doc:
+            "Smoke mode: keep the warmed-up ring serving this long after \
+             the scrape, so $(b,p2psim top) / $(b,p2psim cluster-report) \
+             can poll it with populated histograms.")
+  in
   let term =
     Term.(
       const run $ peers_arg $ port_base_arg $ smoke_arg $ inserts_arg
-      $ lookups_arg $ ready_timeout_arg $ dump_dir_arg)
+      $ lookups_arg $ ready_timeout_arg $ dump_dir_arg $ sample_rate_arg
+      $ sample_seed_arg $ slo_arg $ linger_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Fork N OS processes that bootstrap a live ring on localhost over \
-          real TCP sockets, serve inserts/lookups, and write periodic JSONL \
-          health dumps per process.")
+          real TCP sockets, serve inserts/lookups, answer observability \
+          scrapes, and write periodic JSONL health dumps per process.")
+    term
+
+(* --- top / cluster-report subcommands (live-ring aggregator) --- *)
+
+let aggregator_args =
+  let peers_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "peers" ] ~docv:"N"
+          ~doc:"Ring size of the serving cluster to poll.")
+  in
+  let port_base_arg =
+    Arg.(
+      value & opt int 4700
+      & info [ "port-base" ] ~docv:"PORT"
+          ~doc:"The serving ring's $(b,--port-base).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"How long to wait for scrape replies each round.")
+  in
+  (peers_arg, port_base_arg, timeout_arg)
+
+let top_cmd =
+  let run peers port_base timeout interval count =
+    if peers < 1 then begin
+      Printf.eprintf "p2psim top: --peers must be >= 1\n";
+      exit 2
+    end;
+    let agg = P2p_transport.Serve.aggregator ~peers ~port_base () in
+    let rounds = ref 0 in
+    let stop = ref false in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    while (not !stop) && (count = 0 || !rounds < count) do
+      let snapshots = P2p_transport.Serve.aggregator_scrape agg ~timeout () in
+      incr rounds;
+      (* full-screen refresh, like top(1); suppressed for single shots
+         so the output stays pipeable *)
+      if count <> 1 then print_string "\027[2J\027[H";
+      Printf.printf "p2psim top — ring @ 127.0.0.1:%d+ (%d peers), round %d\n\n"
+        port_base peers !rounds;
+      if snapshots = [] then
+        print_string "no peers answered (is the ring serving?)\n"
+      else print_string (P2p_obs.Scrape.render_table snapshots);
+      if snapshots = [] && !rounds = 1 && count = 1 then begin
+        P2p_transport.Serve.aggregator_stop agg;
+        exit 1
+      end;
+      if count = 0 || !rounds < count then
+        ignore (Unix.select [] [] [] interval)
+    done;
+    P2p_transport.Serve.aggregator_stop agg;
+    exit 0
+  in
+  let peers_arg, port_base_arg, timeout_arg = aggregator_args in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Delay between refreshes.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"K"
+          ~doc:"Stop after this many refreshes (0 = until Ctrl-C).")
+  in
+  let term =
+    Term.(
+      const run $ peers_arg $ port_base_arg $ timeout_arg $ interval_arg
+      $ count_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-node table for a serving ring: poll every peer's scrape \
+          endpoint and refresh a cluster view (readiness, store sizes, \
+          merged latency percentiles, wire counters) like top(1).")
+    term
+
+let cluster_report_cmd =
+  let run peers port_base timeout slo metrics_out trace_out =
+    if peers < 1 then begin
+      Printf.eprintf "p2psim cluster-report: --peers must be >= 1\n";
+      exit 2
+    end;
+    List.iter
+      (fun spec ->
+        match Slo.parse spec with
+        | Ok _ -> ()
+        | Error msg ->
+          Printf.eprintf "p2psim cluster-report: bad --slo %S: %s\n" spec msg;
+          exit 2)
+      slo;
+    let agg = P2p_transport.Serve.aggregator ~peers ~port_base () in
+    let snapshots =
+      P2p_transport.Serve.aggregator_scrape agg ~spans:true ~timeout ()
+    in
+    P2p_transport.Serve.aggregator_stop agg;
+    if snapshots = [] then begin
+      Printf.eprintf
+        "p2psim cluster-report: no peers answered (is the ring serving?)\n";
+      exit 1
+    end;
+    let scraped = List.length snapshots in
+    if scraped < peers then
+      Printf.eprintf "p2psim cluster-report: warning: only %d/%d peers answered\n"
+        scraped peers;
+    let merged = P2p_obs.Scrape.merged_registry snapshots in
+    print_string (P2p_obs.Scrape.render_table snapshots);
+    print_newline ();
+    (match Report.of_string (P2p_obs.Json.to_string (Registry.to_json merged)) with
+     | Ok report -> print_string (Report.render report)
+     | Error msg ->
+       Printf.eprintf "p2psim cluster-report: cannot render report: %s\n" msg);
+    (match metrics_out with
+     | Some path ->
+       Export.write_file ~path
+         (P2p_obs.Json.to_string (Registry.to_json merged));
+       Printf.printf "merged metrics -> %s\n" path
+     | None -> ());
+    (match trace_out with
+     | Some path ->
+       Export.write_file ~path
+         (P2p_obs.Json.to_string (P2p_obs.Scrape.merged_chrome snapshots));
+       Printf.printf "merged chrome trace -> %s (load in ui.perfetto.dev)\n"
+         path
+     | None -> ());
+    let slo_ok =
+      match slo with
+      | [] -> true
+      | specs ->
+        Slo.enforce merged ~specs ~print:(fun line ->
+            Printf.printf "%s\n" line)
+    in
+    exit (if slo_ok then 0 else 1)
+  in
+  let peers_arg, port_base_arg, timeout_arg = aggregator_args in
+  let slo_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "Latency objective such as $(i,lookup:p99<=2000), enforced \
+             against the cluster-merged histograms; repeatable; exits \
+             non-zero on violation.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the merged registry JSON here.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged chrome/Perfetto trace here (one track per \
+             process, cross-process span trees intact).")
+  in
+  let term =
+    Term.(
+      const run $ peers_arg $ port_base_arg $ timeout_arg $ slo_arg
+      $ metrics_out_arg $ trace_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster-report"
+       ~doc:
+         "One-shot cluster rollup for a serving ring: scrape every peer, \
+          merge histograms bucketwise into cluster-wide percentiles, render \
+          the merged report, optionally write merged metrics/trace files, \
+          and gate $(b,--slo) specs on the aggregated distribution.")
     term
 
 let () =
@@ -1243,4 +1513,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; churn_cmd; compare_cmd; scenario_cmd; audit_cmd; analyze_cmd;
-            report_cmd; serve_cmd ]))
+            report_cmd; serve_cmd; top_cmd; cluster_report_cmd ]))

@@ -34,6 +34,8 @@ type t = {
   engine_lanes : int;
   engine_lookahead : float;
   batch_sends : bool;
+  trace_sample_rate : float;
+  trace_sample_seed : int;
 }
 
 let default =
@@ -67,6 +69,8 @@ let default =
     engine_lanes = 1;
     engine_lookahead = 0.0;
     batch_sends = true;
+    trace_sample_rate = 0.01;
+    trace_sample_seed = 0;
   }
 
 let validate t =
@@ -94,6 +98,8 @@ let validate t =
     Error "successor_list_length must be >= 1"
   else if t.engine_lanes < 1 then Error "engine_lanes must be >= 1"
   else if t.engine_lookahead < 0.0 then Error "engine_lookahead must be >= 0"
+  else if t.trace_sample_rate < 0.0 || t.trace_sample_rate > 1.0 then
+    Error "trace_sample_rate must be within [0, 1]"
   else
     match t.s_style with
     | Random_walks walkers when walkers <= 0 ->

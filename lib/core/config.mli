@@ -124,6 +124,16 @@ type t = {
           speed knob: sequence numbers are stamped at send time, so the
           executed event schedule is bit-identical either way — [false]
           exists for A/B measurement ([bench hotpath]). *)
+  trace_sample_rate : float;
+      (** head-based operation-trace sampling probability in [0, 1]
+          (default 0.01).  In live mode this must be identical on every
+          process: each node re-derives the per-op decision from the op
+          id, so a shared rate (and [trace_sample_seed]) is what makes
+          the wire-propagated sampling bit agree with local decisions
+          cluster-wide. *)
+  trace_sample_seed : int;
+      (** seed of the sampling hash; vary it to sample a different
+          population of operations at the same rate *)
 }
 
 (** Paper-faithful defaults: [δ = 3] (the simulations' setting),

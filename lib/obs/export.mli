@@ -40,6 +40,13 @@ val metrics_to_string : Registry.t -> string
     time next to the per-peer view. *)
 val trace_to_chrome : ?lane_of:(int -> int option) -> P2p_sim.Trace.t -> string
 
+(** The chrome trace-event objects behind {!trace_to_chrome}, as JSON
+    values — [ph:"M"] process metadata first, then the [ph:"X"] span
+    events.  Lets a cross-process aggregator pool several traces' events
+    and emit one merged file ({!P2p_obs.Scrape.merged_chrome}). *)
+val chrome_events :
+  ?lane_of:(int -> int option) -> P2p_sim.Trace.t -> Json.t list
+
 (** {1 Files} *)
 
 (** [write_file ~path contents] writes (truncating) and closes. *)

@@ -117,6 +117,24 @@ let merge a b =
   blend b;
   t
 
+(* In-place variant of {!merge}: folds [src]'s buckets into [dst].
+   Registry handles are fixed objects, so an aggregator building a
+   merged registry adds each scraped histogram into the handle it
+   already registered instead of swapping in a fresh value. *)
+let merge_into ~into:dst src =
+  Hashtbl.iter
+    (fun i c ->
+      match Hashtbl.find_opt dst.buckets i with
+      | Some acc -> acc := !acc + !c
+      | None -> Hashtbl.add dst.buckets i (ref !c))
+    src.buckets;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
 let clear t =
   Hashtbl.reset t.buckets;
   t.count <- 0;

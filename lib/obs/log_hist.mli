@@ -53,6 +53,11 @@ val percentile : t -> float -> float
 (** [merge a b] — a fresh histogram counting both inputs' samples. *)
 val merge : t -> t -> t
 
+(** [merge_into ~into src] folds [src]'s samples into [into] in place —
+    the aggregator's form of {!merge} when the destination is a live
+    {!Registry} handle that cannot be replaced. *)
+val merge_into : into:t -> t -> unit
+
 (** [clear t] empties the histogram in place (handles stay valid). *)
 val clear : t -> unit
 

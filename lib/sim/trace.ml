@@ -90,6 +90,8 @@ type t = {
      ending a span is O(1) and eviction is detected by an id mismatch *)
   spans : span option array;
   mutable span_next : int;
+  span_first : int; (* first id this trace mints; nonzero gives a live
+                       process its own disjoint span-id range *)
   mutable span_retained : int;
   mutable span_orphans : int; (* still-open spans evicted by wraparound *)
   mutable orphan_ends : int; (* end_span on a never-minted id *)
@@ -105,10 +107,13 @@ type t = {
 
 let two_pow_62 = 4611686018427387904.0
 
-let create ~capacity ?(sample_rate = 1.0) ?(sample_seed = 0) () =
+let create ~capacity ?(sample_rate = 1.0) ?(sample_seed = 0)
+    ?(first_span_id = 0) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   if not (sample_rate >= 0.0 && sample_rate <= 1.0) then
     invalid_arg "Trace.create: sample_rate must be in [0, 1]";
+  if first_span_id < 0 then
+    invalid_arg "Trace.create: first_span_id must be >= 0";
   {
     capacity;
     buffer = Array.make capacity None;
@@ -128,7 +133,8 @@ let create ~capacity ?(sample_rate = 1.0) ?(sample_seed = 0) () =
     ops_sampled = 0;
     spans_unsampled = 0;
     spans = Array.make capacity None;
-    span_next = 0;
+    span_next = first_span_id;
+    span_first = first_span_id;
     span_retained = 0;
     span_orphans = 0;
     orphan_ends = 0;
@@ -160,6 +166,7 @@ let disabled =
     spans_unsampled = 0;
     spans = [| None |];
     span_next = 0;
+    span_first = 0;
     span_retained = 0;
     span_orphans = 0;
     orphan_ends = 0;
@@ -267,7 +274,7 @@ let end_span t ~time id =
       (* ids below the retained window were minted and then overwritten by
          wraparound — a capacity artifact, not a protocol bug — so they
          get their own counter; anything else is a true orphan *)
-      if id < t.span_next - t.span_retained then
+      if id >= t.span_first && id < t.span_next - t.span_retained then
         t.evicted_ends <- t.evicted_ends + 1
       else t.orphan_ends <- t.orphan_ends + 1
     | Some s -> (
@@ -309,6 +316,27 @@ let begin_op t ~time ~kind detail =
     end
   end;
   id
+
+(* Like {!begin_op} for an operation whose id was minted elsewhere — a
+   client request id arriving over the wire.  The externally-chosen id
+   is registered for exact completion accounting and, when sampled,
+   given a root span carrying [src]/[dst] so cross-process exports place
+   it on the right process track.  [next_op] is bumped past [op] so a
+   later {!begin_op} never re-mints the id. *)
+let begin_extern_op t ~time ~op ~kind ?src ?dst detail =
+  if op >= t.next_op then t.next_op <- op + 1;
+  record t ~time ~tag:(op_kind_to_string kind ^ "-start") ~op ?src ?dst detail;
+  if t.active then begin
+    Hashtbl.replace t.open_ops op (op_kind_to_string kind, time);
+    if sampled t op then begin
+      t.ops_sampled <- t.ops_sampled + 1;
+      let root =
+        mint_span t ~time ~op ~tier:"op" ~phase:(op_kind_to_string kind)
+          ~parent:(-1) ?src ?dst detail
+      in
+      Hashtbl.replace t.op_roots op root
+    end
+  end
 
 let end_op t ~time ~op detail =
   record t ~time ~tag:"op-end" ~op detail;
@@ -406,7 +434,7 @@ let reset t =
   t.next <- 0;
   t.total <- 0;
   t.next_op <- 0;
-  t.span_next <- 0;
+  t.span_next <- t.span_first;
   t.span_orphans <- 0;
   t.orphan_ends <- 0;
   t.evicted_ends <- 0;

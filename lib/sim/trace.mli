@@ -80,10 +80,20 @@ type span = {
     ops and report each completion to the {!on_op_complete} listener, so
     latency percentiles and SLO gates never depend on the rate.
 
-    @raise Invalid_argument if [capacity <= 0] or [sample_rate] is
-    outside [\[0, 1\]]. *)
+    [first_span_id] (default [0]) offsets the span-id sequence: a live
+    process minting from [node * 2^40] gets span ids disjoint from every
+    other process, so a span id carried across the wire as a remote
+    parent can never alias a locally minted span.
+
+    @raise Invalid_argument if [capacity <= 0], [sample_rate] is
+    outside [\[0, 1\]], or [first_span_id < 0]. *)
 val create :
-  capacity:int -> ?sample_rate:float -> ?sample_seed:int -> unit -> t
+  capacity:int ->
+  ?sample_rate:float ->
+  ?sample_seed:int ->
+  ?first_span_id:int ->
+  unit ->
+  t
 
 (** A trace that drops everything (the default wiring). *)
 val disabled : t
@@ -147,6 +157,24 @@ val record_f :
     {!end_op} closes it.  Exact open-op accounting happens for every op
     regardless of sampling. *)
 val begin_op : t -> time:float -> kind:op_kind -> string -> int
+
+(** [begin_extern_op t ~time ~op ~kind detail] — {!begin_op} for an
+    operation whose id was minted elsewhere (a client request id carried
+    in a wire trace header).  Registers [op] for exact completion
+    accounting, mints its root span when sampled (carrying [src]/[dst]
+    so exporters can place it on a process track), and bumps the
+    internal id counter past [op] so a later {!begin_op} cannot collide.
+    Sampling is the same pure hash as {!begin_op}'s: processes sharing
+    [sample_seed]/[sample_rate] agree on every op's decision. *)
+val begin_extern_op :
+  t ->
+  time:float ->
+  op:int ->
+  kind:op_kind ->
+  ?src:int ->
+  ?dst:int ->
+  string ->
+  unit
 
 (** [end_op t ~time ~op detail] records the terminal ["op-end"] event of
     operation [op] ([detail] conventionally carries the outcome) and closes

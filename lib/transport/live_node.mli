@@ -4,15 +4,38 @@
     Tracker-style bootstrap (node 0 collects announces and broadcasts
     the peer list), Chord-style successor-ring routing for inserts and
     lookups, client request relay, per-node self-audit (stored keys must
-    hash into the node's own arc) and periodic JSONL health dumps. *)
+    hash into the node's own arc) and periodic JSONL health dumps.
+
+    Observability spans processes: sampled operations stamp a wire-v2
+    trace header on every frame so each hop's span rebinds under the
+    sender's, completion latency feeds mergeable
+    [latency/<kind>_total_ms] log histograms for 100% of ops, and a
+    [Scrape_request] frame is answered with a versioned
+    {!P2p_obs.Scrape} snapshot of the node's registry and health. *)
 
 type t
 
 (** [create ~node ~n ~port_base ()] builds node [node] of an [n]-node
     ring listening on [port_base + node].  Node indices [0..n-1] are
     ring members; index [n] is reserved for the orchestrator/client.
-    [dump_dir], when given, receives [health-<node>.jsonl]. *)
-val create : ?dump_dir:string -> node:int -> n:int -> port_base:int -> unit -> t
+    [dump_dir], when given, receives [health-<node>.jsonl] (and any
+    flight-recorder dumps).  [epoch] (wall-clock seconds, default: time
+    of creation) anchors every trace timestamp — the orchestrator
+    passes one epoch to all workers so cross-process span times align.
+    [sample_rate]/[sample_seed] configure head-based op sampling and
+    must match cluster-wide for the wire sampling bit to agree with
+    local decisions; [trace_capacity] bounds the span/event rings. *)
+val create :
+  ?dump_dir:string ->
+  ?epoch:float ->
+  ?trace_capacity:int ->
+  ?sample_rate:float ->
+  ?sample_seed:int ->
+  node:int ->
+  n:int ->
+  port_base:int ->
+  unit ->
+  t
 
 (** [true] once the tracker's peer list arrived and the ring position
     (successor/predecessor) is known. *)
@@ -27,8 +50,30 @@ val transport : t -> Live_transport.t
     hop-count overruns). *)
 val violations : t -> int
 
-(** Blocking loop: step until a [Shutdown] frame arrives, drain, then
-    {!stop}. *)
+(** The node's trace (per-process span-id range, cluster-shared
+    sampling). *)
+val trace : t -> P2p_sim.Trace.t
+
+(** The node's metrics registry (latency log histograms, wire and ring
+    counters). *)
+val registry : t -> P2p_obs.Registry.t
+
+(** The snapshot a [Scrape_request] answers with; [spans] includes the
+    retained chrome span events. *)
+val scrape_snapshot : t -> spans:bool -> P2p_obs.Scrape.snapshot
+
+(** [request_flight_dump t ~reason] — flag a flight-recorder dump to be
+    taken from the run loop.  Async-signal-safe (one field write); this
+    is what SIGTERM/SIGINT handlers call.  First reason wins. *)
+val request_flight_dump : t -> reason:string -> unit
+
+(** [flight_dump t ~reason] — write the flight-recorder ring (plus
+    chrome trace and metrics) into [dump_dir] now, from loop context.
+    Returns the paths written ([[]] without a [dump_dir]). *)
+val flight_dump : t -> reason:string -> string list
+
+(** Blocking loop: step until a [Shutdown] frame arrives — or a
+    requested flight dump is honoured — then drain and {!stop}. *)
 val run : t -> unit
 
 (** Final audit + health line, close dump and sockets. *)

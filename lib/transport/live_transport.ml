@@ -57,6 +57,10 @@ type stats = {
   mutable window_stalls : int;
   mutable drops : int;
   mutable decode_errors : int;
+  mutable trace_bytes : int;
+      (* bytes spent on wire-v2 trace plumbing beyond the v1 layout:
+         one flags byte per sent frame plus 16 bytes per stamped trace
+         header (see {!Wire.trace_overhead}) *)
 }
 
 type t = {
@@ -71,7 +75,8 @@ type t = {
   conns : (int, conn) Hashtbl.t;  (* outbound, by destination *)
   mutable inbound : conn list;
   mutable listen_fd : Unix.file_descr option;
-  mutable handler : src:int -> dst:int -> Wire.msg -> unit;
+  mutable handler :
+    src:int -> dst:int -> trace:Wire.trace_ctx option -> Wire.msg -> unit;
   wheel : Timer_wheel.t;
   stats : stats;
   mutable running : bool;
@@ -98,7 +103,7 @@ let create ?(p_id = 0) ?(window = 256 * 1024) ?max_queued
     conns = Hashtbl.create 64;
     inbound = [];
     listen_fd = None;
-    handler = (fun ~src:_ ~dst:_ _ -> ());
+    handler = (fun ~src:_ ~dst:_ ~trace:_ _ -> ());
     wheel = Timer_wheel.create ~clock;
     stats =
       {
@@ -111,6 +116,7 @@ let create ?(p_id = 0) ?(window = 256 * 1024) ?max_queued
         window_stalls = 0;
         drops = 0;
         decode_errors = 0;
+        trace_bytes = 0;
       };
     running = true;
   }
@@ -119,7 +125,11 @@ let now t = (Unix.gettimeofday () -. t.epoch) *. 1000.0
 
 let stats t = t.stats
 
-let set_handler t f = t.handler <- f
+(* The trace-blind [Transport.S] handler; context-carrying callers use
+   {!set_handler_traced}.  Either setter replaces the other. *)
+let set_handler t f = t.handler <- (fun ~src ~dst ~trace:_ msg -> f ~src ~dst msg)
+
+let set_handler_traced t f = t.handler <- f
 
 let set_peer_addr t peer sockaddr = Hashtbl.replace t.addrs peer sockaddr
 
@@ -230,9 +240,9 @@ let rec flush_conn t c =
         | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> ()
         | exception Unix.Unix_error _ -> conn_failed t c))
 
-let send t ?op:_ ?shard:_ ~src:_ ~dst msg =
+let send_traced t ?trace ~dst msg =
   let c = ensure_conn t dst in
-  let frame = Wire.encode msg in
+  let frame = Wire.encode ?trace msg in
   if c.queued_bytes + String.length frame > t.max_queued then
     (* Hard cap: a peer that is dead, never listening, or hopelessly
        behind must cost bounded memory.  The newest frame is dropped —
@@ -244,10 +254,13 @@ let send t ?op:_ ?shard:_ ~src:_ ~dst msg =
       t.stats.window_stalls <- t.stats.window_stalls + 1;
     Queue.push frame c.outq;
     c.queued_bytes <- c.queued_bytes + String.length frame;
-    t.stats.msgs_sent <- t.stats.msgs_sent + 1
+    t.stats.msgs_sent <- t.stats.msgs_sent + 1;
+    t.stats.trace_bytes <- t.stats.trace_bytes + Wire.trace_overhead trace
   end;
   if c.state = Closed then attempt_connect t c;
   if c.state = Connected then flush_conn t c
+
+let send t ?op:_ ?shard:_ ~src:_ ~dst msg = send_traced t ~dst msg
 
 (* Decode every complete frame sitting in the connection's read buffer.
    [Hello] identifies the remote end and stays transport-internal; all
@@ -261,16 +274,16 @@ let drain_frames t c =
   let buf = Buffer.contents c.rbuf in
   let len = String.length buf in
   let rec loop off =
-    match Wire.decode ~off buf with
+    match Wire.decode_traced ~off buf with
     | Ok None -> Ok off
-    | Ok (Some (msg, consumed)) -> (
+    | Ok (Some (msg, trace, consumed)) -> (
       t.stats.msgs_received <- t.stats.msgs_received + 1;
       match msg with
       | Wire.Hello { node; _ } ->
         c.remote <- node;
         loop (off + consumed)
       | msg ->
-        t.handler ~src:c.remote ~dst:t.self msg;
+        t.handler ~src:c.remote ~dst:t.self ~trace msg;
         loop (off + consumed))
     | Error _ ->
       t.stats.decode_errors <- t.stats.decode_errors + 1;

@@ -37,6 +37,10 @@ type stats = {
   mutable window_stalls : int;
   mutable drops : int;
   mutable decode_errors : int;
+  mutable trace_bytes : int;
+      (** bytes spent on wire-v2 trace plumbing beyond the v1 frame
+          layout: one flags byte per sent frame plus 16 per stamped
+          trace header *)
 }
 
 (** [create ~self ()] makes a transport for node [self].  [p_id] is
@@ -56,6 +60,20 @@ val create :
   t
 
 val stats : t -> stats
+
+(** [send_traced t ?trace ~dst msg] — {!send} with a wire trace context
+    stamped on the frame ({!Wire.trace_ctx}: op id, parent span id,
+    sampling bit), so the receiver can rebind the message into the
+    operation's cross-process span tree. *)
+val send_traced : t -> ?trace:Wire.trace_ctx -> dst:int -> Wire.msg -> unit
+
+(** [set_handler_traced t f] installs a handler that also receives each
+    frame's trace context ([None] for v1 frames and unstamped v2
+    frames).  Replaces — and is replaced by — {!set_handler}. *)
+val set_handler_traced :
+  t ->
+  (src:int -> dst:int -> trace:Wire.trace_ctx option -> Wire.msg -> unit) ->
+  unit
 
 (** [set_peer_addr t peer sockaddr] registers where [peer] listens. *)
 val set_peer_addr : t -> int -> Unix.sockaddr -> unit

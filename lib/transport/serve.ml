@@ -5,15 +5,33 @@
    The parent waits for every worker to report [ready] via
    [Status_request]/[Status] polling, then — in smoke mode — pushes a
    fixed insert/lookup workload through round-robin entry nodes,
-   computes recall, shuts the ring down with [Shutdown] frames, reaps
-   the children and scans their JSONL health dumps for audit violations
-   and decode errors.  Exit code 0 means the ring formed, recall was
-   1.0 and the dumps are clean; anything else is 1.
+   computes recall, scrapes every node mid-run (registry snapshots plus
+   retained chrome spans), writes the merged cluster artifacts
+   (per-node [scrape-<i>.json], [cluster-metrics.json],
+   [cluster-trace.chrome.json]), gates the merged percentiles against
+   [--slo] specs and the wire-v2 trace overhead against its 2% budget,
+   shuts the ring down with [Shutdown] frames, reaps the children and
+   scans their JSONL health dumps for audit violations and decode
+   errors.  Exit code 0 means the ring formed, recall was 1.0, the
+   dumps are clean, and every observability gate passed; anything else
+   is 1.
 
    Without [--smoke] the ring is left serving until the parent receives
-   SIGINT/SIGTERM, which triggers the same clean shutdown. *)
+   SIGINT/SIGTERM, which triggers the same clean shutdown.  Workers
+   install their own SIGTERM/SIGINT handlers that flag a
+   flight-recorder dump, taken from the select loop before the clean
+   exit — a killed node leaves forensics, not silence.
+
+   The same scrape machinery is exposed as an {!aggregator} for
+   [p2psim top] / [p2psim cluster-report]: an extra client (node index
+   [n + 1], a port the scraped nodes learn from the request frame)
+   that can poll a serving ring it did not fork. *)
 
 module Json = P2p_obs.Json
+module Scrape = P2p_obs.Scrape
+module Registry = P2p_obs.Registry
+module Export = P2p_obs.Export
+module Slo = P2p_obs.Slo
 
 type outcome = {
   ready_nodes : int;
@@ -23,6 +41,9 @@ type outcome = {
   recall : float;
   violations : int;
   decode_errors : int;
+  scraped : int;  (* nodes that answered the mid-run scrape *)
+  slo_ok : bool;
+  trace_overhead_pct : float;  (* trace header bytes vs v1 bytes-on-wire *)
   exit_code : int;
 }
 
@@ -31,32 +52,62 @@ let mkdir_p dir =
 
 (* --- child ----------------------------------------------------------- *)
 
-let run_child ~node ~n ~port_base ~dump_dir =
-  let t = Live_node.create ~dump_dir ~node ~n ~port_base () in
+let run_child ~node ~n ~port_base ~dump_dir ~epoch ~sample_rate ~sample_seed =
+  let t =
+    Live_node.create ~dump_dir ~epoch ~sample_rate ~sample_seed ~node ~n
+      ~port_base ()
+  in
+  (* Signals only flag the dump; the run loop takes it between select
+     turns, then shuts down cleanly (final health line included). *)
+  List.iter
+    (fun (signal, name) ->
+      try
+        Sys.set_signal signal
+          (Sys.Signal_handle
+             (fun _ -> Live_node.request_flight_dump t ~reason:name))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigterm, "sigterm"); (Sys.sigint, "sigint") ];
   Live_node.run t;
   exit 0
 
 (* --- parent: client over the live fabric ----------------------------- *)
 
 type client = {
+  self : int;
+  port : int;  (* where this client listens; scrape requests carry it *)
   tr : Live_transport.t;
   replies : (int, Wire.msg) Hashtbl.t;
   statuses : (int, Wire.msg) Hashtbl.t;
+  scrapes : (int, int * string) Hashtbl.t;  (* node -> (req, snapshot) *)
+  mutable scrape_req : int;  (* next scrape request id *)
 }
 
-let make_client ~n ~port_base =
-  let tr = Live_transport.create ~self:n () in
-  for peer = 0 to n do
+let make_client ~self ~listen_peers ~n ~port_base =
+  let tr = Live_transport.create ~self () in
+  for peer = 0 to listen_peers do
     Live_transport.set_peer_addr tr peer
       (Unix.ADDR_INET (Unix.inet_addr_loopback, port_base + peer))
   done;
-  Live_transport.listen tr
-    (Unix.ADDR_INET (Unix.inet_addr_loopback, port_base + n));
-  let c = { tr; replies = Hashtbl.create 1024; statuses = Hashtbl.create 64 } in
+  let port = port_base + self in
+  Live_transport.listen tr (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let c =
+    {
+      self;
+      port;
+      tr;
+      replies = Hashtbl.create 1024;
+      statuses = Hashtbl.create 64;
+      scrapes = Hashtbl.create 64;
+      scrape_req = 1;
+    }
+  in
+  ignore n;
   Live_transport.set_handler tr (fun ~src:_ ~dst:_ msg ->
       match msg with
       | Wire.Client_reply { req; _ } -> Hashtbl.replace c.replies req msg
       | Wire.Status { node; _ } -> Hashtbl.replace c.statuses node msg
+      | Wire.Scrape_reply { req; node; snapshot } ->
+        Hashtbl.replace c.scrapes node (req, snapshot)
       | _ -> ());
   c
 
@@ -85,7 +136,7 @@ let wait_ready c ~n ~seconds =
   while (not !ready) && Unix.gettimeofday () < deadline do
     for node = 0 to n - 1 do
       incr req;
-      Live_transport.send c.tr ~src:n ~dst:node
+      Live_transport.send c.tr ~src:c.self ~dst:node
         (Wire.Status_request { req = !req })
     done;
     ignore (pump c ~seconds:0.25 all_ready);
@@ -97,6 +148,120 @@ let wait_ready c ~n ~seconds =
       match msg with Wire.Status { ready = true; _ } -> incr count | _ -> ())
     c.statuses;
   (!ready, !count)
+
+(* --- scraping --------------------------------------------------------- *)
+
+(* One scrape round: ask all [n] nodes, wait until everyone answered (or
+   the deadline), parse what came back.  Replies from earlier rounds are
+   recognised by request id and ignored. *)
+let scrape_round c ~n ~spans ~seconds =
+  let lo = c.scrape_req in
+  c.scrape_req <- c.scrape_req + n;
+  for node = 0 to n - 1 do
+    Live_transport.send c.tr ~src:c.self ~dst:node
+      (Wire.Scrape_request { req = lo + node; port = c.port; spans })
+  done;
+  let current () =
+    Hashtbl.fold
+      (fun node (req, snap) acc ->
+        if req >= lo then (node, snap) :: acc else acc)
+      c.scrapes []
+  in
+  ignore (pump c ~seconds (fun () -> List.length (current ()) = n));
+  let snapshots =
+    List.filter_map
+      (fun (_, snap) ->
+        match Scrape.of_string snap with Ok s -> Some s | Error _ -> None)
+      (current ())
+  in
+  List.sort (fun a b -> compare a.Scrape.node b.Scrape.node) snapshots
+
+(* --- standalone aggregator (p2psim top / cluster-report) -------------- *)
+
+type aggregator = { agg_client : client; agg_n : int }
+
+(* Node index [n + 1]: the orchestrator already holds [n], and ring
+   members learn the aggregator's port from the request frame itself. *)
+let aggregator ~peers:n ~port_base () =
+  let c = make_client ~self:(n + 1) ~listen_peers:(n - 1) ~n ~port_base in
+  { agg_client = c; agg_n = n }
+
+let aggregator_scrape a ?(spans = false) ?(timeout = 5.) () =
+  scrape_round a.agg_client ~n:a.agg_n ~spans ~seconds:timeout
+
+let aggregator_stop a = Live_transport.stop a.agg_client.tr
+
+(* --- observability gates ---------------------------------------------- *)
+
+(* Trace overhead vs plain v1 framing, from the merged wire counters:
+   [trace_bytes] counts the flags byte and stamped headers, so
+   [bytes_sent - trace_bytes] is what the same traffic cost under v1. *)
+let overhead_pct merged =
+  let value name =
+    Registry.counter_value (Registry.counter merged ~subsystem:"wire" ~name)
+  in
+  let trace_bytes = value "trace_bytes" and bytes_sent = value "bytes_sent" in
+  let v1_bytes = bytes_sent - trace_bytes in
+  if v1_bytes <= 0 then 0.0
+  else 100.0 *. float_of_int trace_bytes /. float_of_int v1_bytes
+
+type obs_outcome = {
+  obs_scraped : int;
+  obs_slo_ok : bool;
+  obs_overhead_pct : float;
+  obs_overhead_ok : bool;
+}
+
+(* Scrape the serving ring, write every artifact, gate SLOs and trace
+   overhead.  Runs while the ring is still serving (before shutdown). *)
+let observe_cluster c ~n ~dump_dir ~slo ~sample_rate =
+  let scrape_started = Unix.gettimeofday () in
+  let snapshots = scrape_round c ~n ~spans:true ~seconds:10. in
+  let scrape_ms = (Unix.gettimeofday () -. scrape_started) *. 1000.0 in
+  List.iter
+    (fun s ->
+      Export.write_file
+        ~path:(Filename.concat dump_dir (Printf.sprintf "scrape-%d.json" s.Scrape.node))
+        (Scrape.to_string s))
+    snapshots;
+  let merged = Scrape.merged_registry snapshots in
+  Export.write_file
+    ~path:(Filename.concat dump_dir "cluster-metrics.json")
+    (Json.to_string (Registry.to_json merged));
+  Export.write_file
+    ~path:(Filename.concat dump_dir "cluster-trace.chrome.json")
+    (Json.to_string (Scrape.merged_chrome snapshots));
+  print_string (Scrape.render_table snapshots);
+  let slo_ok =
+    match slo with
+    | [] -> true
+    | specs ->
+      Slo.enforce merged ~specs ~print:(fun line ->
+          Printf.printf "serve: %s\n%!" line)
+  in
+  let pct = overhead_pct merged in
+  (* the 2% budget is the bench gate for the intended production rate;
+     runs traced at higher rates pay for what they asked for, and runs
+     too small for the ratio to be signal (bootstrap frames dominate
+     under ~100 KiB) are measured but not gated *)
+  let v1_bytes =
+    let value name =
+      Registry.counter_value (Registry.counter merged ~subsystem:"wire" ~name)
+    in
+    value "bytes_sent" - value "trace_bytes"
+  in
+  let overhead_ok =
+    sample_rate > 0.0101 || v1_bytes < 100 * 1024 || pct <= 2.0
+  in
+  Printf.printf "serve: scraped=%d/%d in %.1fms trace_overhead=%.3f%%%s\n%!"
+    (List.length snapshots) n scrape_ms pct
+    (if overhead_ok then "" else " (EXCEEDS 2% BUDGET)");
+  {
+    obs_scraped = List.length snapshots;
+    obs_slo_ok = slo_ok;
+    obs_overhead_pct = pct;
+    obs_overhead_ok = overhead_ok;
+  }
 
 (* --- health-dump scan ------------------------------------------------ *)
 
@@ -155,7 +320,7 @@ let reap pids ~seconds =
 
 let shutdown_ring c ~n =
   for node = 0 to n - 1 do
-    Live_transport.send c.tr ~src:n ~dst:node Wire.Shutdown
+    Live_transport.send c.tr ~src:c.self ~dst:node Wire.Shutdown
   done;
   (* Let the shutdown frames flush. *)
   ignore (pump c ~seconds:1.0 (fun () -> false))
@@ -163,7 +328,7 @@ let shutdown_ring c ~n =
 let smoke_workload c ~n ~inserts ~lookups =
   let key i = Printf.sprintf "live-key-%04d" i in
   for i = 1 to inserts do
-    Live_transport.send c.tr ~src:n ~dst:((i - 1) mod n)
+    Live_transport.send c.tr ~src:c.self ~dst:((i - 1) mod n)
       (Wire.Client_insert { req = i; key = key i; value = Printf.sprintf "v%d" i })
   done;
   let inserts_done () =
@@ -183,7 +348,7 @@ let smoke_workload c ~n ~inserts ~lookups =
   let base = 1_000_000 in
   for j = 1 to lookups do
     let target = ((j * 7) mod inserts) + 1 in
-    Live_transport.send c.tr ~src:n ~dst:((j - 1) mod n)
+    Live_transport.send c.tr ~src:c.self ~dst:((j - 1) mod n)
       (Wire.Client_lookup { req = base + j; key = key target })
   done;
   let lookups_done () =
@@ -203,7 +368,8 @@ let smoke_workload c ~n ~inserts ~lookups =
   (!inserts_ok, !found)
 
 let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
-    ?(dump_dir = "_serve_health") ~peers:n ~port_base ~smoke () =
+    ?(dump_dir = "_serve_health") ?(sample_rate = 0.01) ?(sample_seed = 0)
+    ?(slo = []) ?(linger = 0.) ~peers:n ~port_base ~smoke () =
   (* The live loop selects with [Unix.select], whose fd_set caps out at
      FD_SETSIZE (typically 1024).  The tracker node and the parent
      client both talk to every peer, so rings past a few hundred peers
@@ -214,19 +380,25 @@ let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
        (1024 fds); rings this size need a poll/epoll loop (see SCALING.md)\n%!"
       n;
   mkdir_p dump_dir;
+  (* One epoch for the whole cluster, fixed before the forks: every
+     process stamps trace times on the same zero, so merged span trees
+     line up across tracks. *)
+  let epoch = Unix.gettimeofday () in
   let pids =
     List.init n (fun node ->
         match Unix.fork () with
         | 0 ->
           (* Child: run the node; never returns. *)
-          (try run_child ~node ~n ~port_base ~dump_dir
+          (try
+             run_child ~node ~n ~port_base ~dump_dir ~epoch ~sample_rate
+               ~sample_seed
            with e ->
              Printf.eprintf "node %d died: %s\n%!" node (Printexc.to_string e);
              exit 2)
         | pid -> pid)
   in
-  let c = make_client ~n ~port_base in
-  let finish ~ready_nodes ~inserts_ok ~lookups_found ~lookups_total =
+  let c = make_client ~self:n ~listen_peers:n ~n ~port_base in
+  let finish ~ready_nodes ~inserts_ok ~lookups_found ~lookups_total ~obs =
     shutdown_ring c ~n;
     Live_transport.stop c.tr;
     reap pids ~seconds:5.;
@@ -243,6 +415,8 @@ let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
         && lookups_found = lookups_total
         && violations = 0
         && decode_errors = 0
+        && obs.obs_slo_ok
+        && obs.obs_overhead_ok
       then 0
       else 1
     in
@@ -254,14 +428,24 @@ let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
       recall;
       violations;
       decode_errors;
+      scraped = obs.obs_scraped;
+      slo_ok = obs.obs_slo_ok;
+      trace_overhead_pct = obs.obs_overhead_pct;
       exit_code;
     }
+  in
+  let no_obs =
+    { obs_scraped = 0; obs_slo_ok = true; obs_overhead_pct = 0.;
+      obs_overhead_ok = true }
   in
   let all_ready, ready_nodes = wait_ready c ~n ~seconds:ready_timeout in
   if not all_ready then begin
     Printf.eprintf "serve: only %d/%d nodes ready after %.0fs\n%!" ready_nodes
       n ready_timeout;
-    let o = finish ~ready_nodes ~inserts_ok:0 ~lookups_found:0 ~lookups_total:0 in
+    let o =
+      finish ~ready_nodes ~inserts_ok:0 ~lookups_found:0 ~lookups_total:0
+        ~obs:no_obs
+    in
     kill_children pids;
     { o with exit_code = 1 }
   end
@@ -269,7 +453,18 @@ let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
     Printf.printf "serve: ring of %d nodes ready on ports %d-%d\n%!" n
       port_base (port_base + n - 1);
     let inserts_ok, lookups_found = smoke_workload c ~n ~inserts ~lookups in
-    finish ~ready_nodes ~inserts_ok ~lookups_found ~lookups_total:lookups
+    (* scrape while the ring is still serving — this is the live window
+       dump-on-exit never had *)
+    let obs = observe_cluster c ~n ~dump_dir ~slo ~sample_rate in
+    if linger > 0. then begin
+      (* hold the warmed-up ring open so an external aggregator
+         ([p2psim top] / [cluster-report]) can scrape populated
+         histograms; cluster-metrics.json already on disk marks the
+         window's start for scripts *)
+      Printf.printf "serve: lingering %.0fs for external scrapes\n%!" linger;
+      ignore (pump c ~seconds:linger (fun () -> false))
+    end;
+    finish ~ready_nodes ~inserts_ok ~lookups_found ~lookups_total:lookups ~obs
   end
   else begin
     Printf.printf
@@ -281,7 +476,10 @@ let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
     while not !stop do
       ignore (Live_transport.step ~timeout:0.2 c.tr)
     done;
-    let o = finish ~ready_nodes ~inserts_ok:0 ~lookups_found:0 ~lookups_total:0 in
+    let o =
+      finish ~ready_nodes ~inserts_ok:0 ~lookups_found:0 ~lookups_total:0
+        ~obs:no_obs
+    in
     (* Without a smoke workload, success means the ring formed and the
        dumps are clean. *)
     {
@@ -295,7 +493,7 @@ let run ?(inserts = 200) ?(lookups = 500) ?(ready_timeout = 30.)
 let print_outcome o =
   Printf.printf
     "serve: ready=%d inserts_ok=%d lookups=%d/%d recall=%.3f violations=%d \
-     decode_errors=%d -> %s\n%!"
+     decode_errors=%d scraped=%d slo_ok=%b trace_overhead=%.3f%% -> %s\n%!"
     o.ready_nodes o.inserts_ok o.lookups_found o.lookups_total o.recall
-    o.violations o.decode_errors
+    o.violations o.decode_errors o.scraped o.slo_ok o.trace_overhead_pct
     (if o.exit_code = 0 then "PASS" else "FAIL")

@@ -1,8 +1,14 @@
 (** [p2psim serve] orchestration: fork [peers] worker processes each
     running one {!Live_node} on [127.0.0.1:(port_base + node)], act as
     the client from the parent, and (in smoke mode) drive an
-    insert/lookup workload, compute recall and scan the workers' JSONL
-    health dumps for violations. *)
+    insert/lookup workload, compute recall, scrape every node's
+    observability snapshot mid-run (merged cluster metrics, merged
+    chrome trace, SLO and trace-overhead gates) and scan the workers'
+    JSONL health dumps for violations.
+
+    The scrape path is also exposed standalone (see {!aggregator}) for
+    [p2psim top] / [p2psim cluster-report], which poll a serving ring
+    they did not fork. *)
 
 type outcome = {
   ready_nodes : int;
@@ -12,18 +18,37 @@ type outcome = {
   recall : float;  (** found / total lookups, smoke mode *)
   violations : int;  (** summed from final health-dump lines *)
   decode_errors : int;
-  exit_code : int;  (** 0 = ring formed, recall 1.0, dumps clean *)
+  scraped : int;  (** nodes that answered the mid-run scrape *)
+  slo_ok : bool;  (** [--slo] specs held on the merged registry *)
+  trace_overhead_pct : float;
+      (** wire-v2 trace bytes as a percentage of what the same traffic
+          would cost under v1 framing *)
+  exit_code : int;  (** 0 = ring formed, recall 1.0, dumps clean, gates ok *)
 }
 
 (** [run ~peers ~port_base ~smoke ()] forks the ring and returns after
     shutdown (smoke mode) or after SIGINT/SIGTERM (serve mode).
     [dump_dir] (default ["_serve_health"]) receives
-    [health-<node>.jsonl] per worker. *)
+    [health-<node>.jsonl] per worker plus, in smoke mode,
+    [scrape-<node>.json], [cluster-metrics.json] and
+    [cluster-trace.chrome.json].  [sample_rate]/[sample_seed] (default
+    0.01 / 0) set cluster-wide trace sampling; [slo] holds
+    [metric:pNN<=value] specs enforced against the merged registry.
+    Workers dump their flight recorder on SIGTERM/SIGINT before
+    exiting.  [linger] (smoke mode, default 0) keeps the warmed-up ring
+    serving that many extra seconds after the scrape, so an external
+    {!aggregator} can poll populated histograms;
+    [cluster-metrics.json] appearing in [dump_dir] marks the window's
+    start. *)
 val run :
   ?inserts:int ->
   ?lookups:int ->
   ?ready_timeout:float ->
   ?dump_dir:string ->
+  ?sample_rate:float ->
+  ?sample_seed:int ->
+  ?slo:string list ->
+  ?linger:float ->
   peers:int ->
   port_base:int ->
   smoke:bool ->
@@ -31,3 +56,24 @@ val run :
   outcome
 
 val print_outcome : outcome -> unit
+
+(** A scrape-only client for an already-serving ring.  It joins the
+    fabric as node index [peers + 1] (the forking orchestrator holds
+    [peers]); ring members learn its listen port from the scrape
+    request frame itself, so no pre-registration is needed. *)
+type aggregator
+
+val aggregator : peers:int -> port_base:int -> unit -> aggregator
+
+(** One scrape round: request a snapshot from every ring node, pump
+    until all replied or [timeout] (default 5s) elapsed, return the
+    parsed snapshots sorted by node.  [spans] asks nodes to include
+    their retained chrome span events. *)
+val aggregator_scrape :
+  aggregator ->
+  ?spans:bool ->
+  ?timeout:float ->
+  unit ->
+  P2p_obs.Scrape.snapshot list
+
+val aggregator_stop : aggregator -> unit

@@ -1,19 +1,29 @@
 (* Length-prefixed binary wire codec for every protocol message.
 
-   Frame layout (all integers big-endian):
+   Frame layout, wire v2 (all integers big-endian):
 
-     +--------+-------+---------+-----+---------+
-     | len u32| 'P''2'| version | tag | payload |
-     +--------+-------+---------+-----+---------+
+     +--------+-------+---------+-----+-------+----------------+---------+
+     | len u32| 'P''2'| version | tag | flags | trace (16 B)?  | payload |
+     +--------+-------+---------+-----+-------+----------------+---------+
 
    [len] counts the bytes after the length word (magic + version + tag +
-   payload).  Integers in payloads are 8-byte two's complement (OCaml's
-   63-bit ints round-trip exactly); strings are u32-length-prefixed
-   bytes; lists are u32-count-prefixed elements.  Decoding never raises:
-   every malformed input — bad magic, unknown version or tag, truncated
-   payload, oversized frame — comes back as [Error]. *)
+   flags + optional trace header + payload).  [flags] bit 0 says a trace
+   header follows — operation id (8 bytes) then parent span id (8
+   bytes) — and bit 1 carries the head-sampling decision, so a relay
+   can propagate trace context without re-hashing the op id.  Wire v1
+   frames (no flags byte, payload straight after the tag) still decode;
+   the encoder always emits v2.
 
-let version = 1
+   Integers in payloads are 8-byte two's complement (OCaml's 63-bit ints
+   round-trip exactly); strings are u32-length-prefixed bytes; lists are
+   u32-count-prefixed elements.  Decoding never raises: every malformed
+   input — bad magic, unknown version or tag, bad flag bits, truncated
+   payload or trace header, oversized frame — comes back as [Error]. *)
+
+let version = 2
+
+(* Still accepted by the decoder: PR-8 peers and checked-in captures. *)
+let version_v1 = 1
 
 let magic0 = 'P'
 let magic1 = '2'
@@ -23,6 +33,12 @@ let magic1 = '2'
 let max_body = 16 * 1024 * 1024
 
 type role = T | S
+
+(* Cross-process trace context: the operation id the frame belongs to,
+   the sender-side span that caused it (the receiver's parent), and the
+   head-sampling bit.  [tc_parent = -1] means "no causal parent" (the
+   receiver hangs its span off the op root it knows, if any). *)
+type trace_ctx = { tc_op : int; tc_parent : int; tc_sampled : bool }
 
 type msg =
   | Hello of { node : int; p_id : int }
@@ -77,6 +93,13 @@ type msg =
       violations : int;
     }
   | Shutdown
+  | Scrape_request of { req : int; port : int; spans : bool }
+      (** poll one node's registry snapshot; [port] is where the scraper
+          listens (so an aggregator outside the ring's address book can
+          be dialled back), [spans] asks for retained chrome span events
+          in the snapshot *)
+  | Scrape_reply of { req : int; node : int; snapshot : string }
+      (** the node's serialized {!P2p_obs.Scrape} snapshot (JSON) *)
 
 let tag_of = function
   | Hello _ -> 1
@@ -105,6 +128,8 @@ let tag_of = function
   | Status_request _ -> 24
   | Status _ -> 25
   | Shutdown -> 26
+  | Scrape_request _ -> 27
+  | Scrape_reply _ -> 28
 
 let tag_name = function
   | Hello _ -> "hello"
@@ -133,6 +158,8 @@ let tag_name = function
   | Status_request _ -> "status_request"
   | Status _ -> "status"
   | Shutdown -> "shutdown"
+  | Scrape_request _ -> "scrape_request"
+  | Scrape_reply _ -> "scrape_reply"
 
 (* --- encoding -------------------------------------------------------- *)
 
@@ -150,12 +177,27 @@ let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
 
 let put_role b = function T -> Buffer.add_char b 'T' | S -> Buffer.add_char b 'S'
 
-let encode_body msg =
+let flag_trace = 0x01
+let flag_sampled = 0x02
+
+(* Bytes a frame carries beyond its v1 layout: the flags byte, plus the
+   16-byte trace header when context is stamped.  This is what the
+   [wire/trace_bytes] stat counts, so "v2 overhead vs v1" is exact. *)
+let trace_overhead = function None -> 1 | Some _ -> 1 + 16
+
+let encode_body ?trace msg =
   let b = Buffer.create 64 in
   Buffer.add_char b magic0;
   Buffer.add_char b magic1;
   Buffer.add_char b (Char.chr version);
   Buffer.add_char b (Char.chr (tag_of msg));
+  (match trace with
+   | None -> Buffer.add_char b '\000'
+   | Some { tc_op; tc_parent; tc_sampled } ->
+     Buffer.add_char b
+       (Char.chr (flag_trace lor if tc_sampled then flag_sampled else 0));
+     put_int b tc_op;
+     put_int b tc_parent);
   (match msg with
    | Hello { node; p_id } ->
      put_int b node;
@@ -251,11 +293,19 @@ let encode_body msg =
      put_bool b ready;
      put_int b store;
      put_int b violations
-   | Shutdown -> ());
+   | Shutdown -> ()
+   | Scrape_request { req; port; spans } ->
+     put_int b req;
+     put_int b port;
+     put_bool b spans
+   | Scrape_reply { req; node; snapshot } ->
+     put_int b req;
+     put_int b node;
+     put_string b snapshot);
   Buffer.contents b
 
-let encode msg =
-  let body = encode_body msg in
+let encode ?trace msg =
+  let body = encode_body ?trace msg in
   let b = Buffer.create (4 + String.length body) in
   put_u32 b (String.length body);
   Buffer.add_string b body;
@@ -436,6 +486,16 @@ let decode_payload c tag =
     let violations = get_int c in
     Status { req; node; ready; store; violations }
   | 26 -> Shutdown
+  | 27 ->
+    let req = get_int c in
+    let port = get_int c in
+    let spans = get_bool c in
+    Scrape_request { req; port; spans }
+  | 28 ->
+    let req = get_int c in
+    let node = get_int c in
+    let snapshot = get_string c in
+    Scrape_reply { req; node; snapshot }
   | tag -> raise (Bad (Printf.sprintf "unknown tag %d" tag))
 
 let decode_body body =
@@ -443,24 +503,40 @@ let decode_body body =
   match
     if get_char c <> magic0 || get_char c <> magic1 then raise (Bad "bad magic");
     let v = Char.code (get_char c) in
-    if v <> version then raise (Bad (Printf.sprintf "unknown version %d" v));
+    if v <> version && v <> version_v1 then
+      raise (Bad (Printf.sprintf "unknown version %d" v));
     let tag = Char.code (get_char c) in
+    let trace =
+      if v = version_v1 then None
+      else begin
+        let flags = Char.code (get_char c) in
+        if flags land lnot (flag_trace lor flag_sampled) <> 0 then
+          raise (Bad (Printf.sprintf "unknown flag bits %#x" flags));
+        if flags land flag_trace = 0 then None
+        else begin
+          let tc_op = get_int c in
+          let tc_parent = get_int c in
+          Some { tc_op; tc_parent; tc_sampled = flags land flag_sampled <> 0 }
+        end
+      end
+    in
     let msg = decode_payload c tag in
     if c.pos <> String.length body then
       raise (Bad (Printf.sprintf "%d trailing bytes" (String.length body - c.pos)));
-    msg
+    (msg, trace)
   with
-  | msg -> Ok msg
+  | result -> Ok result
   | exception Bad reason -> Error reason
   | exception _ -> Error "malformed frame"
 
-(* [decode ?off buf] reads one frame starting at [off] (default 0):
-   [Ok (Some (msg, consumed))] on a complete frame — [consumed] counts
-   from [off] — [Ok None] when more bytes are needed, [Error] on
+(* [decode_traced ?off buf] reads one frame starting at [off] (default
+   0): [Ok (Some (msg, trace, consumed))] on a complete frame —
+   [consumed] counts from [off], [trace] is the frame's trace context if
+   stamped — [Ok None] when more bytes are needed, [Error] on
    corruption.  Stream readers call it in a loop, advancing [off] by
    [consumed] each time, so a backlog of buffered frames drains without
    re-copying the buffer per frame. *)
-let decode ?(off = 0) buf =
+let decode_traced ?(off = 0) buf =
   let len = String.length buf - off in
   if len < 4 then Ok None
   else begin
@@ -471,16 +547,26 @@ let decode ?(off = 0) buf =
     else if len < 4 + body_len then Ok None
     else
       match decode_body (String.sub buf (off + 4) body_len) with
-      | Ok msg -> Ok (Some (msg, 4 + body_len))
+      | Ok (msg, trace) -> Ok (Some (msg, trace, 4 + body_len))
       | Error e -> Error e
   end
+
+(* Context-blind view of {!decode_traced} for callers that predate the
+   trace header (tests, tools). *)
+let decode ?off buf =
+  match decode_traced ?off buf with
+  | Ok None -> Ok None
+  | Ok (Some (msg, _, consumed)) -> Ok (Some (msg, consumed))
+  | Error e -> Error e
 
 (* --- golden exemplars ------------------------------------------------- *)
 
 (* One canonical value per message kind, in tag order.  The checked-in
-   [test/golden/wire_v1.bin] is the concatenated encoding of this list;
+   [test/golden/wire_v2.bin] is the concatenated encoding of this list
+   (trace context stamped on the data-path messages, absent elsewhere);
    changing the codec or this list without regenerating the golden file
-   fails the round-trip test. *)
+   fails the round-trip test.  [test/golden/wire_v1.bin] is the frozen
+   v1 encoding of the first 26 kinds and must keep decoding forever. *)
 let golden_exemplars =
   [
     Hello { node = 3; p_id = 0x1234_5678 };
@@ -525,4 +611,35 @@ let golden_exemplars =
     Status_request { req = 9 };
     Status { req = 9; node = 4; ready = true; store = 25; violations = 0 };
     Shutdown;
+    Scrape_request { req = 77; port = 4910; spans = true };
+    Scrape_reply { req = 77; node = 4; snapshot = "{\"type\":\"scrape\"}" };
+  ]
+
+(* Trace contexts stamped on the golden data-path frames: one sampled,
+   one relayed (non-root parent), one unsampled-but-stamped, so the
+   golden bytes pin all flag combinations the encoder emits. *)
+let golden_trace_exemplars =
+  [
+    (Lookup
+       {
+         op = 2002;
+         origin = 1;
+         route_id = 0;
+         key = "needle";
+         ttl = 4;
+         hops = 0;
+       },
+     Some { tc_op = 2002; tc_parent = -1; tc_sampled = true });
+    (Found { op = 2002; key = "needle"; value = "hay"; holder = 6; hops = 5 },
+     Some { tc_op = 2002; tc_parent = 31; tc_sampled = true });
+    (Insert
+       {
+         op = 1001;
+         origin = 2;
+         route_id = 0x7fff_ffff;
+         key = "song/track-01";
+         value = "payload bytes \x00\x01\xff";
+         hops = 3;
+       },
+     Some { tc_op = 1001; tc_parent = 7; tc_sampled = false });
   ]

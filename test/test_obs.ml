@@ -371,6 +371,176 @@ let test_export_files () =
   List.iter Sys.remove [ tpath; mpath; cpath ];
   Sys.rmdir dir
 
+(* --- log-histogram JSON round-trip and cluster merge --- *)
+
+module Log_hist = P2p_obs.Log_hist
+module Json = P2p_obs.Json
+module Scrape = P2p_obs.Scrape
+
+let reparse h =
+  match Log_hist.of_json (Log_hist.to_json h) with
+  | Ok h' -> h'
+  | Error e -> Alcotest.fail ("log hist re-parse: " ^ e)
+
+let hist_equal a b =
+  Log_hist.count a = Log_hist.count b
+  && Log_hist.buckets a = Log_hist.buckets b
+  && Log_hist.sum a = Log_hist.sum b
+  && (Log_hist.count a = 0
+      || Log_hist.min_value a = Log_hist.min_value b
+         && Log_hist.max_value a = Log_hist.max_value b)
+
+let test_log_hist_json_roundtrip () =
+  (* empty, single-bucket, and a spread distribution all survive *)
+  let empty = Log_hist.create () in
+  checkb "empty round-trips" true (hist_equal empty (reparse empty));
+  let single = Log_hist.create () in
+  Log_hist.observe single 5.0;
+  Log_hist.observe single 5.0;
+  checkb "single bucket round-trips" true (hist_equal single (reparse single));
+  let spread = Log_hist.create () in
+  List.iter (Log_hist.observe spread) [ 0.1; 1.0; 2.5; 40.0; 900.0; 900.0 ];
+  let spread' = reparse spread in
+  checkb "spread round-trips" true (hist_equal spread spread');
+  checkb "percentiles agree after round-trip" true
+    (Log_hist.percentile spread 99.0 = Log_hist.percentile spread' 99.0)
+
+let test_log_hist_parse_then_merge () =
+  (* serialize -> parse -> merge must equal merging the live values:
+     the aggregator path (scrape JSON in between) loses nothing *)
+  let a = Log_hist.create () and b = Log_hist.create () in
+  List.iter (Log_hist.observe a) [ 1.0; 3.0; 3.2; 77.0 ];
+  List.iter (Log_hist.observe b) [ 0.5; 3.1; 900.0 ];
+  let direct = Log_hist.merge a b in
+  let via_json = Log_hist.merge (reparse a) (reparse b) in
+  checkb "merge of parsed equals direct merge" true (hist_equal direct via_json);
+  (* merge_into agrees with merge *)
+  let into = reparse a in
+  Log_hist.merge_into ~into (reparse b);
+  checkb "merge_into equals merge" true (hist_equal direct into);
+  (* merging an empty histogram is the identity *)
+  let into = reparse a in
+  Log_hist.merge_into ~into (Log_hist.create ());
+  checkb "empty merge is identity" true (hist_equal a into)
+
+(* --- scrape snapshots and their cluster merge --- *)
+
+let scrape_snapshot ~node samples =
+  let reg = Registry.create () in
+  let h = Registry.log_histogram reg ~subsystem:"latency" ~name:"lookup_total_ms" in
+  List.iter (Log_hist.observe h) samples;
+  Registry.incr ~by:(10 * (node + 1))
+    (Registry.counter reg ~subsystem:"wire" ~name:"msgs_sent");
+  Registry.set_max
+    (Registry.gauge reg ~subsystem:"ring" ~name:"store")
+    (float_of_int (5 * (node + 1)));
+  {
+    Scrape.node;
+    at = 1000.0 +. float_of_int node;
+    uptime_ms = 500.0;
+    ready = true;
+    p_id = node * 100;
+    succ = (node + 1) mod 4;
+    pred = (node + 3) mod 4;
+    store = 5 * (node + 1);
+    violations = 0;
+    metrics = Registry.to_json reg;
+    trace = [];
+  }
+
+let test_scrape_roundtrip () =
+  let s = scrape_snapshot ~node:2 [ 1.0; 2.0 ] in
+  match Scrape.of_string (Scrape.to_string s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+    checki "node survives" s.Scrape.node s'.Scrape.node;
+    checkb "ready survives" s.Scrape.ready s'.Scrape.ready;
+    checki "store survives" s.Scrape.store s'.Scrape.store;
+    (* JSON printing may flip float/int shapes (15.0 -> "15"), so
+       compare the metrics by what the aggregator extracts *)
+    let reg = Registry.create () in
+    Scrape.merge_metrics_into reg s'.Scrape.metrics;
+    checki "counters survive" 30
+      (Registry.counter_value
+         (Registry.counter reg ~subsystem:"wire" ~name:"msgs_sent"));
+    checki "histogram samples survive" 2
+      (Log_hist.count
+         (Registry.log_histogram reg ~subsystem:"latency"
+            ~name:"lookup_total_ms"))
+
+let test_scrape_rejects_foreign () =
+  checkb "wrong type rejected" true
+    (Result.is_error (Scrape.of_string "{\"type\":\"nope\",\"version\":1}"));
+  checkb "future version rejected" true
+    (Result.is_error (Scrape.of_string "{\"type\":\"scrape\",\"version\":99}"));
+  checkb "garbage rejected" true (Result.is_error (Scrape.of_string "{"))
+
+let test_scrape_merged_registry () =
+  let snaps =
+    [
+      scrape_snapshot ~node:0 [ 1.0; 2.0; 4.0 ];
+      scrape_snapshot ~node:1 [ 8.0; 16.0 ];
+      scrape_snapshot ~node:2 [];
+    ]
+  in
+  let merged = Scrape.merged_registry snaps in
+  checki "counters sum across nodes" 60
+    (Registry.counter_value
+       (Registry.counter merged ~subsystem:"wire" ~name:"msgs_sent"));
+  checkb "gauges keep the cluster maximum" true
+    (Registry.gauge_value (Registry.gauge merged ~subsystem:"ring" ~name:"store")
+     = 15.0);
+  let h =
+    Registry.log_histogram merged ~subsystem:"latency" ~name:"lookup_total_ms"
+  in
+  checki "histograms hold every node's samples" 5 (Log_hist.count h);
+  (* p99 of the merged distribution tracks the global tail (node 1's),
+     which per-node averaging would have hidden *)
+  checkb "merged p99 is the global tail" true (Log_hist.percentile h 99.0 >= 16.0)
+
+let test_scrape_merged_chrome () =
+  let span pid name =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "X");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 7);
+        ("ts", Json.Float 1.0);
+        ("dur", Json.Float 2.0);
+      ]
+  in
+  let meta pid =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+      ]
+  in
+  let snaps =
+    [
+      { (scrape_snapshot ~node:0 []) with Scrape.trace = [ meta 0; span 0 "a" ] };
+      { (scrape_snapshot ~node:1 []) with Scrape.trace = [ meta 1; span 1 "b" ] };
+    ]
+  in
+  match Scrape.merged_chrome snaps with
+  | Json.List events ->
+    let phase e =
+      match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?"
+    in
+    let metas = List.filter (fun e -> phase e = "M") events in
+    let spans = List.filter (fun e -> phase e = "X") events in
+    checki "one re-derived process_name per node" 2 (List.length metas);
+    checki "both nodes' spans pooled" 2 (List.length spans)
+  | _ -> Alcotest.fail "merged chrome is not a list"
+
+let test_scrape_render_table () =
+  let snaps = [ scrape_snapshot ~node:0 [ 1.0 ]; scrape_snapshot ~node:1 [ 2.0 ] ] in
+  let table = Scrape.render_table snaps in
+  checkb "has per-node rows" true (contains ~haystack:table "store");
+  checkb "has the cluster summary" true (contains ~haystack:table "cluster:")
+
 let suite =
   [
     Alcotest.test_case "trace: ring buffer" `Quick test_ring_buffer;
@@ -391,4 +561,16 @@ let suite =
     Alcotest.test_case "report: render" `Quick test_report_render;
     Alcotest.test_case "report: health section" `Quick test_report_health_section;
     Alcotest.test_case "export: files" `Quick test_export_files;
+    Alcotest.test_case "log hist: json round-trip" `Quick
+      test_log_hist_json_roundtrip;
+    Alcotest.test_case "log hist: parse-then-merge equals direct merge" `Quick
+      test_log_hist_parse_then_merge;
+    Alcotest.test_case "scrape: snapshot round-trip" `Quick test_scrape_roundtrip;
+    Alcotest.test_case "scrape: rejects foreign documents" `Quick
+      test_scrape_rejects_foreign;
+    Alcotest.test_case "scrape: merged registry semantics" `Quick
+      test_scrape_merged_registry;
+    Alcotest.test_case "scrape: merged chrome trace" `Quick
+      test_scrape_merged_chrome;
+    Alcotest.test_case "scrape: rendered table" `Quick test_scrape_render_table;
   ]

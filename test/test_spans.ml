@@ -635,6 +635,92 @@ let test_runtime_and_lane_gauges () =
   checkb "single lane: no lanes section" false
     (contains (Report.render (Report.of_registry reg1)) "== lanes ==")
 
+(* --- cross-process identity: extern ops and span-id ranges --- *)
+
+let test_extern_op_adopts_wire_id () =
+  (* A live node's op identity is the wire request id, minted by the
+     client — begin_extern_op must adopt it, root a span tree under it,
+     and keep locally-minted op ids from ever colliding with it. *)
+  let t = Trace.create ~capacity:256 () in
+  Trace.begin_extern_op t ~time:1.0 ~op:5_000 ~kind:Trace.Lookup ~src:9 ~dst:2
+    "needle";
+  let root =
+    match Trace.op_root_span t 5_000 with
+    | Some r -> r
+    | None -> Alcotest.fail "extern op has no root span"
+  in
+  let hop =
+    Trace.begin_span t ~time:2.0 ~op:5_000 ~tier:"t_network" ~phase:"ring_hop"
+      ~parent:root "needle"
+  in
+  Trace.end_span t ~time:3.0 hop;
+  Trace.end_op t ~time:4.0 ~op:5_000 "found";
+  checki "root + hop recorded" 2 (List.length (Trace.spans_of_op t 5_000));
+  (* next local op must not reuse the extern id *)
+  let local = Trace.begin_op t ~time:5.0 ~kind:Trace.Insert "k" in
+  checkb "local op ids advance past extern ids" true (local > 5_000)
+
+let test_extern_op_sampling_agrees () =
+  (* Same rate + seed on two traces (two processes): the sampling
+     decision for one wire op id must agree, whichever side asks. *)
+  let mk first_span_id =
+    Trace.create ~capacity:256 ~sample_rate:0.3 ~sample_seed:7 ~first_span_id ()
+  in
+  let a = mk 0 and b = mk (1 lsl 40) in
+  let disagreements = ref 0 in
+  for op = 0 to 999 do
+    if Trace.sampled a op <> Trace.sampled b op then incr disagreements
+  done;
+  checki "cluster-wide sampling decisions agree" 0 !disagreements;
+  (* and an unsampled extern op opens no span tree *)
+  let unsampled =
+    let rec find op = if Trace.sampled a op then find (op + 1) else op in
+    find 0
+  in
+  Trace.begin_extern_op a ~time:1.0 ~op:unsampled ~kind:Trace.Lookup "k";
+  checkb "unsampled extern op has no root" true
+    (Trace.op_root_span a unsampled = None)
+
+let test_first_span_id_ranges_disjoint () =
+  (* Per-process span-id ranges: node k mints from k * 2^40, so a span
+     id arriving in a wire trace header never aliases a local span. *)
+  let stride = 1 lsl 40 in
+  let node_spans node =
+    let t = Trace.create ~capacity:64 ~first_span_id:(node * stride) () in
+    let op = Trace.begin_op t ~time:0.0 ~kind:Trace.Lookup "k" in
+    let s =
+      Trace.begin_span t ~time:1.0 ~op ~tier:"t_network" ~phase:"hop" "k"
+    in
+    Trace.end_span t ~time:2.0 s;
+    Trace.end_op t ~time:3.0 ~op "done";
+    List.map (fun (sp : Trace.span) -> sp.Trace.span_id) (Trace.spans_of_op t op)
+  in
+  let s0 = node_spans 0 and s3 = node_spans 3 in
+  List.iter
+    (fun id -> checkb "node 0 ids in node 0's range" true (id < stride))
+    s0;
+  List.iter
+    (fun id ->
+      checkb "node 3 ids in node 3's range" true
+        (id >= 3 * stride && id < 4 * stride))
+    s3;
+  (* remote parents (outside the local range) are kept verbatim *)
+  let t = Trace.create ~capacity:64 ~first_span_id:0 () in
+  Trace.begin_extern_op t ~time:0.0 ~op:42 ~kind:Trace.Insert "k";
+  let remote_parent = (3 * stride) + 5 in
+  let s =
+    Trace.begin_span t ~time:1.0 ~op:42 ~tier:"t_network" ~phase:"ring_hop"
+      ~parent:remote_parent "k"
+  in
+  Trace.end_span t ~time:2.0 s;
+  Trace.end_op t ~time:3.0 ~op:42 "done";
+  let hop =
+    List.find
+      (fun (sp : Trace.span) -> sp.Trace.phase = "ring_hop")
+      (Trace.spans_of_op t 42)
+  in
+  checki "remote parent preserved for the merger" remote_parent hop.Trace.parent
+
 let suite =
   [
     Alcotest.test_case "span lifecycle" `Quick test_lifecycle;
@@ -658,4 +744,10 @@ let suite =
     Alcotest.test_case "flight recorder" `Quick test_flight_recorder;
     Alcotest.test_case "sampler on_sample hook" `Quick test_sampler_hook;
     Alcotest.test_case "runtime and lane gauges" `Quick test_runtime_and_lane_gauges;
+    Alcotest.test_case "extern op adopts the wire id" `Quick
+      test_extern_op_adopts_wire_id;
+    Alcotest.test_case "extern sampling agrees cluster-wide" `Quick
+      test_extern_op_sampling_agrees;
+    Alcotest.test_case "per-process span-id ranges disjoint" `Quick
+      test_first_span_id_ranges_disjoint;
   ]

@@ -13,7 +13,8 @@ module Sim_transport = P2p_transport.Sim_transport
 module Timer = P2p_sim.Timer
 module Engine = P2p_sim.Engine
 
-let golden_path = "golden/wire_v1.bin"
+let golden_v1_path = "golden/wire_v1.bin"
+let golden_v2_path = "golden/wire_v2.bin"
 
 (* --- codec ----------------------------------------------------------- *)
 
@@ -38,41 +39,66 @@ let all_tags_covered () =
   let tags =
     List.sort_uniq compare (List.map Wire.tag_of Wire.golden_exemplars)
   in
-  Alcotest.(check int) "one exemplar per message kind" 26 (List.length tags)
+  Alcotest.(check int) "one exemplar per message kind" 28 (List.length tags)
+
+let read_golden path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let golden = really_input_string ic len in
+  close_in ic;
+  golden
+
+let decode_all_traced buf =
+  let rec go off acc =
+    match Wire.decode_traced ~off buf with
+    | Ok (Some (msg, trace, consumed)) -> go (off + consumed) ((msg, trace) :: acc)
+    | Ok None ->
+      Alcotest.(check int) "no trailing bytes" (String.length buf) off;
+      List.rev acc
+    | Error e -> Alcotest.fail ("golden stream: " ^ e)
+  in
+  go 0 []
+
+(* The checked-in v2 golden stream: every exemplar unstamped, then the
+   traced exemplars with their headers — all flag combinations pinned. *)
+let v2_stream () =
+  String.concat ""
+    (List.map Wire.encode Wire.golden_exemplars
+    @ List.map
+        (fun (msg, trace) -> Wire.encode ?trace msg)
+        Wire.golden_trace_exemplars)
 
 let golden_bytes () =
-  let concatenated =
-    String.concat "" (List.map Wire.encode Wire.golden_exemplars)
-  in
+  let concatenated = v2_stream () in
   match Sys.getenv_opt "WIRE_GOLDEN_WRITE" with
   | Some path ->
     let oc = open_out_bin path in
     output_string oc concatenated;
     close_out oc
   | None ->
-    let ic = open_in_bin golden_path in
-    let len = in_channel_length ic in
-    let golden = really_input_string ic len in
-    close_in ic;
+    let golden = read_golden golden_v2_path in
     Alcotest.(check int) "golden length" (String.length golden)
       (String.length concatenated);
     Alcotest.(check bool) "every message kind encodes byte-identically" true
       (golden = concatenated);
-    (* And the golden stream decodes back to the exemplars. *)
-    let rec decode_all buf acc =
-      match Wire.decode buf with
-      | Ok (Some (msg, consumed)) ->
-        decode_all
-          (String.sub buf consumed (String.length buf - consumed))
-          (msg :: acc)
-      | Ok None ->
-        Alcotest.(check int) "no trailing bytes" 0 (String.length buf);
-        List.rev acc
-      | Error e -> Alcotest.fail ("golden stream: " ^ e)
+    let expected =
+      List.map (fun msg -> (msg, None)) Wire.golden_exemplars
+      @ Wire.golden_trace_exemplars
     in
-    let decoded = decode_all golden [] in
-    Alcotest.(check bool) "golden stream decodes to the exemplars" true
-      (decoded = Wire.golden_exemplars)
+    Alcotest.(check bool)
+      "golden stream decodes to the exemplars, trace contexts intact" true
+      (decode_all_traced golden = expected)
+
+let golden_v1_still_decodes () =
+  (* The frozen v1 stream (no flags byte, version 1) predates the two
+     scrape messages; the v2 decoder must keep accepting it forever. *)
+  let golden = read_golden golden_v1_path in
+  let expected =
+    List.filteri (fun i _ -> i < 26) Wire.golden_exemplars
+    |> List.map (fun msg -> (msg, None))
+  in
+  Alcotest.(check bool) "v1 stream decodes, no trace contexts" true
+    (decode_all_traced golden = expected)
 
 let truncation_never_raises () =
   List.iter
@@ -128,6 +154,67 @@ let oversized_frame_rejected () =
   match Wire.decode (Buffer.contents b) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "oversized frame length accepted"
+
+(* --- trace header ----------------------------------------------------- *)
+
+let trace_ctx_roundtrip () =
+  List.iter
+    (fun trace ->
+      List.iter
+        (fun msg ->
+          let frame = Wire.encode ?trace msg in
+          Alcotest.(check int)
+            (Wire.tag_name msg ^ " trace overhead matches the accounting")
+            (String.length frame)
+            (String.length (Wire.encode msg) - 1 + Wire.trace_overhead trace);
+          match Wire.decode_traced frame with
+          | Ok (Some (decoded, decoded_trace, consumed)) ->
+            Alcotest.(check int) "whole frame consumed" (String.length frame)
+              consumed;
+            Alcotest.(check bool) "message survives" true (decoded = msg);
+            Alcotest.(check bool) "trace context survives" true
+              (decoded_trace = trace)
+          | Ok None -> Alcotest.fail "incomplete?"
+          | Error e -> Alcotest.fail e)
+        Wire.golden_exemplars)
+    [
+      None;
+      Some Wire.{ tc_op = 0; tc_parent = -1; tc_sampled = true };
+      Some Wire.{ tc_op = max_int; tc_parent = max_int; tc_sampled = false };
+      Some Wire.{ tc_op = 123_456_789; tc_parent = 1 lsl 42; tc_sampled = true };
+    ]
+
+let traced_frames_survive_fuzz () =
+  (* Truncation and byte corruption of trace-stamped frames: any result,
+     never an exception.  Unknown flag bits must be an [Error]. *)
+  let trace = Some Wire.{ tc_op = 9001; tc_parent = 17; tc_sampled = true } in
+  List.iter
+    (fun msg ->
+      let frame = Wire.encode ?trace msg in
+      for cut = 0 to String.length frame - 1 do
+        match Wire.decode_traced (String.sub frame 0 cut) with
+        | Ok None | Error _ -> ()
+        | Ok (Some _) ->
+          Alcotest.fail
+            (Printf.sprintf "%s traced, truncated to %d bytes decoded"
+               (Wire.tag_name msg) cut)
+      done;
+      List.iter
+        (fun pattern ->
+          for pos = 0 to String.length frame - 1 do
+            let corrupted = Bytes.of_string frame in
+            Bytes.set corrupted pos
+              (Char.chr (Char.code (Bytes.get corrupted pos) lxor pattern));
+            ignore (Wire.decode_traced (Bytes.to_string corrupted))
+          done)
+        [ 0xff; 0x01; 0x80 ])
+    Wire.golden_exemplars;
+  let frame = Bytes.of_string (Wire.encode Wire.Shutdown) in
+  (* flags byte sits right after the tag *)
+  Bytes.set frame 8 '\xf0';
+  match Wire.decode_traced (Bytes.to_string frame) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown flag bits accepted"
 
 (* --- timer cancel-late semantics ------------------------------------- *)
 
@@ -240,6 +327,33 @@ let live_connect_and_exchange () =
   Live.send a ~src:0 ~dst:1 (Wire.Pong { nonce = 99 });
   Alcotest.(check bool) "pong arrives" true
     (pump [ a; b ] (fun () -> !got_b <> []));
+  Live.stop a;
+  Live.stop b
+
+let live_trace_ctx_propagates () =
+  let port_a = 43270 and port_b = 43271 in
+  let a, b = make_pair ~port_a ~port_b in
+  Live.listen a (loopback port_a);
+  Live.listen b (loopback port_b);
+  let got_a = ref [] in
+  Live.set_handler_traced a (fun ~src:_ ~dst:_ ~trace msg ->
+      got_a := (msg, trace) :: !got_a);
+  let ctx = Wire.{ tc_op = 4242; tc_parent = 1 lsl 41; tc_sampled = true } in
+  Live.send_traced b ~trace:ctx ~dst:0 (Wire.Ping { nonce = 1 });
+  Live.send_traced b ~dst:0 (Wire.Ping { nonce = 2 });
+  Alcotest.(check bool) "both frames arrive" true
+    (pump [ a; b ] (fun () -> List.length !got_a = 2));
+  (match List.rev !got_a with
+   | [ (Wire.Ping { nonce = 1 }, Some decoded); (Wire.Ping { nonce = 2 }, None) ]
+     ->
+     Alcotest.(check bool) "context crossed the socket intact" true
+       (decoded = ctx)
+   | _ -> Alcotest.fail "unexpected traced delivery");
+  (* The overhead accounting the 2%-budget gate reads: one flags byte
+     per frame, 16 more for the stamped one. *)
+  Alcotest.(check int) "trace_bytes counts flags + stamped header"
+    (1 + 16 + 1)
+    (Live.stats b).Live.trace_bytes;
   Live.stop a;
   Live.stop b
 
@@ -405,14 +519,20 @@ let suite =
     Alcotest.test_case "codec round-trips every message kind" `Quick
       roundtrip_every_kind;
     Alcotest.test_case "exemplar list covers every tag" `Quick all_tags_covered;
-    Alcotest.test_case "golden wire_v1.bin is byte-identical" `Quick
+    Alcotest.test_case "golden wire_v2.bin is byte-identical" `Quick
       golden_bytes;
+    Alcotest.test_case "frozen wire_v1.bin still decodes" `Quick
+      golden_v1_still_decodes;
     Alcotest.test_case "decoder survives truncation" `Quick
       truncation_never_raises;
     Alcotest.test_case "decoder survives corruption" `Quick
       corruption_never_raises;
     Alcotest.test_case "oversized frame rejected" `Quick
       oversized_frame_rejected;
+    Alcotest.test_case "trace context round-trips on every kind" `Quick
+      trace_ctx_roundtrip;
+    Alcotest.test_case "traced frames survive truncation and corruption"
+      `Quick traced_frames_survive_fuzz;
     Alcotest.test_case "sim timer: cancel after fire is a counted no-op"
       `Quick sim_cancel_late_counted;
     Alcotest.test_case "sim timer: timely cancel is not late" `Quick
@@ -423,6 +543,8 @@ let suite =
       wheel_periodic_reset_cancel;
     Alcotest.test_case "live: connect and exchange" `Quick
       live_connect_and_exchange;
+    Alcotest.test_case "live: trace context crosses the socket" `Quick
+      live_trace_ctx_propagates;
     Alcotest.test_case "live: retry after refused" `Quick
       live_retry_after_refused;
     Alcotest.test_case "live: windowed send under full buffer" `Quick
